@@ -1,0 +1,443 @@
+package partmb_test
+
+import (
+	"testing"
+
+	"partmb/internal/classic"
+	"partmb/internal/cluster"
+	"partmb/internal/core"
+	"partmb/internal/figures"
+	"partmb/internal/memsim"
+	"partmb/internal/mpi"
+	"partmb/internal/netsim"
+	"partmb/internal/noise"
+	"partmb/internal/patterns"
+	"partmb/internal/sim"
+	"partmb/internal/snap"
+)
+
+// ---------------------------------------------------------------------------
+// One benchmark per paper figure. Each op regenerates the figure's data at
+// Quick scale; run with -scale-equivalent sweeps via `go run ./cmd/figures
+// -scale full` for the paper-size parameter ranges.
+// ---------------------------------------------------------------------------
+
+func benchFigure(b *testing.B, fig int) {
+	b.Helper()
+	sc := figures.Quick()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := figures.Generate(fig, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+func BenchmarkFig04Overhead(b *testing.B)       { benchFigure(b, 4) }
+func BenchmarkFig05PerceivedBW(b *testing.B)    { benchFigure(b, 5) }
+func BenchmarkFig06Availability(b *testing.B)   { benchFigure(b, 6) }
+func BenchmarkFig07NoiseModels(b *testing.B)    { benchFigure(b, 7) }
+func BenchmarkFig08EarlyBird(b *testing.B)      { benchFigure(b, 8) }
+func BenchmarkFig09Sweep3D10ms(b *testing.B)    { benchFigure(b, 9) }
+func BenchmarkFig10Sweep3D100ms(b *testing.B)   { benchFigure(b, 10) }
+func BenchmarkFig11Halo3D10ms(b *testing.B)     { benchFigure(b, 11) }
+func BenchmarkFig12Halo3D100ms(b *testing.B)    { benchFigure(b, 12) }
+func BenchmarkFig13SnapProjection(b *testing.B) { benchFigure(b, 13) }
+
+// ---------------------------------------------------------------------------
+// Runtime micro-benchmarks: how fast is the simulator itself?
+// ---------------------------------------------------------------------------
+
+// BenchmarkSimEvents measures raw event throughput of the DES kernel.
+func BenchmarkSimEvents(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.New()
+	s.Spawn("ticker", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(sim.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPt2PtRoundtrip measures one simulated eager ping-pong per op.
+func BenchmarkPt2PtRoundtrip(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.New()
+	w := mpi.NewWorld(s, mpi.DefaultConfig(2))
+	s.Spawn("r0", func(p *sim.Proc) {
+		c := w.Comm(0)
+		for i := 0; i < b.N; i++ {
+			c.SendBytes(p, 1, 0, 1024)
+			c.Recv(p, 1, 1)
+		}
+	})
+	s.Spawn("r1", func(p *sim.Proc) {
+		c := w.Comm(1)
+		for i := 0; i < b.N; i++ {
+			c.Recv(p, 0, 0)
+			c.SendBytes(p, 0, 1, 1024)
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPartitionedEpoch measures one 16-partition epoch per op.
+func BenchmarkPartitionedEpoch(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.New()
+	w := mpi.NewWorld(s, mpi.DefaultConfig(2))
+	s.Spawn("sender", func(p *sim.Proc) {
+		c := w.Comm(0)
+		c.SetPlacement(cluster.Place(w.Config().Machine, 16))
+		pr := c.PsendInit(p, 1, 0, 16, 4096)
+		c.Barrier(p)
+		for i := 0; i < b.N; i++ {
+			pr.Start(p)
+			for j := 0; j < 16; j++ {
+				pr.Pready(p, j)
+			}
+			pr.Wait(p)
+		}
+	})
+	s.Spawn("recv", func(p *sim.Proc) {
+		c := w.Comm(1)
+		pr := c.PrecvInit(p, 0, 0, 16, 4096)
+		c.Barrier(p)
+		for i := 0; i < b.N; i++ {
+			pr.Start(p)
+			pr.Wait(p)
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks for the design choices in DESIGN.md §5. Each reports
+// the *simulated* quantity of interest as a custom metric so the effect of
+// the modeled mechanism is visible next to the wall-clock cost.
+// ---------------------------------------------------------------------------
+
+// partSpan runs one 16-partition, 64KiB-total epoch under cfg and returns
+// t_part (first Pready to last arrival).
+func partSpan(b *testing.B, mcfg mpi.Config) sim.Duration {
+	b.Helper()
+	s := sim.New()
+	w := mpi.NewWorld(s, mcfg)
+	var spr, rpr *mpi.PRequest
+	s.Spawn("sender", func(p *sim.Proc) {
+		c := w.Comm(0)
+		c.SetPlacement(cluster.Place(mcfg.Machine, 32))
+		spr = c.PsendInit(p, 1, 0, 32, 2048)
+		c.Barrier(p)
+		spr.Start(p)
+		for j := 0; j < 32; j++ {
+			spr.Pready(p, j)
+		}
+		spr.Wait(p)
+		c.Barrier(p)
+	})
+	s.Spawn("recv", func(p *sim.Proc) {
+		c := w.Comm(1)
+		rpr = c.PrecvInit(p, 0, 0, 32, 2048)
+		c.Barrier(p)
+		rpr.Start(p)
+		rpr.Wait(p)
+		c.Barrier(p)
+	})
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return rpr.LastArriveAt().Sub(spr.FirstReadyAt())
+}
+
+// BenchmarkAblationImpl compares the layered (MPIPCL) and native
+// partitioned implementations.
+func BenchmarkAblationImpl(b *testing.B) {
+	for _, impl := range []mpi.PartImpl{mpi.PartMPIPCL, mpi.PartNative} {
+		impl := impl
+		b.Run(impl.String(), func(b *testing.B) {
+			var span sim.Duration
+			for i := 0; i < b.N; i++ {
+				cfg := mpi.DefaultConfig(2)
+				cfg.PartImpl = impl
+				span = partSpan(b, cfg)
+			}
+			b.ReportMetric(span.Microseconds(), "sim-us/epoch")
+		})
+	}
+}
+
+// BenchmarkAblationCrossSocket isolates the 32-partition socket-spillover
+// step by zeroing the cross-socket penalty.
+func BenchmarkAblationCrossSocket(b *testing.B) {
+	for _, on := range []bool{true, false} {
+		name := "penalty-on"
+		if !on {
+			name = "penalty-off"
+		}
+		on := on
+		b.Run(name, func(b *testing.B) {
+			var span sim.Duration
+			for i := 0; i < b.N; i++ {
+				cfg := mpi.DefaultConfig(2)
+				if !on {
+					m := *cfg.Machine
+					m.CrossSocketPenalty = 0
+					cfg.Machine = &m
+				}
+				span = partSpan(b, cfg)
+			}
+			b.ReportMetric(span.Microseconds(), "sim-us/epoch")
+		})
+	}
+}
+
+// BenchmarkAblationEagerThreshold moves the eager/rendezvous knee.
+func BenchmarkAblationEagerThreshold(b *testing.B) {
+	for _, thr := range []int64{1 << 10, 16 << 10, 256 << 10} {
+		thr := thr
+		b.Run(core.FormatBytes(thr), func(b *testing.B) {
+			var span sim.Duration
+			for i := 0; i < b.N; i++ {
+				cfg := mpi.DefaultConfig(2)
+				net := *cfg.Net
+				net.EagerThreshold = thr
+				cfg.Net = &net
+				span = partSpan(b, cfg)
+			}
+			b.ReportMetric(span.Microseconds(), "sim-us/epoch")
+		})
+	}
+}
+
+// BenchmarkAblationLockContention isolates the MPI_THREAD_MULTIPLE
+// lock-contention model in the Sweep3D motif.
+func BenchmarkAblationLockContention(b *testing.B) {
+	run := func(b *testing.B, contention sim.Duration) float64 {
+		net := netsim.EDR()
+		machine := cluster.Niagara()
+		var last float64
+		for i := 0; i < b.N; i++ {
+			res, err := patterns.RunSweep3D(patterns.SweepConfig{
+				Px: 2, Py: 2,
+				Threads:        16,
+				BytesPerThread: 256 << 10,
+				Compute:        sim.Millisecond,
+				NoiseKind:      noise.SingleThread,
+				NoisePercent:   4,
+				ZBlocks:        2,
+				Octants:        4,
+				Repeats:        1,
+				Mode:           patterns.Multi,
+				Net:            net,
+				Machine:        machine,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res.Throughput() / 1e9
+		}
+		_ = contention
+		return last
+	}
+	// The contention knob lives in mpi.Config, which patterns owns
+	// internally; compare Multi (contended) vs Partitioned-native
+	// (lock-free) instead.
+	b.Run("multi-contended", func(b *testing.B) {
+		gbps := run(b, 0)
+		b.ReportMetric(gbps, "sim-GB/s")
+	})
+	b.Run("partitioned-native-lockfree", func(b *testing.B) {
+		var last float64
+		for i := 0; i < b.N; i++ {
+			res, err := patterns.RunSweep3D(patterns.SweepConfig{
+				Px: 2, Py: 2,
+				Threads:        16,
+				BytesPerThread: 256 << 10,
+				Compute:        sim.Millisecond,
+				NoiseKind:      noise.SingleThread,
+				NoisePercent:   4,
+				ZBlocks:        2,
+				Octants:        4,
+				Repeats:        1,
+				Mode:           patterns.Partitioned,
+				Impl:           mpi.PartNative,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res.Throughput() / 1e9
+		}
+		b.ReportMetric(last, "sim-GB/s")
+	})
+}
+
+// BenchmarkAblationCache compares hot and cold cache effects on the
+// overhead metric.
+func BenchmarkAblationCache(b *testing.B) {
+	for _, mode := range []memsim.CacheMode{memsim.Hot, memsim.Cold} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			var overhead float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(core.Config{
+					MessageBytes: 256 << 10,
+					Partitions:   16,
+					Compute:      sim.Millisecond,
+					Cache:        mode,
+					Impl:         mpi.PartMPIPCL,
+					ThreadMode:   mpi.Multiple,
+					Iterations:   3,
+					Warmup:       1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				overhead = res.Overhead
+			}
+			b.ReportMetric(overhead, "sim-overhead-x")
+		})
+	}
+}
+
+// BenchmarkSnapProfile measures the 8-node SNAP proxy profile.
+func BenchmarkSnapProfile(b *testing.B) {
+	b.ReportAllocs()
+	cfg := snap.DefaultConfig()
+	cfg.Octants = 4
+	for i := 0; i < b.N; i++ {
+		if _, err := snap.Profile(cfg, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Extension benchmarks: the future-work features realized in this repo.
+// ---------------------------------------------------------------------------
+
+// BenchmarkExtensionPBcast measures one partitioned-broadcast epoch across
+// 8 ranks per op.
+func BenchmarkExtensionPBcast(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.New()
+	w := mpi.NewWorld(s, mpi.DefaultConfig(8))
+	w.Launch("pbcast", func(c *mpi.Comm, p *sim.Proc) {
+		pb := c.PBcastInit(p, 0, 8, 64<<10)
+		c.Barrier(p)
+		for i := 0; i < b.N; i++ {
+			pb.Start(p)
+			if pb.Root() {
+				for j := 0; j < 8; j++ {
+					pb.Pready(p, j)
+				}
+			}
+			pb.Wait(p)
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkExtensionReceiveOverlap measures one receive-overlap comparison
+// per op and reports the simulated speedup.
+func BenchmarkExtensionReceiveOverlap(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunConsume(core.Config{
+			MessageBytes: 8 << 20,
+			Partitions:   16,
+			Compute:      5 * sim.Millisecond,
+			NoiseKind:    noise.Uniform,
+			NoisePercent: 4,
+			Iterations:   3,
+			Warmup:       1,
+		}, 2*sim.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = res.Speedup()
+	}
+	b.ReportMetric(speedup, "sim-speedup-x")
+}
+
+// BenchmarkExtensionSnapPort measures one 16-node baseline-vs-port
+// comparison per op and reports the measured speedup.
+func BenchmarkExtensionSnapPort(b *testing.B) {
+	cfg := snap.DefaultConfig()
+	cfg.Octants = 4
+	cfg.ZBlocks = 8
+	var measured float64
+	for i := 0; i < b.N; i++ {
+		res, err := snap.ComparePort(cfg, 16, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		measured = res.Measured()
+	}
+	b.ReportMetric(measured, "sim-speedup-x")
+}
+
+// BenchmarkExtensionUnequalCounts measures a native 16->4 repartitioned
+// epoch per op.
+func BenchmarkExtensionUnequalCounts(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.New()
+	cfg := mpi.DefaultConfig(2)
+	cfg.PartImpl = mpi.PartNative
+	w := mpi.NewWorld(s, cfg)
+	s.Spawn("sender", func(p *sim.Proc) {
+		c := w.Comm(0)
+		pr := c.PsendInit(p, 1, 0, 16, 64<<10)
+		c.Barrier(p)
+		for i := 0; i < b.N; i++ {
+			pr.Start(p)
+			for j := 0; j < 16; j++ {
+				pr.Pready(p, j)
+			}
+			pr.Wait(p)
+		}
+	})
+	s.Spawn("recv", func(p *sim.Proc) {
+		c := w.Comm(1)
+		pr := c.PrecvInit(p, 0, 0, 4, 256<<10)
+		c.Barrier(p)
+		for i := 0; i < b.N; i++ {
+			pr.Start(p)
+			pr.Wait(p)
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkExtensionClassicLatency measures the classic ping-pong benchmark
+// harness itself.
+func BenchmarkExtensionClassicLatency(b *testing.B) {
+	cfg := classic.DefaultConfig()
+	cfg.Iterations = 20
+	cfg.Warmup = 2
+	for i := 0; i < b.N; i++ {
+		if _, err := classic.Latency(cfg, []int64{8, 1 << 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

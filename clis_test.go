@@ -1,0 +1,103 @@
+package partmb_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// cliCase drives one command-line tool end to end with quick parameters.
+type cliCase struct {
+	name string
+	args []string
+	want []string // substrings that must appear on stdout
+}
+
+// TestCLIsRun executes every command-line tool with fast flags and checks
+// for the expected report fragments.
+func TestCLIsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI execution in -short mode")
+	}
+	cases := []cliCase{
+		{
+			name: "partbench",
+			args: []string{"run", "./cmd/partbench", "-size", "256KiB", "-parts", "8", "-noise", "uniform", "-iters", "3", "-stats"},
+			want: []string{"overhead", "early-bird", "sample statistics"},
+		},
+		{
+			name: "partbench-sweep-csv",
+			args: []string{"run", "./cmd/partbench", "-sweep", "-min", "64KiB", "-max", "256KiB", "-parts", "4", "-iters", "2", "-csv"},
+			want: []string{"size,overhead", "64KiB", "256KiB"},
+		},
+		{
+			name: "patterns-sweep",
+			args: []string{"run", "./cmd/patterns", "-motif", "sweep3d", "-all-modes", "-px", "2", "-py", "2", "-threads", "4", "-size", "64KiB", "-compute", "1ms", "-repeats", "1"},
+			want: []string{"single", "multi", "partitioned", "throughput"},
+		},
+		{
+			name: "patterns-incast",
+			args: []string{"run", "./cmd/patterns", "-motif", "incast", "-mode", "partitioned", "-senders", "3", "-threads", "4", "-size", "64KiB", "-compute", "1ms"},
+			want: []string{"partitioned", "throughput"},
+		},
+		{
+			name: "snapproject",
+			args: []string{"run", "./cmd/snapproject", "-nodes", "2,4", "-total-compute", "50ms"},
+			want: []string{"projected speedup", "mpi %"},
+		},
+		{
+			name: "advise",
+			args: []string{"run", "./cmd/advise", "-size", "512KiB", "-compute", "2ms", "-counts", "1,4,8", "-iters", "2"},
+			want: []string{"recommended partitions", "availability"},
+		},
+		{
+			name: "figures-quick",
+			args: []string{"run", "./cmd/figures", "-fig", "13", "-scale", "quick"},
+			want: []string{"Figure 13", "projected speedup"},
+		},
+		{
+			name: "classic-latency",
+			args: []string{"run", "./cmd/classic", "-bench", "latency", "-min", "8", "-max", "1KiB", "-iters", "10"},
+			want: []string{"ping-pong", "latency us"},
+		},
+		{
+			name: "modelcheck",
+			args: []string{"run", "./cmd/modelcheck"},
+			want: []string{"closed form", "streaming bandwidth"},
+		},
+		{
+			name: "extensions-pbcast",
+			args: []string{"run", "./cmd/extensions", "-study", "pbcast"},
+			want: []string{"partitioned pbcast", "single bcast after join"},
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", c.args...)
+			done := make(chan struct{})
+			var out []byte
+			var runErr error
+			go func() {
+				out, runErr = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(3 * time.Minute):
+				_ = cmd.Process.Kill()
+				t.Fatalf("%s timed out", c.name)
+			}
+			if runErr != nil {
+				t.Fatalf("%s failed: %v\n%s", c.name, runErr, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Fatalf("%s output missing %q:\n%s", c.name, want, out)
+				}
+			}
+		})
+	}
+}

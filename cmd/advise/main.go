@@ -1,0 +1,96 @@
+// Command advise implements the paper's developer guidance (abstract, §6):
+// given a message size, compute amount, and noise environment, it sweeps
+// candidate partition counts on the simulated platform and recommends one,
+// flagging socket-spillover and oversubscription hazards.
+//
+// Examples:
+//
+//	advise -size 1MiB -compute 10ms -noise single -noise-pct 4
+//	advise -size 16MiB -compute 100ms -counts 1,2,4,8,16,32,64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"partmb/internal/cliutil"
+	"partmb/internal/core"
+	"partmb/internal/memsim"
+	"partmb/internal/mpi"
+	"partmb/internal/noise"
+	"partmb/internal/report"
+)
+
+func main() {
+	var (
+		sizeStr    = flag.String("size", "1MiB", "message size")
+		computeStr = flag.String("compute", "10ms", "per-thread compute amount")
+		noiseStr   = flag.String("noise", "single", "noise model: none|single|uniform|gaussian")
+		noisePct   = flag.Float64("noise-pct", 4, "noise percent")
+		cacheStr   = flag.String("cache", "hot", "cache mode: hot|cold")
+		countsStr  = flag.String("counts", "1,2,4,8,16,32", "candidate partition counts")
+		iters      = flag.Int("iters", 6, "iterations per candidate")
+	)
+	flag.Parse()
+
+	cfg := core.Config{
+		Partitions:   1,
+		NoisePercent: *noisePct,
+		Impl:         mpi.PartMPIPCL,
+		ThreadMode:   mpi.Multiple,
+		Iterations:   *iters,
+		Warmup:       1,
+	}
+	var err error
+	if cfg.MessageBytes, err = cliutil.ParseSize(*sizeStr); err != nil {
+		fatal(err)
+	}
+	if cfg.Compute, err = cliutil.ParseDuration(*computeStr); err != nil {
+		fatal(err)
+	}
+	if cfg.NoiseKind, err = noise.ParseKind(*noiseStr); err != nil {
+		fatal(err)
+	}
+	if cfg.Cache, err = memsim.ParseCacheMode(*cacheStr); err != nil {
+		fatal(err)
+	}
+	var counts []int
+	for _, part := range strings.Split(*countsStr, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fatal(fmt.Errorf("bad partition count %q", part))
+		}
+		counts = append(counts, n)
+	}
+
+	adv, err := core.Advise(cfg, counts, core.DefaultAdvisorWeights())
+	if err != nil {
+		fatal(err)
+	}
+	t := report.New(
+		fmt.Sprintf("partition-count advice for %s, %v compute, %s/%.0f%% noise, %s cache",
+			core.FormatBytes(cfg.MessageBytes), cfg.Compute, cfg.NoiseKind, cfg.NoisePercent, cfg.Cache),
+		"rank", "partitions", "score", "overhead", "availability", "early-bird %", "notes")
+	for i, c := range adv.Candidates {
+		notes := ""
+		if !c.FitsSocket {
+			notes += "spills-socket "
+		}
+		if c.Oversubscribed {
+			notes += "oversubscribed"
+		}
+		t.AddF(i+1, c.Partitions, c.Score, c.Result.Overhead, c.Result.Availability, c.Result.EarlyBird, strings.TrimSpace(notes))
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Println(adv.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "advise:", err)
+	os.Exit(1)
+}

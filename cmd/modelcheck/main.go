@@ -1,0 +1,111 @@
+// Command modelcheck prints the hardware/software model a configuration
+// resolves to, its derived first-order quantities, and a comparison of
+// closed-form predictions against actually-simulated measurements — the
+// recalibration aid docs/MODEL.md describes. If the two columns diverge,
+// the model implementation and its documentation have drifted.
+//
+// Examples:
+//
+//	modelcheck                  # the paper's Niagara+EDR model
+//	modelcheck -net hdr -machine epyc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"partmb/internal/classic"
+	"partmb/internal/cluster"
+	"partmb/internal/netsim"
+	"partmb/internal/report"
+	"partmb/internal/sim"
+)
+
+func main() {
+	var (
+		netStr     = flag.String("net", "edr", "fabric preset: edr|hdr")
+		machineStr = flag.String("machine", "niagara", "node preset: niagara|epyc")
+	)
+	flag.Parse()
+
+	var net *netsim.Params
+	switch *netStr {
+	case "edr":
+		net = netsim.EDR()
+	case "hdr":
+		net = netsim.HDR()
+	default:
+		fatal(fmt.Errorf("unknown -net %q (want edr or hdr)", *netStr))
+	}
+	var machine *cluster.Machine
+	switch *machineStr {
+	case "niagara":
+		machine = cluster.Niagara()
+	case "epyc":
+		machine = cluster.Epyc()
+	default:
+		fatal(fmt.Errorf("unknown -machine %q (want niagara or epyc)", *machineStr))
+	}
+
+	params := report.New("model parameters", "parameter", "value")
+	params.AddF("one-way latency", net.Latency.String())
+	params.AddF("bandwidth GB/s", net.Bandwidth/1e9)
+	params.AddF("send overhead", net.SendOverhead.String())
+	params.AddF("recv overhead", net.RecvOverhead.String())
+	params.AddF("eager threshold", fmt.Sprintf("%dKiB", net.EagerThreshold>>10))
+	params.AddF("rendezvous setup", net.RendezvousSetup.String())
+	params.AddF("sockets x cores", fmt.Sprintf("%dx%d", machine.Sockets, machine.CoresPerSocket))
+	params.AddF("cross-socket penalty", machine.CrossSocketPenalty.String())
+	if err := params.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	// Closed form vs simulated measurement.
+	cfg := classic.DefaultConfig()
+	cfg.Net = net
+	cfg.Machine = machine
+	cfg.Iterations = 50
+	cfg.Warmup = 5
+
+	check := report.New("closed form vs simulated (drift here = model bug)", "quantity", "closed form", "simulated")
+
+	lat, err := classic.Latency(cfg, []int64{8})
+	if err != nil {
+		fatal(err)
+	}
+	check.AddF("8B half round trip",
+		net.SmallMessageLatency().String(),
+		sim.Duration(lat[0].Value*1e9).String())
+
+	rlat, err := classic.Latency(cfg, []int64{4 << 20})
+	if err != nil {
+		fatal(err)
+	}
+	check.AddF("4MiB latency (rendezvous)",
+		net.RendezvousLatency(4<<20).String(),
+		sim.Duration(rlat[0].Value*1e9).String())
+
+	bw, err := classic.Bandwidth(cfg, []int64{8 << 20}, 16)
+	if err != nil {
+		fatal(err)
+	}
+	check.AddF("streaming bandwidth GB/s", net.Bandwidth/1e9, bw[0].Value/1e9)
+
+	rate, err := classic.MessageRate(cfg, 8, 32)
+	if err != nil {
+		fatal(err)
+	}
+	check.AddF("small-message rate msg/s", net.MaxMessageRate(), rate)
+
+	if err := check.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Println("the simulated column includes MPI-layer call costs, so small")
+	fmt.Println("fixed offsets above the closed form are expected; factors are not.")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "modelcheck:", err)
+	os.Exit(1)
+}

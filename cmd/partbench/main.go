@@ -1,0 +1,163 @@
+// Command partbench runs the point-to-point partitioned-communication
+// micro-benchmarks (the paper's §3.1 metrics) at a single parameter point or
+// over a message-size sweep.
+//
+// Examples:
+//
+//	partbench -size 1MiB -parts 16 -compute 10ms -noise uniform -noise-pct 4
+//	partbench -sweep -min 1KiB -max 64MiB -parts 32 -cache cold
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"partmb/internal/cliutil"
+	"partmb/internal/core"
+	"partmb/internal/memsim"
+	"partmb/internal/mpi"
+	"partmb/internal/noise"
+	"partmb/internal/report"
+	"partmb/internal/stats"
+	"partmb/internal/trace"
+)
+
+func main() {
+	var (
+		sizeFlag   = flag.String("size", "1MiB", "message size (e.g. 64KiB, 4MiB)")
+		parts      = flag.Int("parts", 16, "partition / thread count")
+		computeStr = flag.String("compute", "10ms", "per-thread compute amount (e.g. 10ms)")
+		noiseStr   = flag.String("noise", "none", "noise model: none|single|uniform|gaussian")
+		noisePct   = flag.Float64("noise-pct", 4, "noise amount in percent")
+		cacheStr   = flag.String("cache", "hot", "cache mode: hot|cold")
+		implStr    = flag.String("impl", "mpipcl", "partitioned implementation: mpipcl|native")
+		iters      = flag.Int("iters", 10, "measured iterations")
+		warmup     = flag.Int("warmup", 2, "warmup iterations")
+		seed       = flag.Int64("seed", 42, "noise RNG seed")
+		sweep      = flag.Bool("sweep", false, "sweep message sizes instead of one point")
+		minStr     = flag.String("min", "1KiB", "sweep minimum size")
+		maxStr     = flag.String("max", "64MiB", "sweep maximum size")
+		csvOut     = flag.Bool("csv", false, "emit CSV instead of a text table")
+		traceOut   = flag.String("trace", "", "write a Chrome trace of the measured iterations to this file")
+		statsOut   = flag.Bool("stats", false, "print per-metric sample statistics (mean/median/sd/p95)")
+	)
+	flag.Parse()
+
+	cfg := core.Config{
+		Partitions:   *parts,
+		NoisePercent: *noisePct,
+		Iterations:   *iters,
+		Warmup:       *warmup,
+		Seed:         *seed,
+		ThreadMode:   mpi.Multiple,
+	}
+	var err error
+	if cfg.MessageBytes, err = cliutil.ParseSize(*sizeFlag); err != nil {
+		fatal(err)
+	}
+	if cfg.Compute, err = cliutil.ParseDuration(*computeStr); err != nil {
+		fatal(err)
+	}
+	if cfg.NoiseKind, err = noise.ParseKind(*noiseStr); err != nil {
+		fatal(err)
+	}
+	if cfg.Cache, err = memsim.ParseCacheMode(*cacheStr); err != nil {
+		fatal(err)
+	}
+	var recorder *trace.Recorder
+	if *traceOut != "" {
+		recorder = new(trace.Recorder)
+		cfg.Trace = recorder
+	}
+	switch strings.ToLower(*implStr) {
+	case "mpipcl":
+		cfg.Impl = mpi.PartMPIPCL
+	case "native":
+		cfg.Impl = mpi.PartNative
+	default:
+		fatal(fmt.Errorf("unknown -impl %q (want mpipcl or native)", *implStr))
+	}
+
+	var results []*core.Result
+	if *sweep {
+		min, err := cliutil.ParseSize(*minStr)
+		if err != nil {
+			fatal(err)
+		}
+		max, err := cliutil.ParseSize(*maxStr)
+		if err != nil {
+			fatal(err)
+		}
+		results, err = core.SweepMessageSizes(cfg, core.MessageSizes(min, max))
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		res, err := core.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		results = []*core.Result{res}
+	}
+
+	t := report.New(
+		fmt.Sprintf("partbench: parts=%d compute=%v noise=%s/%.0f%% cache=%s impl=%s",
+			cfg.Partitions, cfg.Compute, cfg.NoiseKind, cfg.NoisePercent, cfg.Cache, cfg.Impl),
+		"size", "overhead", "perceived GB/s", "availability", "early-bird %")
+	for _, r := range results {
+		t.AddF(core.FormatBytes(r.Config.MessageBytes), r.Overhead, r.PerceivedBW/1e9, r.Availability, r.EarlyBird)
+	}
+	if *csvOut {
+		err = t.WriteCSV(os.Stdout)
+	} else {
+		err = t.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *statsOut {
+		st := report.New("sample statistics (per measured iteration)",
+			"size", "metric", "mean", "median", "sd", "p5", "p95")
+		for _, r := range results {
+			add := func(metric string, xs []float64) {
+				sum := stats.Summarize(xs)
+				st.AddF(core.FormatBytes(r.Config.MessageBytes), metric, sum.Mean, sum.Median, sum.Stddev, sum.P05, sum.P95)
+			}
+			var ov, pb, av, eb []float64
+			for _, s := range r.Samples {
+				ov = append(ov, core.Overhead(s.TPart, s.TPt2Pt))
+				pb = append(pb, core.PerceivedBandwidth(r.Config.MessageBytes, s.TPartLast)/1e9)
+				av = append(av, core.Availability(s.TAfterJoin, s.TPt2Pt))
+				eb = append(eb, core.EarlyBirdPct(s.TBeforeJoin, s.TPart))
+			}
+			add("overhead", ov)
+			add("perceived GB/s", pb)
+			add("availability", av)
+			add("early-bird %", eb)
+		}
+		if err := st.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
+	if recorder != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := recorder.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "partbench: wrote %d trace events to %s (open in chrome://tracing)\n", recorder.Len(), *traceOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "partbench:", err)
+	os.Exit(1)
+}

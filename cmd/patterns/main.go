@@ -1,0 +1,147 @@
+// Command patterns runs the communication-pattern benchmarks (the paper's
+// §4.6–4.7): Sweep3D and Halo3D throughput under the three threading modes.
+//
+// Examples:
+//
+//	patterns -motif sweep3d -mode partitioned -threads 16 -size 1MiB
+//	patterns -motif halo3d -mode multi -threads-per-dim 4 -size 16MiB -compute 100ms
+//	patterns -motif sweep3d -all-modes -size 512KiB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"partmb/internal/cliutil"
+	"partmb/internal/core"
+	"partmb/internal/mpi"
+	"partmb/internal/noise"
+	"partmb/internal/patterns"
+	"partmb/internal/report"
+)
+
+func main() {
+	var (
+		motif      = flag.String("motif", "sweep3d", "pattern: sweep3d|halo3d|halo2d|incast")
+		modeStr    = flag.String("mode", "partitioned", "threading mode: single|multi|partitioned")
+		allModes   = flag.Bool("all-modes", false, "run every mode and tabulate")
+		threads    = flag.Int("threads", 16, "threads per rank (sweep3d)")
+		tpd        = flag.Int("threads-per-dim", 2, "thread cube edge (halo3d: 2->8 threads, 4->64)")
+		sizeStr    = flag.String("size", "1MiB", "bytes per thread (sweep3d) or per face (halo3d)")
+		computeStr = flag.String("compute", "10ms", "per-thread compute per step")
+		noiseStr   = flag.String("noise", "single", "noise model")
+		noisePct   = flag.Float64("noise-pct", 4, "noise percent")
+		px         = flag.Int("px", 4, "process grid x (sweep3d)")
+		py         = flag.Int("py", 4, "process grid y (sweep3d)")
+		haloGrid   = flag.Int("halo-grid", 2, "rank torus edge (halo3d/halo2d)")
+		senders    = flag.Int("senders", 7, "sending ranks (incast)")
+		repeats    = flag.Int("repeats", 2, "pattern repetitions")
+		seed       = flag.Int64("seed", 42, "noise RNG seed")
+		csvOut     = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	size, err := cliutil.ParseSize(*sizeStr)
+	if err != nil {
+		fatal(err)
+	}
+	compute, err := cliutil.ParseDuration(*computeStr)
+	if err != nil {
+		fatal(err)
+	}
+	nk, err := noise.ParseKind(*noiseStr)
+	if err != nil {
+		fatal(err)
+	}
+
+	modes := patterns.Modes()
+	if !*allModes {
+		m, err := patterns.ParseMode(*modeStr)
+		if err != nil {
+			fatal(err)
+		}
+		modes = []patterns.Mode{m}
+	}
+
+	t := report.New(
+		fmt.Sprintf("%s: size=%s compute=%v noise=%s/%.0f%%", *motif, core.FormatBytes(size), compute, nk, *noisePct),
+		"mode", "elapsed", "payload MiB", "messages", "throughput GB/s")
+	for _, mode := range modes {
+		var res *patterns.Result
+		switch *motif {
+		case "sweep3d":
+			res, err = patterns.RunSweep3D(patterns.SweepConfig{
+				Px: *px, Py: *py,
+				Threads:        *threads,
+				BytesPerThread: size,
+				Compute:        compute,
+				NoiseKind:      nk,
+				NoisePercent:   *noisePct,
+				Repeats:        *repeats,
+				Seed:           *seed,
+				Mode:           mode,
+				Impl:           mpi.PartMPIPCL,
+			})
+		case "halo3d":
+			res, err = patterns.RunHalo3D(patterns.HaloConfig{
+				Nx: *haloGrid, Ny: *haloGrid, Nz: *haloGrid,
+				ThreadsPerDim: *tpd,
+				FaceBytes:     size,
+				Compute:       compute,
+				NoiseKind:     nk,
+				NoisePercent:  *noisePct,
+				Repeats:       *repeats,
+				Seed:          *seed,
+				Mode:          mode,
+				Impl:          mpi.PartMPIPCL,
+			})
+		case "halo2d":
+			res, err = patterns.RunHalo2D(patterns.Halo2DConfig{
+				Nx: *haloGrid, Ny: *haloGrid,
+				ThreadsPerDim: *tpd,
+				EdgeBytes:     size,
+				Compute:       compute,
+				NoiseKind:     nk,
+				NoisePercent:  *noisePct,
+				Repeats:       *repeats,
+				Seed:          *seed,
+				Mode:          mode,
+				Impl:          mpi.PartMPIPCL,
+			})
+		case "incast":
+			res, err = patterns.RunIncast(patterns.IncastConfig{
+				Senders:        *senders,
+				Threads:        *threads,
+				BytesPerThread: size,
+				Compute:        compute,
+				NoiseKind:      nk,
+				NoisePercent:   *noisePct,
+				Repeats:        *repeats,
+				Seed:           *seed,
+				Mode:           mode,
+				Impl:           mpi.PartMPIPCL,
+			})
+		default:
+			fatal(fmt.Errorf("unknown -motif %q (want sweep3d|halo3d|halo2d|incast)", *motif))
+		}
+		if err != nil {
+			fatal(err)
+		}
+		t.AddF(mode.String(), res.Elapsed.String(),
+			float64(res.PayloadBytes)/(1<<20), res.Messages, res.Throughput()/1e9)
+	}
+	if *csvOut {
+		err = t.WriteCSV(os.Stdout)
+	} else {
+		err = t.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "patterns:", err)
+	os.Exit(1)
+}

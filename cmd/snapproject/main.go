@@ -1,0 +1,97 @@
+// Command snapproject reproduces the paper's SNAP projection (§4.8, Figure
+// 13): it profiles the SNAP-like sweep proxy with the built-in mpiP-style
+// profiler at each node count and projects the speedup of porting the
+// application to MPI Partitioned using the Sweep3D communication gain.
+//
+// Example:
+//
+//	snapproject -nodes 2,4,8,16,32,64,128,256 -gain 15.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"partmb/internal/cliutil"
+	"partmb/internal/report"
+	"partmb/internal/snap"
+)
+
+func main() {
+	var (
+		nodesStr   = flag.String("nodes", "2,4,8,16,32,64,128,256", "comma-separated node counts")
+		gain       = flag.Float64("gain", snap.SweepGain, "partitioned communication gain factor")
+		computeStr = flag.String("total-compute", "400ms", "global compute per sweep step (strong-scaled)")
+		sizeStr    = flag.String("boundary", "512KiB", "boundary message size")
+		port       = flag.Bool("port", false, "additionally run the actual partitioned port and compare measured vs projected speedup")
+		chunks     = flag.Int("chunks", 8, "boundary partition count for the port")
+		csvOut     = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	var nodes []int
+	for _, part := range strings.Split(*nodesStr, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fatal(fmt.Errorf("bad node count %q", part))
+		}
+		nodes = append(nodes, n)
+	}
+	cfg := snap.DefaultConfig()
+	var err error
+	if cfg.TotalCompute, err = cliutil.ParseDuration(*computeStr); err != nil {
+		fatal(err)
+	}
+	if cfg.BoundaryBytes, err = cliutil.ParseSize(*sizeStr); err != nil {
+		fatal(err)
+	}
+
+	pts, err := snap.ProfileScaling(cfg, nodes)
+	if err != nil {
+		fatal(err)
+	}
+	t := report.New(
+		fmt.Sprintf("SNAP proxy profile and projected speedup (gain %.1fx)", *gain),
+		"nodes", "app time", "mpi time", "mpi %", "projected speedup")
+	for _, pt := range pts {
+		t.AddF(pt.Nodes, pt.AppTime.String(), pt.MPITime.String(),
+			100*pt.MPIFraction, snap.ProjectSpeedup(pt.MPIFraction, *gain))
+	}
+	if *csvOut {
+		err = t.WriteCSV(os.Stdout)
+	} else {
+		err = t.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *port {
+		pt := report.New(
+			fmt.Sprintf("actual partitioned port (future work realized): %d boundary chunks", *chunks),
+			"nodes", "baseline", "ported", "measured speedup", "projected speedup")
+		for _, n := range nodes {
+			res, err := snap.ComparePort(cfg, n, *chunks)
+			if err != nil {
+				fatal(err)
+			}
+			pt.AddF(res.Nodes, res.BaselineElapsed.String(), res.PortedElapsed.String(), res.Measured(), res.Projected)
+		}
+		if *csvOut {
+			err = pt.WriteCSV(os.Stdout)
+		} else {
+			err = pt.WriteText(os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snapproject:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+// Noise study example: how system-noise distributions change what MPI
+// Partitioned buys you (the paper's §4.4, Figure 7). Runs the application-
+// availability and early-bird metrics under the three noise models at fixed
+// message size and partition count.
+//
+// Run with: go run ./examples/noisestudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"partmb/internal/core"
+	"partmb/internal/mpi"
+	"partmb/internal/noise"
+	"partmb/internal/report"
+	"partmb/internal/sim"
+)
+
+func main() {
+	t := report.New(
+		"Availability and early-bird communication by noise model (1MiB, 16 partitions, 10ms compute, 4% noise)",
+		"noise model", "overhead", "availability", "early-bird %")
+	for _, kind := range []noise.Kind{noise.None, noise.SingleThread, noise.Uniform, noise.Gaussian} {
+		res, err := core.Run(core.Config{
+			MessageBytes: 1 << 20,
+			Partitions:   16,
+			Compute:      10 * sim.Millisecond,
+			NoiseKind:    kind,
+			NoisePercent: 4,
+			Impl:         mpi.PartMPIPCL,
+			ThreadMode:   mpi.Multiple,
+			Iterations:   10,
+			Warmup:       2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddF(kind.String(), res.Overhead, res.Availability, res.EarlyBird)
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("the single-thread delay model shows the best availability: every other")
+	fmt.Println("thread sends early while only the delayed thread's partition is late.")
+	fmt.Println("uniform and gaussian noise skew all threads, shrinking the early-bird window.")
+}

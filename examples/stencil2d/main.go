@@ -1,0 +1,213 @@
+// Stencil2D example: a real 2-D Jacobi heat-diffusion computation whose
+// halo rows travel through the simulated network as *actual bytes* in
+// partitioned transfers. The domain is strip-decomposed across four ranks;
+// each step the boundary rows are exchanged via persistent partitioned
+// sends (one partition per worker thread's column block), then the stencil
+// is applied. The distributed result is verified cell-for-cell against a
+// single-process reference, demonstrating that the runtime is a correct
+// message-passing library, not just a timing model.
+//
+// Run with: go run ./examples/stencil2d
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	"partmb/internal/mpi"
+	"partmb/internal/sim"
+)
+
+const (
+	ranks   = 4
+	width   = 64 // columns
+	rows    = 32 // rows per rank
+	steps   = 10
+	parts   = 4 // partitions (column blocks) per halo row
+	alpha   = 0.1
+	rowSize = int64(width * 8) // one row of float64s
+)
+
+func main() {
+	distributed := runDistributed()
+	reference := runReference()
+
+	var maxDiff float64
+	for i := range reference {
+		if d := math.Abs(distributed[i] - reference[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("grid: %dx%d over %d ranks, %d steps, halo rows in %d partitions\n",
+		ranks*rows, width, ranks, steps, parts)
+	fmt.Printf("max |distributed - reference| = %g\n", maxDiff)
+	if maxDiff > 1e-12 {
+		log.Fatal("VERIFICATION FAILED: partitioned halo exchange corrupted the stencil")
+	}
+	fmt.Println("verification passed: the partitioned halos carried the exact bytes")
+}
+
+// encodeRow/decodeRow move a row of float64s through []byte halo buffers.
+func encodeRow(dst []byte, row []float64) {
+	for i, v := range row {
+		binary.LittleEndian.PutUint64(dst[i*8:], math.Float64bits(v))
+	}
+}
+
+func decodeRow(src []byte) []float64 {
+	out := make([]float64, width)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
+	}
+	return out
+}
+
+// initialCell gives every grid cell a deterministic starting temperature.
+func initialCell(r, c int) float64 {
+	return math.Sin(float64(r)*0.3) * math.Cos(float64(c)*0.2)
+}
+
+// step applies one Jacobi update to the strip (rows x width) given the
+// halo rows above and below (nil at the physical boundary = insulated).
+func step(strip [][]float64, above, below []float64) [][]float64 {
+	next := make([][]float64, len(strip))
+	for r := range strip {
+		next[r] = make([]float64, width)
+		for c := 0; c < width; c++ {
+			up := strip[r][c]
+			if r > 0 {
+				up = strip[r-1][c]
+			} else if above != nil {
+				up = above[c]
+			}
+			down := strip[r][c]
+			if r < len(strip)-1 {
+				down = strip[r+1][c]
+			} else if below != nil {
+				down = below[c]
+			}
+			left := strip[r][c]
+			if c > 0 {
+				left = strip[r][c-1]
+			}
+			right := strip[r][c]
+			if c < width-1 {
+				right = strip[r][c+1]
+			}
+			center := strip[r][c]
+			next[r][c] = center + alpha*(up+down+left+right-4*center)
+		}
+	}
+	return next
+}
+
+// runDistributed computes the field across 4 simulated ranks with
+// partitioned halo exchanges and returns the flattened final grid.
+func runDistributed() []float64 {
+	s := sim.New()
+	cfg := mpi.DefaultConfig(ranks)
+	cfg.PartImpl = mpi.PartNative
+	w := mpi.NewWorld(s, cfg)
+
+	result := make([]float64, ranks*rows*width)
+
+	w.Launch("stencil", func(c *mpi.Comm, p *sim.Proc) {
+		me := c.Rank()
+		strip := make([][]float64, rows)
+		for r := range strip {
+			strip[r] = make([]float64, width)
+			for col := 0; col < width; col++ {
+				strip[r][col] = initialCell(me*rows+r, col)
+			}
+		}
+
+		// Persistent partitioned halo transfers: top row up, bottom row
+		// down, each split into `parts` column blocks.
+		var sendUp, sendDown, recvAbove, recvBelow *mpi.PRequest
+		sendUpBuf := make([]byte, rowSize)
+		sendDownBuf := make([]byte, rowSize)
+		recvAboveBuf := make([]byte, rowSize)
+		recvBelowBuf := make([]byte, rowSize)
+		partBytes := rowSize / parts
+		if me > 0 {
+			sendUp = c.PsendInit(p, me-1, 1, parts, partBytes)
+			sendUp.BindSendBuffer(sendUpBuf)
+			recvAbove = c.PrecvInit(p, me-1, 2, parts, partBytes)
+			recvAbove.BindRecvBuffer(recvAboveBuf)
+		}
+		if me < ranks-1 {
+			sendDown = c.PsendInit(p, me+1, 2, parts, partBytes)
+			sendDown.BindSendBuffer(sendDownBuf)
+			recvBelow = c.PrecvInit(p, me+1, 1, parts, partBytes)
+			recvBelow.BindRecvBuffer(recvBelowBuf)
+		}
+		c.Barrier(p)
+
+		for st := 0; st < steps; st++ {
+			// Fill halo buffers and run the epoch: every rank starts its
+			// receives, readies its boundary partitions as its threads
+			// "finish" them, and waits.
+			if sendUp != nil {
+				encodeRow(sendUpBuf, strip[0])
+				sendUp.Start(p)
+				recvAbove.Start(p)
+			}
+			if sendDown != nil {
+				encodeRow(sendDownBuf, strip[rows-1])
+				sendDown.Start(p)
+				recvBelow.Start(p)
+			}
+			for i := 0; i < parts; i++ {
+				p.Sleep(50 * sim.Microsecond) // column block i finishes
+				if sendUp != nil {
+					sendUp.Pready(p, i)
+				}
+				if sendDown != nil {
+					sendDown.Pready(p, i)
+				}
+			}
+			var above, below []float64
+			if sendUp != nil {
+				sendUp.Wait(p)
+				recvAbove.Wait(p)
+				above = decodeRow(recvAboveBuf)
+			}
+			if sendDown != nil {
+				sendDown.Wait(p)
+				recvBelow.Wait(p)
+				below = decodeRow(recvBelowBuf)
+			}
+			strip = step(strip, above, below)
+		}
+		c.Barrier(p)
+		for r := range strip {
+			copy(result[(me*rows+r)*width:], strip[r])
+		}
+	})
+	if err := s.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return result
+}
+
+// runReference computes the same field on one strip covering the whole
+// domain, with no communication.
+func runReference() []float64 {
+	grid := make([][]float64, ranks*rows)
+	for r := range grid {
+		grid[r] = make([]float64, width)
+		for c := 0; c < width; c++ {
+			grid[r][c] = initialCell(r, c)
+		}
+	}
+	for st := 0; st < steps; st++ {
+		grid = step(grid, nil, nil)
+	}
+	out := make([]float64, 0, len(grid)*width)
+	for _, row := range grid {
+		out = append(out, row...)
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+// Sweep3D example: the paper's wavefront-sweep workload (§4.6) on a 4x4
+// process grid, comparing single-threaded point-to-point, multi-threaded
+// point-to-point under MPI_THREAD_MULTIPLE, and MPI Partitioned, at two
+// per-thread boundary sizes.
+//
+// Run with: go run ./examples/sweep3d
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"partmb/internal/core"
+	"partmb/internal/mpi"
+	"partmb/internal/noise"
+	"partmb/internal/patterns"
+	"partmb/internal/report"
+	"partmb/internal/sim"
+)
+
+func main() {
+	t := report.New(
+		"Sweep3D on a 4x4 grid: 16 threads, 10ms compute/thread, 4% single-thread noise",
+		"bytes/thread", "mode", "elapsed", "throughput GB/s")
+	for _, size := range []int64{64 << 10, 2 << 20} {
+		for _, mode := range patterns.Modes() {
+			threads := 16
+			if mode == patterns.Single {
+				threads = 1
+			}
+			res, err := patterns.RunSweep3D(patterns.SweepConfig{
+				Px: 4, Py: 4,
+				Threads:        threads,
+				BytesPerThread: size,
+				Compute:        10 * sim.Millisecond,
+				NoiseKind:      noise.SingleThread,
+				NoisePercent:   4,
+				ZBlocks:        4,
+				Octants:        8,
+				Repeats:        1,
+				Mode:           mode,
+				Impl:           mpi.PartMPIPCL,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			t.AddF(core.FormatBytes(size), mode.String(), res.Elapsed.String(), res.Throughput()/1e9)
+		}
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("data is weak-scaled (bytes/thread), so the threaded modes move 16x")
+	fmt.Println("the single-threaded data volume; partitioned sustains the highest")
+	fmt.Println("throughput at large sizes (the paper's Figure 9 shape).")
+}

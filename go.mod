@@ -1,0 +1,3 @@
+module partmb
+
+go 1.22

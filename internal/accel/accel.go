@@ -1,0 +1,146 @@
+// Package accel models accelerator work queues (cudaStream_t / sycl::queue)
+// triggering partitioned communication — the paper's future-work scenario
+// (§6.1): "MPI Partitioned proposals to handle invocation of MPI_Pready from
+// compute kernels or task queues".
+//
+// A Stream executes enqueued operations in order on its own device timeline,
+// asynchronously from the host proc that enqueued them. Kernels are modeled
+// by duration; Pready and WaitPartition operations bridge into the
+// partitioned-communication runtime, so a device pipeline can produce a
+// partition with one kernel, trigger its transfer without host involvement,
+// and a remote device can launch a dependent kernel the moment the partition
+// lands.
+package accel
+
+import (
+	"fmt"
+
+	"partmb/internal/mpi"
+	"partmb/internal/sim"
+)
+
+// Config holds device cost parameters.
+type Config struct {
+	// LaunchOverhead is charged per operation dequeue (kernel-launch /
+	// doorbell cost on the device front end).
+	LaunchOverhead sim.Duration
+}
+
+// DefaultConfig returns GPU-like parameters (microsecond-scale launches).
+func DefaultConfig() Config {
+	return Config{LaunchOverhead: 2 * sim.Microsecond}
+}
+
+// opKind enumerates stream operations.
+type opKind int
+
+const (
+	opKernel opKind = iota
+	opPready
+	opWaitPartition
+	opSignal
+)
+
+type op struct {
+	kind opKind
+	dur  sim.Duration
+	pr   *mpi.PRequest
+	part int
+	sig  *sim.Completion
+}
+
+// Stream is an in-order device work queue. All methods must be called from
+// simulation context; the zero value is not usable — use NewStream.
+type Stream struct {
+	s       *sim.Scheduler
+	name    string
+	cfg     Config
+	queue   []op
+	running bool
+	pending sim.WaitGroup
+	seq     int
+}
+
+// NewStream creates a named stream on the scheduler.
+func NewStream(s *sim.Scheduler, name string, cfg Config) *Stream {
+	if cfg.LaunchOverhead < 0 {
+		panic("accel: negative LaunchOverhead")
+	}
+	return &Stream{s: s, name: name, cfg: cfg}
+}
+
+// enqueue appends an operation and ensures a drain proc is running.
+func (st *Stream) enqueue(o op) {
+	st.queue = append(st.queue, o)
+	st.pending.Add(st.s, 1)
+	if st.running {
+		return
+	}
+	st.running = true
+	st.seq++
+	st.s.Spawn(fmt.Sprintf("stream/%s/drain%d", st.name, st.seq), st.drain)
+}
+
+// drain executes queued operations in order until the queue empties.
+func (st *Stream) drain(p *sim.Proc) {
+	for len(st.queue) > 0 {
+		o := st.queue[0]
+		st.queue = st.queue[1:]
+		if st.cfg.LaunchOverhead > 0 {
+			p.Sleep(st.cfg.LaunchOverhead)
+		}
+		switch o.kind {
+		case opKernel:
+			p.Sleep(o.dur)
+		case opPready:
+			o.pr.Pready(p, o.part)
+		case opWaitPartition:
+			o.pr.WaitPartition(p, o.part)
+		case opSignal:
+			o.sig.Fire(st.s)
+		}
+		st.pending.Done(st.s)
+	}
+	st.running = false
+}
+
+// EnqueueKernel appends a compute kernel of the given duration.
+func (st *Stream) EnqueueKernel(d sim.Duration) {
+	if d < 0 {
+		panic("accel: negative kernel duration")
+	}
+	st.enqueue(op{kind: opKernel, dur: d})
+}
+
+// EnqueuePready appends a device-triggered MPI_Pready for partition i of an
+// active partitioned send. The transfer is triggered from the device
+// timeline with no host involvement (the natural fit is the native
+// partitioned implementation; with the layered MPIPCL implementation the
+// operation still works but pays the layered per-partition costs, modelling
+// a host-proxied trigger).
+func (st *Stream) EnqueuePready(pr *mpi.PRequest, i int) {
+	st.enqueue(op{kind: opPready, pr: pr, part: i})
+}
+
+// EnqueueWaitPartition appends a device-side wait for inbound partition i:
+// subsequent operations do not start until the partition has landed.
+func (st *Stream) EnqueueWaitPartition(pr *mpi.PRequest, i int) {
+	st.enqueue(op{kind: opWaitPartition, pr: pr, part: i})
+}
+
+// EnqueueSignal appends a host-visible completion signal.
+func (st *Stream) EnqueueSignal(c *sim.Completion) {
+	if c == nil {
+		panic("accel: nil completion")
+	}
+	st.enqueue(op{kind: opSignal, sig: c})
+}
+
+// Sync blocks the host proc until every operation enqueued so far has
+// executed (the analogue of cudaStreamSynchronize).
+func (st *Stream) Sync(p *sim.Proc) {
+	st.pending.Wait(p)
+}
+
+// Pending returns the number of not-yet-completed operations.
+func (st *Stream) Pending() int { return len(st.queue) }

@@ -1,0 +1,216 @@
+package accel
+
+import (
+	"testing"
+
+	"partmb/internal/mpi"
+	"partmb/internal/sim"
+)
+
+func TestKernelsRunInOrderOnDeviceTimeline(t *testing.T) {
+	s := sim.New()
+	st := NewStream(s, "k", Config{}) // zero launch overhead for exact math
+	var syncAt sim.Time
+	s.Spawn("host", func(p *sim.Proc) {
+		st.EnqueueKernel(3 * sim.Millisecond)
+		st.EnqueueKernel(2 * sim.Millisecond)
+		// Host keeps working while the device runs.
+		p.Sleep(sim.Millisecond)
+		st.EnqueueKernel(sim.Millisecond)
+		st.Sync(p)
+		syncAt = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if syncAt != sim.Time(6*sim.Millisecond) {
+		t.Fatalf("sync at %v, want 6ms (3+2+1 serialized on device)", sim.Duration(syncAt))
+	}
+}
+
+func TestLaunchOverheadCharged(t *testing.T) {
+	s := sim.New()
+	st := NewStream(s, "o", Config{LaunchOverhead: 10 * sim.Microsecond})
+	var syncAt sim.Time
+	s.Spawn("host", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			st.EnqueueKernel(100 * sim.Microsecond)
+		}
+		st.Sync(p)
+		syncAt = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Time(5 * (110 * sim.Microsecond))
+	if syncAt != want {
+		t.Fatalf("sync at %v, want %v", sim.Duration(syncAt), sim.Duration(want))
+	}
+}
+
+func TestHostOverlapsDevice(t *testing.T) {
+	s := sim.New()
+	st := NewStream(s, "ov", Config{})
+	var hostDone, syncAt sim.Time
+	s.Spawn("host", func(p *sim.Proc) {
+		st.EnqueueKernel(10 * sim.Millisecond)
+		p.Sleep(10 * sim.Millisecond) // host compute concurrent with kernel
+		hostDone = p.Now()
+		st.Sync(p)
+		syncAt = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hostDone != sim.Time(10*sim.Millisecond) || syncAt != hostDone {
+		t.Fatalf("no overlap: hostDone=%v sync=%v, want both 10ms", hostDone, syncAt)
+	}
+}
+
+// TestDeviceTriggeredPartitionedPipeline is the paper's future-work
+// scenario end to end: a producer device pipeline (kernel -> Pready per
+// partition) feeding a consumer device pipeline (WaitPartition -> kernel)
+// on another rank, with no host on the critical path.
+func TestDeviceTriggeredPartitionedPipeline(t *testing.T) {
+	for _, impl := range []mpi.PartImpl{mpi.PartNative, mpi.PartMPIPCL} {
+		t.Run(impl.String(), func(t *testing.T) {
+			const parts = 4
+			kernel := 2 * sim.Millisecond
+			s := sim.New()
+			cfg := mpi.DefaultConfig(2)
+			cfg.PartImpl = impl
+			w := mpi.NewWorld(s, cfg)
+			var consumerDone sim.Time
+			var firstConsumed sim.Time
+
+			s.Spawn("producer-host", func(p *sim.Proc) {
+				c := w.Comm(0)
+				pr := c.PsendInit(p, 1, 0, parts, 256<<10)
+				c.Barrier(p)
+				pr.Start(p)
+				dev := NewStream(s, "producer", DefaultConfig())
+				for i := 0; i < parts; i++ {
+					dev.EnqueueKernel(kernel)
+					dev.EnqueuePready(pr, i)
+				}
+				dev.Sync(p)
+				pr.Wait(p)
+				c.Barrier(p)
+			})
+			s.Spawn("consumer-host", func(p *sim.Proc) {
+				c := w.Comm(1)
+				pr := c.PrecvInit(p, 0, 0, parts, 256<<10)
+				c.Barrier(p)
+				pr.Start(p)
+				dev := NewStream(s, "consumer", DefaultConfig())
+				var first sim.Completion
+				for i := 0; i < parts; i++ {
+					dev.EnqueueWaitPartition(pr, i)
+					if i == 0 {
+						dev.EnqueueSignal(&first)
+					}
+					dev.EnqueueKernel(kernel)
+				}
+				first.Wait(p)
+				firstConsumed = p.Now()
+				dev.Sync(p)
+				pr.Wait(p)
+				consumerDone = p.Now()
+				c.Barrier(p)
+			})
+			if err := s.Run(); err != nil {
+				t.Fatal(err)
+			}
+			// Pipelining: the consumer starts on partition 0 right after the
+			// producer's first kernel (~2ms), far before the producer's last
+			// Pready (~8ms).
+			if firstConsumed > sim.Time(4*sim.Millisecond) {
+				t.Fatalf("first partition consumed at %v; device pipeline not overlapping", sim.Duration(firstConsumed))
+			}
+			// Total: roughly producer pipeline (4 kernels) + one consumer
+			// kernel, NOT 8 kernels serialized.
+			if consumerDone > sim.Time(12*sim.Millisecond) {
+				t.Fatalf("consumer finished at %v; transfers not overlapped with kernels", sim.Duration(consumerDone))
+			}
+		})
+	}
+}
+
+func TestStreamMisuse(t *testing.T) {
+	s := sim.New()
+	st := NewStream(s, "bad", Config{})
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative kernel", func() { st.EnqueueKernel(-1) })
+	mustPanic("nil signal", func() { st.EnqueueSignal(nil) })
+	mustPanic("negative overhead", func() { NewStream(s, "x", Config{LaunchOverhead: -1}) })
+}
+
+func TestPendingCount(t *testing.T) {
+	s := sim.New()
+	st := NewStream(s, "p", Config{})
+	s.Spawn("host", func(p *sim.Proc) {
+		st.EnqueueKernel(sim.Millisecond)
+		st.EnqueueKernel(sim.Millisecond)
+		// The drain proc has not run yet (same instant).
+		if got := st.Pending(); got != 2 {
+			t.Errorf("Pending = %d, want 2", got)
+		}
+		st.Sync(p)
+		if got := st.Pending(); got != 0 {
+			t.Errorf("Pending after sync = %d, want 0", got)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoStreamsOverlap(t *testing.T) {
+	// Independent streams run concurrently on the device timeline: two 10ms
+	// kernels on two streams finish in ~10ms, not 20ms.
+	s := sim.New()
+	a := NewStream(s, "a", Config{})
+	b := NewStream(s, "b", Config{})
+	var syncAt sim.Time
+	s.Spawn("host", func(p *sim.Proc) {
+		a.EnqueueKernel(10 * sim.Millisecond)
+		b.EnqueueKernel(10 * sim.Millisecond)
+		a.Sync(p)
+		b.Sync(p)
+		syncAt = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if syncAt != sim.Time(10*sim.Millisecond) {
+		t.Fatalf("two streams synced at %v, want 10ms (concurrent)", sim.Duration(syncAt))
+	}
+}
+
+func TestStreamReusedAfterDrain(t *testing.T) {
+	// A stream whose drain proc exited must accept and run new work.
+	s := sim.New()
+	st := NewStream(s, "r", Config{})
+	var second sim.Time
+	s.Spawn("host", func(p *sim.Proc) {
+		st.EnqueueKernel(sim.Millisecond)
+		st.Sync(p)
+		p.Sleep(5 * sim.Millisecond) // stream fully idle
+		st.EnqueueKernel(sim.Millisecond)
+		st.Sync(p)
+		second = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if second != sim.Time(7*sim.Millisecond) {
+		t.Fatalf("second batch finished at %v, want 7ms", sim.Duration(second))
+	}
+}

@@ -1,0 +1,386 @@
+// Package classic implements the traditional MPI micro-benchmarks the paper
+// positions itself against (§5): OSU/SMB-style ping-pong latency, windowed
+// streaming bandwidth, bidirectional bandwidth and message rate, the
+// Thakur–Gropp multithreaded latency test, and a message-matching
+// queue-depth stress after Schonbein et al. — plus the partitioned variants
+// those suites lack, which is exactly the gap the paper's suite fills.
+//
+// All benchmarks run on the simulated cluster and report virtual-time
+// results, deterministic for a given configuration.
+package classic
+
+import (
+	"fmt"
+
+	"partmb/internal/cluster"
+	"partmb/internal/mpi"
+	"partmb/internal/netsim"
+	"partmb/internal/sim"
+)
+
+// Config holds the shared benchmark parameters.
+type Config struct {
+	// Iterations is the number of measured repetitions per point.
+	Iterations int
+	// Warmup iterations run first and are discarded.
+	Warmup int
+	// Net and Machine override the hardware models (nil = paper defaults).
+	Net     *netsim.Params
+	Machine *cluster.Machine
+}
+
+// DefaultConfig returns OSU-like iteration counts.
+func DefaultConfig() Config {
+	return Config{Iterations: 100, Warmup: 10}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Iterations == 0 {
+		c.Iterations = 100
+	}
+	if c.Net == nil {
+		c.Net = netsim.EDR()
+	}
+	if c.Machine == nil {
+		c.Machine = cluster.Niagara()
+	}
+	return c
+}
+
+func (c *Config) validate() error {
+	if c.Iterations <= 0 || c.Warmup < 0 {
+		return fmt.Errorf("classic: Iterations must be positive and Warmup non-negative")
+	}
+	return nil
+}
+
+// Point is one (message size, value) result; Value's unit depends on the
+// benchmark (seconds for latency, bytes/second for bandwidth).
+type Point struct {
+	Size  int64
+	Value float64
+}
+
+// world builds a 2-rank world.
+func (c Config) world(s *sim.Scheduler, mode mpi.ThreadMode) *mpi.World {
+	mcfg := mpi.DefaultConfig(2)
+	mcfg.Net = c.Net
+	mcfg.Machine = c.Machine
+	mcfg.ThreadMode = mode
+	return mpi.NewWorld(s, mcfg)
+}
+
+// Latency runs the ping-pong latency benchmark (osu_latency): half the
+// average round-trip time per size, in seconds.
+func Latency(cfg Config, sizes []int64) ([]Point, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Point, 0, len(sizes))
+	for _, size := range sizes {
+		size := size
+		s := sim.New()
+		w := cfg.world(s, mpi.Funneled)
+		var span sim.Duration
+		total := cfg.Warmup + cfg.Iterations
+		s.Spawn("ping", func(p *sim.Proc) {
+			c := w.Comm(0)
+			c.Barrier(p)
+			for it := 0; it < total; it++ {
+				if it == cfg.Warmup {
+					span = -sim.Duration(p.Now())
+				}
+				c.SendBytes(p, 1, 0, size)
+				c.Recv(p, 1, 1)
+			}
+			span += sim.Duration(p.Now())
+		})
+		s.Spawn("pong", func(p *sim.Proc) {
+			c := w.Comm(1)
+			c.Barrier(p)
+			for it := 0; it < total; it++ {
+				c.Recv(p, 0, 0)
+				c.SendBytes(p, 0, 1, size)
+			}
+		})
+		if err := s.Run(); err != nil {
+			return nil, err
+		}
+		halfRT := span.Seconds() / float64(cfg.Iterations) / 2
+		out = append(out, Point{Size: size, Value: halfRT})
+	}
+	return out, nil
+}
+
+// Bandwidth runs the windowed streaming bandwidth benchmark (osu_bw): the
+// sender posts `window` nonblocking sends, the receiver pre-posts matching
+// receives, and a short ack closes each window. Bytes/second per size.
+func Bandwidth(cfg Config, sizes []int64, window int) ([]Point, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("classic: window must be positive")
+	}
+	out := make([]Point, 0, len(sizes))
+	for _, size := range sizes {
+		size := size
+		s := sim.New()
+		w := cfg.world(s, mpi.Funneled)
+		var span sim.Duration
+		total := cfg.Warmup + cfg.Iterations
+		s.Spawn("sender", func(p *sim.Proc) {
+			c := w.Comm(0)
+			c.Barrier(p)
+			for it := 0; it < total; it++ {
+				if it == cfg.Warmup {
+					span = -sim.Duration(p.Now())
+				}
+				reqs := make([]*mpi.Request, window)
+				for i := range reqs {
+					reqs[i] = c.IsendBytes(p, 1, i, size)
+				}
+				mpi.WaitAll(p, reqs...)
+				c.Recv(p, 1, 999) // window ack
+			}
+			span += sim.Duration(p.Now())
+		})
+		s.Spawn("recv", func(p *sim.Proc) {
+			c := w.Comm(1)
+			c.Barrier(p)
+			for it := 0; it < total; it++ {
+				reqs := make([]*mpi.Request, window)
+				for i := range reqs {
+					reqs[i] = c.Irecv(p, 0, i)
+				}
+				mpi.WaitAll(p, reqs...)
+				c.SendBytes(p, 0, 999, 0)
+			}
+		})
+		if err := s.Run(); err != nil {
+			return nil, err
+		}
+		bytes := float64(cfg.Iterations) * float64(window) * float64(size)
+		out = append(out, Point{Size: size, Value: bytes / span.Seconds()})
+	}
+	return out, nil
+}
+
+// BiBandwidth runs the bidirectional bandwidth benchmark (osu_bibw): both
+// ranks stream windows at each other simultaneously. Aggregate bytes/second.
+func BiBandwidth(cfg Config, sizes []int64, window int) ([]Point, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("classic: window must be positive")
+	}
+	out := make([]Point, 0, len(sizes))
+	for _, size := range sizes {
+		size := size
+		s := sim.New()
+		w := cfg.world(s, mpi.Funneled)
+		var span sim.Duration
+		total := cfg.Warmup + cfg.Iterations
+		side := func(rank int) func(p *sim.Proc) {
+			return func(p *sim.Proc) {
+				c := w.Comm(rank)
+				other := 1 - rank
+				c.Barrier(p)
+				for it := 0; it < total; it++ {
+					if rank == 0 && it == cfg.Warmup {
+						span = -sim.Duration(p.Now())
+					}
+					reqs := make([]*mpi.Request, 0, 2*window)
+					for i := 0; i < window; i++ {
+						reqs = append(reqs, c.Irecv(p, other, 100+i))
+					}
+					for i := 0; i < window; i++ {
+						reqs = append(reqs, c.IsendBytes(p, other, 100+i, size))
+					}
+					mpi.WaitAll(p, reqs...)
+					if rank == 0 && it == total-1 {
+						span += sim.Duration(p.Now())
+					}
+				}
+			}
+		}
+		s.Spawn("r0", side(0))
+		s.Spawn("r1", side(1))
+		if err := s.Run(); err != nil {
+			return nil, err
+		}
+		bytes := 2 * float64(cfg.Iterations) * float64(window) * float64(size)
+		out = append(out, Point{Size: size, Value: bytes / span.Seconds()})
+	}
+	return out, nil
+}
+
+// MessageRate runs the small-message rate benchmark (osu_mbw_mr's rate
+// side, one pair): messages per second at the given size and window.
+func MessageRate(cfg Config, size int64, window int) (float64, error) {
+	pts, err := Bandwidth(cfg, []int64{size}, window)
+	if err != nil {
+		return 0, err
+	}
+	if size == 0 {
+		return 0, fmt.Errorf("classic: message rate needs a positive size")
+	}
+	return pts[0].Value / float64(size), nil
+}
+
+// ThreadLatency runs the Thakur–Gropp multithreaded latency test: `threads`
+// concurrent ping-pong pairs between two ranks under MPI_THREAD_MULTIPLE.
+// It returns the average per-message half round trip, which grows with the
+// thread count as the library lock contends — the effect partitioned
+// communication avoids.
+func ThreadLatency(cfg Config, threads int, size int64) (sim.Duration, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	if threads <= 0 {
+		return 0, fmt.Errorf("classic: threads must be positive")
+	}
+	s := sim.New()
+	w := cfg.world(s, mpi.Multiple)
+	c0, c1 := w.Comm(0), w.Comm(1)
+	c0.SetPlacement(cluster.Place(cfg.Machine, threads))
+	c1.SetPlacement(cluster.Place(cfg.Machine, threads))
+	total := cfg.Warmup + cfg.Iterations
+	var start, end sim.Time
+	startBar := sim.NewBarrier(2 * threads)
+	var done sim.WaitGroup
+	done.Add(s, 2*threads)
+	for t := 0; t < threads; t++ {
+		t := t
+		s.Spawn(fmt.Sprintf("ping%d", t), func(p *sim.Proc) {
+			ep := c0.Endpoint(t)
+			startBar.Await(p)
+			if t == 0 {
+				start = p.Now()
+			}
+			for it := 0; it < total; it++ {
+				ep.SendBytes(p, 1, 2*t, size)
+				ep.Recv(p, 1, 2*t+1)
+			}
+			if p.Now() > end {
+				end = p.Now()
+			}
+			done.Done(s)
+		})
+		s.Spawn(fmt.Sprintf("pong%d", t), func(p *sim.Proc) {
+			ep := c1.Endpoint(t)
+			startBar.Await(p)
+			for it := 0; it < total; it++ {
+				ep.Recv(p, 0, 2*t)
+				ep.SendBytes(p, 0, 2*t+1, size)
+			}
+			done.Done(s)
+		})
+	}
+	s.Spawn("join", func(p *sim.Proc) { done.Wait(p) })
+	if err := s.Run(); err != nil {
+		return 0, err
+	}
+	span := end.Sub(start)
+	// Per-message half round trip, averaged over every pair's traffic.
+	return span / sim.Duration(2*total), nil
+}
+
+// MatchStress measures the receive-posting cost behind an unexpected queue
+// of the given depth (after Schonbein et al.'s matching benchmark): the
+// returned duration is the time Irecv spends searching the queue.
+func MatchStress(cfg Config, depth int) (sim.Duration, error) {
+	cfg = cfg.withDefaults()
+	if depth < 0 {
+		return 0, fmt.Errorf("classic: negative depth")
+	}
+	s := sim.New()
+	w := cfg.world(s, mpi.Funneled)
+	var took sim.Duration
+	s.Spawn("sender", func(p *sim.Proc) {
+		c := w.Comm(0)
+		for i := 0; i < depth; i++ {
+			c.SendBytes(p, 1, 1000+i, 8) // never-matched junk
+		}
+		c.SendBytes(p, 1, 7, 8) // the probe message
+	})
+	s.Spawn("recv", func(p *sim.Proc) {
+		c := w.Comm(1)
+		p.Sleep(sim.Millisecond) // let everything land unexpected
+		before := p.Now()
+		r := c.Irecv(p, 0, 7)
+		took = p.Now().Sub(before)
+		r.Wait(p)
+		for i := 0; i < depth; i++ {
+			c.Recv(p, 0, 1000+i)
+		}
+	})
+	if err := s.Run(); err != nil {
+		return 0, err
+	}
+	return took, nil
+}
+
+// PartLatency is the partitioned ping-pong the classic suites lack: one
+// epoch of an n-partition transfer each way per iteration. It returns the
+// average one-way epoch time (Start+Pready*+Wait on the sender, Start+Wait
+// on the receiver).
+func PartLatency(cfg Config, size int64, parts int) (sim.Duration, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	if parts <= 0 || size%int64(parts) != 0 {
+		return 0, fmt.Errorf("classic: %d partitions must divide %d bytes", parts, size)
+	}
+	s := sim.New()
+	w := cfg.world(s, mpi.Multiple)
+	partBytes := size / int64(parts)
+	var span sim.Duration
+	total := cfg.Warmup + cfg.Iterations
+	s.Spawn("ping", func(p *sim.Proc) {
+		c := w.Comm(0)
+		c.SetPlacement(cluster.Place(cfg.Machine, parts))
+		tx := c.PsendInit(p, 1, 0, parts, partBytes)
+		rx := c.PrecvInit(p, 1, 1, parts, partBytes)
+		c.Barrier(p)
+		for it := 0; it < total; it++ {
+			if it == cfg.Warmup {
+				span = -sim.Duration(p.Now())
+			}
+			tx.Start(p)
+			for i := 0; i < parts; i++ {
+				tx.Pready(p, i)
+			}
+			tx.Wait(p)
+			rx.Start(p)
+			rx.Wait(p)
+		}
+		span += sim.Duration(p.Now())
+	})
+	s.Spawn("pong", func(p *sim.Proc) {
+		c := w.Comm(1)
+		c.SetPlacement(cluster.Place(cfg.Machine, parts))
+		rx := c.PrecvInit(p, 0, 0, parts, partBytes)
+		tx := c.PsendInit(p, 0, 1, parts, partBytes)
+		c.Barrier(p)
+		for it := 0; it < total; it++ {
+			rx.Start(p)
+			rx.Wait(p)
+			tx.Start(p)
+			for i := 0; i < parts; i++ {
+				tx.Pready(p, i)
+			}
+			tx.Wait(p)
+		}
+	})
+	if err := s.Run(); err != nil {
+		return 0, err
+	}
+	return span / sim.Duration(2*cfg.Iterations), nil
+}

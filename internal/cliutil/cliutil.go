@@ -1,0 +1,75 @@
+// Package cliutil holds flag-parsing helpers shared by the command-line
+// tools: byte sizes with binary suffixes and virtual-time durations.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"partmb/internal/sim"
+)
+
+// ParseSize parses byte counts such as "512B", "64KiB", "4MiB", "1GiB",
+// short forms "64K"/"4M"/"1G", or plain numbers.
+func ParseSize(s string) (int64, error) {
+	trimmed := strings.TrimSpace(s)
+	if trimmed == "" {
+		return 0, fmt.Errorf("cliutil: empty size")
+	}
+	upper := strings.ToUpper(trimmed)
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(upper, "GIB"):
+		mult, upper = 1<<30, strings.TrimSuffix(upper, "GIB")
+	case strings.HasSuffix(upper, "MIB"):
+		mult, upper = 1<<20, strings.TrimSuffix(upper, "MIB")
+	case strings.HasSuffix(upper, "KIB"):
+		mult, upper = 1<<10, strings.TrimSuffix(upper, "KIB")
+	case strings.HasSuffix(upper, "G"):
+		mult, upper = 1<<30, strings.TrimSuffix(upper, "G")
+	case strings.HasSuffix(upper, "M"):
+		mult, upper = 1<<20, strings.TrimSuffix(upper, "M")
+	case strings.HasSuffix(upper, "K"):
+		mult, upper = 1<<10, strings.TrimSuffix(upper, "K")
+	case strings.HasSuffix(upper, "B"):
+		upper = strings.TrimSuffix(upper, "B")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(upper), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cliutil: bad size %q", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("cliutil: negative size %q", s)
+	}
+	return n * mult, nil
+}
+
+// ParseDuration parses durations such as "10ms", "100us", "250ns", "1.5s"
+// into virtual time.
+func ParseDuration(s string) (sim.Duration, error) {
+	trimmed := strings.ToLower(strings.TrimSpace(s))
+	if trimmed == "" {
+		return 0, fmt.Errorf("cliutil: empty duration")
+	}
+	mult := sim.Nanosecond
+	digits := trimmed
+	switch {
+	case strings.HasSuffix(trimmed, "ms"):
+		mult, digits = sim.Millisecond, strings.TrimSuffix(trimmed, "ms")
+	case strings.HasSuffix(trimmed, "us"):
+		mult, digits = sim.Microsecond, strings.TrimSuffix(trimmed, "us")
+	case strings.HasSuffix(trimmed, "ns"):
+		digits = strings.TrimSuffix(trimmed, "ns")
+	case strings.HasSuffix(trimmed, "s"):
+		mult, digits = sim.Second, strings.TrimSuffix(trimmed, "s")
+	}
+	n, err := strconv.ParseFloat(strings.TrimSpace(digits), 64)
+	if err != nil {
+		return 0, fmt.Errorf("cliutil: bad duration %q", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("cliutil: negative duration %q", s)
+	}
+	return sim.Duration(n * float64(mult)), nil
+}

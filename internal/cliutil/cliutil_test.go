@@ -1,0 +1,56 @@
+package cliutil
+
+import (
+	"testing"
+
+	"partmb/internal/sim"
+)
+
+func TestParseSize(t *testing.T) {
+	good := map[string]int64{
+		"512B":   512,
+		"1KiB":   1024,
+		"64KiB":  64 << 10,
+		"4MiB":   4 << 20,
+		"1GiB":   1 << 30,
+		"64K":    64 << 10,
+		"8M":     8 << 20,
+		"2G":     2 << 30,
+		"123":    123,
+		" 1 KiB": 1024,
+		"1kib":   1024,
+	}
+	for in, want := range good {
+		got, err := ParseSize(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "-1KiB", "1.5MiB", "KiB"} {
+		if _, err := ParseSize(bad); err == nil {
+			t.Errorf("ParseSize(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseDuration(t *testing.T) {
+	good := map[string]sim.Duration{
+		"10ms":  10 * sim.Millisecond,
+		"100us": 100 * sim.Microsecond,
+		"250ns": 250,
+		"1s":    sim.Second,
+		"1.5ms": 1500 * sim.Microsecond,
+		"0ms":   0,
+	}
+	for in, want := range good {
+		got, err := ParseDuration(in)
+		if err != nil || got != want {
+			t.Errorf("ParseDuration(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "fast", "-1ms"} {
+		if _, err := ParseDuration(bad); err == nil {
+			t.Errorf("ParseDuration(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"partmb/internal/sim"
+)
+
+func TestNiagaraShape(t *testing.T) {
+	m := Niagara()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalCores() != 40 {
+		t.Fatalf("TotalCores = %d, want 40", m.TotalCores())
+	}
+	if m.Sockets != 2 || m.CoresPerSocket != 20 {
+		t.Fatalf("unexpected topology %d x %d", m.Sockets, m.CoresPerSocket)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	cases := []func(*Machine){
+		func(m *Machine) { m.Sockets = 0 },
+		func(m *Machine) { m.CoresPerSocket = -1 },
+		func(m *Machine) { m.NICSocket = 2 },
+		func(m *Machine) { m.NICSocket = -1 },
+		func(m *Machine) { m.CrossSocketPenalty = -1 },
+		func(m *Machine) { m.OversubscribedSlowdown = 0 },
+	}
+	for i, mutate := range cases {
+		m := Niagara()
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid machine passed Validate", i)
+		}
+	}
+}
+
+func TestCompactPinning(t *testing.T) {
+	m := Niagara()
+	p := Place(m, 32)
+	// Threads 0..19 on socket 0, 20..31 spill to socket 1 (the paper's
+	// 32-partition effect).
+	for i := 0; i < 20; i++ {
+		if p.Socket(i) != 0 {
+			t.Fatalf("thread %d on socket %d, want 0", i, p.Socket(i))
+		}
+	}
+	for i := 20; i < 32; i++ {
+		if p.Socket(i) != 1 {
+			t.Fatalf("thread %d on socket %d, want 1", i, p.Socket(i))
+		}
+	}
+}
+
+func TestInjectionPenaltyOnlyOffNICSocket(t *testing.T) {
+	m := Niagara()
+	p := Place(m, 32)
+	if got := p.InjectionPenalty(5); got != 0 {
+		t.Fatalf("thread 5 penalty = %v, want 0", got)
+	}
+	if got := p.InjectionPenalty(25); got != m.CrossSocketPenalty {
+		t.Fatalf("thread 25 penalty = %v, want %v", got, m.CrossSocketPenalty)
+	}
+}
+
+func TestOversubscription(t *testing.T) {
+	m := Niagara()
+	p := Place(m, 64)
+	if !p.Oversubscribed() {
+		t.Fatal("64 threads on 40 cores should be oversubscribed")
+	}
+	// Cores 0..23 host two threads, cores 24..39 host one.
+	if sf := p.ShareFactor(0); sf != 2 {
+		t.Fatalf("ShareFactor(0) = %d, want 2", sf)
+	}
+	if sf := p.ShareFactor(40); sf != 2 {
+		t.Fatalf("ShareFactor(40) = %d, want 2 (shares core 0)", sf)
+	}
+	if sf := p.ShareFactor(30); sf != 1 {
+		t.Fatalf("ShareFactor(30) = %d, want 1", sf)
+	}
+	base := 10 * sim.Millisecond
+	if got := p.ComputeTime(0, base); got != 20*sim.Millisecond {
+		t.Fatalf("ComputeTime on shared core = %v, want 20ms", got)
+	}
+	if got := p.ComputeTime(30, base); got != base {
+		t.Fatalf("ComputeTime on exclusive core = %v, want %v", got, base)
+	}
+}
+
+func TestEightThreadsFitOneSocket(t *testing.T) {
+	p := Place(Niagara(), 8)
+	if p.Oversubscribed() {
+		t.Fatal("8 threads should not oversubscribe")
+	}
+	for i := 0; i < 8; i++ {
+		if !p.OnNICSocket(i) {
+			t.Fatalf("thread %d not on NIC socket", i)
+		}
+	}
+}
+
+// Property: every thread maps to a valid core/socket and share factors are
+// consistent with the thread count.
+func TestQuickPlacementInvariants(t *testing.T) {
+	f := func(nThreads uint8, sockets, cores uint8) bool {
+		m := &Machine{
+			Sockets:                int(sockets%4) + 1,
+			CoresPerSocket:         int(cores%16) + 1,
+			NICSocket:              0,
+			CrossSocketPenalty:     sim.Microsecond,
+			OversubscribedSlowdown: 1.0,
+		}
+		n := int(nThreads%128) + 1
+		p := Place(m, n)
+		sumShares := 0
+		for i := 0; i < n; i++ {
+			c := p.Core(i)
+			if c < 0 || c >= m.TotalCores() {
+				return false
+			}
+			s := p.Socket(i)
+			if s < 0 || s >= m.Sockets {
+				return false
+			}
+			if p.ShareFactor(i) < 1 {
+				return false
+			}
+		}
+		// Summing each core's share count over its resident threads counts
+		// every thread ShareFactor times; instead verify per-core residents.
+		perCore := make(map[int]int)
+		for i := 0; i < n; i++ {
+			perCore[p.Core(i)]++
+		}
+		for i := 0; i < n; i++ {
+			if p.ShareFactor(i) != perCore[p.Core(i)] {
+				return false
+			}
+		}
+		_ = sumShares
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpycPreset(t *testing.T) {
+	m := Epyc()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalCores() != 128 {
+		t.Fatalf("Epyc cores = %d, want 128", m.TotalCores())
+	}
+	// 32 partitions fit one EPYC socket (the paper's spillover vanishes).
+	p := Place(m, 32)
+	for i := 0; i < 32; i++ {
+		if !p.OnNICSocket(i) {
+			t.Fatalf("thread %d spilled on EPYC", i)
+		}
+	}
+}
+
+func TestScatterPlacementAlternatesSockets(t *testing.T) {
+	p := PlaceWith(Niagara(), 8, Scatter)
+	for i := 0; i < 8; i++ {
+		if want := i % 2; p.Socket(i) != want {
+			t.Fatalf("scatter thread %d on socket %d, want %d", i, p.Socket(i), want)
+		}
+	}
+	// No two of the first 8 threads share a core.
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		c := p.Core(i)
+		if seen[c] {
+			t.Fatalf("scatter reused core %d early", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestScatterHalfThreadsPayPenalty(t *testing.T) {
+	p := PlaceWith(Niagara(), 16, Scatter)
+	paying := 0
+	for i := 0; i < 16; i++ {
+		if p.InjectionPenalty(i) > 0 {
+			paying++
+		}
+	}
+	if paying != 8 {
+		t.Fatalf("%d of 16 scattered threads pay the penalty, want 8", paying)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Compact.String() != "compact" || Scatter.String() != "scatter" {
+		t.Fatalf("policy strings: %v %v", Compact, Scatter)
+	}
+	if Policy(7).String() == "" {
+		t.Fatal("unknown policy should print")
+	}
+}
+
+func TestScatterOversubscription(t *testing.T) {
+	p := PlaceWith(Niagara(), 80, Scatter) // 2x oversubscribed
+	for i := 0; i < 80; i++ {
+		if got := p.ShareFactor(i); got != 2 {
+			t.Fatalf("thread %d share = %d, want 2", i, got)
+		}
+		if c := p.Core(i); c < 0 || c >= 40 {
+			t.Fatalf("thread %d core %d out of range", i, c)
+		}
+	}
+}

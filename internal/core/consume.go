@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+
+	"partmb/internal/cluster"
+	"partmb/internal/memsim"
+	"partmb/internal/mpi"
+	"partmb/internal/noise"
+	"partmb/internal/sim"
+)
+
+// Receive-side overlap benchmark — an extension beyond the paper's four
+// sender-centric metrics, following the receive-side partitioned
+// communication idea (Dosanjh & Grant, 2019): the receiver has per-partition
+// consumer work, and MPI_Parrived lets it start that work as partitions
+// land instead of after the whole message. The benchmark compares the
+// pipelined partitioned receive against a single-receive baseline whose
+// consumers can only start after the full message arrives.
+
+// ConsumeResult reports one receive-side overlap measurement.
+type ConsumeResult struct {
+	Config Config
+	// ConsumePerPartition is the receiver-side work per partition.
+	ConsumePerPartition sim.Duration
+	// Baseline is fork-to-last-consumption with a single receive.
+	Baseline sim.Duration
+	// Partitioned is the same span with per-partition consumption.
+	Partitioned sim.Duration
+}
+
+// Speedup returns Baseline/Partitioned (>1 when overlap helps).
+func (r *ConsumeResult) Speedup() float64 {
+	return float64(r.Baseline) / float64(r.Partitioned)
+}
+
+// String renders a one-line summary.
+func (r *ConsumeResult) String() string {
+	return fmt.Sprintf("receive-overlap m=%s parts=%d consume=%v: baseline=%v partitioned=%v speedup=%.2fx",
+		FormatBytes(r.Config.MessageBytes), r.Config.Partitions, r.ConsumePerPartition,
+		r.Baseline, r.Partitioned, r.Speedup())
+}
+
+// RunConsume measures receive-side overlap at one parameter point. The
+// sender behaves exactly as in Run's partitioned phase (threads compute
+// with noise, then Pready); the receiver consumes each partition for
+// consumePerPartition of CPU time, either pipelined (partitioned) or after
+// full arrival (baseline). One measured round per iteration; results are
+// averaged.
+func RunConsume(cfg Config, consumePerPartition sim.Duration) (*ConsumeResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if consumePerPartition < 0 {
+		return nil, fmt.Errorf("core: negative consume time")
+	}
+
+	baseline, err := runConsumeMode(cfg, consumePerPartition, false)
+	if err != nil {
+		return nil, err
+	}
+	partitioned, err := runConsumeMode(cfg, consumePerPartition, true)
+	if err != nil {
+		return nil, err
+	}
+	return &ConsumeResult{
+		Config:              cfg,
+		ConsumePerPartition: consumePerPartition,
+		Baseline:            baseline,
+		Partitioned:         partitioned,
+	}, nil
+}
+
+// runConsumeMode measures the mean fork-to-last-consumption span.
+func runConsumeMode(cfg Config, consume sim.Duration, pipelined bool) (sim.Duration, error) {
+	s := sim.New()
+	mcfg := mpi.DefaultConfig(2)
+	mcfg.ThreadMode = cfg.ThreadMode
+	mcfg.PartImpl = cfg.Impl
+	mcfg.Mem = memsim.Default(cfg.Cache)
+	mcfg.Net = cfg.Net
+	mcfg.Machine = cfg.Machine
+	w := mpi.NewWorld(s, mcfg)
+
+	n := cfg.Partitions
+	partBytes := cfg.MessageBytes / int64(n)
+	placement := cluster.Place(cfg.Machine, n)
+	noiseModel := noise.New(cfg.NoiseKind, cfg.NoisePercent, cfg.Seed)
+	total := cfg.Warmup + cfg.Iterations
+
+	forkAts := make([]sim.Time, total)
+	consumedAts := make([]sim.Time, total)
+
+	s.Spawn("consume/sender", func(p *sim.Proc) {
+		c := w.Comm(0)
+		c.SetPlacement(placement)
+		psend := c.PsendInit(p, 1, tagPart, n, partBytes)
+		single := c.SendInitBytes(p, 1, tagSingle, cfg.MessageBytes)
+		c.Barrier(p)
+		for it := 0; it < total; it++ {
+			c.Barrier(p)
+			compute := noiseModel.Region(n, cfg.Compute)
+			forkAts[it] = p.Now()
+			var join sim.WaitGroup
+			join.Add(s, n)
+			if pipelined {
+				psend.Start(p)
+			}
+			for i := 0; i < n; i++ {
+				i := i
+				d := placement.ComputeTime(i, compute[i])
+				s.Spawn(fmt.Sprintf("cw-%d-%d", it, i), func(tp *sim.Proc) {
+					tp.Sleep(d)
+					if pipelined {
+						psend.Pready(tp, i)
+					}
+					join.Done(s)
+				})
+			}
+			join.Wait(p)
+			if pipelined {
+				psend.Wait(p)
+			} else {
+				single.Start(p)
+				single.Wait(p)
+			}
+			c.Barrier(p)
+		}
+	})
+
+	s.Spawn("consume/receiver", func(p *sim.Proc) {
+		c := w.Comm(1)
+		c.SetPlacement(placement)
+		precv := c.PrecvInit(p, 0, tagPart, n, partBytes)
+		single := c.RecvInit(p, 0, tagSingle)
+		c.Barrier(p)
+		for it := 0; it < total; it++ {
+			it := it
+			c.Barrier(p)
+			if pipelined {
+				precv.Start(p)
+				// One consumer thread per partition: wait for the
+				// partition, then consume it. All consumers run
+				// concurrently on the receiver node.
+				var done sim.WaitGroup
+				done.Add(s, n)
+				for i := 0; i < n; i++ {
+					i := i
+					s.Spawn(fmt.Sprintf("cc-%d-%d", it, i), func(tp *sim.Proc) {
+						precv.WaitPartition(tp, i)
+						tp.Sleep(placement.ComputeTime(i, consume))
+						done.Done(s)
+					})
+				}
+				done.Wait(p)
+				precv.Wait(p)
+			} else {
+				single.Start(p)
+				single.Wait(p)
+				// Full message present: consumers start together.
+				var done sim.WaitGroup
+				done.Add(s, n)
+				for i := 0; i < n; i++ {
+					i := i
+					s.Spawn(fmt.Sprintf("cb-%d-%d", it, i), func(tp *sim.Proc) {
+						tp.Sleep(placement.ComputeTime(i, consume))
+						done.Done(s)
+					})
+				}
+				done.Wait(p)
+			}
+			consumedAts[it] = p.Now()
+			c.Barrier(p)
+		}
+	})
+
+	if err := s.Run(); err != nil {
+		return 0, fmt.Errorf("core: receive-overlap simulation failed: %w", err)
+	}
+	var sum sim.Duration
+	for it := cfg.Warmup; it < total; it++ {
+		sum += consumedAts[it].Sub(forkAts[it])
+	}
+	return sum / sim.Duration(cfg.Iterations), nil
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"fmt"
+
+	"partmb/internal/cluster"
+	"partmb/internal/memsim"
+	"partmb/internal/mpi"
+	"partmb/internal/netsim"
+	"partmb/internal/noise"
+	"partmb/internal/sim"
+	"partmb/internal/stats"
+	"partmb/internal/trace"
+)
+
+// Tags used by the two-process harness.
+const (
+	tagSingle = 1
+	tagPart   = 2
+)
+
+// Config describes one point of the benchmark parameter space (§3: message
+// size, partition count, compute amount, noise, cache state).
+type Config struct {
+	// MessageBytes is the total message size m; it must be divisible by
+	// Partitions.
+	MessageBytes int64
+	// Partitions is the partition count n; one thread readies one
+	// partition (the paper's assignment).
+	Partitions int
+	// Compute is the per-thread compute amount per iteration.
+	Compute sim.Duration
+	// NoiseKind and NoisePercent configure the noise model of §3.3.
+	NoiseKind    noise.Kind
+	NoisePercent float64
+	// Cache selects hot or cold CPU cache (§3.4).
+	Cache memsim.CacheMode
+	// Impl selects the partitioned implementation under test.
+	Impl mpi.PartImpl
+	// ThreadMode is the MPI threading level; the paper's MPIPCL setup
+	// requires MPI_THREAD_MULTIPLE.
+	ThreadMode mpi.ThreadMode
+	// Iterations is the number of measured iterations; Warmup iterations
+	// run first and are discarded.
+	Iterations int
+	Warmup     int
+	// Seed makes the noise draws reproducible.
+	Seed int64
+	// PruneSigma drops samples more than this many standard deviations
+	// from the mean before aggregation (§4.1); 0 disables pruning.
+	PruneSigma float64
+	// Net and Machine override the interconnect and node models (nil =
+	// paper defaults).
+	Net     *netsim.Params
+	Machine *cluster.Machine
+	// Topology overrides the rank-pair latency map (nil = uniform
+	// single-wing, the paper's point-to-point setup).
+	Topology netsim.Topology
+	// Trace, when non-nil, records a per-iteration timeline (thread
+	// compute spans, Pready instants, per-partition transfer spans, the
+	// single-send reference) in Chrome trace-event form.
+	Trace *trace.Recorder
+}
+
+// withDefaults fills unset fields with the paper's defaults.
+func (c Config) withDefaults() Config {
+	if c.Iterations == 0 {
+		c.Iterations = 10
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.PruneSigma == 0 {
+		c.PruneSigma = 3
+	}
+	if c.ThreadMode == mpi.Funneled && c.Partitions > 1 {
+		// Threads call Pready concurrently; the layered library needs
+		// THREAD_MULTIPLE, as the paper's MPIPCL setup did.
+		c.ThreadMode = mpi.Multiple
+	}
+	if c.Net == nil {
+		c.Net = netsim.EDR()
+	}
+	if c.Machine == nil {
+		c.Machine = cluster.Niagara()
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.MessageBytes <= 0 {
+		return fmt.Errorf("core: MessageBytes = %d, must be positive", c.MessageBytes)
+	}
+	if c.Partitions <= 0 {
+		return fmt.Errorf("core: Partitions = %d, must be positive", c.Partitions)
+	}
+	if c.MessageBytes%int64(c.Partitions) != 0 {
+		return fmt.Errorf("core: MessageBytes %d not divisible by Partitions %d", c.MessageBytes, c.Partitions)
+	}
+	if c.Compute < 0 {
+		return fmt.Errorf("core: negative Compute")
+	}
+	if c.NoisePercent < 0 {
+		return fmt.Errorf("core: negative NoisePercent")
+	}
+	if c.Iterations <= 0 || c.Warmup < 0 {
+		return fmt.Errorf("core: Iterations must be positive and Warmup non-negative")
+	}
+	return nil
+}
+
+// Sample holds the raw timings of one measured iteration (Figure 3's
+// quantities).
+type Sample struct {
+	// TPt2Pt is the single-send transfer time (send start to receive
+	// completion) for the full message.
+	TPt2Pt sim.Duration
+	// TPart is first MPI_Pready to last partition arrival.
+	TPart sim.Duration
+	// TPartLast is the last-readied partition's transfer time.
+	TPartLast sim.Duration
+	// TBeforeJoin / TAfterJoin split TPart around the equivalent
+	// single-send thread-join instant.
+	TBeforeJoin sim.Duration
+	TAfterJoin  sim.Duration
+}
+
+// Result aggregates a benchmark run at one parameter point.
+type Result struct {
+	Config  Config
+	Samples []Sample
+
+	// Aggregated metrics (outlier-pruned means).
+	Overhead     float64 // Eq. 1, unitless slowdown
+	PerceivedBW  float64 // Eq. 2, bytes/second
+	Availability float64 // Eq. 3, fraction
+	EarlyBird    float64 // Eq. 4, percent
+}
+
+// iterRecord is the cross-rank scratchpad for one iteration.
+type iterRecord struct {
+	pt2ptStart sim.Time
+	pt2ptEnd   sim.Time
+	firstReady sim.Time
+	lastReady  sim.Time
+	lastArrive sim.Time
+	joinEquiv  sim.Time
+	// timeline detail for tracing
+	forkAt      sim.Time
+	computes    []sim.Duration
+	readyTimes  []sim.Time
+	arriveTimes []sim.Time
+}
+
+// Run executes the two-process benchmark at one parameter point and returns
+// the aggregated result.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := sim.New()
+	mcfg := mpi.DefaultConfig(2)
+	mcfg.ThreadMode = cfg.ThreadMode
+	mcfg.PartImpl = cfg.Impl
+	mcfg.Mem = memsim.Default(cfg.Cache)
+	mcfg.Net = cfg.Net
+	mcfg.Machine = cfg.Machine
+	mcfg.Topology = cfg.Topology
+	w := mpi.NewWorld(s, mcfg)
+
+	n := cfg.Partitions
+	partBytes := cfg.MessageBytes / int64(n)
+	placement := cluster.Place(cfg.Machine, n)
+	noiseModel := noise.New(cfg.NoiseKind, cfg.NoisePercent, cfg.Seed)
+	invalidate := mcfg.Mem.InvalidateCost()
+	total := cfg.Warmup + cfg.Iterations
+
+	records := make([]iterRecord, total)
+
+	// Sender, rank 0.
+	s.Spawn("bench/sender", func(p *sim.Proc) {
+		c := w.Comm(0)
+		c.SetPlacement(placement)
+		psend := c.PsendInit(p, 1, tagPart, n, partBytes)
+		single := c.SendInitBytes(p, 1, tagSingle, cfg.MessageBytes)
+		c.Barrier(p)
+		for it := 0; it < total; it++ {
+			rec := &records[it]
+			c.Barrier(p)
+			if invalidate > 0 {
+				p.Sleep(invalidate)
+			}
+			compute := noiseModel.Region(n, cfg.Compute)
+
+			// Phase 1 — single-send model: fork, compute, join, one send.
+			var join sim.WaitGroup
+			join.Add(s, n)
+			for i := 0; i < n; i++ {
+				i := i
+				s.Spawn(fmt.Sprintf("w1-%d-%d", it, i), func(tp *sim.Proc) {
+					tp.Sleep(placement.ComputeTime(i, compute[i]))
+					join.Done(s)
+				})
+			}
+			join.Wait(p)
+			rec.pt2ptStart = p.Now()
+			single.Start(p)
+			single.Wait(p)
+			c.Barrier(p) // phase boundary: receiver has completed and re-armed
+
+			// Phase 2 — partitioned: fork, compute, Pready per thread.
+			psend.Start(p)
+			forkAt := p.Now()
+			var join2 sim.WaitGroup
+			join2.Add(s, n)
+			var maxCompute sim.Duration
+			rec.computes = make([]sim.Duration, n)
+			for i := 0; i < n; i++ {
+				i := i
+				d := placement.ComputeTime(i, compute[i])
+				rec.computes[i] = d
+				if d > maxCompute {
+					maxCompute = d
+				}
+				s.Spawn(fmt.Sprintf("w2-%d-%d", it, i), func(tp *sim.Proc) {
+					tp.Sleep(d)
+					psend.Pready(tp, i)
+					join2.Done(s)
+				})
+			}
+			rec.joinEquiv = forkAt.Add(maxCompute)
+			join2.Wait(p)
+			psend.Wait(p)
+			rec.firstReady = psend.FirstReadyAt()
+			ready := psend.ReadyTimes()
+			rec.lastReady = ready[0]
+			for _, r := range ready[1:] {
+				if r > rec.lastReady {
+					rec.lastReady = r
+				}
+			}
+			rec.forkAt = forkAt
+			rec.readyTimes = ready
+			c.Barrier(p) // iteration end
+		}
+	})
+
+	// Receiver, rank 1.
+	s.Spawn("bench/receiver", func(p *sim.Proc) {
+		c := w.Comm(1)
+		precv := c.PrecvInit(p, 0, tagPart, n, partBytes)
+		single := c.RecvInit(p, 0, tagSingle)
+		c.Barrier(p)
+		for it := 0; it < total; it++ {
+			rec := &records[it]
+			c.Barrier(p)
+			if invalidate > 0 {
+				p.Sleep(invalidate)
+			}
+			// Phase 1: pre-post, then wait for the full message.
+			single.Start(p)
+			single.Wait(p)
+			rec.pt2ptEnd = single.CompletedAt()
+			c.Barrier(p)
+
+			// Phase 2: arm the partitioned receive before any Pready can
+			// land (the sender computes first).
+			precv.Start(p)
+			precv.Wait(p)
+			rec.lastArrive = precv.LastArriveAt()
+			rec.arriveTimes = precv.ArrivalTimes()
+			c.Barrier(p)
+		}
+	})
+
+	if err := s.Run(); err != nil {
+		return nil, fmt.Errorf("core: benchmark simulation failed: %w", err)
+	}
+
+	res := &Result{Config: cfg}
+	for it := cfg.Warmup; it < total; it++ {
+		rec := &records[it]
+		before, after := SplitAtJoin(rec.firstReady, rec.lastArrive, rec.joinEquiv)
+		res.Samples = append(res.Samples, Sample{
+			TPt2Pt:      rec.pt2ptEnd.Sub(rec.pt2ptStart),
+			TPart:       rec.lastArrive.Sub(rec.firstReady),
+			TPartLast:   rec.lastArrive.Sub(rec.lastReady),
+			TBeforeJoin: before,
+			TAfterJoin:  after,
+		})
+	}
+	res.aggregate()
+	if cfg.Trace != nil {
+		for it := cfg.Warmup; it < total; it++ {
+			emitTrace(cfg.Trace, it-cfg.Warmup, &records[it])
+		}
+	}
+	return res, nil
+}
+
+// emitTrace renders one measured iteration as Chrome trace events: the
+// sender rank is pid 0 (one tid per thread), the receiver rank pid 1 (one
+// tid per partition).
+func emitTrace(tr *trace.Recorder, iter int, rec *iterRecord) {
+	itArg := map[string]string{"iteration": fmt.Sprint(iter)}
+	tr.Span(0, 0, "pt2pt", "single-send reference", rec.pt2ptStart, rec.pt2ptEnd, itArg)
+	for i, d := range rec.computes {
+		tr.Span(0, i+1, "compute", fmt.Sprintf("thread %d compute", i), rec.forkAt, rec.forkAt.Add(d), itArg)
+		tr.Instant(0, i+1, "part", fmt.Sprintf("Pready %d", i), rec.readyTimes[i], itArg)
+	}
+	for i := range rec.arriveTimes {
+		tr.Span(1, i+1, "part", fmt.Sprintf("partition %d transfer", i), rec.readyTimes[i], rec.arriveTimes[i], itArg)
+	}
+	tr.Instant(0, 0, "join", "equivalent single-send join", rec.joinEquiv, itArg)
+}
+
+// aggregate computes the pruned-mean metrics from the samples.
+func (r *Result) aggregate() {
+	n := len(r.Samples)
+	overhead := make([]float64, 0, n)
+	perceived := make([]float64, 0, n)
+	avail := make([]float64, 0, n)
+	early := make([]float64, 0, n)
+	for _, s := range r.Samples {
+		overhead = append(overhead, Overhead(s.TPart, s.TPt2Pt))
+		perceived = append(perceived, PerceivedBandwidth(r.Config.MessageBytes, s.TPartLast))
+		avail = append(avail, Availability(s.TAfterJoin, s.TPt2Pt))
+		early = append(early, EarlyBirdPct(s.TBeforeJoin, s.TPart))
+	}
+	k := r.Config.PruneSigma
+	r.Overhead = stats.Mean(stats.PruneOutliers(overhead, k))
+	r.PerceivedBW = stats.Mean(stats.PruneOutliers(perceived, k))
+	r.Availability = stats.Mean(stats.PruneOutliers(avail, k))
+	r.EarlyBird = stats.Mean(stats.PruneOutliers(early, k))
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("m=%s parts=%d comp=%v noise=%s/%.0f%% cache=%s impl=%s: overhead=%.2fx perceivedBW=%.2fGB/s avail=%.3f early=%.1f%%",
+		FormatBytes(r.Config.MessageBytes), r.Config.Partitions, r.Config.Compute,
+		r.Config.NoiseKind, r.Config.NoisePercent, r.Config.Cache, r.Config.Impl,
+		r.Overhead, r.PerceivedBW/1e9, r.Availability, r.EarlyBird)
+}
+
+// FormatBytes renders a byte count with a binary unit.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dGiB", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

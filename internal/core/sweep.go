@@ -1,0 +1,56 @@
+package core
+
+import "fmt"
+
+// MessageSizes returns the power-of-two sweep [min, max] used on the
+// figures' x axes.
+func MessageSizes(min, max int64) []int64 {
+	if min <= 0 || max < min {
+		panic(fmt.Sprintf("core: bad size range [%d,%d]", min, max))
+	}
+	var out []int64
+	for s := min; s <= max; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// SweepMessageSizes runs the benchmark at every message size, holding the
+// rest of base fixed. Sizes not divisible by the partition count are
+// skipped (they cannot be partitioned evenly, the MPIPCL restriction).
+func SweepMessageSizes(base Config, sizes []int64) ([]*Result, error) {
+	var out []*Result
+	for _, size := range sizes {
+		if size%int64(base.Partitions) != 0 {
+			continue
+		}
+		cfg := base
+		cfg.MessageBytes = size
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("size %s: %w", FormatBytes(size), err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// SweepPartitions runs the benchmark at every partition count, holding the
+// rest of base fixed. Counts that do not divide the message size are
+// skipped.
+func SweepPartitions(base Config, counts []int) ([]*Result, error) {
+	var out []*Result
+	for _, n := range counts {
+		if base.MessageBytes%int64(n) != 0 {
+			continue
+		}
+		cfg := base
+		cfg.Partitions = n
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("partitions %d: %w", n, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

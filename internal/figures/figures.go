@@ -1,0 +1,464 @@
+// Package figures regenerates the data behind every figure in the paper's
+// evaluation (Figures 4–13). Each generator returns report tables whose rows
+// are the series the paper plots; cmd/figures renders them as text or CSV,
+// and bench_test.go wraps each one in a testing.B benchmark.
+//
+// Two scales are provided: Full approximates the paper's parameter ranges;
+// Quick shrinks sweeps for CI and benchmarks.
+package figures
+
+import (
+	"fmt"
+
+	"partmb/internal/core"
+	"partmb/internal/memsim"
+	"partmb/internal/mpi"
+	"partmb/internal/noise"
+	"partmb/internal/patterns"
+	"partmb/internal/report"
+	"partmb/internal/sim"
+	"partmb/internal/snap"
+)
+
+// Scale bounds the sweep ranges of the generators.
+type Scale struct {
+	Name string
+	// Iterations / Warmup for the point-to-point metric benchmarks.
+	Iterations, Warmup int
+	// MetricSizes is the message-size sweep of Figures 4–8.
+	MetricSizes []int64
+	// PartCounts is the partition-count family of Figures 4–6/8.
+	PartCounts []int
+	// SweepGridPx/Py, SweepSizes, SweepRepeats, SweepZBlocks, SweepOctants
+	// parameterize Figures 9–10.
+	SweepGridPx, SweepGridPy int
+	SweepSizes               []int64
+	SweepRepeats             int
+	SweepZBlocks             int
+	SweepOctants             int
+	// HaloGrid, HaloSizes, HaloRepeats parameterize Figures 11–12.
+	HaloGrid    int
+	HaloSizes   []int64
+	HaloRepeats int
+	// SnapNodes is the node-count axis of Figure 13.
+	SnapNodes []int
+}
+
+// Full approximates the paper's parameter ranges.
+func Full() Scale {
+	return Scale{
+		Name:        "full",
+		Iterations:  10,
+		Warmup:      2,
+		MetricSizes: core.MessageSizes(1<<10, 64<<20),
+		PartCounts:  []int{1, 2, 4, 8, 16, 32},
+		SweepGridPx: 4, SweepGridPy: 4,
+		SweepSizes:   core.MessageSizes(16<<10, 4<<20),
+		SweepRepeats: 1,
+		SweepZBlocks: 4,
+		SweepOctants: 8,
+		HaloGrid:     2,
+		HaloSizes:    core.MessageSizes(64<<10, 16<<20),
+		HaloRepeats:  3,
+		SnapNodes:    []int{2, 4, 8, 16, 32, 64, 128, 256},
+	}
+}
+
+// Quick shrinks the sweeps for tests and benchmarks.
+func Quick() Scale {
+	return Scale{
+		Name:        "quick",
+		Iterations:  3,
+		Warmup:      1,
+		MetricSizes: core.MessageSizes(32<<10, 8<<20),
+		PartCounts:  []int{1, 8, 32},
+		SweepGridPx: 2, SweepGridPy: 2,
+		SweepSizes:   core.MessageSizes(64<<10, 1<<20),
+		SweepRepeats: 1,
+		SweepZBlocks: 2,
+		SweepOctants: 4,
+		HaloGrid:     2,
+		HaloSizes:    core.MessageSizes(256<<10, 2<<20),
+		HaloRepeats:  2,
+		SnapNodes:    []int{2, 8, 32},
+	}
+}
+
+// The paper's two compute amounts.
+const (
+	comp10ms  = 10 * sim.Millisecond
+	comp100ms = 100 * sim.Millisecond
+)
+
+// metricCfg builds the shared point-to-point benchmark configuration.
+func (sc Scale) metricCfg() core.Config {
+	return core.Config{
+		Iterations: sc.Iterations,
+		Warmup:     sc.Warmup,
+		Impl:       mpi.PartMPIPCL,
+		ThreadMode: mpi.Multiple,
+	}
+}
+
+// Fig4 regenerates "Overhead of Partitioned Point-to-Point Communication
+// Relative to Point-to-Point Communication for 10ms of Compute": one table
+// per cache state, overhead per partition count over the size sweep.
+func Fig4(sc Scale) ([]*report.Table, error) {
+	var tables []*report.Table
+	for _, cache := range []memsim.CacheMode{memsim.Hot, memsim.Cold} {
+		cache := cache
+		t := report.New(
+			fmt.Sprintf("Figure 4 (%s cache): overhead t_part/t_pt2pt, 10ms compute, no noise", cache),
+			append([]string{"size"}, partColumns(sc.PartCounts, "p=%d")...)...)
+		cells, err := runGrid(len(sc.MetricSizes), len(sc.PartCounts), func(r, col int) (interface{}, error) {
+			size, parts := sc.MetricSizes[r], sc.PartCounts[col]
+			if size%int64(parts) != 0 {
+				return nil, nil
+			}
+			cfg := sc.metricCfg()
+			cfg.MessageBytes = size
+			cfg.Partitions = parts
+			cfg.Compute = comp10ms
+			cfg.Cache = cache
+			res, err := core.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Overhead, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		addGridRows(t, sc.MetricSizes, cells)
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// addGridRows appends one row per size with the grid's cells.
+func addGridRows(t *report.Table, sizes []int64, cells [][]interface{}) {
+	for r, size := range sizes {
+		row := []interface{}{core.FormatBytes(size)}
+		for _, v := range cells[r] {
+			row = append(row, cellOrDash(v))
+		}
+		t.AddF(row...)
+	}
+}
+
+// Fig5 regenerates "Perceived Bandwidth ... with Uniform Noise and a Hot
+// Cache for Different Noise and Compute Amounts": one table per
+// (compute, noise%) cell, perceived bandwidth (GB/s) per partition count.
+func Fig5(sc Scale) ([]*report.Table, error) {
+	var tables []*report.Table
+	for _, comp := range []sim.Duration{comp10ms, comp100ms} {
+		for _, noisePct := range []float64{0, 4} {
+			comp, noisePct := comp, noisePct
+			t := report.New(
+				fmt.Sprintf("Figure 5 (compute=%v, uniform noise=%.0f%%): perceived bandwidth GB/s", comp, noisePct),
+				append([]string{"size"}, partColumns(sc.PartCounts, "p=%d")...)...)
+			cells, err := runGrid(len(sc.MetricSizes), len(sc.PartCounts), func(r, col int) (interface{}, error) {
+				size, parts := sc.MetricSizes[r], sc.PartCounts[col]
+				if size%int64(parts) != 0 {
+					return nil, nil
+				}
+				cfg := sc.metricCfg()
+				cfg.MessageBytes = size
+				cfg.Partitions = parts
+				cfg.Compute = comp
+				cfg.NoiseKind = noise.Uniform
+				cfg.NoisePercent = noisePct
+				res, err := core.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return res.PerceivedBW / 1e9, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			addGridRows(t, sc.MetricSizes, cells)
+			tables = append(tables, t)
+		}
+	}
+	return tables, nil
+}
+
+// Fig6 regenerates "Application Availability ... With a Hot Cache and Our
+// Single Thread Delay Model With 4% Noise": one table per compute amount,
+// availability per partition count.
+func Fig6(sc Scale) ([]*report.Table, error) {
+	counts := withoutOne(sc.PartCounts)
+	var tables []*report.Table
+	for _, comp := range []sim.Duration{comp10ms, comp100ms} {
+		comp := comp
+		t := report.New(
+			fmt.Sprintf("Figure 6 (compute=%v): application availability, single-thread delay 4%%, hot cache", comp),
+			append([]string{"size"}, partColumns(counts, "p=%d")...)...)
+		cells, err := runGrid(len(sc.MetricSizes), len(counts), func(r, col int) (interface{}, error) {
+			size, parts := sc.MetricSizes[r], counts[col]
+			if size%int64(parts) != 0 {
+				return nil, nil
+			}
+			cfg := sc.metricCfg()
+			cfg.MessageBytes = size
+			cfg.Partitions = parts
+			cfg.Compute = comp
+			cfg.NoiseKind = noise.SingleThread
+			cfg.NoisePercent = 4
+			res, err := core.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Availability, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		addGridRows(t, sc.MetricSizes, cells)
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig7 regenerates "The Impact of Noise Models on Application Availability"
+// (16 partitions, 4% noise, hot cache).
+func Fig7(sc Scale) ([]*report.Table, error) {
+	models := []noise.Kind{noise.SingleThread, noise.Uniform, noise.Gaussian}
+	t := report.New(
+		"Figure 7: application availability by noise model, 16 partitions, 4% noise, hot cache, 10ms compute",
+		"size", "single", "uniform", "gaussian")
+	var sizes []int64
+	for _, size := range sc.MetricSizes {
+		if size%16 == 0 {
+			sizes = append(sizes, size)
+		}
+	}
+	cells, err := runGrid(len(sizes), len(models), func(r, col int) (interface{}, error) {
+		cfg := sc.metricCfg()
+		cfg.MessageBytes = sizes[r]
+		cfg.Partitions = 16
+		cfg.Compute = comp10ms
+		cfg.NoiseKind = models[col]
+		cfg.NoisePercent = 4
+		res, err := core.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return res.Availability, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	addGridRows(t, sizes, cells)
+	return []*report.Table{t}, nil
+}
+
+// Fig8 regenerates "Percentage of Early-Bird Communication with MPI
+// Partitioned Point-to-Point Communication" (uniform noise): one table per
+// compute amount.
+func Fig8(sc Scale) ([]*report.Table, error) {
+	counts := withoutOne(sc.PartCounts)
+	var tables []*report.Table
+	for _, comp := range []sim.Duration{comp10ms, comp100ms} {
+		comp := comp
+		t := report.New(
+			fmt.Sprintf("Figure 8 (compute=%v): %% early-bird communication, uniform 4%% noise, hot cache", comp),
+			append([]string{"size"}, partColumns(counts, "p=%d")...)...)
+		cells, err := runGrid(len(sc.MetricSizes), len(counts), func(r, col int) (interface{}, error) {
+			size, parts := sc.MetricSizes[r], counts[col]
+			if size%int64(parts) != 0 {
+				return nil, nil
+			}
+			cfg := sc.metricCfg()
+			cfg.MessageBytes = size
+			cfg.Partitions = parts
+			cfg.Compute = comp
+			cfg.NoiseKind = noise.Uniform
+			cfg.NoisePercent = 4
+			res, err := core.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.EarlyBird, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		addGridRows(t, sc.MetricSizes, cells)
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// sweepSeries defines the Sweep3D series the paper plots: a single-threaded
+// baseline plus multi/partitioned at two thread counts.
+type patternSeries struct {
+	label   string
+	mode    patterns.Mode
+	threads int
+}
+
+func sweepSeriesList() []patternSeries {
+	return []patternSeries{
+		{"single", patterns.Single, 1},
+		{"multi-4t", patterns.Multi, 4},
+		{"multi-16t", patterns.Multi, 16},
+		{"part-4t", patterns.Partitioned, 4},
+		{"part-16t", patterns.Partitioned, 16},
+	}
+}
+
+// figSweep generates a Sweep3D throughput table for one compute amount.
+func figSweep(sc Scale, figure string, comp sim.Duration) ([]*report.Table, error) {
+	series := sweepSeriesList()
+	cols := []string{"bytes/thread"}
+	for _, s := range series {
+		cols = append(cols, s.label)
+	}
+	t := report.New(
+		fmt.Sprintf("%s: Sweep3D throughput GB/s, %v compute, 4%% single noise, hot cache", figure, comp),
+		cols...)
+	cells, err := runGrid(len(sc.SweepSizes), len(series), func(r, col int) (interface{}, error) {
+		cfg := patterns.SweepConfig{
+			Px: sc.SweepGridPx, Py: sc.SweepGridPy,
+			Threads:        series[col].threads,
+			BytesPerThread: sc.SweepSizes[r],
+			Compute:        comp,
+			NoiseKind:      noise.SingleThread,
+			NoisePercent:   4,
+			ZBlocks:        sc.SweepZBlocks,
+			Octants:        sc.SweepOctants,
+			Repeats:        sc.SweepRepeats,
+			Mode:           series[col].mode,
+			Impl:           mpi.PartMPIPCL,
+		}
+		res, err := patterns.RunSweep3D(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return res.Throughput() / 1e9, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	addGridRows(t, sc.SweepSizes, cells)
+	return []*report.Table{t}, nil
+}
+
+// Fig9 regenerates "Sweep3D Communication Throughput For 10ms, 4% Single
+// Noise with a Hot Cache".
+func Fig9(sc Scale) ([]*report.Table, error) { return figSweep(sc, "Figure 9", comp10ms) }
+
+// Fig10 regenerates the 100ms-compute Sweep3D figure.
+func Fig10(sc Scale) ([]*report.Table, error) { return figSweep(sc, "Figure 10", comp100ms) }
+
+// figHalo generates Halo3D throughput tables for one compute amount: one
+// table per thread configuration (8 threads / 4 partitions per face, and 64
+// threads oversubscribed / 16 partitions per face).
+func figHalo(sc Scale, figure string, comp sim.Duration) ([]*report.Table, error) {
+	var tables []*report.Table
+	for _, tpd := range []int{2, 4} {
+		tpd := tpd
+		threads := tpd * tpd * tpd
+		t := report.New(
+			fmt.Sprintf("%s (%d threads, %d partitions/face): Halo3D throughput GB/s, %v compute, 4%% single noise",
+				figure, threads, tpd*tpd, comp),
+			"face bytes", "single", "multi", "partitioned")
+		var sizes []int64
+		for _, size := range sc.HaloSizes {
+			if size%int64(tpd*tpd) == 0 {
+				sizes = append(sizes, size)
+			}
+		}
+		modes := patterns.Modes()
+		cells, err := runGrid(len(sizes), len(modes), func(r, col int) (interface{}, error) {
+			cfg := patterns.HaloConfig{
+				Nx: sc.HaloGrid, Ny: sc.HaloGrid, Nz: sc.HaloGrid,
+				ThreadsPerDim: tpd,
+				FaceBytes:     sizes[r],
+				Compute:       comp,
+				NoiseKind:     noise.SingleThread,
+				NoisePercent:  4,
+				Repeats:       sc.HaloRepeats,
+				Mode:          modes[col],
+				Impl:          mpi.PartMPIPCL,
+			}
+			res, err := patterns.RunHalo3D(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Throughput() / 1e9, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		addGridRows(t, sizes, cells)
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig11 regenerates "Halo3D Communication Throughput For 10ms, 4% Single
+// Noise with a Hot Cache".
+func Fig11(sc Scale) ([]*report.Table, error) { return figHalo(sc, "Figure 11", comp10ms) }
+
+// Fig12 regenerates the 100ms-compute Halo3D figure.
+func Fig12(sc Scale) ([]*report.Table, error) { return figHalo(sc, "Figure 12", comp100ms) }
+
+// Fig13 regenerates "Expected Speedup From Porting SNAP-C to MPI
+// Partitioned": the mpiP-style profile of the SNAP proxy per node count and
+// the Amdahl projection with the Sweep3D gain.
+func Fig13(sc Scale) ([]*report.Table, error) {
+	t := report.New(
+		fmt.Sprintf("Figure 13: SNAP proxy mpiP profile and projected speedup (gain %.1fx)", snap.SweepGain),
+		"nodes", "app time", "mpi time", "mpi %", "projected speedup")
+	pts, err := snap.ProfileScaling(snap.DefaultConfig(), sc.SnapNodes)
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range pts {
+		t.AddF(pt.Nodes, pt.AppTime.String(), pt.MPITime.String(), 100*pt.MPIFraction, pt.Projected)
+	}
+	return []*report.Table{t}, nil
+}
+
+// Generate runs the generator for one figure number (4..13).
+func Generate(fig int, sc Scale) ([]*report.Table, error) {
+	gens := map[int]func(Scale) ([]*report.Table, error){
+		4: Fig4, 5: Fig5, 6: Fig6, 7: Fig7, 8: Fig8,
+		9: Fig9, 10: Fig10, 11: Fig11, 12: Fig12, 13: Fig13,
+	}
+	g, ok := gens[fig]
+	if !ok {
+		return nil, fmt.Errorf("figures: no figure %d (paper evaluation figures are 4..13)", fig)
+	}
+	return g(sc)
+}
+
+// Numbers lists the reproducible figure numbers.
+func Numbers() []int { return []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13} }
+
+// partColumns renders partition-count column headers.
+func partColumns(counts []int, format string) []string {
+	out := make([]string, len(counts))
+	for i, n := range counts {
+		out[i] = fmt.Sprintf(format, n)
+	}
+	return out
+}
+
+// withoutOne drops the 1-partition entry (meaningless for availability and
+// early-bird figures, as the paper notes).
+func withoutOne(counts []int) []int {
+	out := make([]int, 0, len(counts))
+	for _, n := range counts {
+		if n != 1 {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		return counts
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package figures
+
+import (
+	"runtime"
+	"sync"
+)
+
+// runGrid evaluates f over an nRows x nCols grid with up to GOMAXPROCS
+// concurrent workers and returns the cells in row-major order. Every f call
+// runs its own private simulation, so host-level concurrency cannot affect
+// the (deterministic) simulated results — only wall-clock time. A cell may
+// be nil to mean "skipped" (rendered as "-").
+func runGrid(nRows, nCols int, f func(r, c int) (interface{}, error)) ([][]interface{}, error) {
+	cells := make([][]interface{}, nRows)
+	for r := range cells {
+		cells[r] = make([]interface{}, nCols)
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for r := 0; r < nRows; r++ {
+		for c := 0; c < nCols; c++ {
+			r, c := r, c
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer func() { <-sem; wg.Done() }()
+				mu.Lock()
+				failed := firstErr != nil
+				mu.Unlock()
+				if failed {
+					return
+				}
+				v, err := f(r, c)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				cells[r][c] = v
+				mu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return cells, nil
+}
+
+// cellOrDash renders nil cells as "-" for AddF.
+func cellOrDash(v interface{}) interface{} {
+	if v == nil {
+		return "-"
+	}
+	return v
+}

@@ -1,0 +1,82 @@
+package figures
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunGridFillsAllCells(t *testing.T) {
+	cells, err := runGrid(3, 4, func(r, c int) (interface{}, error) {
+		return r*10 + c, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 4; c++ {
+			if cells[r][c] != r*10+c {
+				t.Fatalf("cell (%d,%d) = %v", r, c, cells[r][c])
+			}
+		}
+	}
+}
+
+func TestRunGridPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := runGrid(5, 5, func(r, c int) (interface{}, error) {
+		if r == 2 && c == 3 {
+			return nil, boom
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want boom", err)
+	}
+}
+
+func TestRunGridStopsAfterError(t *testing.T) {
+	// After the first error, remaining cells should be skipped (best
+	// effort): the call count must be well below the full grid on a
+	// large grid.
+	var calls int64
+	_, err := runGrid(100, 10, func(r, c int) (interface{}, error) {
+		atomic.AddInt64(&calls, 1)
+		return nil, fmt.Errorf("always fails")
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := atomic.LoadInt64(&calls); n == 1000 {
+		t.Fatalf("all %d cells ran despite early failure", n)
+	}
+}
+
+func TestRunGridNilCellsRenderAsDash(t *testing.T) {
+	cells, err := runGrid(1, 2, func(r, c int) (interface{}, error) {
+		if c == 0 {
+			return nil, nil
+		}
+		return 1.5, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cellOrDash(cells[0][0]) != "-" {
+		t.Fatalf("nil cell rendered as %v", cellOrDash(cells[0][0]))
+	}
+	if cellOrDash(cells[0][1]) != 1.5 {
+		t.Fatalf("value cell rendered as %v", cellOrDash(cells[0][1]))
+	}
+}
+
+func TestRunGridEmpty(t *testing.T) {
+	cells, err := runGrid(0, 0, func(r, c int) (interface{}, error) {
+		t.Fatal("should not be called")
+		return nil, nil
+	})
+	if err != nil || len(cells) != 0 {
+		t.Fatalf("empty grid: %v %v", cells, err)
+	}
+}

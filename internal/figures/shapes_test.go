@@ -1,0 +1,144 @@
+package figures
+
+import (
+	"testing"
+
+	"partmb/internal/core"
+	"partmb/internal/mpi"
+	"partmb/internal/noise"
+	"partmb/internal/patterns"
+	"partmb/internal/sim"
+	"partmb/internal/snap"
+)
+
+// These tests pin the headline numbers EXPERIMENTS.md reports against the
+// paper, at the full measurement scale. They take tens of seconds, so they
+// are skipped under -short; run them when touching any model parameter.
+
+func fullCfg() core.Config {
+	return core.Config{
+		Iterations: 10,
+		Warmup:     2,
+		Impl:       mpi.PartMPIPCL,
+		ThreadMode: mpi.Multiple,
+	}
+}
+
+func TestHeadlineOverheadStep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale shape check")
+	}
+	// Paper: "up to 59.4x when using 32 partitions". Measured: 56.6x at
+	// 1KiB. Pin it within a relative band so calibration drift is caught.
+	cfg := fullCfg()
+	cfg.MessageBytes = 1 << 10
+	cfg.Partitions = 32
+	cfg.Compute = 10 * sim.Millisecond
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overhead < 45 || res.Overhead > 70 {
+		t.Fatalf("32-partition 1KiB overhead = %.1fx, want ~56.6x (paper: 59.4x)", res.Overhead)
+	}
+}
+
+func TestHeadlineAvailabilityDropoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale shape check")
+	}
+	// Paper: "after around 4MB application availability drops off".
+	cfg := fullCfg()
+	cfg.Partitions = 16
+	cfg.Compute = 10 * sim.Millisecond
+	cfg.NoiseKind = noise.SingleThread
+	cfg.NoisePercent = 4
+	get := func(size int64) float64 {
+		c := cfg
+		c.MessageBytes = size
+		res, err := core.Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Availability
+	}
+	at4 := get(4 << 20)
+	at16 := get(16 << 20)
+	if at4 < 0.85 {
+		t.Fatalf("availability at 4MiB = %.3f, want the pre-dropoff plateau (~0.92)", at4)
+	}
+	if at16 > 0.5 {
+		t.Fatalf("availability at 16MiB = %.3f, want post-dropoff (~0.27)", at16)
+	}
+}
+
+func TestHeadlineSweepGain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale shape check")
+	}
+	// Paper: partitioned ~15.1x single-threaded at large messages.
+	// Measured on the 4x4 grid at 4MiB/thread: ~10.9x. Pin the order.
+	run := func(mode patterns.Mode, threads int) float64 {
+		res, err := patterns.RunSweep3D(patterns.SweepConfig{
+			Px: 4, Py: 4,
+			Threads:        threads,
+			BytesPerThread: 4 << 20,
+			Compute:        10 * sim.Millisecond,
+			NoiseKind:      noise.SingleThread,
+			NoisePercent:   4,
+			ZBlocks:        4,
+			Octants:        8,
+			Repeats:        1,
+			Mode:           mode,
+			Impl:           mpi.PartMPIPCL,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput()
+	}
+	gain := run(patterns.Partitioned, 16) / run(patterns.Single, 1)
+	if gain < 8 || gain > 16 {
+		t.Fatalf("Sweep3D partitioned/single gain = %.1fx, want ~10.9x (paper: 15.1x)", gain)
+	}
+}
+
+func TestHeadlineSnapFractions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale shape check")
+	}
+	// Paper: 1-6% MPI at small node counts, dominant at 128/256.
+	// Measured: 1.4% @2, 44.2% @256.
+	cfg := snap.DefaultConfig()
+	small, err := snap.Profile(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.MPIFraction > 0.06 {
+		t.Fatalf("2-node MPI fraction = %.3f, want the paper's 1-6%% band", small.MPIFraction)
+	}
+	big, err := snap.Profile(cfg, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.MPIFraction < 0.35 || big.MPIFraction > 0.60 {
+		t.Fatalf("256-node MPI fraction = %.3f, want ~0.44 (paper: 0.545)", big.MPIFraction)
+	}
+}
+
+func TestHeadlinePortTracksProjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale shape check")
+	}
+	// EXPERIMENTS.md: the measured port tracks the Amdahl projection within
+	// ~4% at every scale.
+	res, err := snap.ComparePort(snap.DefaultConfig(), 128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := res.Measured() / res.Projected
+	if ratio < 0.9 || ratio > 1.05 {
+		t.Fatalf("measured/projected = %.3f (measured %.3f, projected %.3f), want within ~4%%",
+			ratio, res.Measured(), res.Projected)
+	}
+}

@@ -1,0 +1,114 @@
+// Package memsim models the CPU memory hierarchy effects the benchmark suite
+// exposes through its hot-cache / cold-cache modes (paper §3.4).
+//
+// With a hot cache, repeatedly-touched buffers live in L1/L2 and reads are
+// free at the timescales the benchmark measures. With a cold cache the suite
+// invalidates L1/L2 by streaming through an 8 MiB buffer before each
+// iteration (the SMB technique), so the timed communication path must fetch
+// its payload from DRAM. The model captures this as an additive per-byte
+// stall on buffer accesses plus an explicit invalidation cost.
+package memsim
+
+import (
+	"fmt"
+
+	"partmb/internal/sim"
+)
+
+// CacheMode selects whether buffers start in cache for each timed iteration.
+type CacheMode int
+
+const (
+	// Hot leaves buffers cached between iterations (the usual
+	// micro-benchmark default).
+	Hot CacheMode = iota
+	// Cold invalidates the cache before every iteration, so buffer reads
+	// stall on DRAM.
+	Cold
+)
+
+// String returns "hot" or "cold".
+func (m CacheMode) String() string {
+	switch m {
+	case Hot:
+		return "hot"
+	case Cold:
+		return "cold"
+	default:
+		return fmt.Sprintf("CacheMode(%d)", int(m))
+	}
+}
+
+// ParseCacheMode parses "hot" or "cold".
+func ParseCacheMode(s string) (CacheMode, error) {
+	switch s {
+	case "hot":
+		return Hot, nil
+	case "cold":
+		return Cold, nil
+	}
+	return Hot, fmt.Errorf("memsim: unknown cache mode %q (want hot or cold)", s)
+}
+
+// Model holds the memory-system parameters of a node.
+type Model struct {
+	// Mode is the cache state for timed iterations.
+	Mode CacheMode
+	// DRAMBandwidth is the sustainable single-stream read bandwidth from
+	// main memory, in bytes per second.
+	DRAMBandwidth float64
+	// InvalidationBufferBytes is the size of the buffer streamed through to
+	// evict L1/L2 (the paper uses 8 MiB, after the SMBs).
+	InvalidationBufferBytes int64
+	// TouchLatency is the fixed cost of the first cache-missing access to a
+	// buffer (TLB + line fill startup).
+	TouchLatency sim.Duration
+}
+
+// Default returns a Skylake-like memory model in the given cache mode:
+// ~12 GB/s effective single-stream DRAM bandwidth and an 8 MiB invalidation
+// buffer.
+func Default(mode CacheMode) *Model {
+	return &Model{
+		Mode:                    mode,
+		DRAMBandwidth:           12e9,
+		InvalidationBufferBytes: 8 << 20,
+		TouchLatency:            200 * sim.Nanosecond,
+	}
+}
+
+// Validate checks the model parameters.
+func (m *Model) Validate() error {
+	if m.DRAMBandwidth <= 0 {
+		return fmt.Errorf("memsim: DRAMBandwidth must be positive")
+	}
+	if m.InvalidationBufferBytes < 0 {
+		return fmt.Errorf("memsim: negative InvalidationBufferBytes")
+	}
+	if m.TouchLatency < 0 {
+		return fmt.Errorf("memsim: negative TouchLatency")
+	}
+	return nil
+}
+
+// AccessStall returns the extra time spent bringing n bytes of a buffer from
+// DRAM when the cache is cold; zero when hot.
+func (m *Model) AccessStall(n int64) sim.Duration {
+	if m.Mode == Hot || n <= 0 {
+		return 0
+	}
+	return m.TouchLatency + sim.Duration(float64(n)/m.DRAMBandwidth*1e9)
+}
+
+// InvalidateCost returns the time taken by the cache-invalidation routine
+// itself (a read+write pass over the invalidation buffer). The benchmark
+// performs invalidation outside the timed region, but the cost is still
+// accounted against total wall time.
+func (m *Model) InvalidateCost() sim.Duration {
+	if m.Mode == Hot {
+		return 0
+	}
+	// Read + write traffic over the buffer.
+	bytes := 2 * float64(m.InvalidationBufferBytes)
+	return sim.Duration(bytes / m.DRAMBandwidth * 1e9)
+}

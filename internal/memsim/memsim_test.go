@@ -1,0 +1,109 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"partmb/internal/sim"
+)
+
+func TestHotCacheIsFree(t *testing.T) {
+	m := Default(Hot)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.AccessStall(1 << 20); got != 0 {
+		t.Fatalf("hot-cache stall = %v, want 0", got)
+	}
+	if got := m.InvalidateCost(); got != 0 {
+		t.Fatalf("hot-cache invalidation = %v, want 0", got)
+	}
+}
+
+func TestColdCacheStallScalesWithBytes(t *testing.T) {
+	m := Default(Cold)
+	small := m.AccessStall(4 << 10)
+	big := m.AccessStall(4 << 20)
+	if small <= 0 || big <= 0 {
+		t.Fatalf("cold stalls must be positive: small=%v big=%v", small, big)
+	}
+	if big <= small {
+		t.Fatalf("stall not monotonic: %v for 4KiB vs %v for 4MiB", small, big)
+	}
+	// 4 MiB at 12 GB/s is ~350us; sanity-check the magnitude (within 2x).
+	bytes := float64(4 << 20)
+	want := sim.Duration(bytes / 12e9 * 1e9)
+	if big < want || big > 2*want+m.TouchLatency {
+		t.Fatalf("4MiB stall = %v, want about %v", big, want)
+	}
+}
+
+func TestZeroBytesNoStall(t *testing.T) {
+	m := Default(Cold)
+	if got := m.AccessStall(0); got != 0 {
+		t.Fatalf("stall for 0 bytes = %v, want 0", got)
+	}
+	if got := m.AccessStall(-5); got != 0 {
+		t.Fatalf("stall for negative bytes = %v, want 0", got)
+	}
+}
+
+func TestInvalidateCostMatchesBufferSize(t *testing.T) {
+	m := Default(Cold)
+	got := m.InvalidateCost()
+	bytes := 2 * float64(8<<20)
+	want := sim.Duration(bytes / 12e9 * 1e9)
+	if got != want {
+		t.Fatalf("InvalidateCost = %v, want %v", got, want)
+	}
+}
+
+func TestCacheModeString(t *testing.T) {
+	if Hot.String() != "hot" || Cold.String() != "cold" {
+		t.Fatalf("mode strings wrong: %v %v", Hot, Cold)
+	}
+	if CacheMode(9).String() == "" {
+		t.Fatal("unknown mode should still print")
+	}
+}
+
+func TestParseCacheMode(t *testing.T) {
+	if m, err := ParseCacheMode("hot"); err != nil || m != Hot {
+		t.Fatalf("ParseCacheMode(hot) = %v, %v", m, err)
+	}
+	if m, err := ParseCacheMode("cold"); err != nil || m != Cold {
+		t.Fatalf("ParseCacheMode(cold) = %v, %v", m, err)
+	}
+	if _, err := ParseCacheMode("lukewarm"); err == nil {
+		t.Fatal("ParseCacheMode accepted garbage")
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	bad := []*Model{
+		{Mode: Hot, DRAMBandwidth: 0},
+		{Mode: Hot, DRAMBandwidth: -1},
+		{Mode: Hot, DRAMBandwidth: 1e9, InvalidationBufferBytes: -1},
+		{Mode: Hot, DRAMBandwidth: 1e9, TouchLatency: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d passed Validate", i)
+		}
+	}
+}
+
+// Property: cold stall is monotone nondecreasing in the byte count.
+func TestQuickStallMonotone(t *testing.T) {
+	m := Default(Cold)
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.AccessStall(x) <= m.AccessStall(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,252 @@
+package mpi
+
+import "partmb/internal/sim"
+
+// Collectives are implemented over point-to-point on a dedicated matching
+// context. Every invocation draws a fresh tag block from the communicator's
+// collective sequence number, so back-to-back collectives cannot cross-match
+// even when ranks run skewed. All ranks of the world must participate in
+// every collective, in the same order (MPI semantics).
+
+// collTag returns the internal tag for the comm's current collective
+// generation and round.
+func (c *Comm) collTag(gen, round int) int { return gen*64 + round }
+
+// Barrier blocks until every rank has entered the barrier, using the
+// dissemination algorithm (ceil(log2 n) rounds of size-0 messages).
+func (c *Comm) Barrier(p *sim.Proc) {
+	n := c.Size()
+	gen := c.barrierGen
+	c.barrierGen++
+	if n == 1 {
+		p.Sleep(c.world.cfg.CallOverhead)
+		return
+	}
+	me := c.Rank()
+	for round, dist := 0, 1; dist < n; round, dist = round+1, dist*2 {
+		to := (me + dist) % n
+		from := (me - dist + n) % n
+		tag := c.collTag(gen, round)
+		// Size-0 sends complete locally at injection, so a blocking send
+		// followed by the receive cannot deadlock.
+		c.sendColl(p, to, tag, 0)
+		c.recvColl(p, from, tag)
+	}
+}
+
+// recvColl posts and completes a receive on the collective context.
+func (c *Comm) recvColl(p *sim.Proc, src, tag int) ([]byte, int64) {
+	rreq := &Request{
+		comm:        c,
+		kind:        recvReq,
+		peer:        c.worldOf(src),
+		tag:         tag,
+		ctx:         c.ctxColl(),
+		postedAt:    p.Now(),
+		matchedFrom: c.worldOf(src),
+	}
+	release := c.enter(p, 0)
+	c.postRecv(p, rreq)
+	release()
+	rreq.Wait(p)
+	return rreq.data, rreq.size
+}
+
+// sendColl sends on the collective context and waits for local completion.
+func (c *Comm) sendColl(p *sim.Proc, dest, tag int, size int64) {
+	sreq := &Request{
+		comm:        c,
+		kind:        sendReq,
+		peer:        c.worldOf(dest),
+		tag:         tag,
+		ctx:         c.ctxColl(),
+		size:        size,
+		postedAt:    p.Now(),
+		matchedFrom: c.rank,
+	}
+	release := c.enter(p, 0)
+	c.world.startSend(p.Now(), c.state(), c.peer(dest), sreq, c.sendExtra(0, size))
+	release()
+	sreq.Wait(p)
+}
+
+// Bcast models broadcasting size bytes from root over a binomial tree. Only
+// timing is modeled; no payload is carried.
+func (c *Comm) Bcast(p *sim.Proc, root int, size int64) {
+	n := c.Size()
+	gen := c.barrierGen
+	c.barrierGen++
+	if n == 1 {
+		p.Sleep(c.world.cfg.CallOverhead)
+		return
+	}
+	tag := c.collTag(gen, 0)
+	vrank := (c.Rank() - root + n) % n // position in the tree rooted at 0
+	// Climb the mask until the bit where this rank receives its copy; the
+	// root (vrank 0) never receives and exits with mask covering the tree.
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			src := (vrank - mask + root) % n
+			c.recvColl(p, src, tag)
+			break
+		}
+		mask <<= 1
+	}
+	// Forward to children below the received bit, highest distance first.
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if vrank+mask < n {
+			dst := (vrank + mask + root) % n
+			c.sendColl(p, dst, tag, size)
+		}
+	}
+}
+
+// Reduce models reducing size bytes to root over a flat gather (each
+// non-root rank sends its contribution; root receives all). Adequate for
+// the harness's result collection; not a performance-critical path.
+func (c *Comm) Reduce(p *sim.Proc, root int, size int64) {
+	n := c.Size()
+	gen := c.barrierGen
+	c.barrierGen++
+	if n == 1 {
+		p.Sleep(c.world.cfg.CallOverhead)
+		return
+	}
+	tag := c.collTag(gen, 0)
+	if c.Rank() == root {
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			c.recvColl(p, r, tag)
+		}
+		return
+	}
+	c.sendColl(p, root, tag, size)
+}
+
+// Allreduce models a reduce followed by a broadcast of size bytes.
+func (c *Comm) Allreduce(p *sim.Proc, size int64) {
+	c.Reduce(p, 0, size)
+	c.Bcast(p, 0, size)
+}
+
+// Gather models every rank sending size bytes to root (flat algorithm).
+func (c *Comm) Gather(p *sim.Proc, root int, size int64) {
+	n := c.Size()
+	gen := c.barrierGen
+	c.barrierGen++
+	if n == 1 {
+		p.Sleep(c.world.cfg.CallOverhead)
+		return
+	}
+	tag := c.collTag(gen, 0)
+	if c.Rank() == root {
+		for r := 0; r < n; r++ {
+			if r != root {
+				c.recvColl(p, r, tag)
+			}
+		}
+		return
+	}
+	c.sendColl(p, root, tag, size)
+}
+
+// Scatter models root sending a distinct size-byte block to every rank
+// (flat algorithm).
+func (c *Comm) Scatter(p *sim.Proc, root int, size int64) {
+	n := c.Size()
+	gen := c.barrierGen
+	c.barrierGen++
+	if n == 1 {
+		p.Sleep(c.world.cfg.CallOverhead)
+		return
+	}
+	tag := c.collTag(gen, 0)
+	if c.Rank() == root {
+		// Nonblocking sends so blocks stream back to back.
+		var reqs []*Request
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			sreq := &Request{
+				comm: c, kind: sendReq, peer: c.worldOf(r), tag: tag, ctx: c.ctxColl(),
+				size: size, postedAt: p.Now(), matchedFrom: c.rank,
+			}
+			release := c.enter(p, 0)
+			c.world.startSend(p.Now(), c.state(), c.peer(r), sreq, c.sendExtra(0, size))
+			release()
+			reqs = append(reqs, sreq)
+		}
+		WaitAll(p, reqs...)
+		return
+	}
+	c.recvColl(p, root, tag)
+}
+
+// Allgather models every rank contributing size bytes and receiving all
+// contributions, via a ring: n-1 steps, each forwarding the block received
+// in the previous step.
+func (c *Comm) Allgather(p *sim.Proc, size int64) {
+	n := c.Size()
+	gen := c.barrierGen
+	c.barrierGen++
+	if n == 1 {
+		p.Sleep(c.world.cfg.CallOverhead)
+		return
+	}
+	right := (c.Rank() + 1) % n
+	left := (c.Rank() - 1 + n) % n
+	for step := 0; step < n-1; step++ {
+		tag := c.collTag(gen, step)
+		sreq := &Request{
+			comm: c, kind: sendReq, peer: c.worldOf(right), tag: tag, ctx: c.ctxColl(),
+			size: size, postedAt: p.Now(), matchedFrom: c.rank,
+		}
+		release := c.enter(p, 0)
+		c.world.startSend(p.Now(), c.state(), c.peer(right), sreq, c.sendExtra(0, size))
+		release()
+		c.recvColl(p, left, tag)
+		sreq.Wait(p)
+	}
+}
+
+// Alltoall models the full personalized exchange: every rank sends a
+// distinct size-byte block to every other rank (pairwise exchange
+// algorithm, n-1 rounds).
+func (c *Comm) Alltoall(p *sim.Proc, size int64) {
+	n := c.Size()
+	gen := c.barrierGen
+	c.barrierGen++
+	if n == 1 {
+		p.Sleep(c.world.cfg.CallOverhead)
+		return
+	}
+	// One algorithm for all ranks: XOR pairwise exchange when the world is
+	// a power of two (each round is a perfect matching), ring offsets
+	// otherwise.
+	pairwise := n&(n-1) == 0
+	for step := 1; step < n; step++ {
+		me := c.Rank()
+		var to, from int
+		if pairwise {
+			to = me ^ step
+			from = to
+		} else {
+			to = (me + step) % n
+			from = (me - step + n) % n
+		}
+		tag := c.collTag(gen, step)
+		sreq := &Request{
+			comm: c, kind: sendReq, peer: c.worldOf(to), tag: tag, ctx: c.ctxColl(),
+			size: size, postedAt: p.Now(), matchedFrom: c.rank,
+		}
+		release := c.enter(p, 0)
+		c.world.startSend(p.Now(), c.state(), c.peer(to), sreq, c.sendExtra(0, size))
+		release()
+		c.recvColl(p, from, tag)
+		sreq.Wait(p)
+	}
+}

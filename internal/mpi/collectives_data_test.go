@@ -1,0 +1,120 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"partmb/internal/sim"
+)
+
+func TestBcastDataDeliversPayload(t *testing.T) {
+	const ranks = 6
+	payload := []byte("broadcast me")
+	got := make([][]byte, ranks)
+	runWorld(t, ranks, nil, func(c *Comm, p *sim.Proc) {
+		var data []byte
+		if c.Rank() == 2 {
+			data = payload
+		}
+		got[c.Rank()] = c.BcastData(p, 2, data)
+	})
+	for r := 0; r < ranks; r++ {
+		if !bytes.Equal(got[r], payload) {
+			t.Fatalf("rank %d received %q", r, got[r])
+		}
+	}
+}
+
+func TestGatherDataCollectsAll(t *testing.T) {
+	const ranks = 5
+	var gathered [][]byte
+	runWorld(t, ranks, nil, func(c *Comm, p *sim.Proc) {
+		mine := []byte(fmt.Sprintf("rank-%d", c.Rank()))
+		out := c.GatherData(p, 1, mine)
+		if c.Rank() == 1 {
+			gathered = out
+		} else if out != nil {
+			t.Errorf("non-root rank %d got a gather result", c.Rank())
+		}
+	})
+	if len(gathered) != ranks {
+		t.Fatalf("gathered %d parts", len(gathered))
+	}
+	for r, part := range gathered {
+		if string(part) != fmt.Sprintf("rank-%d", r) {
+			t.Fatalf("slot %d = %q", r, part)
+		}
+	}
+}
+
+func TestAllgatherDataEveryRankSeesAll(t *testing.T) {
+	const ranks = 4
+	results := make([][][]byte, ranks)
+	runWorld(t, ranks, nil, func(c *Comm, p *sim.Proc) {
+		mine := bytes.Repeat([]byte{byte(c.Rank() + 1)}, c.Rank()+1) // varied lengths
+		results[c.Rank()] = c.AllgatherData(p, mine)
+	})
+	for r := 0; r < ranks; r++ {
+		if len(results[r]) != ranks {
+			t.Fatalf("rank %d got %d parts", r, len(results[r]))
+		}
+		for src, part := range results[r] {
+			want := bytes.Repeat([]byte{byte(src + 1)}, src+1)
+			if !bytes.Equal(part, want) {
+				t.Fatalf("rank %d slot %d = %v, want %v", r, src, part, want)
+			}
+		}
+	}
+}
+
+func TestBcastDataSingleRank(t *testing.T) {
+	runWorld(t, 1, nil, func(c *Comm, p *sim.Proc) {
+		if got := c.BcastData(p, 0, []byte("x")); string(got) != "x" {
+			t.Errorf("single-rank bcast = %q", got)
+		}
+		if got := c.GatherData(p, 0, []byte("y")); len(got) != 1 || string(got[0]) != "y" {
+			t.Errorf("single-rank gather = %v", got)
+		}
+	})
+}
+
+func TestDataCollectivesOnSubcomm(t *testing.T) {
+	runWorld(t, 6, nil, func(c *Comm, p *sim.Proc) {
+		sub := c.Split(p, c.Rank()%2, c.Rank())
+		mine := []byte{byte(c.Rank())}
+		all := sub.AllgatherData(p, mine)
+		if len(all) != 3 {
+			t.Errorf("subcomm allgather %d parts", len(all))
+			return
+		}
+		for i, part := range all {
+			wantWorld := byte(c.Rank()%2 + 2*i)
+			if part[0] != wantWorld {
+				t.Errorf("subcomm slot %d = %d, want %d", i, part[0], wantWorld)
+			}
+		}
+	})
+}
+
+func TestBcastDataLargePayloadRendezvous(t *testing.T) {
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	const ranks = 4
+	ok := make([]bool, ranks)
+	runWorld(t, ranks, nil, func(c *Comm, p *sim.Proc) {
+		var data []byte
+		if c.Rank() == 0 {
+			data = payload
+		}
+		got := c.BcastData(p, 0, data)
+		ok[c.Rank()] = bytes.Equal(got, payload)
+	})
+	for r, good := range ok {
+		if !good {
+			t.Fatalf("rank %d corrupted a rendezvous broadcast", r)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package mpi
+
+import (
+	"testing"
+
+	"partmb/internal/sim"
+)
+
+// runColl runs body on every rank of an n-rank world and returns per-rank
+// completion times.
+func runColl(t *testing.T, n int, body func(c *Comm, p *sim.Proc)) []sim.Time {
+	t.Helper()
+	s := sim.New()
+	w := NewWorld(s, DefaultConfig(n))
+	done := make([]sim.Time, n)
+	w.Launch("coll", func(c *Comm, p *sim.Proc) {
+		body(c, p)
+		done[c.Rank()] = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return done
+}
+
+func TestGatherRootFinishesLast(t *testing.T) {
+	done := runColl(t, 6, func(c *Comm, p *sim.Proc) {
+		p.Sleep(sim.Duration(c.Rank()) * sim.Millisecond) // skewed arrival
+		c.Gather(p, 0, 64<<10)
+	})
+	for r := 1; r < 6; r++ {
+		if done[0] < done[r]-sim.Time(sim.Millisecond) {
+			// Root must wait for every contribution, so it cannot finish
+			// much before any sender's local completion.
+			t.Fatalf("root finished at %v, rank %d at %v", done[0], r, done[r])
+		}
+	}
+	if done[0] < sim.Time(5*sim.Millisecond) {
+		t.Fatalf("root finished at %v, before the slowest contributor", done[0])
+	}
+}
+
+func TestScatterLeavesRootEarly(t *testing.T) {
+	done := runColl(t, 5, func(c *Comm, p *sim.Proc) {
+		c.Scatter(p, 2, 128<<10)
+	})
+	for r, at := range done {
+		if at <= 0 {
+			t.Fatalf("rank %d never completed scatter", r)
+		}
+	}
+}
+
+func TestAllgatherAllFinishTogether(t *testing.T) {
+	done := runColl(t, 4, func(c *Comm, p *sim.Proc) {
+		c.Allgather(p, 32<<10)
+	})
+	for r := 1; r < 4; r++ {
+		if done[r] != done[0] {
+			// Symmetric ring with identical work: all ranks finish at the
+			// same virtual time.
+			t.Fatalf("allgather finish times differ: %v vs %v", done[0], done[r])
+		}
+	}
+}
+
+func TestAlltoallPowerOfTwo(t *testing.T) {
+	done := runColl(t, 8, func(c *Comm, p *sim.Proc) {
+		c.Alltoall(p, 16<<10)
+	})
+	for r, at := range done {
+		if at <= 0 {
+			t.Fatalf("rank %d never completed alltoall", r)
+		}
+	}
+}
+
+func TestAlltoallNonPowerOfTwo(t *testing.T) {
+	done := runColl(t, 6, func(c *Comm, p *sim.Proc) {
+		c.Alltoall(p, 4<<10)
+	})
+	for r, at := range done {
+		if at <= 0 {
+			t.Fatalf("rank %d never completed alltoall", r)
+		}
+	}
+}
+
+func TestCollectivesSingleRankNoOp(t *testing.T) {
+	runColl(t, 1, func(c *Comm, p *sim.Proc) {
+		c.Gather(p, 0, 1024)
+		c.Scatter(p, 0, 1024)
+		c.Allgather(p, 1024)
+		c.Alltoall(p, 1024)
+	})
+}
+
+func TestRepeatedCollectivesNoCrossMatch(t *testing.T) {
+	// Back-to-back different collectives must not cross-match even with
+	// rank skew.
+	runColl(t, 4, func(c *Comm, p *sim.Proc) {
+		p.Sleep(sim.Duration(c.Rank()*977) * sim.Nanosecond)
+		for i := 0; i < 5; i++ {
+			c.Allgather(p, 1024)
+			c.Alltoall(p, 512)
+			c.Gather(p, i%4, 256)
+			c.Barrier(p)
+		}
+	})
+}
+
+func TestAlltoallMovesExpectedBytes(t *testing.T) {
+	const n = 4
+	size := int64(64 << 10)
+	s := sim.New()
+	w := NewWorld(s, DefaultConfig(n))
+	w.Launch("a2a", func(c *Comm, p *sim.Proc) {
+		c.Alltoall(p, size)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for r := 0; r < n; r++ {
+		total += w.Comm(r).NICStats().Bytes
+	}
+	want := int64(n) * int64(n-1) * size
+	if total != want {
+		t.Fatalf("alltoall moved %d bytes, want %d", total, want)
+	}
+}

@@ -1,0 +1,73 @@
+package mpi
+
+import (
+	"fmt"
+
+	"partmb/internal/sim"
+)
+
+// Endpoint is a thread-bound communicator handle. Operations issued through
+// an endpoint are charged the issuing thread's socket-dependent costs (the
+// cross-socket injection penalty when the thread runs on a socket without
+// the NIC) and, under MPI_THREAD_MULTIPLE, contend for the library lock.
+//
+// Use Comm methods directly for main-thread (thread 0) traffic; use
+// endpoints inside parallel regions.
+type Endpoint struct {
+	c      *Comm
+	thread int
+}
+
+// Endpoint returns a handle bound to the given thread index of the rank's
+// placement.
+func (c *Comm) Endpoint(thread int) *Endpoint {
+	if thread < 0 || thread >= c.placement.Threads() {
+		panic(fmt.Sprintf("mpi: thread %d out of range [0,%d)", thread, c.placement.Threads()))
+	}
+	return &Endpoint{c: c, thread: thread}
+}
+
+// Thread returns the bound thread index.
+func (e *Endpoint) Thread() int { return e.thread }
+
+// Comm returns the underlying communicator.
+func (e *Endpoint) Comm() *Comm { return e.c }
+
+// Isend starts a nonblocking send from this thread.
+func (e *Endpoint) Isend(p *sim.Proc, dest, tag int, data []byte) *Request {
+	return e.c.isendOn(p, e.thread, dest, tag, int64(len(data)), data)
+}
+
+// IsendBytes starts a size-only nonblocking send from this thread.
+func (e *Endpoint) IsendBytes(p *sim.Proc, dest, tag int, size int64) *Request {
+	return e.c.isendOn(p, e.thread, dest, tag, size, nil)
+}
+
+// Send is the blocking form of Isend.
+func (e *Endpoint) Send(p *sim.Proc, dest, tag int, data []byte) {
+	e.Isend(p, dest, tag, data).Wait(p)
+}
+
+// SendBytes is the blocking form of IsendBytes.
+func (e *Endpoint) SendBytes(p *sim.Proc, dest, tag int, size int64) {
+	e.IsendBytes(p, dest, tag, size).Wait(p)
+}
+
+// Irecv posts a nonblocking receive from this thread. Receive-side work has
+// no socket-dependent injection cost, but the call still contends for the
+// library lock under MPI_THREAD_MULTIPLE.
+func (e *Endpoint) Irecv(p *sim.Proc, src, tag int) *Request {
+	return e.c.irecvOn(p, src, tag)
+}
+
+// Recv blocks until a matching message arrives.
+func (e *Endpoint) Recv(p *sim.Proc, src, tag int) ([]byte, int64) {
+	r := e.Irecv(p, src, tag)
+	r.Wait(p)
+	return r.data, r.size
+}
+
+// SendInitBytes creates a persistent size-only send bound to this thread.
+func (e *Endpoint) SendInitBytes(p *sim.Proc, dest, tag int, size int64) *Request {
+	return e.c.sendInit(p, e.thread, dest, tag, size, nil)
+}

@@ -1,0 +1,196 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"partmb/internal/sim"
+)
+
+func TestSendrecvShiftNoDeadlock(t *testing.T) {
+	// The classic ring shift: every rank sends right and receives from the
+	// left simultaneously. With blocking Send this can deadlock; Sendrecv
+	// must not.
+	const ranks = 6
+	runWorld(t, ranks, nil, func(c *Comm, p *sim.Proc) {
+		right := (c.Rank() + 1) % ranks
+		left := (c.Rank() - 1 + ranks) % ranks
+		payload := []byte(fmt.Sprintf("from-%d", c.Rank()))
+		data, _ := c.Sendrecv(p, right, 0, payload, left, 0)
+		want := fmt.Sprintf("from-%d", left)
+		if string(data) != want {
+			t.Errorf("rank %d received %q, want %q", c.Rank(), data, want)
+		}
+	})
+}
+
+func TestSendrecvBytesLargeRing(t *testing.T) {
+	// Large (rendezvous) messages through Sendrecv must also complete.
+	const ranks = 4
+	runWorld(t, ranks, nil, func(c *Comm, p *sim.Proc) {
+		right := (c.Rank() + 1) % ranks
+		left := (c.Rank() - 1 + ranks) % ranks
+		n := c.SendrecvBytes(p, right, 0, 1<<20, left, 0)
+		if n != 1<<20 {
+			t.Errorf("rank %d received %d bytes, want 1MiB", c.Rank(), n)
+		}
+	})
+}
+
+func TestWaitAnyReturnsFirstCompleted(t *testing.T) {
+	runWorld(t, 2, nil, func(c *Comm, p *sim.Proc) {
+		switch c.Rank() {
+		case 0:
+			// Send tag 1 early and tag 0 late.
+			c.SendBytes(p, 1, 1, 64)
+			p.Sleep(time100us)
+			c.SendBytes(p, 1, 0, 64)
+		case 1:
+			r0 := c.Irecv(p, 0, 0)
+			r1 := c.Irecv(p, 0, 1)
+			i := WaitAny(p, r0, r1)
+			if i != 1 {
+				t.Errorf("WaitAny returned %d, want 1 (tag 1 completes first)", i)
+			}
+			WaitAll(p, r0, r1)
+		}
+	})
+}
+
+func TestWaitAnySkipsNil(t *testing.T) {
+	runWorld(t, 2, nil, func(c *Comm, p *sim.Proc) {
+		switch c.Rank() {
+		case 0:
+			c.SendBytes(p, 1, 0, 8)
+		case 1:
+			r := c.Irecv(p, 0, 0)
+			if i := WaitAny(p, nil, r, nil); i != 1 {
+				t.Errorf("WaitAny = %d, want 1", i)
+			}
+		}
+	})
+}
+
+func TestWaitAnyEmptyPanics(t *testing.T) {
+	runWorld(t, 1, nil, func(c *Comm, p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("WaitAny(nil...) did not panic")
+			}
+		}()
+		WaitAny(p, nil, nil)
+	})
+}
+
+func TestTestAny(t *testing.T) {
+	runWorld(t, 2, nil, func(c *Comm, p *sim.Proc) {
+		switch c.Rank() {
+		case 0:
+			p.Sleep(time100us)
+			c.SendBytes(p, 1, 0, 8)
+		case 1:
+			r := c.Irecv(p, 0, 0)
+			if i, ok := TestAny(p, r); ok {
+				t.Errorf("TestAny = %d true before send", i)
+			}
+			r.Wait(p)
+			if i, ok := TestAny(p, r); !ok || i != 0 {
+				t.Errorf("TestAny after completion = %d, %v", i, ok)
+			}
+		}
+	})
+}
+
+func TestProbeSeesEnvelopeWithoutConsuming(t *testing.T) {
+	runWorld(t, 2, nil, func(c *Comm, p *sim.Proc) {
+		switch c.Rank() {
+		case 0:
+			c.Send(p, 1, 5, []byte("hello"))
+		case 1:
+			ps := c.Probe(p, 0, 5)
+			if ps.Source != 0 || ps.Tag != 5 || ps.Size != 5 {
+				t.Errorf("probe status = %+v", ps)
+			}
+			// The message must still be receivable.
+			data, _ := c.Recv(p, 0, 5)
+			if string(data) != "hello" {
+				t.Errorf("after probe, received %q", data)
+			}
+		}
+	})
+}
+
+func TestIprobeWildcard(t *testing.T) {
+	runWorld(t, 3, nil, func(c *Comm, p *sim.Proc) {
+		switch c.Rank() {
+		case 0:
+			c.SendBytes(p, 2, 9, 128)
+		case 1:
+			// no traffic
+		case 2:
+			p.Sleep(time100us)
+			ps, ok := c.Iprobe(p, AnySource, AnyTag)
+			if !ok || ps.Source != 0 || ps.Size != 128 {
+				t.Errorf("wildcard Iprobe = %+v, %v", ps, ok)
+			}
+			if _, ok := c.Iprobe(p, 1, AnyTag); ok {
+				t.Error("Iprobe matched a message from the wrong source")
+			}
+			c.Recv(p, 0, 9)
+		}
+	})
+}
+
+func TestSsendCompletesOnlyWhenMatched(t *testing.T) {
+	// Synchronous send of a tiny message: without a posted receive the
+	// sender must block; completion comes after the receiver posts.
+	var sendDone, recvPost sim.Time
+	runWorld(t, 2, nil, func(c *Comm, p *sim.Proc) {
+		switch c.Rank() {
+		case 0:
+			c.Ssend(p, 1, 0, []byte("x"))
+			sendDone = p.Now()
+		case 1:
+			p.Sleep(time100us)
+			recvPost = p.Now()
+			data, _ := c.Recv(p, 0, 0)
+			if string(data) != "x" {
+				t.Errorf("ssend payload = %q", data)
+			}
+		}
+	})
+	if sendDone < recvPost {
+		t.Fatalf("Ssend completed at %v, before the receive was posted at %v", sendDone, recvPost)
+	}
+}
+
+func TestIssendBytesOverlaps(t *testing.T) {
+	var sendDone sim.Time
+	runWorld(t, 2, nil, func(c *Comm, p *sim.Proc) {
+		switch c.Rank() {
+		case 0:
+			r := c.IssendBytes(p, 1, 0, 64)
+			p.Sleep(time100us) // overlap while waiting for the match
+			r.Wait(p)
+			sendDone = p.Now()
+		case 1:
+			c.Recv(p, 0, 0)
+		}
+	})
+	if sendDone == 0 {
+		t.Fatal("issend never completed")
+	}
+}
+
+func TestSendrecvSelf(t *testing.T) {
+	// Send-to-self through Sendrecv must work (common in shift patterns
+	// with periodic boundaries on tiny grids).
+	runWorld(t, 1, nil, func(c *Comm, p *sim.Proc) {
+		payload := []byte("loopback")
+		data, _ := c.Sendrecv(p, 0, 0, payload, 0, 0)
+		if !bytes.Equal(data, payload) {
+			t.Errorf("self sendrecv = %q", data)
+		}
+	})
+}

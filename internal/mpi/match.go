@@ -1,0 +1,90 @@
+package mpi
+
+import "partmb/internal/sim"
+
+// msgKind distinguishes what landed at a receiver.
+type msgKind int
+
+const (
+	// kindEager carries the payload itself.
+	kindEager msgKind = iota
+	// kindRTS is a rendezvous request-to-send; the payload is still at the
+	// sender awaiting a clear-to-send.
+	kindRTS
+)
+
+// rendezvous carries the sender-side state a matched RTS needs to complete
+// the transfer.
+type rendezvous struct {
+	sender *rankState
+	// extra is the per-message injection surcharge (cross-socket penalty,
+	// cold-cache payload fetch) to apply when the data finally flows.
+	extra sim.Duration
+	sreq  *Request
+	rreq  *Request
+	data  []byte
+	size  int64
+}
+
+// inbound is a message (or RTS) that has arrived at a receiver NIC.
+type inbound struct {
+	src, tag, ctx int
+	size          int64
+	data          []byte
+	kind          msgKind
+	deliveredAt   sim.Time
+	rndv          *rendezvous
+}
+
+// matcher is the per-rank matching engine: a posted-receive queue and an
+// unexpected-message queue, both searched FIFO (MPI's non-overtaking rule).
+type matcher struct {
+	posted     []*Request
+	unexpected []*inbound
+}
+
+// matches implements the MPI matching predicate: contexts must be equal;
+// posted source/tag match exactly or via wildcard.
+func matches(r *Request, src, tag, ctx int) bool {
+	if r.ctx != ctx {
+		return false
+	}
+	if r.peer != AnySource && r.peer != src {
+		return false
+	}
+	if r.tag != AnyTag && r.tag != tag {
+		return false
+	}
+	return true
+}
+
+// matchArrival finds the earliest posted receive matching the inbound
+// message, removing it from the queue. scanned is the number of queue
+// entries inspected (for matching-cost accounting).
+func (m *matcher) matchArrival(inb *inbound) (req *Request, scanned int) {
+	for i, r := range m.posted {
+		scanned++
+		if matches(r, inb.src, inb.tag, inb.ctx) {
+			m.posted = append(m.posted[:i], m.posted[i+1:]...)
+			return r, scanned
+		}
+	}
+	return nil, scanned
+}
+
+// matchPosted finds the earliest unexpected message matching a newly posted
+// receive, removing it from the queue.
+func (m *matcher) matchPosted(r *Request) (inb *inbound, scanned int) {
+	for i, u := range m.unexpected {
+		scanned++
+		if matches(r, u.src, u.tag, u.ctx) {
+			m.unexpected = append(m.unexpected[:i], m.unexpected[i+1:]...)
+			return u, scanned
+		}
+	}
+	return nil, scanned
+}
+
+// PostedLen and UnexpectedLen expose queue depths for tests and diagnostics.
+func (m *matcher) PostedLen() int     { return len(m.posted) }
+func (m *matcher) UnexpectedLen() int { return len(m.unexpected) }

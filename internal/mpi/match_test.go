@@ -1,0 +1,132 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func recvFor(src, tag, ctx int) *Request {
+	return &Request{kind: recvReq, peer: src, tag: tag, ctx: ctx}
+}
+
+func inboundFor(src, tag, ctx int) *inbound {
+	return &inbound{src: src, tag: tag, ctx: ctx}
+}
+
+func TestMatchesPredicate(t *testing.T) {
+	cases := []struct {
+		req           *Request
+		src, tag, ctx int
+		want          bool
+	}{
+		{recvFor(1, 2, 0), 1, 2, 0, true},
+		{recvFor(1, 2, 0), 1, 3, 0, false}, // tag mismatch
+		{recvFor(1, 2, 0), 2, 2, 0, false}, // source mismatch
+		{recvFor(1, 2, 0), 1, 2, 1, false}, // context mismatch
+		{recvFor(AnySource, 2, 0), 9, 2, 0, true},
+		{recvFor(1, AnyTag, 0), 1, 99, 0, true},
+		{recvFor(AnySource, AnyTag, 0), 5, 7, 0, true},
+		{recvFor(AnySource, AnyTag, 0), 5, 7, 3, false}, // wildcard never crosses contexts
+	}
+	for i, c := range cases {
+		if got := matches(c.req, c.src, c.tag, c.ctx); got != c.want {
+			t.Errorf("case %d: matches = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestMatchArrivalFIFO(t *testing.T) {
+	var m matcher
+	first := recvFor(0, 5, 0)
+	second := recvFor(0, 5, 0)
+	m.posted = []*Request{first, second}
+	req, scanned := m.matchArrival(inboundFor(0, 5, 0))
+	if req != first {
+		t.Fatal("arrival did not match the earliest posted receive")
+	}
+	if scanned != 1 {
+		t.Fatalf("scanned = %d, want 1", scanned)
+	}
+	if m.PostedLen() != 1 {
+		t.Fatalf("posted queue = %d after match, want 1", m.PostedLen())
+	}
+	req2, _ := m.matchArrival(inboundFor(0, 5, 0))
+	if req2 != second {
+		t.Fatal("second arrival did not match the remaining receive")
+	}
+}
+
+func TestMatchPostedFIFO(t *testing.T) {
+	var m matcher
+	a := inboundFor(0, 5, 0)
+	b := inboundFor(0, 5, 0)
+	m.unexpected = []*inbound{a, b}
+	got, _ := m.matchPosted(recvFor(0, 5, 0))
+	if got != a {
+		t.Fatal("posted receive did not take the earliest unexpected message")
+	}
+	if m.UnexpectedLen() != 1 {
+		t.Fatalf("unexpected queue = %d, want 1", m.UnexpectedLen())
+	}
+}
+
+func TestMatchScansPastNonMatching(t *testing.T) {
+	var m matcher
+	m.posted = []*Request{recvFor(0, 1, 0), recvFor(0, 2, 0), recvFor(0, 3, 0)}
+	req, scanned := m.matchArrival(inboundFor(0, 3, 0))
+	if req == nil || req.tag != 3 {
+		t.Fatalf("matched %v, want tag 3", req)
+	}
+	if scanned != 3 {
+		t.Fatalf("scanned = %d, want 3 (full traversal)", scanned)
+	}
+}
+
+func TestMatchMissScansAll(t *testing.T) {
+	var m matcher
+	m.posted = []*Request{recvFor(0, 1, 0), recvFor(0, 2, 0)}
+	req, scanned := m.matchArrival(inboundFor(0, 9, 0))
+	if req != nil {
+		t.Fatal("matched a non-matching arrival")
+	}
+	if scanned != 2 {
+		t.Fatalf("scanned = %d, want 2", scanned)
+	}
+}
+
+// Property: after matching any random sequence of posts and arrivals with
+// identical envelopes, queue sizes never go negative and total elements are
+// conserved (each match consumes one from each side).
+func TestQuickMatcherConservation(t *testing.T) {
+	f := func(ops []bool) bool {
+		var m matcher
+		posted, arrived, matched := 0, 0, 0
+		for _, isPost := range ops {
+			if isPost {
+				r := recvFor(0, 0, 0)
+				if inb, _ := m.matchPosted(r); inb != nil {
+					matched++
+				} else {
+					m.posted = append(m.posted, r)
+					posted++
+				}
+			} else {
+				inb := inboundFor(0, 0, 0)
+				if r, _ := m.matchArrival(inb); r != nil {
+					matched++
+				} else {
+					m.unexpected = append(m.unexpected, inb)
+					arrived++
+				}
+			}
+		}
+		// One queue must always be empty (same envelope ⇒ immediate match).
+		if m.PostedLen() > 0 && m.UnexpectedLen() > 0 {
+			return false
+		}
+		return m.PostedLen()+m.UnexpectedLen()+2*matched == len(ops)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

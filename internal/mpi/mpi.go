@@ -1,0 +1,413 @@
+// Package mpi implements a message-passing runtime with MPI-like semantics
+// on top of the deterministic simulation kernel: communicators, tag matching
+// with posted/unexpected queues, blocking, nonblocking and persistent
+// point-to-point operations, eager and rendezvous protocols, basic
+// collectives, the three MPI threading modes with a lock-contention model,
+// and — the subject of the paper — MPI 4.0 partitioned point-to-point
+// communication with two interchangeable implementations (an MPIPCL-style
+// layered one and a native one).
+//
+// Messages carry real payload bytes end to end when the caller provides
+// them; benchmarks that only need timing can use the size-only variants to
+// avoid large allocations.
+package mpi
+
+import (
+	"fmt"
+
+	"partmb/internal/cluster"
+	"partmb/internal/memsim"
+	"partmb/internal/netsim"
+	"partmb/internal/sim"
+)
+
+// Wildcards for Recv/Irecv source and tag matching. Partitioned
+// communication does not accept wildcards (per the MPI 4.0 standard).
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// ThreadMode mirrors the MPI threading support levels that matter to the
+// benchmark: with Funneled or Serialized the application guarantees that MPI
+// calls never overlap, so the library takes no lock; with Multiple every
+// call acquires the library lock and pays a contention penalty that grows
+// with the number of waiters (cache-line bouncing on the lock word).
+type ThreadMode int
+
+const (
+	// Funneled: only the main thread makes MPI calls.
+	Funneled ThreadMode = iota
+	// Serialized: any thread may call, but never concurrently.
+	Serialized
+	// Multiple: unrestricted concurrent calls; the library serializes
+	// internally.
+	Multiple
+)
+
+// String returns the MPI-style name of the mode.
+func (m ThreadMode) String() string {
+	switch m {
+	case Funneled:
+		return "MPI_THREAD_FUNNELED"
+	case Serialized:
+		return "MPI_THREAD_SERIALIZED"
+	case Multiple:
+		return "MPI_THREAD_MULTIPLE"
+	default:
+		return fmt.Sprintf("ThreadMode(%d)", int(m))
+	}
+}
+
+// PartImpl selects the partitioned-communication implementation.
+type PartImpl int
+
+const (
+	// PartMPIPCL models the MPIPCL layered library the paper evaluates:
+	// each partition becomes an internal isend/irecv pair, so Pready pays
+	// full per-message MPI costs (and the library lock under Multiple).
+	PartMPIPCL PartImpl = iota
+	// PartNative models a native implementation: partitions are matched
+	// once at initialization and Pready triggers a direct transfer without
+	// per-partition matching or locking. This is the paper's future-work
+	// comparison point.
+	PartNative
+)
+
+// String returns "mpipcl" or "native".
+func (pi PartImpl) String() string {
+	switch pi {
+	case PartMPIPCL:
+		return "mpipcl"
+	case PartNative:
+		return "native"
+	default:
+		return fmt.Sprintf("PartImpl(%d)", int(pi))
+	}
+}
+
+// Config describes a simulated MPI world.
+type Config struct {
+	// Ranks is the number of processes; each runs on its own node.
+	Ranks int
+	// Net holds the interconnect parameters (nil selects netsim.EDR()).
+	Net *netsim.Params
+	// Topology maps rank pairs to wire latency (nil selects a uniform
+	// single-switch topology at Net.Latency, the paper's single-wing
+	// setup).
+	Topology netsim.Topology
+	// Faults, when non-nil, injects link-level retransmission delays on
+	// every NIC (failure injection for robustness studies; nil disables).
+	Faults *netsim.Faults
+	// Machine is the per-node hardware model (nil selects cluster.Niagara()).
+	Machine *cluster.Machine
+	// Mem is the memory/cache model (nil selects memsim.Default(Hot)).
+	Mem *memsim.Model
+	// ThreadMode is the library threading level.
+	ThreadMode ThreadMode
+	// PartImpl selects the partitioned implementation (default PartMPIPCL).
+	PartImpl PartImpl
+
+	// CallOverhead is the CPU cost of entering/leaving any MPI call.
+	CallOverhead sim.Duration
+	// MatchPerElement is the cost of inspecting one queue element during
+	// matching; long unexpected queues slow receivers down.
+	MatchPerElement sim.Duration
+	// LockBase is the cost of an uncontended library-lock acquisition in
+	// Multiple mode.
+	LockBase sim.Duration
+	// LockContention is the additional acquisition cost per waiter already
+	// queued on the lock (models cache-line bouncing).
+	LockContention sim.Duration
+	// CopyBandwidth is the memcpy bandwidth for draining unexpected
+	// messages into the user buffer, bytes/second.
+	CopyBandwidth float64
+	// PcclPartitionSetup is the extra software cost MPIPCL pays per
+	// partition on Pready (internal request management) and per posted
+	// internal receive on Start.
+	PcclPartitionSetup sim.Duration
+	// NativePreadyCost is the cost of a native Pready (flag write +
+	// doorbell).
+	NativePreadyCost sim.Duration
+	// NativeRxOverhead is the receiver-side per-partition hardware
+	// completion cost for the native implementation (no matching).
+	NativeRxOverhead sim.Duration
+}
+
+// DefaultConfig returns a world configured like the paper's testbed: the
+// given number of ranks on Niagara-like nodes over EDR InfiniBand, hot
+// cache, Funneled threading, MPIPCL partitioned implementation.
+func DefaultConfig(ranks int) Config {
+	return Config{
+		Ranks:              ranks,
+		Net:                netsim.EDR(),
+		Machine:            cluster.Niagara(),
+		Mem:                memsim.Default(memsim.Hot),
+		ThreadMode:         Funneled,
+		PartImpl:           PartMPIPCL,
+		CallOverhead:       150 * sim.Nanosecond,
+		MatchPerElement:    15 * sim.Nanosecond,
+		LockBase:           90 * sim.Nanosecond,
+		LockContention:     180 * sim.Nanosecond,
+		CopyBandwidth:      20e9,
+		PcclPartitionSetup: 650 * sim.Nanosecond,
+		NativePreadyCost:   120 * sim.Nanosecond,
+		NativeRxOverhead:   80 * sim.Nanosecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Ranks <= 0 {
+		return fmt.Errorf("mpi: Ranks = %d, must be positive", c.Ranks)
+	}
+	if c.Net == nil || c.Machine == nil || c.Mem == nil {
+		return fmt.Errorf("mpi: Net, Machine and Mem must all be set")
+	}
+	if err := c.Net.Validate(); err != nil {
+		return err
+	}
+	if err := c.Machine.Validate(); err != nil {
+		return err
+	}
+	if err := c.Mem.Validate(); err != nil {
+		return err
+	}
+	if c.CallOverhead < 0 || c.MatchPerElement < 0 || c.LockBase < 0 ||
+		c.LockContention < 0 || c.PcclPartitionSetup < 0 ||
+		c.NativePreadyCost < 0 || c.NativeRxOverhead < 0 {
+		return fmt.Errorf("mpi: negative cost parameter")
+	}
+	if c.CopyBandwidth <= 0 {
+		return fmt.Errorf("mpi: CopyBandwidth must be positive")
+	}
+	return nil
+}
+
+// Matching contexts keep independent traffic classes (and independent
+// communicators) from interfering. Every communicator owns a block of three
+// consecutive context ids.
+const (
+	ctxOffP2P  = 0 // user point-to-point
+	ctxOffColl = 1 // collectives
+	ctxOffPccl = 2 // MPIPCL internal per-partition messages
+	ctxStride  = 3
+)
+
+// rankState is the per-process library state.
+type rankState struct {
+	id      int
+	nic     *netsim.NIC
+	matcher matcher
+	lock    sim.Mutex
+	// partRegistry pairs native partitioned inits: key → FIFO of pending
+	// receive-side PRequests awaiting their sender.
+	partRegistry map[partKey][]*PRequest
+}
+
+type partKey struct {
+	src, tag, ctx int
+}
+
+// World is a set of simulated MPI ranks sharing an interconnect.
+type World struct {
+	s   *sim.Scheduler
+	cfg Config
+
+	ranks []*rankState
+	comms []*Comm
+
+	// nextCtx hands each created communicator a fresh context block.
+	nextCtx int
+	// splits coordinates in-progress Comm.Split operations.
+	splits map[splitKey]*splitState
+}
+
+// NewWorld builds a world on the scheduler. Nil Config sub-models are filled
+// with defaults; an invalid configuration panics (construction-time bug).
+func NewWorld(s *sim.Scheduler, cfg Config) *World {
+	if cfg.Net == nil {
+		cfg.Net = netsim.EDR()
+	}
+	if cfg.Machine == nil {
+		cfg.Machine = cluster.Niagara()
+	}
+	if cfg.Mem == nil {
+		cfg.Mem = memsim.Default(memsim.Hot)
+	}
+	if cfg.Topology == nil {
+		cfg.Topology = netsim.Uniform{L: cfg.Net.Latency}
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	w := &World{s: s, cfg: cfg, nextCtx: ctxStride, splits: make(map[splitKey]*splitState)}
+	w.ranks = make([]*rankState, cfg.Ranks)
+	for i := range w.ranks {
+		nic := netsim.NewNIC(cfg.Net)
+		nic.SetFaults(cfg.Faults)
+		w.ranks[i] = &rankState{
+			id:           i,
+			nic:          nic,
+			partRegistry: make(map[partKey][]*PRequest),
+		}
+	}
+	return w
+}
+
+// Scheduler returns the simulation scheduler the world runs on.
+func (w *World) Scheduler() *sim.Scheduler { return w.s }
+
+// latency returns the one-way wire latency between two ranks' nodes.
+func (w *World) latency(src, dst int) sim.Duration {
+	return w.cfg.Topology.Latency(src, dst)
+}
+
+// Config returns the world configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.cfg.Ranks }
+
+// Comm returns the world communicator handle for the given rank. Handles
+// are cached: repeated calls return the same object, so collective sequence
+// numbers stay consistent. The handle is bound to a single-thread placement
+// until SetPlacement installs a thread layout.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.cfg.Ranks {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, w.cfg.Ranks))
+	}
+	if w.comms == nil {
+		w.comms = make([]*Comm, w.cfg.Ranks)
+	}
+	if w.comms[rank] == nil {
+		w.comms[rank] = &Comm{
+			world:     w,
+			rank:      rank,
+			ctxBase:   0,
+			placement: cluster.Place(w.cfg.Machine, 1),
+		}
+	}
+	return w.comms[rank]
+}
+
+// Launch spawns one proc per rank running fn and returns the procs. It is
+// the typical entry point for writing SPMD programs against the library.
+func (w *World) Launch(name string, fn func(c *Comm, p *sim.Proc)) []*sim.Proc {
+	procs := make([]*sim.Proc, w.cfg.Ranks)
+	for r := 0; r < w.cfg.Ranks; r++ {
+		c := w.Comm(r)
+		procs[r] = w.s.Spawn(fmt.Sprintf("%s/rank%d", name, r), func(p *sim.Proc) {
+			fn(c, p)
+		})
+	}
+	return procs
+}
+
+// Comm is a communicator handle bound to one rank. It also carries the
+// rank's thread placement so thread-aware calls (Endpoint, partitioned
+// Pready) can charge socket-dependent costs.
+type Comm struct {
+	world *World
+	// rank is this process's WORLD rank; Rank() returns the communicator-
+	// local rank.
+	rank int
+	// group lists the communicator's member world ranks in local-rank
+	// order; nil means the world communicator (identity mapping).
+	group []int
+	// ctxBase is the communicator's matching-context block (ctxStride ids).
+	ctxBase   int
+	placement *cluster.Placement
+	// barrierGen, pbcastSeq and splitGen are per-rank collective sequence
+	// numbers; they stay aligned across ranks because MPI requires every
+	// rank to issue collectives in the same order.
+	barrierGen int
+	pbcastSeq  int
+	splitGen   int
+}
+
+// ctxP2P/ctxColl/ctxPccl return the communicator's matching contexts.
+func (c *Comm) ctxP2P() int  { return c.ctxBase + ctxOffP2P }
+func (c *Comm) ctxColl() int { return c.ctxBase + ctxOffColl }
+func (c *Comm) ctxPccl() int { return c.ctxBase + ctxOffPccl }
+
+// worldOf translates a communicator-local rank to a world rank.
+func (c *Comm) worldOf(local int) int {
+	if c.group == nil {
+		if local < 0 || local >= c.world.cfg.Ranks {
+			panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", local, c.world.cfg.Ranks))
+		}
+		return local
+	}
+	if local < 0 || local >= len(c.group) {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", local, len(c.group)))
+	}
+	return c.group[local]
+}
+
+// localOf translates a world rank to this communicator's local rank (-1 if
+// the rank is not a member).
+func (c *Comm) localOf(world int) int {
+	if c.group == nil {
+		return world
+	}
+	for i, r := range c.group {
+		if r == world {
+			return i
+		}
+	}
+	return -1
+}
+
+// Rank returns the calling process's rank within this communicator.
+func (c *Comm) Rank() int { return c.localOf(c.rank) }
+
+// WorldRank returns the calling process's world rank.
+func (c *Comm) WorldRank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int {
+	if c.group == nil {
+		return c.world.cfg.Ranks
+	}
+	return len(c.group)
+}
+
+// World returns the underlying world.
+func (c *Comm) World() *World { return c.world }
+
+// SetPlacement installs the thread→core layout used by thread-aware calls.
+func (c *Comm) SetPlacement(p *cluster.Placement) { c.placement = p }
+
+// Placement returns the rank's thread placement.
+func (c *Comm) Placement() *cluster.Placement { return c.placement }
+
+// state returns the rank's library state.
+func (c *Comm) state() *rankState { return c.world.ranks[c.rank] }
+
+// peer returns another (communicator-local) rank's library state.
+func (c *Comm) peer(rank int) *rankState {
+	return c.world.ranks[c.worldOf(rank)]
+}
+
+// NICStats returns the rank's NIC traffic counters.
+func (c *Comm) NICStats() netsim.Stats { return c.state().nic.Stats() }
+
+// enter models the cost of entering the MPI library from the given thread:
+// the call overhead plus, in Multiple mode, the library lock. It returns a
+// release function that must be called when the library work is done.
+// threadHeld is the extra time the lock is held beyond the call overhead.
+func (c *Comm) enter(p *sim.Proc, threadHeld sim.Duration) func() {
+	w := c.world
+	st := c.state()
+	if w.cfg.ThreadMode != Multiple {
+		p.Sleep(w.cfg.CallOverhead + threadHeld)
+		return func() {}
+	}
+	waiters := st.lock.Waiters()
+	st.lock.Lock(p)
+	cost := w.cfg.LockBase + sim.Duration(waiters)*w.cfg.LockContention +
+		w.cfg.CallOverhead + threadHeld
+	p.Sleep(cost)
+	return func() { st.lock.Unlock(p) }
+}

@@ -1,0 +1,632 @@
+package mpi
+
+import (
+	"fmt"
+
+	"partmb/internal/sim"
+)
+
+// maxPartitions bounds the partition count so MPIPCL internal tags can be
+// encoded as tag*maxPartitions+index without collisions.
+const maxPartitions = 1 << 16
+
+// PRequest is a partitioned-communication request, the analogue of the
+// MPI_Request returned by MPI_Psend_init / MPI_Precv_init. It is persistent:
+// one Init, then any number of Start / Pready… / Wait epochs.
+//
+// The harness-facing timestamp accessors (FirstReadyAt, ReadyAt, ArrivedAt,
+// LastArriveAt) expose the event times the paper's metrics are defined over.
+type PRequest struct {
+	comm      *Comm
+	kind      reqKind
+	peer      int
+	tag       int
+	parts     int
+	partBytes int64
+	impl      PartImpl
+
+	// sendBuf/recvBuf optionally carry real payload (len parts*partBytes).
+	sendBuf []byte
+	recvBuf []byte
+
+	// threadOf maps partition index to issuing thread (identity by
+	// default, the paper's one-thread-per-partition assignment).
+	threadOf []int
+
+	active bool
+	epoch  int
+
+	// send-side epoch state
+	readied    []bool
+	readyTimes []sim.Time
+
+	// recv-side epoch state
+	arrived      []bool
+	arrivedTimes []sim.Time
+	// partDone lets procs block on individual partitions (WaitPartition,
+	// used by the partitioned collectives and receive-side pipelines).
+	partDone []*sim.Completion
+	// covered tracks, for the native implementation, how many bytes of
+	// each receive partition have landed; it is what lets the two sides
+	// partition the buffer differently (MPI 4.0 semantics).
+	covered []int64
+
+	remaining int
+	allDone   sim.Completion
+
+	// MPIPCL internals: one inner request per partition.
+	inner []*Request
+
+	// native internals
+	boundTo   *PRequest
+	bootstrap bool // first Start still owes the setup round trip
+	// pendingNative buffers arrivals for epochs the receiver has not
+	// started yet (senders may pipeline ahead; MPI epoch counts must match
+	// on both sides, so arrivals are drained by epoch number at Start).
+	pendingNative []nativeArrival
+}
+
+// nativeArrival is a partition landing recorded before its receive epoch
+// started.
+type nativeArrival struct {
+	part  int
+	epoch int
+	at    sim.Time
+	data  []byte
+}
+
+// PsendInit creates a partitioned send of parts partitions of partBytes
+// bytes each to dest with the given tag (no wildcards, per MPI 4.0).
+func (c *Comm) PsendInit(p *sim.Proc, dest, tag, parts int, partBytes int64) *PRequest {
+	pr := c.partInit(p, sendReq, dest, tag, parts, partBytes)
+	if c.world.cfg.PartImpl == PartNative {
+		c.nativeBind(pr)
+	}
+	return pr
+}
+
+// PrecvInit creates the matching partitioned receive from src.
+//
+// With the layered MPIPCL implementation the partition count and size must
+// equal the sender's — the restriction the paper notes ("send and receive
+// partitions must have equal counts"); a mismatch manifests as unmatched
+// internal transfers, as with the real library. The native implementation
+// supports the full MPI 4.0 semantics: the two sides may partition the
+// buffer differently as long as the total size matches, and a receive
+// partition completes when its byte range is fully covered.
+func (c *Comm) PrecvInit(p *sim.Proc, src, tag, parts int, partBytes int64) *PRequest {
+	pr := c.partInit(p, recvReq, src, tag, parts, partBytes)
+	if c.world.cfg.PartImpl == PartNative {
+		c.nativeBind(pr)
+	}
+	return pr
+}
+
+func (c *Comm) partInit(p *sim.Proc, kind reqKind, peer, tag, parts int, partBytes int64) *PRequest {
+	if peer == AnySource || tag == AnyTag {
+		panic("mpi: partitioned communication does not support wildcards")
+	}
+	peer = c.worldOf(peer) // stored as a world rank
+	if parts <= 0 || parts >= maxPartitions {
+		panic(fmt.Sprintf("mpi: partition count %d out of range [1,%d)", parts, maxPartitions))
+	}
+	if partBytes < 0 {
+		panic("mpi: negative partition size")
+	}
+	release := c.enter(p, 0)
+	release()
+	pr := &PRequest{
+		comm:      c,
+		kind:      kind,
+		peer:      peer,
+		tag:       tag,
+		parts:     parts,
+		partBytes: partBytes,
+		impl:      c.world.cfg.PartImpl,
+		threadOf:  make([]int, parts),
+		bootstrap: true,
+	}
+	for i := range pr.threadOf {
+		pr.threadOf[i] = i
+	}
+	return pr
+}
+
+// nativeBind pairs a native-implementation PRequest with its peer through
+// the receiver-side registry. Matching happens once, here, as a native
+// implementation would do at initialization time.
+func (c *Comm) nativeBind(pr *PRequest) {
+	var reg *rankState
+	var key partKey
+	if pr.kind == sendReq {
+		reg = c.world.ranks[pr.peer] // registry lives at the receiver
+		key = partKey{src: c.rank, tag: pr.tag, ctx: c.ctxPccl()}
+	} else {
+		reg = c.state()
+		key = partKey{src: pr.peer, tag: pr.tag, ctx: c.ctxPccl()}
+	}
+	wantKind := recvReq
+	if pr.kind == recvReq {
+		wantKind = sendReq
+	}
+	pending := reg.partRegistry[key]
+	for i, other := range pending {
+		if other.kind == wantKind && other.boundTo == nil {
+			reg.partRegistry[key] = append(pending[:i], pending[i+1:]...)
+			// MPI 4.0 allows the two sides to partition the buffer
+			// differently as long as the total transfer size matches (the
+			// MPIPCL layered library cannot; see Impl docs).
+			if other.TotalBytes() != pr.TotalBytes() {
+				panic(fmt.Sprintf("mpi: partitioned init size mismatch: %dB vs %dB",
+					other.TotalBytes(), pr.TotalBytes()))
+			}
+			if (other.partBytes == 0 || pr.partBytes == 0) && other.parts != pr.parts {
+				panic("mpi: zero-byte partitions require equal partition counts")
+			}
+			other.boundTo = pr
+			pr.boundTo = other
+			return
+		}
+	}
+	reg.partRegistry[key] = append(pending, pr)
+}
+
+// BindSendBuffer attaches a real payload buffer (len parts*partBytes) whose
+// partitions are transferred byte-for-byte.
+func (pr *PRequest) BindSendBuffer(buf []byte) {
+	if pr.kind != sendReq {
+		panic("mpi: BindSendBuffer on receive request")
+	}
+	if int64(len(buf)) != int64(pr.parts)*pr.partBytes {
+		panic(fmt.Sprintf("mpi: send buffer length %d != parts*partBytes %d", len(buf), int64(pr.parts)*pr.partBytes))
+	}
+	pr.sendBuf = buf
+}
+
+// BindRecvBuffer attaches the destination buffer partitions are assembled
+// into.
+func (pr *PRequest) BindRecvBuffer(buf []byte) {
+	if pr.kind != recvReq {
+		panic("mpi: BindRecvBuffer on send request")
+	}
+	if int64(len(buf)) != int64(pr.parts)*pr.partBytes {
+		panic(fmt.Sprintf("mpi: recv buffer length %d != parts*partBytes %d", len(buf), int64(pr.parts)*pr.partBytes))
+	}
+	pr.recvBuf = buf
+}
+
+// AssignThread overrides the partition→thread mapping used for socket-
+// dependent injection costs (default: partition i is readied by thread i).
+func (pr *PRequest) AssignThread(partition, thread int) {
+	pr.checkPartition(partition)
+	pr.threadOf[partition] = thread
+}
+
+// Parts returns the partition count.
+func (pr *PRequest) Parts() int { return pr.parts }
+
+// PartBytes returns the bytes per partition.
+func (pr *PRequest) PartBytes() int64 { return pr.partBytes }
+
+// TotalBytes returns parts*partBytes.
+func (pr *PRequest) TotalBytes() int64 { return int64(pr.parts) * pr.partBytes }
+
+// Impl returns the implementation this request uses.
+func (pr *PRequest) Impl() PartImpl { return pr.impl }
+
+func (pr *PRequest) checkPartition(i int) {
+	if i < 0 || i >= pr.parts {
+		panic(fmt.Sprintf("mpi: partition %d out of range [0,%d)", i, pr.parts))
+	}
+}
+
+// pcclTag encodes the internal tag MPIPCL uses for partition i.
+func (pr *PRequest) pcclTag(i int) int { return pr.tag*maxPartitions + i }
+
+// Start begins a communication epoch, the analogue of MPI_Start on a
+// partitioned request. On the receive side the MPIPCL implementation posts
+// all internal per-partition receives here; the native implementation just
+// arms its counters. Must be called from a serial section (one thread).
+func (pr *PRequest) Start(p *sim.Proc) {
+	if pr.active {
+		panic("mpi: Start on active partitioned request")
+	}
+	c := pr.comm
+	w := c.world
+	pr.active = true
+	pr.epoch++
+	pr.allDone = sim.Completion{}
+	pr.remaining = pr.parts
+	switch pr.kind {
+	case sendReq:
+		pr.readied = make([]bool, pr.parts)
+		pr.readyTimes = make([]sim.Time, pr.parts)
+	case recvReq:
+		pr.arrived = make([]bool, pr.parts)
+		pr.arrivedTimes = make([]sim.Time, pr.parts)
+		pr.partDone = make([]*sim.Completion, pr.parts)
+		for i := range pr.partDone {
+			pr.partDone[i] = new(sim.Completion)
+		}
+		if pr.impl == PartNative {
+			pr.covered = make([]int64, pr.parts)
+		}
+	}
+
+	switch pr.impl {
+	case PartMPIPCL:
+		pr.startMPIPCL(p)
+	case PartNative:
+		pr.startNative(p)
+	default:
+		panic("mpi: unknown partitioned implementation")
+	}
+	_ = w
+}
+
+func (pr *PRequest) startMPIPCL(p *sim.Proc) {
+	c := pr.comm
+	w := c.world
+	release := c.enter(p, 0)
+	defer release()
+	if pr.kind == sendReq {
+		// Sends are issued lazily by Pready; Start only resets bookkeeping.
+		pr.inner = make([]*Request, pr.parts)
+		return
+	}
+	// Receive side: pre-post one internal irecv per partition. This is the
+	// "matching happens once, up front" property of partitioned
+	// communication: partitions always land pre-posted.
+	pr.inner = make([]*Request, pr.parts)
+	for i := 0; i < pr.parts; i++ {
+		i := i
+		p.Sleep(w.cfg.PcclPartitionSetup)
+		rreq := &Request{
+			comm:        c,
+			kind:        recvReq,
+			peer:        pr.peer,
+			tag:         pr.pcclTag(i),
+			ctx:         c.ctxPccl(),
+			postedAt:    p.Now(),
+			matchedFrom: pr.peer,
+		}
+		rreq.onComplete = func(t sim.Time) { pr.partitionArrived(i, t, rreq.data) }
+		c.postRecv(p, rreq)
+		pr.inner[i] = rreq
+	}
+}
+
+func (pr *PRequest) startNative(p *sim.Proc) {
+	c := pr.comm
+	w := c.world
+	if pr.boundTo == nil {
+		panic(fmt.Sprintf("mpi: native partitioned Start on rank %d (tag %d) before the peer initialized; initialize both sides first", c.rank, pr.tag))
+	}
+	release := c.enter(p, 0)
+	defer release()
+	if pr.bootstrap {
+		// Matching and buffer registration handshake, paid once.
+		p.Sleep(2*w.cfg.Net.Latency + w.cfg.Net.RendezvousSetup)
+		pr.bootstrap = false
+	}
+	if pr.kind == recvReq && len(pr.pendingNative) > 0 {
+		// Drain partitions a pipelining sender landed before this epoch
+		// started. They complete "now": the data was already in the
+		// persistent buffer.
+		now := p.Now()
+		kept := pr.pendingNative[:0]
+		for _, a := range pr.pendingNative {
+			if a.epoch == pr.epoch {
+				a.at = now
+				pr.applyNativeArrival(a)
+			} else {
+				kept = append(kept, a)
+			}
+		}
+		pr.pendingNative = kept
+	}
+}
+
+// nativeArrive routes a native partition landing: applied immediately when
+// the receive epoch is active, buffered otherwise (scheduler context).
+func (pr *PRequest) nativeArrive(a nativeArrival) {
+	if pr.active && pr.epoch == a.epoch {
+		pr.applyNativeArrival(a)
+		return
+	}
+	pr.pendingNative = append(pr.pendingNative, a)
+}
+
+// applyNativeArrival copies the payload into the bound buffer at the
+// *sender's* partition offset and credits the overlapped *receive*
+// partitions, completing each one whose byte range is fully covered. When
+// both sides use the same partitioning this degenerates to a 1:1 mapping.
+func (pr *PRequest) applyNativeArrival(a nativeArrival) {
+	sBytes := pr.boundTo.partBytes
+	lo := int64(a.part) * sBytes
+	hi := lo + sBytes
+	if a.data != nil && pr.recvBuf != nil {
+		copy(pr.recvBuf[lo:hi], a.data)
+	}
+	if pr.partBytes == 0 {
+		// Degenerate zero-byte partitions: 1:1 mapping by index.
+		pr.partitionArrived(a.part, a.at, nil)
+		return
+	}
+	first := lo / pr.partBytes
+	last := (hi - 1) / pr.partBytes
+	for j := first; j <= last; j++ {
+		jLo := j * pr.partBytes
+		jHi := jLo + pr.partBytes
+		overlap := min64(hi, jHi) - max64(lo, jLo)
+		pr.covered[j] += overlap
+		if pr.covered[j] == pr.partBytes {
+			pr.partitionArrived(int(j), a.at, nil)
+		} else if pr.covered[j] > pr.partBytes {
+			panic(fmt.Sprintf("mpi: receive partition %d over-covered (%d of %d bytes)", j, pr.covered[j], pr.partBytes))
+		}
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Pready marks partition i ready for transfer, the analogue of MPI_Pready.
+// It must be called exactly once per partition per epoch, from the thread
+// that produced the partition (the thread mapping affects cost only; any
+// proc may make the call).
+func (pr *PRequest) Pready(p *sim.Proc, i int) {
+	if pr.kind != sendReq {
+		panic("mpi: Pready on receive request")
+	}
+	if !pr.active {
+		panic("mpi: Pready before Start")
+	}
+	pr.checkPartition(i)
+	if pr.readied[i] {
+		panic(fmt.Sprintf("mpi: partition %d readied twice", i))
+	}
+	pr.readied[i] = true
+	pr.readyTimes[i] = p.Now()
+
+	c := pr.comm
+	w := c.world
+	thread := pr.threadOf[i]
+	extra := c.placement.InjectionPenalty(thread) + w.cfg.Mem.AccessStall(pr.partBytes)
+	var payload []byte
+	if pr.sendBuf != nil {
+		payload = pr.sendBuf[int64(i)*pr.partBytes : int64(i+1)*pr.partBytes]
+	}
+
+	switch pr.impl {
+	case PartMPIPCL:
+		// MPIPCL turns Pready into an internal MPI_Isend, paying full
+		// per-message costs and, under MPI_THREAD_MULTIPLE, the library
+		// lock.
+		release := c.enter(p, w.cfg.PcclPartitionSetup)
+		sreq := &Request{
+			comm:        c,
+			kind:        sendReq,
+			peer:        pr.peer,
+			tag:         pr.pcclTag(i),
+			ctx:         c.ctxPccl(),
+			size:        pr.partBytes,
+			data:        payload,
+			thread:      thread,
+			postedAt:    p.Now(),
+			matchedFrom: c.rank,
+		}
+		sreq.onComplete = func(t sim.Time) { pr.partitionSent(t) }
+		w.startSend(p.Now(), c.state(), w.ranks[pr.peer], sreq, extra)
+		pr.inner[i] = sreq
+		release()
+	case PartNative:
+		// Native: a flag write plus a doorbell; no lock, no matching.
+		// Snapshot the payload: the sender may legally overwrite its buffer
+		// for the next epoch while a pipelined arrival is still buffered at
+		// the receiver.
+		if payload != nil {
+			payload = append([]byte(nil), payload...)
+		}
+		p.Sleep(w.cfg.NativePreadyCost)
+		st := c.state()
+		txDone, arrive := st.nic.InjectLat(p.Now(), pr.partBytes, extra, w.latency(c.rank, pr.peer))
+		rpr := pr.boundTo
+		epoch := pr.epoch
+		w.s.At(txDone, func() { pr.partitionSent(txDone) })
+		w.s.At(arrive, func() {
+			done := arrive.Add(w.cfg.NativeRxOverhead)
+			w.s.At(done, func() {
+				rpr.nativeArrive(nativeArrival{part: i, epoch: epoch, at: done, data: payload})
+			})
+		})
+	}
+}
+
+// PreadyRange marks partitions [lo, hi) ready, lowest first, the analogue
+// of MPI_Pready_range (note MPI uses an inclusive upper bound; here hi is
+// exclusive, the Go convention).
+func (pr *PRequest) PreadyRange(p *sim.Proc, lo, hi int) {
+	if lo < 0 || hi > pr.parts || lo >= hi {
+		panic(fmt.Sprintf("mpi: PreadyRange [%d,%d) invalid for %d partitions", lo, hi, pr.parts))
+	}
+	for i := lo; i < hi; i++ {
+		pr.Pready(p, i)
+	}
+}
+
+// PreadyList marks the listed partitions ready in order, the analogue of
+// MPI_Pready_list.
+func (pr *PRequest) PreadyList(p *sim.Proc, parts []int) {
+	for _, i := range parts {
+		pr.Pready(p, i)
+	}
+}
+
+// partitionSent records local completion of one partition's transfer on the
+// send side (scheduler context).
+func (pr *PRequest) partitionSent(t sim.Time) {
+	pr.remaining--
+	if pr.remaining == 0 {
+		pr.allDone.Fire(pr.comm.world.s)
+	}
+	_ = t
+}
+
+// partitionArrived records one partition landing on the receive side
+// (scheduler context).
+func (pr *PRequest) partitionArrived(i int, t sim.Time, data []byte) {
+	if pr.arrived[i] {
+		panic(fmt.Sprintf("mpi: partition %d arrived twice", i))
+	}
+	pr.arrived[i] = true
+	pr.arrivedTimes[i] = t
+	if data != nil && pr.recvBuf != nil {
+		copy(pr.recvBuf[int64(i)*pr.partBytes:int64(i+1)*pr.partBytes], data)
+	}
+	pr.partDone[i].Fire(pr.comm.world.s)
+	pr.remaining--
+	if pr.remaining == 0 {
+		pr.allDone.Fire(pr.comm.world.s)
+	}
+}
+
+// WaitPartition blocks until partition i of an active receive epoch has
+// arrived. Unlike Parrived (a test), this parks the calling proc; it is the
+// building block for receive-side pipelines and the partitioned
+// collectives.
+func (pr *PRequest) WaitPartition(p *sim.Proc, i int) {
+	if pr.kind != recvReq {
+		panic("mpi: WaitPartition on send request")
+	}
+	if !pr.active {
+		panic("mpi: WaitPartition before Start")
+	}
+	pr.checkPartition(i)
+	release := pr.comm.enter(p, 0)
+	release()
+	pr.partDone[i].Wait(p)
+}
+
+// Parrived reports whether partition i has arrived, the analogue of
+// MPI_Parrived. It charges one MPI call overhead and may be called
+// concurrently by threads in a parallel region.
+func (pr *PRequest) Parrived(p *sim.Proc, i int) bool {
+	if pr.kind != recvReq {
+		panic("mpi: Parrived on send request")
+	}
+	if !pr.active {
+		panic("mpi: Parrived before Start")
+	}
+	pr.checkPartition(i)
+	release := pr.comm.enter(p, 0)
+	release()
+	return pr.arrived[i]
+}
+
+// Wait completes the epoch: on the send side all partitions must have been
+// readied and locally completed; on the receive side all partitions must
+// have arrived. The analogue of MPI_Wait on a partitioned request. After
+// Wait the request is inactive and can be Started again.
+func (pr *PRequest) Wait(p *sim.Proc) {
+	if !pr.active {
+		panic("mpi: Wait on inactive partitioned request")
+	}
+	release := pr.comm.enter(p, 0)
+	release()
+	pr.allDone.Wait(p)
+	pr.active = false
+}
+
+// Test charges one call overhead and reports whether the epoch has
+// completed, deactivating the request when it has (MPI semantics).
+func (pr *PRequest) Test(p *sim.Proc) bool {
+	release := pr.comm.enter(p, 0)
+	release()
+	if pr.allDone.Done() {
+		pr.active = false
+		return true
+	}
+	return false
+}
+
+// Active reports whether an epoch is in progress.
+func (pr *PRequest) Active() bool { return pr.active }
+
+// Epoch returns the number of Starts so far.
+func (pr *PRequest) Epoch() int { return pr.epoch }
+
+// ReadyAt returns the time Pready was called on partition i this epoch
+// (send side).
+func (pr *PRequest) ReadyAt(i int) sim.Time {
+	pr.checkPartition(i)
+	if pr.kind != sendReq || !pr.readied[i] {
+		panic("mpi: ReadyAt on un-readied partition")
+	}
+	return pr.readyTimes[i]
+}
+
+// FirstReadyAt returns the earliest Pready time of the epoch (the start of
+// t_part in the paper's overhead metric).
+func (pr *PRequest) FirstReadyAt() sim.Time {
+	first := sim.Time(-1)
+	for i, ok := range pr.readied {
+		if ok && (first < 0 || pr.readyTimes[i] < first) {
+			first = pr.readyTimes[i]
+		}
+	}
+	if first < 0 {
+		panic("mpi: FirstReadyAt with no partitions readied")
+	}
+	return first
+}
+
+// ArrivedAt returns the arrival time of partition i this epoch (receive
+// side).
+func (pr *PRequest) ArrivedAt(i int) sim.Time {
+	pr.checkPartition(i)
+	if pr.kind != recvReq || !pr.arrived[i] {
+		panic("mpi: ArrivedAt on un-arrived partition")
+	}
+	return pr.arrivedTimes[i]
+}
+
+// LastArriveAt returns the latest partition arrival time of the epoch (the
+// end of t_part: the "last MPI_Parrived" instant).
+func (pr *PRequest) LastArriveAt() sim.Time {
+	last := sim.Time(-1)
+	for i, ok := range pr.arrived {
+		if !ok {
+			panic("mpi: LastArriveAt before all partitions arrived")
+		}
+		if pr.arrivedTimes[i] > last {
+			last = pr.arrivedTimes[i]
+		}
+	}
+	return last
+}
+
+// ArrivalTimes returns a copy of all arrival times for the finished epoch.
+func (pr *PRequest) ArrivalTimes() []sim.Time {
+	out := make([]sim.Time, pr.parts)
+	copy(out, pr.arrivedTimes)
+	return out
+}
+
+// ReadyTimes returns a copy of all Pready times for the finished epoch.
+func (pr *PRequest) ReadyTimes() []sim.Time {
+	out := make([]sim.Time, pr.parts)
+	copy(out, pr.readyTimes)
+	return out
+}

@@ -1,0 +1,97 @@
+package mpi
+
+import "partmb/internal/sim"
+
+// SendInit creates a persistent send request: the envelope (destination,
+// tag, size, payload) is registered once, and each Start/Wait cycle performs
+// one transfer, the analogue of MPI_Send_init.
+func (c *Comm) SendInit(p *sim.Proc, dest, tag int, data []byte) *Request {
+	return c.sendInit(p, 0, dest, tag, int64(len(data)), data)
+}
+
+// SendInitBytes is SendInit for a size-only message.
+func (c *Comm) SendInitBytes(p *sim.Proc, dest, tag int, size int64) *Request {
+	return c.sendInit(p, 0, dest, tag, size, nil)
+}
+
+func (c *Comm) sendInit(p *sim.Proc, thread, dest, tag int, size int64, data []byte) *Request {
+	release := c.enter(p, 0)
+	release()
+	return &Request{
+		comm:        c,
+		kind:        sendReq,
+		peer:        c.worldOf(dest),
+		tag:         tag,
+		ctx:         c.ctxP2P(),
+		size:        size,
+		data:        data,
+		thread:      thread,
+		persistent:  true,
+		matchedFrom: c.rank,
+		done:        completedCompletion(p.Scheduler()),
+	}
+}
+
+// RecvInit creates a persistent receive request, the analogue of
+// MPI_Recv_init. Wildcards are permitted, as in MPI.
+func (c *Comm) RecvInit(p *sim.Proc, src, tag int) *Request {
+	release := c.enter(p, 0)
+	release()
+	peer := src
+	if src != AnySource {
+		peer = c.worldOf(src)
+	}
+	return &Request{
+		comm:        c,
+		kind:        recvReq,
+		peer:        peer,
+		tag:         tag,
+		ctx:         c.ctxP2P(),
+		persistent:  true,
+		matchedFrom: peer,
+		done:        completedCompletion(p.Scheduler()),
+	}
+}
+
+// completedCompletion returns a pre-fired completion: a persistent request
+// is "inactive" (and therefore wait-able as a no-op) until its first Start.
+func completedCompletion(s *sim.Scheduler) sim.Completion {
+	var c sim.Completion
+	c.Fire(s)
+	return c
+}
+
+// Start activates a persistent request for one transfer cycle, the analogue
+// of MPI_Start. Starting an active (incomplete) request panics.
+func (r *Request) Start(p *sim.Proc) {
+	if !r.persistent {
+		panic("mpi: Start on non-persistent request (use Isend/Irecv)")
+	}
+	if r.started && !r.done.Done() {
+		panic("mpi: Start on active persistent request")
+	}
+	r.reset()
+	r.started = true
+	r.postedAt = p.Now()
+	c := r.comm
+	switch r.kind {
+	case sendReq:
+		release := c.enter(p, 0)
+		c.world.startSend(p.Now(), c.state(), c.world.ranks[r.peer], r, c.sendExtra(r.thread, r.size))
+		release()
+	case recvReq:
+		release := c.enter(p, 0)
+		c.postRecv(p, r)
+		release()
+	}
+}
+
+// StartAll activates every persistent request in order, the analogue of
+// MPI_Startall. Nil entries are skipped.
+func StartAll(p *sim.Proc, reqs ...*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			r.Start(p)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"partmb/internal/sim"
+)
+
+// runPReduce reduces parts partitions from n ranks to root, every rank
+// readying its partitions at the given stagger, and returns the root's
+// per-partition completion times.
+func runPReduce(t *testing.T, impl PartImpl, n, root, parts int, stagger sim.Duration) []sim.Time {
+	t.Helper()
+	s := sim.New()
+	cfg := DefaultConfig(n)
+	cfg.PartImpl = impl
+	w := NewWorld(s, cfg)
+	var reduced []sim.Time
+	for id := 0; id < n; id++ {
+		id := id
+		c := w.Comm(id)
+		s.Spawn(fmt.Sprintf("rank%d", id), func(p *sim.Proc) {
+			pr := c.PReduceInit(p, root, parts, 16<<10, 0)
+			c.Barrier(p)
+			pr.Start(p)
+			for i := 0; i < parts; i++ {
+				p.Sleep(stagger)
+				pr.Pready(p, i)
+			}
+			pr.Wait(p)
+			if pr.Root() {
+				reduced = make([]sim.Time, parts)
+				for i := range reduced {
+					reduced[i] = pr.ReducedAt(i)
+				}
+			}
+			c.Barrier(p)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("%v preduce: %v", impl, err)
+	}
+	return reduced
+}
+
+func TestPReduceCompletes(t *testing.T) {
+	for _, impl := range []PartImpl{PartMPIPCL, PartNative} {
+		t.Run(impl.String(), func(t *testing.T) {
+			reduced := runPReduce(t, impl, 7, 0, 4, 100*sim.Microsecond)
+			if len(reduced) != 4 {
+				t.Fatalf("root reduced %d partitions, want 4", len(reduced))
+			}
+			for i := 1; i < 4; i++ {
+				if reduced[i] <= reduced[i-1] {
+					t.Fatalf("partition %d reduced at %v, not after %d at %v",
+						i, reduced[i], i-1, reduced[i-1])
+				}
+			}
+		})
+	}
+}
+
+func TestPReduceNonZeroRoot(t *testing.T) {
+	reduced := runPReduce(t, PartNative, 5, 2, 2, 50*sim.Microsecond)
+	if len(reduced) != 2 {
+		t.Fatalf("root got %d partitions", len(reduced))
+	}
+}
+
+func TestPReducePipelinesPartitions(t *testing.T) {
+	// With heavily staggered contributions, partition 0 must be fully
+	// reduced long before the last contribution happens (~parts*stagger).
+	const parts = 8
+	stagger := sim.Millisecond
+	reduced := runPReduce(t, PartNative, 8, 0, parts, stagger)
+	lastContrib := sim.Duration(parts) * stagger
+	if sim.Duration(reduced[0]) >= lastContrib {
+		t.Fatalf("partition 0 reduced at %v, after the last contribution (~%v): no pipelining",
+			sim.Duration(reduced[0]), lastContrib)
+	}
+}
+
+func TestPReduceOpCostDelays(t *testing.T) {
+	span := func(opCost sim.Duration) sim.Duration {
+		s := sim.New()
+		w := NewWorld(s, DefaultConfig(4))
+		var last sim.Time
+		for id := 0; id < 4; id++ {
+			id := id
+			c := w.Comm(id)
+			s.Spawn(fmt.Sprintf("rank%d", id), func(p *sim.Proc) {
+				pr := c.PReduceInit(p, 0, 2, 64<<10, opCost)
+				c.Barrier(p)
+				pr.Start(p)
+				pr.Pready(p, 0)
+				pr.Pready(p, 1)
+				pr.Wait(p)
+				c.Barrier(p)
+				if p.Now() > last {
+					last = p.Now()
+				}
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Duration(last)
+	}
+	free := span(0)
+	costly := span(10 * sim.Nanosecond) // 10ns/B * 64KiB = 655us per combine
+	if costly <= free {
+		t.Fatalf("op cost had no effect: free=%v costly=%v", free, costly)
+	}
+}
+
+func TestPReduceEpochRestart(t *testing.T) {
+	s := sim.New()
+	w := NewWorld(s, DefaultConfig(4))
+	for id := 0; id < 4; id++ {
+		id := id
+		c := w.Comm(id)
+		s.Spawn(fmt.Sprintf("rank%d", id), func(p *sim.Proc) {
+			pr := c.PReduceInit(p, 0, 2, 1<<10, 0)
+			c.Barrier(p)
+			for e := 0; e < 3; e++ {
+				pr.Start(p)
+				pr.Pready(p, 0)
+				pr.Pready(p, 1)
+				pr.Wait(p)
+			}
+			c.Barrier(p)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPReduceMisuse(t *testing.T) {
+	s := sim.New()
+	w := NewWorld(s, DefaultConfig(2))
+	for id := 0; id < 2; id++ {
+		id := id
+		c := w.Comm(id)
+		s.Spawn(fmt.Sprintf("rank%d", id), func(p *sim.Proc) {
+			pr := c.PReduceInit(p, 0, 2, 64, 0)
+			mustPanic := func(name string, f func()) {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s did not panic", name)
+					}
+				}()
+				f()
+			}
+			mustPanic("Pready before Start", func() { pr.Pready(p, 0) })
+			c.Barrier(p)
+			pr.Start(p)
+			pr.Pready(p, 0)
+			mustPanic("double Pready", func() { pr.Pready(p, 0) })
+			mustPanic("out of range", func() { pr.Pready(p, 5) })
+			if !pr.Root() {
+				mustPanic("ReducedAt off root", func() { pr.ReducedAt(0) })
+			}
+			pr.Pready(p, 1)
+			pr.Wait(p)
+			c.Barrier(p)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package mpi
+
+import (
+	"fmt"
+
+	"partmb/internal/sim"
+)
+
+type reqKind int
+
+const (
+	sendReq reqKind = iota
+	recvReq
+)
+
+// Request represents an in-flight (or persistent) point-to-point operation,
+// the analogue of MPI_Request.
+type Request struct {
+	comm *Comm
+	kind reqKind
+	// peer is the destination (send) or source (recv, possibly AnySource).
+	peer int
+	tag  int
+	ctx  int
+	size int64
+	data []byte
+
+	// thread is the index of the thread issuing the operation (for
+	// socket-dependent injection costs); 0 for main-thread calls.
+	thread int
+
+	done        sim.Completion
+	postedAt    sim.Time
+	completedAt sim.Time
+	// matchedFrom records the actual source rank after a wildcard match.
+	matchedFrom int
+
+	// persistent-request state
+	persistent bool
+	started    bool
+
+	// onComplete, if set, runs in scheduler context when the request
+	// completes (used by the partitioned layer to track partition arrival).
+	onComplete func(t sim.Time)
+}
+
+// IsSend reports whether this is a send-side request.
+func (r *Request) IsSend() bool { return r.kind == sendReq }
+
+// Size returns the message size in bytes.
+func (r *Request) Size() int64 { return r.size }
+
+// Tag returns the message tag.
+func (r *Request) Tag() int { return r.tag }
+
+// Data returns the payload: for completed receives, the received bytes (nil
+// for size-only transfers); for sends, the bytes passed in.
+func (r *Request) Data() []byte { return r.data }
+
+// Source returns the matched source rank (communicator-local) of a
+// completed receive; for wildcard receives this is the actual sender.
+func (r *Request) Source() int { return r.comm.localOf(r.matchedFrom) }
+
+// PostedAt returns the virtual time the operation was initiated.
+func (r *Request) PostedAt() sim.Time { return r.postedAt }
+
+// CompletedAt returns the virtual time the operation completed. Only valid
+// after Wait/Test reports completion.
+func (r *Request) CompletedAt() sim.Time { return r.completedAt }
+
+// Done reports (without cost) whether the request has completed. Prefer
+// Test from simulation procs: Test charges the MPI call overhead.
+func (r *Request) Done() bool { return r.done.Done() }
+
+// Wait blocks the calling proc until the request completes, charging the
+// MPI call overhead.
+func (r *Request) Wait(p *sim.Proc) {
+	release := r.comm.enter(p, 0)
+	release()
+	r.done.Wait(p)
+}
+
+// Test charges one MPI call overhead and reports whether the request has
+// completed.
+func (r *Request) Test(p *sim.Proc) bool {
+	release := r.comm.enter(p, 0)
+	release()
+	return r.done.Done()
+}
+
+// completeAt schedules the request to complete at time t (>= now).
+func (r *Request) completeAt(s *sim.Scheduler, t sim.Time) {
+	s.At(t, func() {
+		r.completedAt = t
+		r.done.Fire(s)
+		if r.onComplete != nil {
+			r.onComplete(t)
+		}
+	})
+}
+
+// reset re-arms a persistent request for another Start.
+func (r *Request) reset() {
+	if !r.persistent {
+		panic("mpi: reset of non-persistent request")
+	}
+	r.done = sim.Completion{}
+	r.started = false
+	if r.kind == recvReq {
+		r.data = nil
+	}
+}
+
+// WaitAll waits for every request in order. Ordering does not change the
+// result: completion times are set by the simulation, not by Wait order.
+func WaitAll(p *sim.Proc, reqs ...*Request) {
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		r.Wait(p)
+	}
+}
+
+// TestAll charges one call overhead per request and reports whether all have
+// completed.
+func TestAll(p *sim.Proc, reqs ...*Request) bool {
+	all := true
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if !r.Test(p) {
+			all = false
+		}
+	}
+	return all
+}
+
+func (r *Request) String() string {
+	dir := "recv"
+	if r.kind == sendReq {
+		dir = "send"
+	}
+	return fmt.Sprintf("%s{peer=%d tag=%d size=%d done=%v}", dir, r.peer, r.tag, r.size, r.done.Done())
+}

@@ -1,0 +1,55 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"partmb/internal/sim"
+)
+
+// Faults injects link-level message loss. InfiniBand links are reliable at
+// the transport layer: a lost packet is retransmitted after a timeout rather
+// than surfacing as an error, so injection shows up as latency spikes. Each
+// transmission attempt is lost independently with DropProb; a message that
+// is dropped k times in a row arrives k*RetransmitTimeout late.
+//
+// Faults are deterministic for a seed, so experiments with injected loss
+// remain exactly reproducible.
+type Faults struct {
+	dropProb float64
+	rto      sim.Duration
+	rng      *rand.Rand
+
+	// Retransmits counts injected retransmissions (for reporting).
+	Retransmits int64
+}
+
+// NewFaults builds a fault model. dropProb must be in [0, 1); the
+// retransmit timeout must be positive when dropProb > 0.
+func NewFaults(dropProb float64, rto sim.Duration, seed int64) *Faults {
+	if dropProb < 0 || dropProb >= 1 {
+		panic(fmt.Sprintf("netsim: drop probability %v outside [0,1)", dropProb))
+	}
+	if dropProb > 0 && rto <= 0 {
+		panic("netsim: retransmit timeout must be positive")
+	}
+	return &Faults{
+		dropProb: dropProb,
+		rto:      rto,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Delay samples the extra delivery delay for one message: zero when the
+// first transmission gets through, k*RTO after k consecutive losses.
+func (f *Faults) Delay() sim.Duration {
+	if f == nil || f.dropProb == 0 {
+		return 0
+	}
+	var k int64
+	for f.rng.Float64() < f.dropProb {
+		k++
+	}
+	f.Retransmits += k
+	return sim.Duration(k) * f.rto
+}

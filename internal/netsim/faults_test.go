@@ -1,0 +1,90 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"partmb/internal/sim"
+)
+
+func TestNilFaultsNoDelay(t *testing.T) {
+	var f *Faults
+	if f.Delay() != 0 {
+		t.Fatal("nil faults delayed a message")
+	}
+}
+
+func TestZeroProbNoDelay(t *testing.T) {
+	f := NewFaults(0, sim.Millisecond, 1)
+	for i := 0; i < 100; i++ {
+		if f.Delay() != 0 {
+			t.Fatal("0-probability faults delayed a message")
+		}
+	}
+}
+
+func TestDelayMeanMatchesGeometric(t *testing.T) {
+	p := 0.2
+	rto := 100 * sim.Microsecond
+	f := NewFaults(p, rto, 7)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(f.Delay())
+	}
+	mean := sum / n
+	want := p / (1 - p) * float64(rto) // E[k] for geometric losses
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("mean delay %.3g, want ~%.3g", mean, want)
+	}
+	if f.Retransmits == 0 {
+		t.Fatal("no retransmits counted")
+	}
+}
+
+func TestDelayDeterministicForSeed(t *testing.T) {
+	a := NewFaults(0.3, sim.Microsecond, 99)
+	b := NewFaults(0.3, sim.Microsecond, 99)
+	for i := 0; i < 1000; i++ {
+		if a.Delay() != b.Delay() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestFaultsValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"prob 1":   func() { NewFaults(1, sim.Microsecond, 1) },
+		"negative": func() { NewFaults(-0.1, sim.Microsecond, 1) },
+		"zero rto": func() { NewFaults(0.5, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestInjectWithFaultsStallsLink(t *testing.T) {
+	// Go-back-N retransmission: the send engine is held for the
+	// retransmit delay, so later messages queue behind it and arrival
+	// order is preserved.
+	faulty := NewNIC(EDR())
+	faulty.SetFaults(NewFaults(0.9, sim.Millisecond, 3))
+	clean := NewNIC(EDR())
+	fDone, fArrive := faulty.Inject(0, 1024, 0)
+	cDone, _ := clean.Inject(0, 1024, 0)
+	if fDone <= cDone {
+		t.Fatalf("faulty txDone %v not after clean %v (retransmit did not stall)", fDone, cDone)
+	}
+	if fArrive != fDone.Add(EDR().Latency) {
+		t.Fatalf("arrival %v, want txDone+latency", fArrive)
+	}
+	if faulty.TxIdleAt() != fDone {
+		t.Fatalf("tx engine idle at %v, want %v", faulty.TxIdleAt(), fDone)
+	}
+}

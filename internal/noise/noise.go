@@ -1,0 +1,208 @@
+// Package noise implements the system-noise models of the paper (§3.3) used
+// to skew per-thread compute times: a single-thread delay (mimicking a
+// context switch on one core, the Finepoints methodology), uniform noise, and
+// Gaussian noise (after Mondragon et al.).
+//
+// All models are deterministic given a seed, so simulated experiments are
+// exactly reproducible.
+package noise
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"partmb/internal/sim"
+)
+
+// Kind identifies a noise model.
+type Kind int
+
+const (
+	// None applies no noise: every thread computes exactly the base amount.
+	None Kind = iota
+	// SingleThread delays exactly one thread (thread 0) by the full noise
+	// amount; all others compute the base amount. Mimics a context switch on
+	// one CPU core.
+	SingleThread
+	// Uniform samples each thread's compute from U[base, base*(1+p)].
+	Uniform
+	// Gaussian samples each thread's compute from N(base, (base*p)^2),
+	// truncated at zero.
+	Gaussian
+	// Periodic models an OS noise daemon (after Ferreira et al.'s
+	// kernel-level noise injection): every core loses the CPU for a fixed
+	// slice once per period, with a random phase per thread and region.
+	// The noise percentage is the daemon's duty cycle.
+	Periodic
+)
+
+// String returns the canonical lower-case name of the noise kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case SingleThread:
+		return "single"
+	case Uniform:
+		return "uniform"
+	case Gaussian:
+		return "gaussian"
+	case Periodic:
+		return "periodic"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind parses a noise-kind name as accepted by the CLI tools.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(s) {
+	case "none", "0":
+		return None, nil
+	case "single", "single-thread", "singlethread":
+		return SingleThread, nil
+	case "uniform":
+		return Uniform, nil
+	case "gaussian", "normal", "gauss":
+		return Gaussian, nil
+	case "periodic", "daemon":
+		return Periodic, nil
+	}
+	return None, fmt.Errorf("noise: unknown model %q (want none|single|uniform|gaussian|periodic)", s)
+}
+
+// Model generates per-thread compute durations for one parallel region.
+type Model struct {
+	kind    Kind
+	percent float64 // noise amount as a fraction, e.g. 0.04 for 4%
+	period  sim.Duration
+	rng     *rand.Rand
+}
+
+// DefaultPeriod is the daemon firing period of the Periodic model when
+// created through New (Ferreira et al. inject at millisecond scale).
+const DefaultPeriod = sim.Millisecond
+
+// New returns a noise model of the given kind with the noise amount expressed
+// as a percentage (the paper's "4% noise" is percent=4). The model is
+// deterministic for a given seed.
+func New(kind Kind, percent float64, seed int64) *Model {
+	if percent < 0 {
+		panic("noise: negative noise percentage")
+	}
+	if kind == Periodic && percent >= 100 {
+		panic("noise: periodic duty cycle must be below 100%")
+	}
+	return &Model{
+		kind:    kind,
+		percent: percent / 100,
+		period:  DefaultPeriod,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// NewPeriodic returns the daemon-noise model with an explicit firing
+// period; the duty cycle is percent/100, so each firing steals
+// period*percent/100 of CPU time.
+func NewPeriodic(percent float64, period sim.Duration, seed int64) *Model {
+	if period <= 0 {
+		panic("noise: periodic model needs a positive period")
+	}
+	m := New(Periodic, percent, seed)
+	m.period = period
+	return m
+}
+
+// Kind returns the model kind.
+func (m *Model) Kind() Kind { return m.kind }
+
+// Percent returns the configured noise amount in percent.
+func (m *Model) Percent() float64 { return m.percent * 100 }
+
+// Region returns the per-thread compute durations for one parallel region of
+// n threads with the given base compute amount. Thread i computes for
+// result[i].
+func (m *Model) Region(n int, base sim.Duration) []sim.Duration {
+	if n <= 0 {
+		panic("noise: region needs at least one thread")
+	}
+	out := make([]sim.Duration, n)
+	for i := range out {
+		out[i] = base
+	}
+	if m.percent == 0 || m.kind == None {
+		return out
+	}
+	amount := float64(base) * m.percent
+	switch m.kind {
+	case SingleThread:
+		// Delay one thread by the full noise amount. The delayed thread is
+		// chosen at random so averages do not privilege a particular core,
+		// matching the effect of an OS-scheduled context switch.
+		victim := m.rng.Intn(n)
+		out[victim] = base + sim.Duration(amount)
+	case Uniform:
+		for i := range out {
+			out[i] = base + sim.Duration(m.rng.Float64()*amount)
+		}
+	case Gaussian:
+		// Mean = base, stddev = noise amount. The paper ignores tail
+		// samples; we truncate below at a small positive floor, and the
+		// benchmark layer additionally prunes extreme samples (§4.1).
+		for i := range out {
+			v := float64(base) + m.rng.NormFloat64()*amount
+			if v < float64(base)/100 {
+				v = float64(base) / 100
+			}
+			out[i] = sim.Duration(v)
+		}
+	case Periodic:
+		for i := range out {
+			phase := sim.Duration(m.rng.Int63n(int64(m.period)))
+			out[i] = m.stretchPeriodic(base, phase)
+		}
+	}
+	return out
+}
+
+// stretchPeriodic returns the wall time needed to accumulate base CPU time
+// when a daemon steals the core for period*duty once every period, first
+// firing at the given phase.
+func (m *Model) stretchPeriodic(base sim.Duration, phase sim.Duration) sim.Duration {
+	steal := sim.Duration(float64(m.period) * m.percent)
+	if steal <= 0 {
+		return base
+	}
+	var t sim.Duration
+	remaining := base
+	nextFire := phase
+	for remaining > 0 {
+		if t+remaining <= nextFire {
+			t += remaining
+			break
+		}
+		remaining -= nextFire - t
+		t = nextFire + steal
+		nextFire += m.period
+	}
+	return t
+}
+
+// MaxExpected returns an upper bound on the compute duration the model will
+// commonly produce, used for sizing single-send comparisons: base*(1+p) for
+// single/uniform, base*(1+3p) for Gaussian (3 sigma).
+func (m *Model) MaxExpected(base sim.Duration) sim.Duration {
+	switch m.kind {
+	case None:
+		return base
+	case Gaussian:
+		return base + sim.Duration(3*float64(base)*m.percent)
+	case Periodic:
+		// Duty-cycle stretch plus at most one extra firing.
+		stretched := float64(base)/(1-m.percent) + float64(m.period)*m.percent
+		return sim.Duration(stretched)
+	default:
+		return base + sim.Duration(float64(base)*m.percent)
+	}
+}

@@ -1,0 +1,280 @@
+package noise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"partmb/internal/sim"
+)
+
+const base = 10 * sim.Millisecond
+
+func TestNoneIsExact(t *testing.T) {
+	m := New(None, 0, 1)
+	for _, d := range m.Region(16, base) {
+		if d != base {
+			t.Fatalf("no-noise compute = %v, want %v", d, base)
+		}
+	}
+}
+
+func TestZeroPercentIsExactForAllKinds(t *testing.T) {
+	for _, k := range []Kind{SingleThread, Uniform, Gaussian} {
+		m := New(k, 0, 1)
+		for _, d := range m.Region(8, base) {
+			if d != base {
+				t.Fatalf("%v at 0%%: compute = %v, want %v", k, d, base)
+			}
+		}
+	}
+}
+
+func TestSingleThreadDelaysExactlyOne(t *testing.T) {
+	m := New(SingleThread, 4, 42)
+	region := m.Region(16, base)
+	delayed := 0
+	for _, d := range region {
+		switch {
+		case d == base:
+		case d == base+sim.Duration(0.04*float64(base)):
+			delayed++
+		default:
+			t.Fatalf("unexpected compute %v", d)
+		}
+	}
+	if delayed != 1 {
+		t.Fatalf("threads delayed = %d, want exactly 1", delayed)
+	}
+}
+
+func TestSingleThreadVictimVaries(t *testing.T) {
+	m := New(SingleThread, 4, 7)
+	victims := make(map[int]bool)
+	for trial := 0; trial < 50; trial++ {
+		for i, d := range m.Region(8, base) {
+			if d > base {
+				victims[i] = true
+			}
+		}
+	}
+	if len(victims) < 2 {
+		t.Fatalf("victim never varies across trials: %v", victims)
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	m := New(Uniform, 10, 99)
+	hi := base + sim.Duration(0.10*float64(base))
+	for trial := 0; trial < 100; trial++ {
+		for _, d := range m.Region(8, base) {
+			if d < base || d > hi {
+				t.Fatalf("uniform sample %v outside [%v,%v]", d, base, hi)
+			}
+		}
+	}
+}
+
+func TestGaussianMeanAndSpread(t *testing.T) {
+	m := New(Gaussian, 4, 5)
+	var sum float64
+	n := 0
+	for trial := 0; trial < 500; trial++ {
+		for _, d := range m.Region(4, base) {
+			sum += float64(d)
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-float64(base)) > 0.02*float64(base) {
+		t.Fatalf("gaussian mean = %v, want about %v", sim.Duration(mean), base)
+	}
+}
+
+func TestGaussianNeverNonPositive(t *testing.T) {
+	// Absurd noise: 1000% stddev would often sample negative durations;
+	// the model must floor them.
+	m := New(Gaussian, 1000, 3)
+	for trial := 0; trial < 200; trial++ {
+		for _, d := range m.Region(4, base) {
+			if d <= 0 {
+				t.Fatalf("gaussian produced non-positive compute %v", d)
+			}
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := New(Uniform, 4, 12345)
+	b := New(Uniform, 4, 12345)
+	for trial := 0; trial < 10; trial++ {
+		ra, rb := a.Region(8, base), b.Region(8, base)
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("same seed diverged at trial %d thread %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	cases := map[string]Kind{
+		"none": None, "single": SingleThread, "single-thread": SingleThread,
+		"uniform": Uniform, "gaussian": Gaussian, "normal": Gaussian,
+		"GAUSSIAN": Gaussian, "periodic": Periodic, "daemon": Periodic,
+	}
+	for s, want := range cases {
+		got, err := ParseKind(s)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseKind("pink"); err == nil {
+		t.Error("ParseKind accepted unknown model")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{None: "none", SingleThread: "single", Uniform: "uniform", Gaussian: "gaussian", Periodic: "periodic"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestMaxExpected(t *testing.T) {
+	if got := New(None, 4, 1).MaxExpected(base); got != base {
+		t.Errorf("none MaxExpected = %v", got)
+	}
+	if got := New(Uniform, 4, 1).MaxExpected(base); got != base+sim.Duration(0.04*float64(base)) {
+		t.Errorf("uniform MaxExpected = %v", got)
+	}
+	if got := New(Gaussian, 4, 1).MaxExpected(base); got != base+sim.Duration(3*0.04*float64(base)) {
+		t.Errorf("gaussian MaxExpected = %v", got)
+	}
+}
+
+func TestNegativePercentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative percent did not panic")
+		}
+	}()
+	New(Uniform, -1, 1)
+}
+
+// Property: every sample from every model is at least the floor and the
+// region has exactly n entries.
+func TestQuickRegionShape(t *testing.T) {
+	f := func(kindRaw uint8, pct uint8, n uint8, seed int64) bool {
+		kind := Kind(int(kindRaw) % 5)
+		threads := int(n%32) + 1
+		m := New(kind, float64(pct%50), seed)
+		region := m.Region(threads, base)
+		if len(region) != threads {
+			return false
+		}
+		for _, d := range region {
+			if d <= 0 {
+				return false
+			}
+			if kind != Gaussian && d < base {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeriodicStretchesCompute(t *testing.T) {
+	// 10% duty cycle: accumulating 10ms of CPU takes about 10/0.9 = 11.1ms
+	// of wall time (within one firing of slack).
+	m := NewPeriodic(10, sim.Millisecond, 9)
+	for trial := 0; trial < 50; trial++ {
+		for _, d := range m.Region(4, base) {
+			if d < base {
+				t.Fatalf("periodic compute %v below base %v", d, base)
+			}
+			if d > m.MaxExpected(base) {
+				t.Fatalf("periodic compute %v above MaxExpected %v", d, m.MaxExpected(base))
+			}
+		}
+	}
+}
+
+func TestPeriodicPhaseVariesAcrossThreads(t *testing.T) {
+	m := NewPeriodic(10, sim.Millisecond, 11)
+	region := m.Region(16, base)
+	distinct := map[sim.Duration]bool{}
+	for _, d := range region {
+		distinct[d] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("periodic noise produced identical stretches: %v", region)
+	}
+}
+
+func TestPeriodicZeroDutyIsExact(t *testing.T) {
+	m := NewPeriodic(0, sim.Millisecond, 1)
+	for _, d := range m.Region(4, base) {
+		if d != base {
+			t.Fatalf("0%% duty compute = %v, want %v", d, base)
+		}
+	}
+}
+
+func TestPeriodicShortComputeMayMissDaemon(t *testing.T) {
+	// A compute much shorter than the period sometimes fits entirely
+	// before the first firing.
+	m := NewPeriodic(10, 10*sim.Millisecond, 3)
+	short := 100 * sim.Microsecond
+	exact := 0
+	for trial := 0; trial < 200; trial++ {
+		for _, d := range m.Region(1, short) {
+			if d == short {
+				exact++
+			}
+		}
+	}
+	if exact == 0 {
+		t.Fatal("short compute never escaped the daemon; phase sampling broken")
+	}
+}
+
+func TestNewPeriodicValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero period": func() { NewPeriodic(10, 0, 1) },
+		"full duty":   func() { New(Periodic, 100, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	m := New(Uniform, 4, 1)
+	if m.Kind() != Uniform {
+		t.Fatalf("Kind = %v", m.Kind())
+	}
+	if m.Percent() != 4 {
+		t.Fatalf("Percent = %v, want 4", m.Percent())
+	}
+}
+
+func TestRegionZeroThreadsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-thread region did not panic")
+		}
+	}()
+	New(None, 0, 1).Region(0, base)
+}

@@ -1,0 +1,116 @@
+// Package omp provides OpenMP-like fork/join helpers over the simulation
+// kernel: one-shot parallel regions and persistent thread teams with
+// barriers, placed on the machine model so oversubscription and socket
+// effects apply. It packages the idiom the benchmarks and examples use for
+// "threads compute, then each contributes its partition".
+package omp
+
+import (
+	"fmt"
+
+	"partmb/internal/cluster"
+	"partmb/internal/noise"
+	"partmb/internal/sim"
+)
+
+// Region runs body(t) on n fresh worker procs and blocks the caller until
+// all have finished — a one-shot `#pragma omp parallel`.
+func Region(p *sim.Proc, n int, body func(tp *sim.Proc, t int)) {
+	if n <= 0 {
+		panic("omp: region needs at least one thread")
+	}
+	s := p.Scheduler()
+	var join sim.WaitGroup
+	join.Add(s, n)
+	for t := 0; t < n; t++ {
+		t := t
+		s.Spawn(fmt.Sprintf("omp/%d", t), func(tp *sim.Proc) {
+			body(tp, t)
+			join.Done(s)
+		})
+	}
+	join.Wait(p)
+}
+
+// ComputeRegion runs one noisy compute phase across n placed threads and
+// then invokes each thread's continuation (typically Pready) — the paper's
+// benchmark inner loop as one call. It returns the per-thread effective
+// compute durations.
+func ComputeRegion(p *sim.Proc, place *cluster.Placement, nm *noise.Model, base sim.Duration, then func(tp *sim.Proc, t int)) []sim.Duration {
+	n := place.Threads()
+	durations := nm.Region(n, base)
+	effective := make([]sim.Duration, n)
+	for t := range effective {
+		effective[t] = place.ComputeTime(t, durations[t])
+	}
+	Region(p, n, func(tp *sim.Proc, t int) {
+		tp.Sleep(effective[t])
+		if then != nil {
+			then(tp, t)
+		}
+	})
+	return effective
+}
+
+// Team is a persistent set of worker procs driven through repeated steps —
+// the long-lived parallel region the pattern motifs use. Workers live until
+// Close.
+type Team struct {
+	n        int
+	startBar *sim.Barrier
+	doneBar  *sim.Barrier
+	body     func(tp *sim.Proc, t int)
+	closed   bool
+}
+
+// NewTeam spawns n persistent workers on the scheduler. Each Step, every
+// worker runs the current body once; the body is set per step.
+func NewTeam(s *sim.Scheduler, name string, n int) *Team {
+	if n <= 0 {
+		panic("omp: team needs at least one thread")
+	}
+	tm := &Team{
+		n:        n,
+		startBar: sim.NewBarrier(n + 1),
+		doneBar:  sim.NewBarrier(n + 1),
+	}
+	for t := 0; t < n; t++ {
+		t := t
+		s.Spawn(fmt.Sprintf("omp/%s/%d", name, t), func(tp *sim.Proc) {
+			for {
+				tm.startBar.Await(tp)
+				if tm.closed {
+					return
+				}
+				tm.body(tp, t)
+				tm.doneBar.Await(tp)
+			}
+		})
+	}
+	return tm
+}
+
+// Size returns the worker count.
+func (tm *Team) Size() int { return tm.n }
+
+// Step runs body once on every worker and blocks until all finish.
+func (tm *Team) Step(p *sim.Proc, body func(tp *sim.Proc, t int)) {
+	if tm.closed {
+		panic("omp: Step on closed team")
+	}
+	if body == nil {
+		panic("omp: nil step body")
+	}
+	tm.body = body
+	tm.startBar.Await(p)
+	tm.doneBar.Await(p)
+}
+
+// Close releases the workers. The team cannot be used afterwards.
+func (tm *Team) Close(p *sim.Proc) {
+	if tm.closed {
+		panic("omp: Close on closed team")
+	}
+	tm.closed = true
+	tm.startBar.Await(p)
+}

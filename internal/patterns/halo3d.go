@@ -1,0 +1,370 @@
+package patterns
+
+import (
+	"fmt"
+
+	"partmb/internal/cluster"
+	"partmb/internal/mpi"
+	"partmb/internal/netsim"
+	"partmb/internal/noise"
+	"partmb/internal/sim"
+)
+
+// HaloConfig describes a Halo3D run, after the Ember Halo3D motif: ranks
+// form a periodic Nx x Ny x Nz torus and exchange one face-sized message
+// with each of their six neighbours per step (the 7-point stencil). Threads
+// form a ThreadsPerDim^3 cube inside each rank, so every face carries
+// ThreadsPerDim^2 partitions, owned by the surface threads of that face —
+// the paper's "each face has 2x2 threads" (8 threads, 4 partitions) and
+// "each face of the cube has 16 partitions (4x4)" (64 threads) layouts.
+type HaloConfig struct {
+	// Nx, Ny, Nz define the periodic rank grid.
+	Nx, Ny, Nz int
+	// ThreadsPerDim is the per-rank thread cube edge; Threads() is its
+	// cube. Forced to 1 in Single mode.
+	ThreadsPerDim int
+	// FaceBytes is the total message size per face (the figures' x axis);
+	// it must be divisible by ThreadsPerDim^2.
+	FaceBytes int64
+	// Compute is the per-thread compute per step.
+	Compute sim.Duration
+	// NoiseKind / NoisePercent / Seed configure per-step compute noise.
+	NoiseKind    noise.Kind
+	NoisePercent float64
+	Seed         int64
+	// Repeats is the number of halo-exchange steps.
+	Repeats int
+	// Mode selects single / multi / partitioned communication.
+	Mode Mode
+	// Impl selects the partitioned implementation (Partitioned mode only).
+	Impl mpi.PartImpl
+	// Net and Machine override the hardware models (nil = paper defaults).
+	Net     *netsim.Params
+	Machine *cluster.Machine
+}
+
+// Threads returns the per-rank thread count (ThreadsPerDim cubed).
+func (c *HaloConfig) Threads() int {
+	t := c.ThreadsPerDim
+	return t * t * t
+}
+
+// FacePartitions returns the partition count per face (ThreadsPerDim
+// squared).
+func (c *HaloConfig) FacePartitions() int {
+	return c.ThreadsPerDim * c.ThreadsPerDim
+}
+
+func (c HaloConfig) withDefaults() HaloConfig {
+	if c.Repeats == 0 {
+		c.Repeats = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Net == nil {
+		c.Net = netsim.EDR()
+	}
+	if c.Machine == nil {
+		c.Machine = cluster.Niagara()
+	}
+	if c.Mode == Single {
+		c.ThreadsPerDim = 1
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c *HaloConfig) Validate() error {
+	if c.Nx <= 0 || c.Ny <= 0 || c.Nz <= 0 {
+		return fmt.Errorf("patterns: rank grid %dx%dx%d invalid", c.Nx, c.Ny, c.Nz)
+	}
+	if c.ThreadsPerDim <= 0 {
+		return fmt.Errorf("patterns: ThreadsPerDim must be positive")
+	}
+	if c.FaceBytes <= 0 {
+		return fmt.Errorf("patterns: FaceBytes must be positive")
+	}
+	if c.FaceBytes%int64(c.FacePartitions()) != 0 {
+		return fmt.Errorf("patterns: FaceBytes %d not divisible by %d face partitions", c.FaceBytes, c.FacePartitions())
+	}
+	if c.Compute < 0 {
+		return fmt.Errorf("patterns: negative Compute")
+	}
+	if c.Repeats <= 0 {
+		return fmt.Errorf("patterns: Repeats must be positive")
+	}
+	return nil
+}
+
+// The six faces, paired so face f exchanges with opposite(f) = f^1.
+const (
+	faceXMinus = iota
+	faceXPlus
+	faceYMinus
+	faceYPlus
+	faceZMinus
+	faceZPlus
+	numFaces
+)
+
+// opposite returns the face on the other side of the axis.
+func opposite(f int) int { return f ^ 1 }
+
+// haloRank is the per-rank state of a Halo3D run.
+type haloRank struct {
+	cfg     HaloConfig
+	comm    *mpi.Comm
+	x, y, z int
+	place   *cluster.Placement
+
+	computeOf [][]sim.Duration
+
+	// neighbour[f] is the rank across face f (periodic torus).
+	neighbour [numFaces]int
+
+	// Partitioned-mode persistent requests per face.
+	precv [numFaces]*mpi.PRequest
+	psend [numFaces]*mpi.PRequest
+
+	startBar, doneBar *sim.Barrier
+	curStep           int
+
+	endAt sim.Time
+}
+
+// threadCoord decomposes thread index t into its cube coordinates.
+func (r *haloRank) threadCoord(t int) (a, b, c int) {
+	d := r.cfg.ThreadsPerDim
+	return t % d, (t / d) % d, t / (d * d)
+}
+
+// facesOf lists the faces thread t borders and the partition index it owns
+// on each face. Interior threads (possible when ThreadsPerDim > 2) border
+// no faces and only compute.
+func (r *haloRank) facesOf(t int) (faces []int, parts []int) {
+	d := r.cfg.ThreadsPerDim
+	a, b, c := r.threadCoord(t)
+	add := func(face, u, v int) {
+		faces = append(faces, face)
+		parts = append(parts, v*d+u)
+	}
+	if a == 0 {
+		add(faceXMinus, b, c)
+	}
+	if a == d-1 {
+		add(faceXPlus, b, c)
+	}
+	if b == 0 {
+		add(faceYMinus, a, c)
+	}
+	if b == d-1 {
+		add(faceYPlus, a, c)
+	}
+	if c == 0 {
+		add(faceZMinus, a, b)
+	}
+	if c == d-1 {
+		add(faceZPlus, a, b)
+	}
+	return faces, parts
+}
+
+// haloTag builds the Single/Multi tag for (step, face, partition) traffic,
+// from the sender's perspective.
+func haloTag(step, face, part int) int {
+	return (step*numFaces+face)*1024 + part
+}
+
+// haloPartTag is the fixed tag of the persistent partitioned pair for a
+// face, from the sender's perspective.
+func haloPartTag(face int) int { return face + 1 }
+
+// RunHalo3D executes the motif and returns its throughput result.
+func RunHalo3D(cfg HaloConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := sim.New()
+	nRanks := cfg.Nx * cfg.Ny * cfg.Nz
+	mcfg := mpi.DefaultConfig(nRanks)
+	mcfg.Net = cfg.Net
+	mcfg.Machine = cfg.Machine
+	configureMode(&mcfg, cfg.Mode, cfg.Impl)
+	w := mpi.NewWorld(s, mcfg)
+
+	ranks := make([]*haloRank, nRanks)
+	var startAt sim.Time
+	for id := range ranks {
+		id := id
+		comm := w.Comm(id)
+		place := cluster.Place(cfg.Machine, cfg.Threads())
+		comm.SetPlacement(place)
+		nm := noise.New(cfg.NoiseKind, cfg.NoisePercent, cfg.Seed+int64(id))
+		r := &haloRank{
+			cfg:   cfg,
+			comm:  comm,
+			x:     id % cfg.Nx,
+			y:     (id / cfg.Nx) % cfg.Ny,
+			z:     id / (cfg.Nx * cfg.Ny),
+			place: place,
+		}
+		wrap := func(v, n int) int { return ((v % n) + n) % n }
+		at := func(x, y, z int) int {
+			return wrap(z, cfg.Nz)*cfg.Nx*cfg.Ny + wrap(y, cfg.Ny)*cfg.Nx + wrap(x, cfg.Nx)
+		}
+		r.neighbour[faceXMinus] = at(r.x-1, r.y, r.z)
+		r.neighbour[faceXPlus] = at(r.x+1, r.y, r.z)
+		r.neighbour[faceYMinus] = at(r.x, r.y-1, r.z)
+		r.neighbour[faceYPlus] = at(r.x, r.y+1, r.z)
+		r.neighbour[faceZMinus] = at(r.x, r.y, r.z-1)
+		r.neighbour[faceZPlus] = at(r.x, r.y, r.z+1)
+		r.computeOf = make([][]sim.Duration, cfg.Repeats)
+		for st := range r.computeOf {
+			r.computeOf[st] = nm.Region(cfg.Threads(), cfg.Compute)
+		}
+		ranks[id] = r
+		s.Spawn(fmt.Sprintf("halo/rank%d", id), func(p *sim.Proc) {
+			r.setup(p)
+			comm.Barrier(p)
+			if id == 0 {
+				startAt = p.Now()
+			}
+			r.run(p)
+			comm.Barrier(p)
+			r.endAt = p.Now()
+		})
+	}
+	if err := s.Run(); err != nil {
+		return nil, fmt.Errorf("patterns: halo3d simulation failed: %w", err)
+	}
+	res := &Result{}
+	var maxEnd sim.Time
+	for _, r := range ranks {
+		st := r.comm.NICStats()
+		res.PayloadBytes += st.Bytes
+		res.Messages += st.Messages
+		if r.endAt > maxEnd {
+			maxEnd = r.endAt
+		}
+	}
+	res.Elapsed = maxEnd.Sub(startAt)
+	return res, nil
+}
+
+// setup creates the persistent partitioned pairs and worker threads.
+func (r *haloRank) setup(p *sim.Proc) {
+	cfg := r.cfg
+	if cfg.Mode == Partitioned {
+		parts := cfg.FacePartitions()
+		partBytes := cfg.FaceBytes / int64(parts)
+		for f := 0; f < numFaces; f++ {
+			r.psend[f] = r.comm.PsendInit(p, r.neighbour[f], haloPartTag(f), parts, partBytes)
+			// The message landing on our face f was sent through the
+			// neighbour's opposite face.
+			r.precv[f] = r.comm.PrecvInit(p, r.neighbour[f], haloPartTag(opposite(f)), parts, partBytes)
+		}
+	}
+	if cfg.Mode != Single {
+		r.spawnWorkers(p)
+	}
+}
+
+// spawnWorkers starts the long-lived thread procs.
+func (r *haloRank) spawnWorkers(p *sim.Proc) {
+	cfg := r.cfg
+	s := p.Scheduler()
+	n := cfg.Threads()
+	r.startBar = sim.NewBarrier(n + 1)
+	r.doneBar = sim.NewBarrier(n + 1)
+	for t := 0; t < n; t++ {
+		t := t
+		s.Spawn(fmt.Sprintf("halo/rank%d/worker%d", r.comm.Rank(), t), func(tp *sim.Proc) {
+			for st := 0; st < cfg.Repeats; st++ {
+				r.startBar.Await(tp)
+				switch cfg.Mode {
+				case Multi:
+					r.multiWorkerStep(tp, t)
+				case Partitioned:
+					r.partWorkerStep(tp, t)
+				}
+				r.doneBar.Await(tp)
+			}
+		})
+	}
+}
+
+// run drives the exchange loop on the rank's main proc.
+func (r *haloRank) run(p *sim.Proc) {
+	cfg := r.cfg
+	for step := 0; step < cfg.Repeats; step++ {
+		r.curStep = step
+		switch cfg.Mode {
+		case Single:
+			r.singleStep(p, step)
+		case Multi:
+			r.startBar.Await(p)
+			r.doneBar.Await(p)
+		case Partitioned:
+			for f := 0; f < numFaces; f++ {
+				r.precv[f].Start(p)
+				r.psend[f].Start(p)
+			}
+			r.startBar.Await(p)
+			r.doneBar.Await(p)
+			for f := 0; f < numFaces; f++ {
+				r.precv[f].Wait(p)
+				r.psend[f].Wait(p)
+			}
+		}
+	}
+}
+
+// singleStep exchanges whole faces with plain point-to-point: post all six
+// receives, compute, send all six faces, complete everything.
+func (r *haloRank) singleStep(p *sim.Proc, step int) {
+	cfg := r.cfg
+	var reqs []*mpi.Request
+	for f := 0; f < numFaces; f++ {
+		reqs = append(reqs, r.comm.Irecv(p, r.neighbour[f], haloTag(step, opposite(f), 0)))
+	}
+	p.Sleep(r.place.ComputeTime(0, r.computeOf[step][0]))
+	for f := 0; f < numFaces; f++ {
+		reqs = append(reqs, r.comm.IsendBytes(p, r.neighbour[f], haloTag(step, f, 0), cfg.FaceBytes))
+	}
+	mpi.WaitAll(p, reqs...)
+}
+
+// multiWorkerStep: a surface thread exchanges its partition of every face it
+// borders; interior threads only compute.
+func (r *haloRank) multiWorkerStep(tp *sim.Proc, t int) {
+	cfg := r.cfg
+	step := r.curStep
+	faces, parts := r.facesOf(t)
+	partBytes := cfg.FaceBytes / int64(cfg.FacePartitions())
+	ep := r.comm.Endpoint(t)
+	var reqs []*mpi.Request
+	for i, f := range faces {
+		reqs = append(reqs, ep.Irecv(tp, r.neighbour[f], haloTag(step, opposite(f), parts[i])))
+	}
+	tp.Sleep(r.place.ComputeTime(t, r.computeOf[step][t]))
+	for i, f := range faces {
+		reqs = append(reqs, ep.IsendBytes(tp, r.neighbour[f], haloTag(step, f, parts[i]), partBytes))
+	}
+	mpi.WaitAll(tp, reqs...)
+}
+
+// partWorkerStep: compute, ready the owned partitions, then poll the
+// matching inbound partitions.
+func (r *haloRank) partWorkerStep(tp *sim.Proc, t int) {
+	step := r.curStep
+	faces, parts := r.facesOf(t)
+	tp.Sleep(r.place.ComputeTime(t, r.computeOf[step][t]))
+	for i, f := range faces {
+		r.psend[f].Pready(tp, parts[i])
+	}
+	for i, f := range faces {
+		pollParrived(tp, r.precv[f], parts[i])
+	}
+}

@@ -1,0 +1,207 @@
+package patterns
+
+import (
+	"fmt"
+
+	"partmb/internal/cluster"
+	"partmb/internal/mpi"
+	"partmb/internal/netsim"
+	"partmb/internal/noise"
+	"partmb/internal/sim"
+)
+
+// IncastConfig describes an incast motif (after Ember's incast pattern):
+// every rank except the sink sends one message (or one partitioned epoch)
+// per step to rank 0. Incast stresses the receiver: with partitioned
+// communication the per-partition receive-side processing of many senders
+// serializes on the sink's NIC, which is where the partitioned overhead
+// story changes compared to the two-rank benchmarks.
+type IncastConfig struct {
+	// Senders is the number of sending ranks (world size is Senders+1).
+	Senders int
+	// Threads is the thread/partition count per sender; forced to 1 in
+	// Single mode.
+	Threads int
+	// BytesPerThread is each thread's contribution to its rank's message.
+	BytesPerThread int64
+	// Compute is the per-thread compute per step.
+	Compute sim.Duration
+	// NoiseKind / NoisePercent / Seed configure compute noise.
+	NoiseKind    noise.Kind
+	NoisePercent float64
+	Seed         int64
+	// Repeats is the number of incast rounds.
+	Repeats int
+	// Mode selects single / multi / partitioned communication.
+	Mode Mode
+	// Impl selects the partitioned implementation.
+	Impl mpi.PartImpl
+	// Net and Machine override the hardware models.
+	Net     *netsim.Params
+	Machine *cluster.Machine
+}
+
+func (c IncastConfig) withDefaults() IncastConfig {
+	if c.Repeats == 0 {
+		c.Repeats = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Net == nil {
+		c.Net = netsim.EDR()
+	}
+	if c.Machine == nil {
+		c.Machine = cluster.Niagara()
+	}
+	if c.Mode == Single {
+		c.Threads = 1
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c *IncastConfig) Validate() error {
+	if c.Senders <= 0 {
+		return fmt.Errorf("patterns: Senders must be positive")
+	}
+	if c.Threads <= 0 {
+		return fmt.Errorf("patterns: Threads must be positive")
+	}
+	if c.BytesPerThread <= 0 {
+		return fmt.Errorf("patterns: BytesPerThread must be positive")
+	}
+	if c.Compute < 0 || c.Repeats <= 0 {
+		return fmt.Errorf("patterns: negative Compute or non-positive Repeats")
+	}
+	return nil
+}
+
+// RunIncast executes the motif and returns its throughput result.
+func RunIncast(cfg IncastConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := sim.New()
+	nRanks := cfg.Senders + 1
+	mcfg := mpi.DefaultConfig(nRanks)
+	mcfg.Net = cfg.Net
+	mcfg.Machine = cfg.Machine
+	configureMode(&mcfg, cfg.Mode, cfg.Impl)
+	w := mpi.NewWorld(s, mcfg)
+
+	var startAt, maxEnd sim.Time
+	ends := make([]sim.Time, nRanks)
+	for id := 0; id < nRanks; id++ {
+		id := id
+		comm := w.Comm(id)
+		place := cluster.Place(cfg.Machine, cfg.Threads)
+		comm.SetPlacement(place)
+		nm := noise.New(cfg.NoiseKind, cfg.NoisePercent, cfg.Seed+int64(id))
+		s.Spawn(fmt.Sprintf("incast/rank%d", id), func(p *sim.Proc) {
+			if id == 0 {
+				runIncastSink(p, comm, cfg)
+			} else {
+				runIncastSender(p, comm, cfg, nm, place)
+			}
+			ends[id] = p.Now()
+		})
+	}
+	if err := s.Run(); err != nil {
+		return nil, fmt.Errorf("patterns: incast simulation failed: %w", err)
+	}
+	res := &Result{}
+	for id := 0; id < nRanks; id++ {
+		st := w.Comm(id).NICStats()
+		res.PayloadBytes += st.Bytes
+		res.Messages += st.Messages
+		if ends[id] > maxEnd {
+			maxEnd = ends[id]
+		}
+	}
+	res.Elapsed = maxEnd.Sub(startAt)
+	return res, nil
+}
+
+// runIncastSender computes and sends toward the sink each round.
+func runIncastSender(p *sim.Proc, comm *mpi.Comm, cfg IncastConfig, nm *noise.Model, place *cluster.Placement) {
+	s := p.Scheduler()
+	var psend *mpi.PRequest
+	if cfg.Mode == Partitioned {
+		psend = comm.PsendInit(p, 0, comm.Rank(), cfg.Threads, cfg.BytesPerThread)
+	}
+	comm.Barrier(p)
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		compute := nm.Region(cfg.Threads, cfg.Compute)
+		switch cfg.Mode {
+		case Single:
+			p.Sleep(place.ComputeTime(0, compute[0]))
+			comm.SendBytes(p, 0, rep*1024+comm.Rank(), cfg.BytesPerThread)
+		case Multi:
+			var join sim.WaitGroup
+			join.Add(s, cfg.Threads)
+			for t := 0; t < cfg.Threads; t++ {
+				t := t
+				s.Spawn(fmt.Sprintf("incast/w%d", t), func(tp *sim.Proc) {
+					tp.Sleep(place.ComputeTime(t, compute[t]))
+					comm.Endpoint(t).SendBytes(tp, 0, rep*1024+comm.Rank()*64+t, cfg.BytesPerThread)
+					join.Done(s)
+				})
+			}
+			join.Wait(p)
+		case Partitioned:
+			psend.Start(p)
+			var join sim.WaitGroup
+			join.Add(s, cfg.Threads)
+			for t := 0; t < cfg.Threads; t++ {
+				t := t
+				s.Spawn(fmt.Sprintf("incast/w%d", t), func(tp *sim.Proc) {
+					tp.Sleep(place.ComputeTime(t, compute[t]))
+					psend.Pready(tp, t)
+					join.Done(s)
+				})
+			}
+			join.Wait(p)
+			psend.Wait(p)
+		}
+	}
+	comm.Barrier(p)
+}
+
+// runIncastSink receives every sender's contribution each round.
+func runIncastSink(p *sim.Proc, comm *mpi.Comm, cfg IncastConfig) {
+	precvs := make([]*mpi.PRequest, 0, cfg.Senders)
+	if cfg.Mode == Partitioned {
+		for src := 1; src <= cfg.Senders; src++ {
+			precvs = append(precvs, comm.PrecvInit(p, src, src, cfg.Threads, cfg.BytesPerThread))
+		}
+	}
+	comm.Barrier(p)
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		switch cfg.Mode {
+		case Single:
+			var reqs []*mpi.Request
+			for src := 1; src <= cfg.Senders; src++ {
+				reqs = append(reqs, comm.Irecv(p, src, rep*1024+src))
+			}
+			mpi.WaitAll(p, reqs...)
+		case Multi:
+			var reqs []*mpi.Request
+			for src := 1; src <= cfg.Senders; src++ {
+				for t := 0; t < cfg.Threads; t++ {
+					reqs = append(reqs, comm.Irecv(p, src, rep*1024+src*64+t))
+				}
+			}
+			mpi.WaitAll(p, reqs...)
+		case Partitioned:
+			for _, pr := range precvs {
+				pr.Start(p)
+			}
+			for _, pr := range precvs {
+				pr.Wait(p)
+			}
+		}
+	}
+	comm.Barrier(p)
+}

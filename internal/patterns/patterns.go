@@ -1,0 +1,91 @@
+// Package patterns implements the communication motifs the paper evaluates
+// (§3.2), modelled after the Ember suite from SST: a 3-D wavefront sweep
+// (Sweep3D, the KBA decomposition used by SNAP/PARTISN) and a 7-point 3-D
+// halo exchange (Halo3D). Each motif runs in three threading modes — a
+// single-threaded MPI point-to-point baseline, multi-threaded point-to-point
+// under MPI_THREAD_MULTIPLE, and MPI Partitioned — and reports communication
+// throughput.
+//
+// Scaling follows the paper's setup (§4.6): data is weak-scaled (each thread
+// contributes BytesPerThread to every boundary message, so messages grow
+// with thread count) while each thread performs the same compute amount.
+package patterns
+
+import (
+	"fmt"
+	"strings"
+
+	"partmb/internal/sim"
+)
+
+// Mode selects the threading/communication strategy of a motif run.
+type Mode int
+
+const (
+	// Single: one thread computes and exchanges whole messages with plain
+	// point-to-point.
+	Single Mode = iota
+	// Multi: every thread exchanges its own sub-message with point-to-point
+	// under MPI_THREAD_MULTIPLE.
+	Multi
+	// Partitioned: threads contribute partitions of persistent partitioned
+	// transfers.
+	Partitioned
+)
+
+// String returns the mode name used in reports.
+func (m Mode) String() string {
+	switch m {
+	case Single:
+		return "single"
+	case Multi:
+		return "multi"
+	case Partitioned:
+		return "partitioned"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode parses a mode name.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "single", "pt2pt":
+		return Single, nil
+	case "multi", "multiple", "threaded":
+		return Multi, nil
+	case "partitioned", "part":
+		return Partitioned, nil
+	}
+	return Single, fmt.Errorf("patterns: unknown mode %q (want single|multi|partitioned)", s)
+}
+
+// Modes lists all modes in presentation order.
+func Modes() []Mode { return []Mode{Single, Multi, Partitioned} }
+
+// Result reports one motif run.
+type Result struct {
+	// Elapsed is the virtual time from the post-setup barrier to the last
+	// rank finishing.
+	Elapsed sim.Duration
+	// PayloadBytes is the total application payload moved across all ranks
+	// (control traffic excluded).
+	PayloadBytes int64
+	// Messages is the total number of network messages injected, including
+	// protocol control messages.
+	Messages int64
+}
+
+// Throughput returns application bytes moved per second of virtual time.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.PayloadBytes) / r.Elapsed.Seconds()
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("elapsed=%v payload=%.1fMiB msgs=%d throughput=%.3fGB/s",
+		r.Elapsed, float64(r.PayloadBytes)/(1<<20), r.Messages, r.Throughput()/1e9)
+}

@@ -1,0 +1,109 @@
+package prof
+
+import (
+	"strings"
+	"testing"
+
+	"partmb/internal/sim"
+)
+
+func TestCallAccounting(t *testing.T) {
+	s := sim.New()
+	pf := New()
+	s.Spawn("app", func(p *sim.Proc) {
+		r := pf.Rank(0)
+		r.Begin(p)
+		p.Sleep(6 * sim.Millisecond) // compute
+		r.Call(p, "MPI_Recv", func() { p.Sleep(3 * sim.Millisecond) })
+		r.Call(p, "MPI_Recv", func() { p.Sleep(sim.Millisecond) })
+		r.End(p)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := pf.Report()
+	if rep.AppTime != 10*sim.Millisecond {
+		t.Fatalf("AppTime = %v, want 10ms", rep.AppTime)
+	}
+	if rep.MPITime != 4*sim.Millisecond {
+		t.Fatalf("MPITime = %v, want 4ms", rep.MPITime)
+	}
+	if f := rep.MPIFraction(); f != 0.4 {
+		t.Fatalf("MPIFraction = %v, want 0.4", f)
+	}
+	if len(rep.Calls) != 1 || rep.Calls[0].Count != 2 {
+		t.Fatalf("calls = %+v", rep.Calls)
+	}
+}
+
+func TestMultiRankAggregation(t *testing.T) {
+	s := sim.New()
+	pf := New()
+	for id := 0; id < 4; id++ {
+		id := id
+		s.Spawn("app", func(p *sim.Proc) {
+			r := pf.Rank(id)
+			r.Begin(p)
+			p.Sleep(8 * sim.Millisecond)
+			r.Call(p, "MPI_Send", func() { p.Sleep(2 * sim.Millisecond) })
+			r.End(p)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := pf.Report()
+	if rep.Ranks != 4 {
+		t.Fatalf("ranks = %d", rep.Ranks)
+	}
+	if rep.AppTime != 40*sim.Millisecond || rep.MPITime != 8*sim.Millisecond {
+		t.Fatalf("aggregate = %v/%v", rep.MPITime, rep.AppTime)
+	}
+}
+
+func TestCallsSortedByTime(t *testing.T) {
+	s := sim.New()
+	pf := New()
+	s.Spawn("app", func(p *sim.Proc) {
+		r := pf.Rank(0)
+		r.Begin(p)
+		r.Call(p, "MPI_Isend", func() { p.Sleep(sim.Millisecond) })
+		r.Call(p, "MPI_Waitall", func() { p.Sleep(5 * sim.Millisecond) })
+		r.Call(p, "MPI_Recv", func() { p.Sleep(2 * sim.Millisecond) })
+		r.End(p)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := pf.Report()
+	if rep.Calls[0].Name != "MPI_Waitall" || rep.Calls[2].Name != "MPI_Isend" {
+		t.Fatalf("sort order wrong: %+v", rep.Calls)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "MPI_Waitall") || !strings.Contains(out, "MPI%") {
+		t.Fatalf("report rendering missing fields:\n%s", out)
+	}
+}
+
+func TestEndBeforeBeginPanics(t *testing.T) {
+	s := sim.New()
+	pf := New()
+	var panicked bool
+	s.Spawn("app", func(p *sim.Proc) {
+		defer func() { panicked = recover() != nil }()
+		pf.Rank(0).End(p)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !panicked {
+		t.Fatal("End before Begin did not panic")
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	rep := New().Report()
+	if rep.MPIFraction() != 0 || rep.Ranks != 0 {
+		t.Fatalf("empty report = %+v", rep)
+	}
+}

@@ -1,0 +1,49 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"partmb/internal/sim"
+)
+
+// Example shows the kernel's cooperative actors: two procs synchronizing
+// through a barrier in virtual time. The run is deterministic.
+func Example() {
+	s := sim.New()
+	b := sim.NewBarrier(2)
+	for i := 0; i < 2; i++ {
+		i := i
+		s.Spawn(fmt.Sprintf("worker%d", i), func(p *sim.Proc) {
+			p.Sleep(sim.Duration(i+1) * sim.Millisecond) // skewed compute
+			b.Await(p)
+			fmt.Printf("worker%d released at t=%v\n", i, sim.Duration(p.Now()))
+		})
+	}
+	if err := s.Run(); err != nil {
+		panic(err)
+	}
+	// The last arriver (worker1) proceeds immediately; earlier arrivers
+	// wake right after, at the same virtual instant.
+	// Output:
+	// worker1 released at t=2ms
+	// worker0 released at t=2ms
+}
+
+// ExampleScheduler_Run demonstrates deadlock detection: the kernel reports
+// exactly which procs are stuck and why.
+func ExampleScheduler_Run() {
+	s := sim.New()
+	var m sim.Mutex
+	s.Spawn("holder", func(p *sim.Proc) {
+		m.Lock(p)
+		var never sim.Completion
+		never.Wait(p) // blocks forever while holding the lock
+	})
+	s.Spawn("waiter", func(p *sim.Proc) {
+		m.Lock(p)
+	})
+	err := s.Run()
+	_, isDeadlock := err.(*sim.DeadlockError)
+	fmt.Println("deadlock detected:", isDeadlock)
+	// Output: deadlock detected: true
+}

@@ -1,0 +1,343 @@
+// Package sim provides a deterministic discrete-event simulation kernel with
+// cooperative actors ("procs").
+//
+// Each proc is backed by a goroutine, but the scheduler guarantees that at
+// most one proc executes at any instant: control is handed to a proc via an
+// unbuffered channel and handed back when the proc blocks (Sleep, mutex wait,
+// condition wait, ...). All simulator state is therefore mutated only by the
+// current token holder and needs no locking. Events with equal timestamps
+// fire in the order they were scheduled, so runs are bitwise reproducible.
+//
+// The kernel exposes virtual time (Time, Duration in nanoseconds) and a small
+// set of synchronization primitives (Mutex, Cond, WaitGroup, Barrier,
+// Completion) mirroring their sync-package counterparts but operating in
+// virtual time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Time is an absolute instant of virtual time, in nanoseconds since the start
+// of the simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It deliberately mirrors
+// time.Duration so the usual constants convert directly.
+type Duration int64
+
+// Handy duration units, matching time package values.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Microseconds returns the duration as a floating-point number of microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / 1e3 }
+
+// Milliseconds returns the duration as a floating-point number of milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / 1e6 }
+
+// String formats the duration with an adaptive unit.
+func (d Duration) String() string {
+	switch {
+	case d < 0:
+		return "-" + (-d).String()
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.3gus", d.Microseconds())
+	case d < Second:
+		return fmt.Sprintf("%.4gms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%.4gs", d.Seconds())
+	}
+}
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// DeadlockError is returned by Run when live procs remain but no future event
+// can wake any of them.
+type DeadlockError struct {
+	// Now is the virtual time at which the simulation stalled.
+	Now Time
+	// Blocked lists "name: reason" for every parked proc.
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%v with %d blocked procs: %s",
+		Duration(e.Now), len(e.Blocked), strings.Join(e.Blocked, "; "))
+}
+
+// Scheduler owns the virtual clock, the event queue, and all procs.
+// The zero value is not usable; call New.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	live    int
+	procSeq int
+
+	// token handoff: the scheduler sends on p.resume to run a proc and
+	// receives on parked when the proc blocks or finishes.
+	parked chan struct{}
+
+	// blocked tracks parked procs for deadlock diagnostics.
+	blocked map[*Proc]string
+
+	running bool
+}
+
+// New returns an empty simulation scheduler with the clock at zero.
+func New() *Scheduler {
+	return &Scheduler{
+		parked:  make(chan struct{}),
+		blocked: make(map[*Proc]string),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// At schedules fn to run in scheduler context at absolute time t.
+// Scheduling in the past panics: virtual time is monotonic.
+func (s *Scheduler) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (s *Scheduler) After(d Duration, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	s.At(s.now.Add(d), fn)
+}
+
+// Proc is a cooperative actor. Every blocking method must be called by the
+// proc itself (i.e. from within the function passed to Spawn).
+type Proc struct {
+	s      *Scheduler
+	name   string
+	id     int
+	resume chan struct{}
+	dead   bool
+	// wakeScheduled guards against double-wake: a proc may be the target of
+	// at most one pending wake event.
+	wakeScheduled bool
+}
+
+// Name returns the name the proc was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the unique spawn-ordered id of the proc.
+func (p *Proc) ID() int { return p.id }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.s.now }
+
+// Scheduler returns the scheduler this proc belongs to.
+func (p *Proc) Scheduler() *Scheduler { return p.s }
+
+// Spawn creates a new proc executing fn. It may be called before Run or from
+// inside a running proc or event callback. The proc starts at the current
+// virtual time.
+func (s *Scheduler) Spawn(name string, fn func(p *Proc)) *Proc {
+	s.procSeq++
+	p := &Proc{
+		s:      s,
+		name:   name,
+		id:     s.procSeq,
+		resume: make(chan struct{}),
+	}
+	s.live++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.dead = true
+		s.live--
+		s.parked <- struct{}{}
+	}()
+	s.wake(p)
+	return p
+}
+
+// wake schedules p to resume at the current time. It is idempotent while a
+// wake is already pending and a no-op on dead procs.
+func (s *Scheduler) wake(p *Proc) {
+	s.wakeAt(s.now, p)
+}
+
+// wakeAt schedules p to resume at time t. Idempotent while a wake is pending.
+func (s *Scheduler) wakeAt(t Time, p *Proc) {
+	if p.dead || p.wakeScheduled {
+		return
+	}
+	p.wakeScheduled = true
+	s.At(t, func() {
+		if p.dead {
+			return
+		}
+		p.wakeScheduled = false
+		delete(s.blocked, p)
+		p.resume <- struct{}{}
+		<-s.parked
+	})
+}
+
+// park blocks the calling proc until something wakes it. reason appears in
+// deadlock diagnostics.
+func (p *Proc) park(reason string) {
+	p.s.blocked[p] = reason
+	p.s.parked <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the calling proc for d of virtual time. Zero is allowed and
+// acts as a yield point ordered after already-scheduled same-time events.
+// Negative d panics.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	s := p.s
+	s.wakeAt(s.now.Add(d), p)
+	p.park(fmt.Sprintf("sleep %v until %v", d, s.now.Add(d)))
+}
+
+// Yield gives other same-time events a chance to run before continuing.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Run drives the simulation until the event queue drains. It returns nil if
+// every proc has finished, and a *DeadlockError if live procs remain parked
+// with no event able to wake them. Run must be called exactly once.
+func (s *Scheduler) Run() error {
+	if s.running {
+		panic("sim: Run called twice")
+	}
+	s.running = true
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.at < s.now {
+			panic("sim: time went backwards")
+		}
+		s.now = e.at
+		e.fn()
+	}
+	if s.live > 0 {
+		var blocked []string
+		for p, why := range s.blocked {
+			blocked = append(blocked, fmt.Sprintf("%s(#%d): %s", p.name, p.id, why))
+		}
+		sort.Strings(blocked)
+		return &DeadlockError{Now: s.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// RunPaced drives the simulation like Run but paces virtual time against
+// the wall clock: one second of virtual time takes 1/scale wall seconds
+// (scale 2 runs twice as fast as real time). Useful for watching timelines
+// live in demos; measurement results are identical to Run since virtual
+// timestamps do not depend on pacing.
+func (s *Scheduler) RunPaced(scale float64) error {
+	if s.running {
+		panic("sim: Run called twice")
+	}
+	if scale <= 0 {
+		panic("sim: pacing scale must be positive")
+	}
+	s.running = true
+	wallStart := time.Now()
+	simStart := s.now
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.at < s.now {
+			panic("sim: time went backwards")
+		}
+		// Sleep until the wall clock catches up with this event's virtual
+		// time at the requested scale.
+		virtualAhead := time.Duration(float64(e.at-simStart) / scale)
+		if lag := virtualAhead - time.Since(wallStart); lag > 0 {
+			time.Sleep(lag)
+		}
+		s.now = e.at
+		e.fn()
+	}
+	if s.live > 0 {
+		var blocked []string
+		for p, why := range s.blocked {
+			blocked = append(blocked, fmt.Sprintf("%s(#%d): %s", p.name, p.id, why))
+		}
+		sort.Strings(blocked)
+		return &DeadlockError{Now: s.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// RunUntil drives the simulation until the clock would pass t or the queue
+// drains. Events at exactly t still fire. It reports whether the queue
+// drained (all work done).
+func (s *Scheduler) RunUntil(t Time) bool {
+	if s.running {
+		panic("sim: Run called twice")
+	}
+	for s.queue.Len() > 0 && s.queue[0].at <= t {
+		e := heap.Pop(&s.queue).(*event)
+		s.now = e.at
+		e.fn()
+	}
+	if s.queue.Len() == 0 {
+		s.running = true
+		return true
+	}
+	return false
+}
+
+// timeNowUnixNano is a test seam for wall-clock access.
+func timeNowUnixNano() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,100 @@
+package snap
+
+import (
+	"strings"
+	"testing"
+)
+
+func portCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Octants = 4
+	cfg.ZBlocks = 8
+	return cfg
+}
+
+func TestComparePortSpeedsUpSweep(t *testing.T) {
+	res, err := ComparePort(portCfg(), 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measured() <= 1.0 {
+		t.Fatalf("partitioned port not faster: %v", res)
+	}
+	if res.MPIFraction <= 0 || res.MPIFraction >= 1 {
+		t.Fatalf("MPI fraction = %v", res.MPIFraction)
+	}
+	if !strings.Contains(res.String(), "measured") {
+		t.Fatalf("bad String: %q", res.String())
+	}
+}
+
+func TestComparePortSpeedupGrowsWithScale(t *testing.T) {
+	// More nodes => higher MPI fraction => more for the port to win.
+	small, err := ComparePort(portCfg(), 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := ComparePort(portCfg(), 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Measured() <= small.Measured() {
+		t.Fatalf("port speedup did not grow with scale: %d nodes %.3f vs %d nodes %.3f",
+			small.Nodes, small.Measured(), big.Nodes, big.Measured())
+	}
+	if big.MPIFraction <= small.MPIFraction {
+		t.Fatalf("MPI fraction did not grow with scale")
+	}
+}
+
+func TestComparePortTracksProjectionDirection(t *testing.T) {
+	// The measured and projected speedups need not match in magnitude (the
+	// projection applies the Sweep3D throughput gain; the port pipelines
+	// wavefront fill), but both must exceed 1 and move the same way.
+	res, err := ComparePort(portCfg(), 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Projected <= 1 || res.Measured() <= 1 {
+		t.Fatalf("speedups not both above 1: %v", res)
+	}
+}
+
+func TestComparePortValidation(t *testing.T) {
+	if _, err := ComparePort(portCfg(), 0, 8); err == nil {
+		t.Fatal("0 nodes accepted")
+	}
+	if _, err := ComparePort(portCfg(), 4, 0); err == nil {
+		t.Fatal("0 chunks accepted")
+	}
+	cfg := portCfg()
+	cfg.BoundaryBytes = 100
+	if _, err := ComparePort(cfg, 4, 3); err == nil {
+		t.Fatal("indivisible chunking accepted")
+	}
+}
+
+func TestSweepNeighboursCorners(t *testing.T) {
+	// Octant 0 sweeps (+x, +y): rank (0,0) has no upstream, rank (px-1,
+	// py-1) has no downstream.
+	upX, upY, downX, downY := sweepNeighbours(0, 0, 0, 4, 4)
+	if upX != -1 || upY != -1 {
+		t.Fatalf("corner rank has upstream: %d %d", upX, upY)
+	}
+	if downX != 1 || downY != 4 {
+		t.Fatalf("corner downstream = %d %d, want 1 4", downX, downY)
+	}
+	upX, upY, downX, downY = sweepNeighbours(0, 3, 3, 4, 4)
+	if downX != -1 || downY != -1 {
+		t.Fatalf("far corner has downstream: %d %d", downX, downY)
+	}
+	if upX != 14 || upY != 11 {
+		t.Fatalf("far corner upstream = %d %d, want 14 11", upX, upY)
+	}
+	// Octant 3 sweeps (-x, -y): roles reverse.
+	upX, upY, downX, downY = sweepNeighbours(3, 3, 3, 4, 4)
+	if upX != -1 || upY != -1 {
+		t.Fatalf("octant-3 start corner has upstream: %d %d", upX, upY)
+	}
+	_, _, _, _ = upX, upY, downX, downY
+}

@@ -1,0 +1,178 @@
+// Package stats provides the descriptive statistics the benchmark harness
+// reports: means, medians, standard deviations, percentiles, and the
+// outlier-pruning step the paper applies to noisy samples (§4.1: "we have
+// pruned extreme noise samples from the dataset").
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics over a sample set.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	Min    float64
+	Max    float64
+	Stddev float64
+	P05    float64
+	P95    float64
+}
+
+// Summarize computes a Summary over xs. It panics on an empty sample set:
+// callers control iteration counts and an empty set is a harness bug.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample set")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Summary{
+		N:      len(sorted),
+		Mean:   Mean(sorted),
+		Median: Percentile(sorted, 50),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Stddev: Stddev(sorted),
+		P05:    Percentile(sorted, 5),
+		P95:    Percentile(sorted, 95),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g median=%.4g sd=%.3g min=%.4g max=%.4g",
+		s.N, s.Mean, s.Median, s.Stddev, s.Min, s.Max)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation of xs (0 for n < 2).
+func Stddev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. xs must be sorted ascending and
+// non-empty.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: percentile of empty set")
+	}
+	if p <= 0 {
+		return xs[0]
+	}
+	if p >= 100 {
+		return xs[len(xs)-1]
+	}
+	rank := p / 100 * float64(len(xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return xs[lo]
+	}
+	frac := rank - float64(lo)
+	return xs[lo]*(1-frac) + xs[hi]*frac
+}
+
+// PruneOutliers drops samples more than k standard deviations from the mean,
+// returning the retained samples. This mirrors the paper's removal of extreme
+// noise samples "that do not often occur in practice". With fewer than three
+// samples, or k <= 0, the input is returned unchanged.
+func PruneOutliers(xs []float64, k float64) []float64 {
+	if len(xs) < 3 || k <= 0 {
+		return xs
+	}
+	m := Mean(xs)
+	sd := Stddev(xs)
+	if sd == 0 {
+		return xs
+	}
+	kept := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if math.Abs(x-m) <= k*sd {
+			kept = append(kept, x)
+		}
+	}
+	if len(kept) == 0 {
+		return xs // degenerate; keep everything rather than nothing
+	}
+	return kept
+}
+
+// TrimmedMean returns the mean after discarding the lowest and highest
+// fraction (0 <= frac < 0.5) of the sorted samples.
+func TrimmedMean(xs []float64, frac float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if frac <= 0 {
+		return Mean(xs)
+	}
+	if frac >= 0.5 {
+		panic("stats: trim fraction must be < 0.5")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	cut := int(float64(len(sorted)) * frac)
+	trimmed := sorted[cut : len(sorted)-cut]
+	if len(trimmed) == 0 {
+		return Percentile(sorted, 50)
+	}
+	return Mean(trimmed)
+}
+
+// GeoMean returns the geometric mean of xs; all samples must be positive.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sumLog float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: geometric mean of non-positive sample")
+		}
+		sumLog += math.Log(x)
+	}
+	return math.Exp(sumLog / float64(len(xs)))
+}
+
+// MinMax returns the smallest and largest values in xs.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty set")
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}

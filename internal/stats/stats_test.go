@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); !almost(got, 2.5) {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2.138089935) > 1e-6 {
+		t.Fatalf("Stddev = %v", got)
+	}
+	if got := Stddev([]float64{5}); got != 0 {
+		t.Fatalf("Stddev single = %v, want 0", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {25, 20}, {50, 30}, {75, 40}, {100, 50}, {-5, 10}, {110, 50},
+		{10, 14}, // interpolated: rank 0.4 between 10 and 20
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.N != 3 || s.Min != 1 || s.Max != 3 || !almost(s.Mean, 2) || !almost(s.Median, 2) {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Summarize(empty) did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestPruneOutliers(t *testing.T) {
+	xs := []float64{10, 11, 9, 10, 10, 11, 9, 10, 1000}
+	kept := PruneOutliers(xs, 2)
+	for _, x := range kept {
+		if x == 1000 {
+			t.Fatal("outlier survived pruning")
+		}
+	}
+	if len(kept) != len(xs)-1 {
+		t.Fatalf("kept %d, want %d", len(kept), len(xs)-1)
+	}
+}
+
+func TestPruneOutliersDegenerate(t *testing.T) {
+	xs := []float64{5, 5, 5}
+	if got := PruneOutliers(xs, 2); len(got) != 3 {
+		t.Fatalf("identical samples pruned: %v", got)
+	}
+	two := []float64{1, 100}
+	if got := PruneOutliers(two, 2); len(got) != 2 {
+		t.Fatalf("tiny sets must not be pruned: %v", got)
+	}
+	if got := PruneOutliers(xs, 0); len(got) != 3 {
+		t.Fatalf("k=0 must disable pruning: %v", got)
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 100}
+	if got := TrimmedMean(xs, 0.2); !almost(got, 3) {
+		t.Fatalf("TrimmedMean = %v, want 3", got)
+	}
+	if got := TrimmedMean(xs, 0); !almost(got, 22) {
+		t.Fatalf("untrimmed = %v, want 22", got)
+	}
+	if got := TrimmedMean(nil, 0.1); got != 0 {
+		t.Fatalf("TrimmedMean(nil) = %v", got)
+	}
+}
+
+func TestTrimmedMeanBadFracPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("frac 0.5 did not panic")
+		}
+	}()
+	TrimmedMean([]float64{1, 2}, 0.5)
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); !almost(got, 10) {
+		t.Fatalf("GeoMean = %v, want 10", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("GeoMean(nil) = %v", got)
+	}
+}
+
+func TestGeoMeanNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive sample did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Fatalf("MinMax = %v, %v", min, max)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		xs := append([]float64(nil), raw...)
+		sort.Float64s(xs)
+		a := math.Mod(math.Abs(p1), 100)
+		b := math.Mod(math.Abs(p2), 100)
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := Percentile(xs, a), Percentile(xs, b)
+		return pa <= pb && pa >= xs[0] && pb <= xs[len(xs)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pruning never removes all samples and never increases the spread.
+func TestQuickPruneKeepsSubset(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		kept := PruneOutliers(xs, 2)
+		if len(kept) == 0 || len(kept) > len(xs) {
+			return false
+		}
+		// Every kept sample must come from the input.
+		counts := map[float64]int{}
+		for _, x := range xs {
+			counts[x]++
+		}
+		for _, x := range kept {
+			if counts[x] == 0 {
+				return false
+			}
+			counts[x]--
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
