@@ -6,12 +6,13 @@ import (
 	"partmb/internal/classic"
 	"partmb/internal/cluster"
 	"partmb/internal/core"
+	"partmb/internal/engine"
 	"partmb/internal/figures"
 	"partmb/internal/memsim"
 	"partmb/internal/mpi"
-	"partmb/internal/netsim"
 	"partmb/internal/noise"
 	"partmb/internal/patterns"
+	"partmb/internal/platform"
 	"partmb/internal/sim"
 	"partmb/internal/snap"
 )
@@ -47,6 +48,35 @@ func BenchmarkFig10Sweep3D100ms(b *testing.B)   { benchFigure(b, 10) }
 func BenchmarkFig11Halo3D10ms(b *testing.B)     { benchFigure(b, 11) }
 func BenchmarkFig12Halo3D100ms(b *testing.B)    { benchFigure(b, 12) }
 func BenchmarkFig13SnapProjection(b *testing.B) { benchFigure(b, 13) }
+
+// ---------------------------------------------------------------------------
+// Engine benchmarks: the full quick `-fig all` sweep, serial-uncached vs
+// parallel+cached — the speedup the experiment engine buys. Numbers are
+// recorded in EXPERIMENTS.md.
+// ---------------------------------------------------------------------------
+
+func benchFigAll(b *testing.B, rn func() *engine.Runner) {
+	b.Helper()
+	sc := figures.Quick()
+	for i := 0; i < b.N; i++ {
+		env := figures.Env{Runner: rn()}
+		for _, fig := range figures.Numbers() {
+			if _, err := env.Generate(fig, sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFigAllQuickSerial(b *testing.B) {
+	benchFigAll(b, func() *engine.Runner {
+		return engine.New(engine.Workers(1), engine.WithoutCache())
+	})
+}
+
+func BenchmarkFigAllQuickParallelCached(b *testing.B) {
+	benchFigAll(b, func() *engine.Runner { return engine.New() })
+}
 
 // ---------------------------------------------------------------------------
 // Runtime micro-benchmarks: how fast is the simulator itself?
@@ -228,8 +258,6 @@ func BenchmarkAblationEagerThreshold(b *testing.B) {
 // lock-contention model in the Sweep3D motif.
 func BenchmarkAblationLockContention(b *testing.B) {
 	run := func(b *testing.B, contention sim.Duration) float64 {
-		net := netsim.EDR()
-		machine := cluster.Niagara()
 		var last float64
 		for i := 0; i < b.N; i++ {
 			res, err := patterns.RunSweep3D(patterns.SweepConfig{
@@ -237,14 +265,11 @@ func BenchmarkAblationLockContention(b *testing.B) {
 				Threads:        16,
 				BytesPerThread: 256 << 10,
 				Compute:        sim.Millisecond,
-				NoiseKind:      noise.SingleThread,
-				NoisePercent:   4,
 				ZBlocks:        2,
 				Octants:        4,
 				Repeats:        1,
 				Mode:           patterns.Multi,
-				Net:            net,
-				Machine:        machine,
+				Platform:       platform.Niagara().WithNoise(noise.SingleThread, 4),
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -269,13 +294,11 @@ func BenchmarkAblationLockContention(b *testing.B) {
 				Threads:        16,
 				BytesPerThread: 256 << 10,
 				Compute:        sim.Millisecond,
-				NoiseKind:      noise.SingleThread,
-				NoisePercent:   4,
 				ZBlocks:        2,
 				Octants:        4,
 				Repeats:        1,
 				Mode:           patterns.Partitioned,
-				Impl:           mpi.PartNative,
+				Platform:       platform.Niagara().WithNoise(noise.SingleThread, 4).WithImpl(mpi.PartNative),
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -298,11 +321,10 @@ func BenchmarkAblationCache(b *testing.B) {
 					MessageBytes: 256 << 10,
 					Partitions:   16,
 					Compute:      sim.Millisecond,
-					Cache:        mode,
-					Impl:         mpi.PartMPIPCL,
-					ThreadMode:   mpi.Multiple,
 					Iterations:   3,
 					Warmup:       1,
+					Platform: platform.Niagara().WithCache(mode).
+						WithImpl(mpi.PartMPIPCL).WithThreadMode(mpi.Multiple),
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -364,10 +386,9 @@ func BenchmarkExtensionReceiveOverlap(b *testing.B) {
 			MessageBytes: 8 << 20,
 			Partitions:   16,
 			Compute:      5 * sim.Millisecond,
-			NoiseKind:    noise.Uniform,
-			NoisePercent: 4,
 			Iterations:   3,
 			Warmup:       1,
+			Platform:     platform.Niagara().WithNoise(noise.Uniform, 4),
 		}, 2*sim.Millisecond)
 		if err != nil {
 			b.Fatal(err)
@@ -436,7 +457,7 @@ func BenchmarkExtensionClassicLatency(b *testing.B) {
 	cfg.Iterations = 20
 	cfg.Warmup = 2
 	for i := 0; i < b.N; i++ {
-		if _, err := classic.Latency(cfg, []int64{8, 1 << 20}); err != nil {
+		if _, err := classic.Latency(nil, cfg, []int64{8, 1 << 20}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -18,43 +18,55 @@ import (
 
 	"partmb/internal/cliutil"
 	"partmb/internal/core"
+	"partmb/internal/engine"
 	"partmb/internal/memsim"
 	"partmb/internal/mpi"
 	"partmb/internal/noise"
+	"partmb/internal/platform"
 	"partmb/internal/report"
 )
 
 func main() {
 	var (
-		sizeStr    = flag.String("size", "1MiB", "message size")
-		computeStr = flag.String("compute", "10ms", "per-thread compute amount")
-		noiseStr   = flag.String("noise", "single", "noise model: none|single|uniform|gaussian")
-		noisePct   = flag.Float64("noise-pct", 4, "noise percent")
-		cacheStr   = flag.String("cache", "hot", "cache mode: hot|cold")
-		countsStr  = flag.String("counts", "1,2,4,8,16,32", "candidate partition counts")
-		iters      = flag.Int("iters", 6, "iterations per candidate")
+		sizeStr     = flag.String("size", "1MiB", "message size")
+		computeStr  = flag.String("compute", "10ms", "per-thread compute amount")
+		noiseStr    = flag.String("noise", "single", "noise model: none|single|uniform|gaussian")
+		noisePct    = flag.Float64("noise-pct", 4, "noise percent")
+		cacheStr    = flag.String("cache", "hot", "cache mode: hot|cold")
+		countsStr   = flag.String("counts", "1,2,4,8,16,32", "candidate partition counts")
+		iters       = flag.Int("iters", 6, "iterations per candidate")
+		platformStr = flag.String("platform", "", "platform preset name or spec JSON path (default niagara-edr)")
 	)
 	flag.Parse()
 
-	cfg := core.Config{
-		Partitions:   1,
-		NoisePercent: *noisePct,
-		Impl:         mpi.PartMPIPCL,
-		ThreadMode:   mpi.Multiple,
-		Iterations:   *iters,
-		Warmup:       1,
-	}
+	spec := platform.Niagara()
 	var err error
+	if *platformStr != "" {
+		if spec, err = platform.Resolve(*platformStr); err != nil {
+			fatal(err)
+		}
+	}
+	nk, err := noise.ParseKind(*noiseStr)
+	if err != nil {
+		fatal(err)
+	}
+	cm, err := memsim.ParseCacheMode(*cacheStr)
+	if err != nil {
+		fatal(err)
+	}
+	spec = spec.WithNoise(nk, *noisePct).WithCache(cm).
+		WithImpl(mpi.PartMPIPCL).WithThreadMode(mpi.Multiple)
+
+	cfg := core.Config{
+		Partitions: 1,
+		Iterations: *iters,
+		Warmup:     1,
+		Platform:   spec,
+	}
 	if cfg.MessageBytes, err = cliutil.ParseSize(*sizeStr); err != nil {
 		fatal(err)
 	}
 	if cfg.Compute, err = cliutil.ParseDuration(*computeStr); err != nil {
-		fatal(err)
-	}
-	if cfg.NoiseKind, err = noise.ParseKind(*noiseStr); err != nil {
-		fatal(err)
-	}
-	if cfg.Cache, err = memsim.ParseCacheMode(*cacheStr); err != nil {
 		fatal(err)
 	}
 	var counts []int
@@ -66,13 +78,13 @@ func main() {
 		counts = append(counts, n)
 	}
 
-	adv, err := core.Advise(cfg, counts, core.DefaultAdvisorWeights())
+	adv, err := core.Advise(engine.New(), cfg, counts, core.DefaultAdvisorWeights())
 	if err != nil {
 		fatal(err)
 	}
 	t := report.New(
 		fmt.Sprintf("partition-count advice for %s, %v compute, %s/%.0f%% noise, %s cache",
-			core.FormatBytes(cfg.MessageBytes), cfg.Compute, cfg.NoiseKind, cfg.NoisePercent, cfg.Cache),
+			core.FormatBytes(cfg.MessageBytes), cfg.Compute, spec.NoiseKind, spec.NoisePercent, spec.Cache),
 		"rank", "partitions", "score", "overhead", "availability", "early-bird %", "notes")
 	for i, c := range adv.Candidates {
 		notes := ""

@@ -2,7 +2,8 @@
 // on the simulated cluster, plus the partitioned variants those suites lack:
 // ping-pong latency, streaming and bidirectional bandwidth, message rate,
 // Thakur–Gropp multithreaded latency, matching queue-depth stress, and
-// partitioned ping-pong.
+// partitioned ping-pong. The tables themselves are built by
+// internal/classic's suite on the shared experiment engine.
 //
 // Examples:
 //
@@ -20,18 +21,23 @@ import (
 	"partmb/internal/classic"
 	"partmb/internal/cliutil"
 	"partmb/internal/core"
+	"partmb/internal/engine"
+	"partmb/internal/platform"
 	"partmb/internal/report"
 )
 
 func main() {
 	var (
-		bench  = flag.String("bench", "all", "benchmark: latency|bw|bibw|rate|threads|match|partlat|all")
-		minStr = flag.String("min", "8", "minimum message size")
-		maxStr = flag.String("max", "4MiB", "maximum message size")
-		window = flag.Int("window", 16, "window size for bandwidth tests")
-		iters  = flag.Int("iters", 100, "iterations per point")
-		csvOut = flag.Bool("csv", false, "emit CSV")
+		bench       = flag.String("bench", "all", "benchmark: latency|bw|bibw|rate|threads|match|partlat|all")
+		minStr      = flag.String("min", "8", "minimum message size")
+		maxStr      = flag.String("max", "4MiB", "maximum message size")
+		window      = flag.Int("window", 16, "window size for bandwidth tests")
+		iters       = flag.Int("iters", 100, "iterations per point")
+		workers     = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		platformStr = flag.String("platform", "", "platform preset name or spec JSON path (default niagara-edr)")
+		out         cliutil.Output
 	)
+	out.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	min, err := cliutil.ParseSize(*minStr)
@@ -42,113 +48,39 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sizes := core.MessageSizes(min, max)
 	cfg := classic.DefaultConfig()
 	cfg.Iterations = *iters
 	cfg.Warmup = *iters / 10
-
-	emit := func(t *report.Table) {
-		var err error
-		if *csvOut {
-			err = t.WriteCSV(os.Stdout)
-		} else {
-			err = t.WriteText(os.Stdout)
-		}
-		if err != nil {
+	if *platformStr != "" {
+		if cfg.Platform, err = platform.Resolve(*platformStr); err != nil {
 			fatal(err)
 		}
 	}
-
-	run := map[string]func(){
-		"latency": func() {
-			pts, err := classic.Latency(cfg, sizes)
-			if err != nil {
-				fatal(err)
-			}
-			t := report.New("osu_latency-style ping-pong", "size", "latency us")
-			for _, pt := range pts {
-				t.AddF(core.FormatBytes(pt.Size), pt.Value*1e6)
-			}
-			emit(t)
-		},
-		"bw": func() {
-			pts, err := classic.Bandwidth(cfg, sizes, *window)
-			if err != nil {
-				fatal(err)
-			}
-			t := report.New(fmt.Sprintf("osu_bw-style streaming bandwidth (window %d)", *window), "size", "GB/s")
-			for _, pt := range pts {
-				t.AddF(core.FormatBytes(pt.Size), pt.Value/1e9)
-			}
-			emit(t)
-		},
-		"bibw": func() {
-			pts, err := classic.BiBandwidth(cfg, sizes, *window)
-			if err != nil {
-				fatal(err)
-			}
-			t := report.New(fmt.Sprintf("osu_bibw-style bidirectional bandwidth (window %d)", *window), "size", "aggregate GB/s")
-			for _, pt := range pts {
-				t.AddF(core.FormatBytes(pt.Size), pt.Value/1e9)
-			}
-			emit(t)
-		},
-		"rate": func() {
-			rate, err := classic.MessageRate(cfg, 8, *window)
-			if err != nil {
-				fatal(err)
-			}
-			t := report.New("small-message rate (8B)", "window", "msgs/s")
-			t.AddF(*window, rate)
-			emit(t)
-		},
-		"threads": func() {
-			t := report.New("Thakur-Gropp multithreaded latency (1KiB, MPI_THREAD_MULTIPLE)", "threads", "latency us")
-			for _, n := range []int{1, 2, 4, 8, 16} {
-				lat, err := classic.ThreadLatency(cfg, n, 1<<10)
-				if err != nil {
-					fatal(err)
-				}
-				t.AddF(n, lat.Microseconds())
-			}
-			emit(t)
-		},
-		"match": func() {
-			t := report.New("matching queue-depth stress (after Schonbein et al.)", "unexpected depth", "Irecv search time us")
-			for _, depth := range []int{0, 16, 64, 256, 1024} {
-				took, err := classic.MatchStress(cfg, depth)
-				if err != nil {
-					fatal(err)
-				}
-				t.AddF(depth, took.Microseconds())
-			}
-			emit(t)
-		},
-		"partlat": func() {
-			t := report.New("partitioned ping-pong epoch time (1MiB)", "partitions", "epoch us")
-			for _, parts := range []int{1, 2, 4, 8, 16, 32} {
-				lat, err := classic.PartLatency(cfg, 1<<20, parts)
-				if err != nil {
-					fatal(err)
-				}
-				t.AddF(parts, lat.Microseconds())
-			}
-			emit(t)
-		},
+	p := classic.SuiteParams{
+		Config: cfg,
+		Sizes:  core.MessageSizes(min, max),
+		Window: *window,
 	}
-	order := []string{"latency", "bw", "bibw", "rate", "threads", "match", "partlat"}
 
+	rn := engine.New(engine.Workers(*workers))
+	var tables []*report.Table
 	if *bench == "all" {
-		for _, name := range order {
-			run[name]()
-		}
-		return
+		tables, err = classic.Suite(rn, p)
+	} else {
+		var t *report.Table
+		t, err = classic.BenchTable(rn, *bench, p)
+		tables = []*report.Table{t}
 	}
-	f, ok := run[*bench]
-	if !ok {
-		fatal(fmt.Errorf("unknown -bench %q", *bench))
+	if err != nil {
+		fatal(err)
 	}
-	f()
+	paths, err := out.Emit(os.Stdout, tables, cliutil.IndexedName("classic_%%d.csv"))
+	if err != nil {
+		fatal(err)
+	}
+	for _, path := range paths {
+		fmt.Fprintln(os.Stderr, "classic: wrote", path)
+	}
 }
 
 func fatal(err error) {

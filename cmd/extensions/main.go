@@ -28,6 +28,7 @@ import (
 	"partmb/internal/mpi"
 	"partmb/internal/netsim"
 	"partmb/internal/noise"
+	"partmb/internal/platform"
 	"partmb/internal/report"
 	"partmb/internal/sim"
 )
@@ -78,11 +79,9 @@ func metricCfg() core.Config {
 		MessageBytes: 1 << 20,
 		Partitions:   16,
 		Compute:      10 * sim.Millisecond,
-		NoiseKind:    noise.Uniform,
-		NoisePercent: 4,
-		ThreadMode:   mpi.Multiple,
 		Iterations:   6,
 		Warmup:       2,
+		Platform:     platform.Niagara().WithNoise(noise.Uniform, 4).WithThreadMode(mpi.Multiple),
 	}
 }
 
@@ -96,10 +95,8 @@ func studyImpl() (*report.Table, error) {
 		var overheads []float64
 		for _, impl := range []mpi.PartImpl{mpi.PartMPIPCL, mpi.PartNative} {
 			cfg := metricCfg()
-			cfg.NoiseKind = noise.None
-			cfg.NoisePercent = 0
 			cfg.MessageBytes = size
-			cfg.Impl = impl
+			cfg.Platform = cfg.Platform.WithNoise(noise.None, 0).WithImpl(impl)
 			res, err := core.Run(cfg)
 			if err != nil {
 				return nil, err
@@ -269,7 +266,7 @@ func studyTopology() (*report.Table, error) {
 	for _, cross := range []bool{false, true} {
 		cfg := metricCfg()
 		net := netsim.EDR()
-		cfg.Net = net
+		cfg.Platform = cfg.Platform.WithNet(net)
 		// Wings of 2 ranks: the benchmark's pair either shares a wing or
 		// crosses wings depending on the wing size parity trick below.
 		if cross {
@@ -349,8 +346,7 @@ func pinnedSpan(parts int, policy cluster.Policy) (sim.Duration, error) {
 // runWithTopology is core.Run with an explicit topology; the core harness
 // does not expose the knob directly, so this mirrors its configuration.
 func runWithTopology(cfg core.Config, topo netsim.Topology) (*core.Result, error) {
-	cfg.NoiseKind = noise.SingleThread
-	cfg.NoisePercent = 4
+	cfg.Platform = cfg.Platform.WithNoise(noise.SingleThread, 4)
 	cfg.Topology = topo
 	return core.Run(cfg)
 }
@@ -363,27 +359,23 @@ func studyPlatform() (*report.Table, error) {
 	t := report.New(
 		"Extension: platform portability of the guidance — overhead at 64KiB, no noise, by partition count",
 		"platform", "p=8", "p=16", "p=32", "p=64")
-	type platform struct {
-		name    string
-		machine *cluster.Machine
-		net     *netsim.Params
+	type hw struct {
+		name string
+		spec *platform.Spec
 	}
-	platforms := []platform{
-		{"niagara+EDR (paper)", cluster.Niagara(), netsim.EDR()},
-		{"epyc+EDR", cluster.Epyc(), netsim.EDR()},
-		{"niagara+HDR", cluster.Niagara(), netsim.HDR()},
-		{"epyc+HDR", cluster.Epyc(), netsim.HDR()},
+	platforms := []hw{
+		{"niagara+EDR (paper)", platform.Niagara()},
+		{"epyc+EDR", platform.EpycEDR()},
+		{"niagara+HDR", platform.NiagaraHDR()},
+		{"epyc+HDR", platform.EpycHDR()},
 	}
 	for _, pf := range platforms {
 		row := []interface{}{pf.name}
 		for _, parts := range []int{8, 16, 32, 64} {
 			cfg := metricCfg()
-			cfg.NoiseKind = noise.None
-			cfg.NoisePercent = 0
 			cfg.MessageBytes = 64 << 10
 			cfg.Partitions = parts
-			cfg.Machine = pf.machine
-			cfg.Net = pf.net
+			cfg.Platform = pf.spec.WithNoise(noise.None, 0).WithThreadMode(mpi.Multiple)
 			res, err := core.Run(cfg)
 			if err != nil {
 				return nil, err

@@ -1,43 +1,54 @@
 // Command figures regenerates the data series behind every figure of the
 // paper's evaluation (Figures 4–13), as text tables on stdout or CSV files
-// in a directory.
+// in a directory. Cells run in parallel on the experiment engine and are
+// memoized by configuration hash, so cells shared between figures simulate
+// once per invocation.
 //
 // Examples:
 //
 //	figures -fig 4                    # one figure, quick scale, text
 //	figures -fig all -scale full      # everything at paper scale
 //	figures -fig 9 -out data/ -csv    # write data/fig09_*.csv
+//	figures -fig all -platform epyc-hdr -workers 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strconv"
 
+	"partmb/internal/cliutil"
+	"partmb/internal/engine"
 	"partmb/internal/figures"
+	"partmb/internal/platform"
 )
 
 func main() {
 	var (
-		figStr   = flag.String("fig", "all", "figure number (4..13) or 'all'")
-		scaleStr = flag.String("scale", "quick", "sweep scale: quick|full")
-		outDir   = flag.String("out", "", "write per-table CSV files to this directory instead of stdout")
-		csvOut   = flag.Bool("csv", false, "emit CSV on stdout (ignored with -out)")
-		spark    = flag.Bool("spark", false, "append a per-column sparkline summary to text output")
-		mdOut    = flag.Bool("md", false, "emit GitHub-flavoured markdown on stdout (ignored with -out)")
+		figStr      = flag.String("fig", "all", "figure number (4..13) or 'all'")
+		scaleStr    = flag.String("scale", "quick", "sweep scale: quick|full")
+		workers     = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		platformStr = flag.String("platform", "", "platform preset name or spec JSON path (default niagara-edr)")
+		out         cliutil.Output
 	)
+	out.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	var sc figures.Scale
-	switch *scaleStr {
-	case "quick":
-		sc = figures.Quick()
-	case "full":
-		sc = figures.Full()
-	default:
-		fatal(fmt.Errorf("unknown -scale %q (want quick or full)", *scaleStr))
+	scaleName, err := cliutil.ParseScale(*scaleStr)
+	if err != nil {
+		fatal(err)
+	}
+	sc, err := figures.ScaleByName(scaleName)
+	if err != nil {
+		fatal(err)
+	}
+
+	env := figures.Env{Runner: engine.New(engine.Workers(*workers))}
+	if *platformStr != "" {
+		if env.Spec, err = platform.Resolve(*platformStr); err != nil {
+			fatal(err)
+		}
 	}
 
 	var figs []int
@@ -53,50 +64,19 @@ func main() {
 
 	for _, fig := range figs {
 		fmt.Fprintf(os.Stderr, "figures: generating figure %d (%s scale)...\n", fig, sc.Name)
-		tables, err := figures.Generate(fig, sc)
+		tables, err := env.Generate(fig, sc)
 		if err != nil {
 			fatal(err)
 		}
-		if *outDir != "" {
-			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				fatal(err)
-			}
-			for i, tab := range tables {
-				name := filepath.Join(*outDir, fmt.Sprintf("fig%02d_%d.csv", fig, i))
-				f, err := os.Create(name)
-				if err != nil {
-					fatal(err)
-				}
-				if err := tab.WriteCSV(f); err != nil {
-					fatal(err)
-				}
-				if err := f.Close(); err != nil {
-					fatal(err)
-				}
-				fmt.Fprintf(os.Stderr, "figures: wrote %s\n", name)
-			}
-			continue
+		paths, err := out.Emit(os.Stdout, tables, cliutil.IndexedName("fig%02d_%%d.csv", fig))
+		if err != nil {
+			fatal(err)
 		}
-		for _, tab := range tables {
-			var err error
-			switch {
-			case *csvOut:
-				err = tab.WriteCSV(os.Stdout)
-			case *mdOut:
-				err = tab.WriteMarkdown(os.Stdout)
-			default:
-				err = tab.WriteText(os.Stdout)
-				if err == nil && *spark {
-					if s := tab.SparkSummary(); s != "" {
-						fmt.Println(s)
-					}
-				}
-			}
-			if err != nil {
-				fatal(err)
-			}
+		for _, p := range paths {
+			fmt.Fprintf(os.Stderr, "figures: wrote %s\n", p)
 		}
 	}
+	fmt.Fprintf(os.Stderr, "figures: engine: %s\n", env.Runner.Stats())
 }
 
 func fatal(err error) {

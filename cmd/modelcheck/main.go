@@ -1,4 +1,4 @@
-// Command modelcheck prints the hardware/software model a configuration
+// Command modelcheck prints the hardware/software model a platform spec
 // resolves to, its derived first-order quantities, and a comparison of
 // closed-form predictions against actually-simulated measurements — the
 // recalibration aid docs/MODEL.md describes. If the two columns diverge,
@@ -6,8 +6,9 @@
 //
 // Examples:
 //
-//	modelcheck                  # the paper's Niagara+EDR model
-//	modelcheck -net hdr -machine epyc
+//	modelcheck                       # the paper's Niagara+EDR model
+//	modelcheck -platform epyc-hdr
+//	modelcheck -platform my-spec.json
 package main
 
 import (
@@ -16,39 +17,26 @@ import (
 	"os"
 
 	"partmb/internal/classic"
-	"partmb/internal/cluster"
-	"partmb/internal/netsim"
+	"partmb/internal/engine"
+	"partmb/internal/platform"
 	"partmb/internal/report"
 	"partmb/internal/sim"
 )
 
 func main() {
-	var (
-		netStr     = flag.String("net", "edr", "fabric preset: edr|hdr")
-		machineStr = flag.String("machine", "niagara", "node preset: niagara|epyc")
-	)
+	platformStr := flag.String("platform", "niagara-edr",
+		fmt.Sprintf("platform preset name %v or spec JSON path", platform.PresetNames()))
 	flag.Parse()
 
-	var net *netsim.Params
-	switch *netStr {
-	case "edr":
-		net = netsim.EDR()
-	case "hdr":
-		net = netsim.HDR()
-	default:
-		fatal(fmt.Errorf("unknown -net %q (want edr or hdr)", *netStr))
+	spec, err := platform.Resolve(*platformStr)
+	if err != nil {
+		fatal(err)
 	}
-	var machine *cluster.Machine
-	switch *machineStr {
-	case "niagara":
-		machine = cluster.Niagara()
-	case "epyc":
-		machine = cluster.Epyc()
-	default:
-		fatal(fmt.Errorf("unknown -machine %q (want niagara or epyc)", *machineStr))
-	}
+	spec = spec.Resolved()
+	net, machine := spec.Net, spec.Machine
 
 	params := report.New("model parameters", "parameter", "value")
+	params.AddF("platform", spec.Name)
 	params.AddF("one-way latency", net.Latency.String())
 	params.AddF("bandwidth GB/s", net.Bandwidth/1e9)
 	params.AddF("send overhead", net.SendOverhead.String())
@@ -63,14 +51,14 @@ func main() {
 
 	// Closed form vs simulated measurement.
 	cfg := classic.DefaultConfig()
-	cfg.Net = net
-	cfg.Machine = machine
+	cfg.Platform = spec
 	cfg.Iterations = 50
 	cfg.Warmup = 5
+	rn := engine.New()
 
 	check := report.New("closed form vs simulated (drift here = model bug)", "quantity", "closed form", "simulated")
 
-	lat, err := classic.Latency(cfg, []int64{8})
+	lat, err := classic.Latency(rn, cfg, []int64{8})
 	if err != nil {
 		fatal(err)
 	}
@@ -78,7 +66,7 @@ func main() {
 		net.SmallMessageLatency().String(),
 		sim.Duration(lat[0].Value*1e9).String())
 
-	rlat, err := classic.Latency(cfg, []int64{4 << 20})
+	rlat, err := classic.Latency(rn, cfg, []int64{4 << 20})
 	if err != nil {
 		fatal(err)
 	}
@@ -86,13 +74,13 @@ func main() {
 		net.RendezvousLatency(4<<20).String(),
 		sim.Duration(rlat[0].Value*1e9).String())
 
-	bw, err := classic.Bandwidth(cfg, []int64{8 << 20}, 16)
+	bw, err := classic.Bandwidth(rn, cfg, []int64{8 << 20}, 16)
 	if err != nil {
 		fatal(err)
 	}
 	check.AddF("streaming bandwidth GB/s", net.Bandwidth/1e9, bw[0].Value/1e9)
 
-	rate, err := classic.MessageRate(cfg, 8, 32)
+	rate, err := classic.MessageRate(rn, cfg, 8, 32)
 	if err != nil {
 		fatal(err)
 	}

@@ -12,13 +12,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"partmb/internal/cliutil"
 	"partmb/internal/core"
+	"partmb/internal/engine"
 	"partmb/internal/memsim"
 	"partmb/internal/mpi"
 	"partmb/internal/noise"
+	"partmb/internal/platform"
 	"partmb/internal/report"
 	"partmb/internal/stats"
 	"partmb/internal/trace"
@@ -26,58 +27,65 @@ import (
 
 func main() {
 	var (
-		sizeFlag   = flag.String("size", "1MiB", "message size (e.g. 64KiB, 4MiB)")
-		parts      = flag.Int("parts", 16, "partition / thread count")
-		computeStr = flag.String("compute", "10ms", "per-thread compute amount (e.g. 10ms)")
-		noiseStr   = flag.String("noise", "none", "noise model: none|single|uniform|gaussian")
-		noisePct   = flag.Float64("noise-pct", 4, "noise amount in percent")
-		cacheStr   = flag.String("cache", "hot", "cache mode: hot|cold")
-		implStr    = flag.String("impl", "mpipcl", "partitioned implementation: mpipcl|native")
-		iters      = flag.Int("iters", 10, "measured iterations")
-		warmup     = flag.Int("warmup", 2, "warmup iterations")
-		seed       = flag.Int64("seed", 42, "noise RNG seed")
-		sweep      = flag.Bool("sweep", false, "sweep message sizes instead of one point")
-		minStr     = flag.String("min", "1KiB", "sweep minimum size")
-		maxStr     = flag.String("max", "64MiB", "sweep maximum size")
-		csvOut     = flag.Bool("csv", false, "emit CSV instead of a text table")
-		traceOut   = flag.String("trace", "", "write a Chrome trace of the measured iterations to this file")
-		statsOut   = flag.Bool("stats", false, "print per-metric sample statistics (mean/median/sd/p95)")
+		sizeFlag    = flag.String("size", "1MiB", "message size (e.g. 64KiB, 4MiB)")
+		parts       = flag.Int("parts", 16, "partition / thread count")
+		computeStr  = flag.String("compute", "10ms", "per-thread compute amount (e.g. 10ms)")
+		noiseStr    = flag.String("noise", "none", "noise model: none|single|uniform|gaussian")
+		noisePct    = flag.Float64("noise-pct", 4, "noise amount in percent")
+		cacheStr    = flag.String("cache", "hot", "cache mode: hot|cold")
+		implStr     = flag.String("impl", "mpipcl", "partitioned implementation: mpipcl|native")
+		iters       = flag.Int("iters", 10, "measured iterations")
+		warmup      = flag.Int("warmup", 2, "warmup iterations")
+		seed        = flag.Int64("seed", 42, "noise RNG seed")
+		sweep       = flag.Bool("sweep", false, "sweep message sizes instead of one point")
+		minStr      = flag.String("min", "1KiB", "sweep minimum size")
+		maxStr      = flag.String("max", "64MiB", "sweep maximum size")
+		platformStr = flag.String("platform", "", "platform preset name or spec JSON path (default niagara-edr)")
+		traceOut    = flag.String("trace", "", "write a Chrome trace of the measured iterations to this file")
+		statsOut    = flag.Bool("stats", false, "print per-metric sample statistics (mean/median/sd/p95)")
+		out         cliutil.Output
 	)
+	out.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	cfg := core.Config{
-		Partitions:   *parts,
-		NoisePercent: *noisePct,
-		Iterations:   *iters,
-		Warmup:       *warmup,
-		Seed:         *seed,
-		ThreadMode:   mpi.Multiple,
-	}
+	spec := platform.Niagara()
 	var err error
+	if *platformStr != "" {
+		if spec, err = platform.Resolve(*platformStr); err != nil {
+			fatal(err)
+		}
+	}
+	nk, err := noise.ParseKind(*noiseStr)
+	if err != nil {
+		fatal(err)
+	}
+	cm, err := memsim.ParseCacheMode(*cacheStr)
+	if err != nil {
+		fatal(err)
+	}
+	impl, err := mpi.ParsePartImpl(*implStr)
+	if err != nil {
+		fatal(err)
+	}
+	spec = spec.WithNoise(nk, *noisePct).WithCache(cm).WithImpl(impl).
+		WithSeed(*seed).WithThreadMode(mpi.Multiple)
+
+	cfg := core.Config{
+		Partitions: *parts,
+		Iterations: *iters,
+		Warmup:     *warmup,
+		Platform:   spec,
+	}
 	if cfg.MessageBytes, err = cliutil.ParseSize(*sizeFlag); err != nil {
 		fatal(err)
 	}
 	if cfg.Compute, err = cliutil.ParseDuration(*computeStr); err != nil {
 		fatal(err)
 	}
-	if cfg.NoiseKind, err = noise.ParseKind(*noiseStr); err != nil {
-		fatal(err)
-	}
-	if cfg.Cache, err = memsim.ParseCacheMode(*cacheStr); err != nil {
-		fatal(err)
-	}
 	var recorder *trace.Recorder
 	if *traceOut != "" {
 		recorder = new(trace.Recorder)
 		cfg.Trace = recorder
-	}
-	switch strings.ToLower(*implStr) {
-	case "mpipcl":
-		cfg.Impl = mpi.PartMPIPCL
-	case "native":
-		cfg.Impl = mpi.PartNative
-	default:
-		fatal(fmt.Errorf("unknown -impl %q (want mpipcl or native)", *implStr))
 	}
 
 	var results []*core.Result
@@ -90,7 +98,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		results, err = core.SweepMessageSizes(cfg, core.MessageSizes(min, max))
+		results, err = core.SweepMessageSizes(engine.New(), cfg, core.MessageSizes(min, max))
 		if err != nil {
 			fatal(err)
 		}
@@ -104,17 +112,12 @@ func main() {
 
 	t := report.New(
 		fmt.Sprintf("partbench: parts=%d compute=%v noise=%s/%.0f%% cache=%s impl=%s",
-			cfg.Partitions, cfg.Compute, cfg.NoiseKind, cfg.NoisePercent, cfg.Cache, cfg.Impl),
+			cfg.Partitions, cfg.Compute, spec.NoiseKind, spec.NoisePercent, spec.Cache, spec.Impl),
 		"size", "overhead", "perceived GB/s", "availability", "early-bird %")
 	for _, r := range results {
 		t.AddF(core.FormatBytes(r.Config.MessageBytes), r.Overhead, r.PerceivedBW/1e9, r.Availability, r.EarlyBird)
 	}
-	if *csvOut {
-		err = t.WriteCSV(os.Stdout)
-	} else {
-		err = t.WriteText(os.Stdout)
-	}
-	if err != nil {
+	if _, err := out.Emit(os.Stdout, []*report.Table{t}, cliutil.IndexedName("partbench_%%d.csv")); err != nil {
 		fatal(err)
 	}
 	if *statsOut {

@@ -1,5 +1,6 @@
 // Command patterns runs the communication-pattern benchmarks (the paper's
-// §4.6–4.7): Sweep3D and Halo3D throughput under the three threading modes.
+// §4.6–4.7): Sweep3D, Halo3D/Halo2D and incast throughput under the three
+// threading modes.
 //
 // Examples:
 //
@@ -15,31 +16,34 @@ import (
 
 	"partmb/internal/cliutil"
 	"partmb/internal/core"
-	"partmb/internal/mpi"
+	"partmb/internal/engine"
 	"partmb/internal/noise"
 	"partmb/internal/patterns"
+	"partmb/internal/platform"
 	"partmb/internal/report"
 )
 
 func main() {
 	var (
-		motif      = flag.String("motif", "sweep3d", "pattern: sweep3d|halo3d|halo2d|incast")
-		modeStr    = flag.String("mode", "partitioned", "threading mode: single|multi|partitioned")
-		allModes   = flag.Bool("all-modes", false, "run every mode and tabulate")
-		threads    = flag.Int("threads", 16, "threads per rank (sweep3d)")
-		tpd        = flag.Int("threads-per-dim", 2, "thread cube edge (halo3d: 2->8 threads, 4->64)")
-		sizeStr    = flag.String("size", "1MiB", "bytes per thread (sweep3d) or per face (halo3d)")
-		computeStr = flag.String("compute", "10ms", "per-thread compute per step")
-		noiseStr   = flag.String("noise", "single", "noise model")
-		noisePct   = flag.Float64("noise-pct", 4, "noise percent")
-		px         = flag.Int("px", 4, "process grid x (sweep3d)")
-		py         = flag.Int("py", 4, "process grid y (sweep3d)")
-		haloGrid   = flag.Int("halo-grid", 2, "rank torus edge (halo3d/halo2d)")
-		senders    = flag.Int("senders", 7, "sending ranks (incast)")
-		repeats    = flag.Int("repeats", 2, "pattern repetitions")
-		seed       = flag.Int64("seed", 42, "noise RNG seed")
-		csvOut     = flag.Bool("csv", false, "emit CSV")
+		motif       = flag.String("motif", "sweep3d", "pattern: sweep3d|halo3d|halo2d|incast")
+		modeStr     = flag.String("mode", "partitioned", "threading mode: single|multi|partitioned")
+		allModes    = flag.Bool("all-modes", false, "run every mode and tabulate")
+		threads     = flag.Int("threads", 16, "threads per rank (sweep3d)")
+		tpd         = flag.Int("threads-per-dim", 2, "thread cube edge (halo3d: 2->8 threads, 4->64)")
+		sizeStr     = flag.String("size", "1MiB", "bytes per thread (sweep3d) or per face (halo3d)")
+		computeStr  = flag.String("compute", "10ms", "per-thread compute per step")
+		noiseStr    = flag.String("noise", "single", "noise model")
+		noisePct    = flag.Float64("noise-pct", 4, "noise percent")
+		px          = flag.Int("px", 4, "process grid x (sweep3d)")
+		py          = flag.Int("py", 4, "process grid y (sweep3d)")
+		haloGrid    = flag.Int("halo-grid", 2, "rank torus edge (halo3d/halo2d)")
+		senders     = flag.Int("senders", 7, "sending ranks (incast)")
+		repeats     = flag.Int("repeats", 2, "pattern repetitions")
+		seed        = flag.Int64("seed", 42, "noise RNG seed")
+		platformStr = flag.String("platform", "", "platform preset name or spec JSON path (default niagara-edr)")
+		out         cliutil.Output
 	)
+	out.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	size, err := cliutil.ParseSize(*sizeStr)
@@ -54,6 +58,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	spec := platform.Niagara()
+	if *platformStr != "" {
+		if spec, err = platform.Resolve(*platformStr); err != nil {
+			fatal(err)
+		}
+	}
+	spec = spec.WithNoise(nk, *noisePct).WithSeed(*seed)
 
 	modes := patterns.Modes()
 	if !*allModes {
@@ -64,6 +75,7 @@ func main() {
 		modes = []patterns.Mode{m}
 	}
 
+	rn := engine.New()
 	t := report.New(
 		fmt.Sprintf("%s: size=%s compute=%v noise=%s/%.0f%%", *motif, core.FormatBytes(size), compute, nk, *noisePct),
 		"mode", "elapsed", "payload MiB", "messages", "throughput GB/s")
@@ -71,56 +83,44 @@ func main() {
 		var res *patterns.Result
 		switch *motif {
 		case "sweep3d":
-			res, err = patterns.RunSweep3D(patterns.SweepConfig{
+			res, err = patterns.RunSweep3DCached(rn, patterns.SweepConfig{
 				Px: *px, Py: *py,
 				Threads:        *threads,
 				BytesPerThread: size,
 				Compute:        compute,
-				NoiseKind:      nk,
-				NoisePercent:   *noisePct,
 				Repeats:        *repeats,
-				Seed:           *seed,
 				Mode:           mode,
-				Impl:           mpi.PartMPIPCL,
+				Platform:       spec,
 			})
 		case "halo3d":
-			res, err = patterns.RunHalo3D(patterns.HaloConfig{
+			res, err = patterns.RunHalo3DCached(rn, patterns.HaloConfig{
 				Nx: *haloGrid, Ny: *haloGrid, Nz: *haloGrid,
 				ThreadsPerDim: *tpd,
 				FaceBytes:     size,
 				Compute:       compute,
-				NoiseKind:     nk,
-				NoisePercent:  *noisePct,
 				Repeats:       *repeats,
-				Seed:          *seed,
 				Mode:          mode,
-				Impl:          mpi.PartMPIPCL,
+				Platform:      spec,
 			})
 		case "halo2d":
-			res, err = patterns.RunHalo2D(patterns.Halo2DConfig{
+			res, err = patterns.RunHalo2DCached(rn, patterns.Halo2DConfig{
 				Nx: *haloGrid, Ny: *haloGrid,
 				ThreadsPerDim: *tpd,
 				EdgeBytes:     size,
 				Compute:       compute,
-				NoiseKind:     nk,
-				NoisePercent:  *noisePct,
 				Repeats:       *repeats,
-				Seed:          *seed,
 				Mode:          mode,
-				Impl:          mpi.PartMPIPCL,
+				Platform:      spec,
 			})
 		case "incast":
-			res, err = patterns.RunIncast(patterns.IncastConfig{
+			res, err = patterns.RunIncastCached(rn, patterns.IncastConfig{
 				Senders:        *senders,
 				Threads:        *threads,
 				BytesPerThread: size,
 				Compute:        compute,
-				NoiseKind:      nk,
-				NoisePercent:   *noisePct,
 				Repeats:        *repeats,
-				Seed:           *seed,
 				Mode:           mode,
-				Impl:           mpi.PartMPIPCL,
+				Platform:       spec,
 			})
 		default:
 			fatal(fmt.Errorf("unknown -motif %q (want sweep3d|halo3d|halo2d|incast)", *motif))
@@ -131,13 +131,12 @@ func main() {
 		t.AddF(mode.String(), res.Elapsed.String(),
 			float64(res.PayloadBytes)/(1<<20), res.Messages, res.Throughput()/1e9)
 	}
-	if *csvOut {
-		err = t.WriteCSV(os.Stdout)
-	} else {
-		err = t.WriteText(os.Stdout)
-	}
+	paths, err := out.Emit(os.Stdout, []*report.Table{t}, cliutil.IndexedName("%s_%%d.csv", *motif))
 	if err != nil {
 		fatal(err)
+	}
+	for _, path := range paths {
+		fmt.Fprintln(os.Stderr, "patterns: wrote", path)
 	}
 }
 

@@ -1,7 +1,8 @@
 // Command snapproject reproduces the paper's SNAP projection (§4.8, Figure
 // 13): it profiles the SNAP-like sweep proxy with the built-in mpiP-style
 // profiler at each node count and projects the speedup of porting the
-// application to MPI Partitioned using the Sweep3D communication gain.
+// application to MPI Partitioned using the Sweep3D communication gain. The
+// node counts profile in parallel on the experiment engine.
 //
 // Example:
 //
@@ -16,20 +17,24 @@ import (
 	"strings"
 
 	"partmb/internal/cliutil"
+	"partmb/internal/engine"
+	"partmb/internal/platform"
 	"partmb/internal/report"
 	"partmb/internal/snap"
 )
 
 func main() {
 	var (
-		nodesStr   = flag.String("nodes", "2,4,8,16,32,64,128,256", "comma-separated node counts")
-		gain       = flag.Float64("gain", snap.SweepGain, "partitioned communication gain factor")
-		computeStr = flag.String("total-compute", "400ms", "global compute per sweep step (strong-scaled)")
-		sizeStr    = flag.String("boundary", "512KiB", "boundary message size")
-		port       = flag.Bool("port", false, "additionally run the actual partitioned port and compare measured vs projected speedup")
-		chunks     = flag.Int("chunks", 8, "boundary partition count for the port")
-		csvOut     = flag.Bool("csv", false, "emit CSV")
+		nodesStr    = flag.String("nodes", "2,4,8,16,32,64,128,256", "comma-separated node counts")
+		gain        = flag.Float64("gain", snap.SweepGain, "partitioned communication gain factor")
+		computeStr  = flag.String("total-compute", "400ms", "global compute per sweep step (strong-scaled)")
+		sizeStr     = flag.String("boundary", "512KiB", "boundary message size")
+		port        = flag.Bool("port", false, "additionally run the actual partitioned port and compare measured vs projected speedup")
+		chunks      = flag.Int("chunks", 8, "boundary partition count for the port")
+		platformStr = flag.String("platform", "", "platform preset name or spec JSON path (default niagara-edr)")
+		out         cliutil.Output
 	)
+	out.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	var nodes []int
@@ -48,8 +53,13 @@ func main() {
 	if cfg.BoundaryBytes, err = cliutil.ParseSize(*sizeStr); err != nil {
 		fatal(err)
 	}
+	if *platformStr != "" {
+		if cfg.Platform, err = platform.Resolve(*platformStr); err != nil {
+			fatal(err)
+		}
+	}
 
-	pts, err := snap.ProfileScaling(cfg, nodes)
+	pts, err := snap.ProfileScaling(engine.New(), cfg, nodes)
 	if err != nil {
 		fatal(err)
 	}
@@ -60,14 +70,7 @@ func main() {
 		t.AddF(pt.Nodes, pt.AppTime.String(), pt.MPITime.String(),
 			100*pt.MPIFraction, snap.ProjectSpeedup(pt.MPIFraction, *gain))
 	}
-	if *csvOut {
-		err = t.WriteCSV(os.Stdout)
-	} else {
-		err = t.WriteText(os.Stdout)
-	}
-	if err != nil {
-		fatal(err)
-	}
+	tables := []*report.Table{t}
 
 	if *port {
 		pt := report.New(
@@ -80,14 +83,14 @@ func main() {
 			}
 			pt.AddF(res.Nodes, res.BaselineElapsed.String(), res.PortedElapsed.String(), res.Measured(), res.Projected)
 		}
-		if *csvOut {
-			err = pt.WriteCSV(os.Stdout)
-		} else {
-			err = pt.WriteText(os.Stdout)
-		}
-		if err != nil {
-			fatal(err)
-		}
+		tables = append(tables, pt)
+	}
+	paths, err := out.Emit(os.Stdout, tables, cliutil.IndexedName("snapproject_%%d.csv"))
+	if err != nil {
+		fatal(err)
+	}
+	for _, path := range paths {
+		fmt.Fprintln(os.Stderr, "snapproject: wrote", path)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"partmb/internal/mpi"
 	"partmb/internal/noise"
 	"partmb/internal/patterns"
+	"partmb/internal/platform"
 	"partmb/internal/report"
 	"partmb/internal/sim"
 )
@@ -34,11 +35,9 @@ func main() {
 				ThreadsPerDim: tpd,
 				FaceBytes:     faceBytes,
 				Compute:       10 * sim.Millisecond,
-				NoiseKind:     noise.SingleThread,
-				NoisePercent:  4,
 				Repeats:       4,
 				Mode:          mode,
-				Impl:          mpi.PartMPIPCL,
+				Platform:      platform.Niagara().WithNoise(noise.SingleThread, 4).WithImpl(mpi.PartMPIPCL),
 			})
 			if err != nil {
 				log.Fatal(err)

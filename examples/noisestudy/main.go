@@ -14,6 +14,7 @@ import (
 	"partmb/internal/core"
 	"partmb/internal/mpi"
 	"partmb/internal/noise"
+	"partmb/internal/platform"
 	"partmb/internal/report"
 	"partmb/internal/sim"
 )
@@ -27,12 +28,10 @@ func main() {
 			MessageBytes: 1 << 20,
 			Partitions:   16,
 			Compute:      10 * sim.Millisecond,
-			NoiseKind:    kind,
-			NoisePercent: 4,
-			Impl:         mpi.PartMPIPCL,
-			ThreadMode:   mpi.Multiple,
 			Iterations:   10,
 			Warmup:       2,
+			Platform: platform.Niagara().WithNoise(kind, 4).
+				WithImpl(mpi.PartMPIPCL).WithThreadMode(mpi.Multiple),
 		})
 		if err != nil {
 			log.Fatal(err)

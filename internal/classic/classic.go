@@ -10,11 +10,14 @@
 package classic
 
 import (
+	"context"
 	"fmt"
 
 	"partmb/internal/cluster"
+	"partmb/internal/engine"
+	"partmb/internal/memsim"
 	"partmb/internal/mpi"
-	"partmb/internal/netsim"
+	"partmb/internal/platform"
 	"partmb/internal/sim"
 )
 
@@ -24,9 +27,10 @@ type Config struct {
 	Iterations int
 	// Warmup iterations run first and are discarded.
 	Warmup int
-	// Net and Machine override the hardware models (nil = paper defaults).
-	Net     *netsim.Params
-	Machine *cluster.Machine
+	// Platform bundles the hardware models (nil = the paper's Niagara/EDR
+	// defaults). Each benchmark picks its own MPI thread mode, so the
+	// spec's ThreadMode is ignored here.
+	Platform *platform.Spec
 }
 
 // DefaultConfig returns OSU-like iteration counts.
@@ -38,12 +42,7 @@ func (c Config) withDefaults() Config {
 	if c.Iterations == 0 {
 		c.Iterations = 100
 	}
-	if c.Net == nil {
-		c.Net = netsim.EDR()
-	}
-	if c.Machine == nil {
-		c.Machine = cluster.Niagara()
-	}
+	c.Platform = c.Platform.Resolved()
 	return c
 }
 
@@ -51,7 +50,7 @@ func (c *Config) validate() error {
 	if c.Iterations <= 0 || c.Warmup < 0 {
 		return fmt.Errorf("classic: Iterations must be positive and Warmup non-negative")
 	}
-	return nil
+	return c.Platform.Validate()
 }
 
 // Point is one (message size, value) result; Value's unit depends on the
@@ -64,59 +63,116 @@ type Point struct {
 // world builds a 2-rank world.
 func (c Config) world(s *sim.Scheduler, mode mpi.ThreadMode) *mpi.World {
 	mcfg := mpi.DefaultConfig(2)
-	mcfg.Net = c.Net
-	mcfg.Machine = c.Machine
+	mcfg.Net = c.Platform.Net
+	mcfg.Machine = c.Platform.Machine
+	mcfg.Mem = memsim.Default(c.Platform.Cache)
 	mcfg.ThreadMode = mode
 	return mpi.NewWorld(s, mcfg)
 }
 
+// sweepPoints runs one benchmark point per size on the runner's worker pool,
+// memoizing each (benchmark, config, size, args...) cell. A nil runner uses
+// the shared default runner.
+func sweepPoints(rn *engine.Runner, what string, cfg Config, sizes []int64,
+	one func(Config, int64) (float64, error), extra ...any) ([]Point, error) {
+	r := engine.OrDefault(rn)
+	vals, err := r.Map(context.Background(), len(sizes), func(ctx context.Context, i int) (any, error) {
+		size := sizes[i]
+		key, kerr := engine.Key(append([]any{what, cfg, size}, extra...)...)
+		if kerr != nil {
+			key = ""
+		}
+		v, err := r.Do(key, func() (any, error) { return one(cfg, size) })
+		if err != nil {
+			return nil, fmt.Errorf("%s: size %s: %w", what, FormatSize(size), err)
+		}
+		return v, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Point, len(sizes))
+	for i, v := range vals {
+		out[i] = Point{Size: sizes[i], Value: v.(float64)}
+	}
+	return out, nil
+}
+
+// cachedDuration memoizes a single-point duration benchmark on the runner's
+// cache.
+func cachedDuration(rn *engine.Runner, what string, cfg Config, a int, b int64, run func() (sim.Duration, error)) (sim.Duration, error) {
+	key, err := engine.Key(what, cfg, a, b)
+	if err != nil {
+		key = ""
+	}
+	v, err := engine.OrDefault(rn).Do(key, func() (any, error) { return run() })
+	if err != nil {
+		return 0, err
+	}
+	return v.(sim.Duration), nil
+}
+
+// FormatSize renders a byte count in the compact power-of-two form used in
+// error messages and tables.
+func FormatSize(n int64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dGiB", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
 // Latency runs the ping-pong latency benchmark (osu_latency): half the
-// average round-trip time per size, in seconds.
-func Latency(cfg Config, sizes []int64) ([]Point, error) {
+// average round-trip time per size, in seconds. Sizes run in parallel on the
+// runner's worker pool (nil = the shared default runner).
+func Latency(rn *engine.Runner, cfg Config, sizes []int64) ([]Point, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	out := make([]Point, 0, len(sizes))
-	for _, size := range sizes {
-		size := size
-		s := sim.New()
-		w := cfg.world(s, mpi.Funneled)
-		var span sim.Duration
-		total := cfg.Warmup + cfg.Iterations
-		s.Spawn("ping", func(p *sim.Proc) {
-			c := w.Comm(0)
-			c.Barrier(p)
-			for it := 0; it < total; it++ {
-				if it == cfg.Warmup {
-					span = -sim.Duration(p.Now())
-				}
-				c.SendBytes(p, 1, 0, size)
-				c.Recv(p, 1, 1)
+	return sweepPoints(rn, "classic.Latency", cfg, sizes, latencyAt)
+}
+
+func latencyAt(cfg Config, size int64) (float64, error) {
+	s := sim.New()
+	w := cfg.world(s, mpi.Funneled)
+	var span sim.Duration
+	total := cfg.Warmup + cfg.Iterations
+	s.Spawn("ping", func(p *sim.Proc) {
+		c := w.Comm(0)
+		c.Barrier(p)
+		for it := 0; it < total; it++ {
+			if it == cfg.Warmup {
+				span = -sim.Duration(p.Now())
 			}
-			span += sim.Duration(p.Now())
-		})
-		s.Spawn("pong", func(p *sim.Proc) {
-			c := w.Comm(1)
-			c.Barrier(p)
-			for it := 0; it < total; it++ {
-				c.Recv(p, 0, 0)
-				c.SendBytes(p, 0, 1, size)
-			}
-		})
-		if err := s.Run(); err != nil {
-			return nil, err
+			c.SendBytes(p, 1, 0, size)
+			c.Recv(p, 1, 1)
 		}
-		halfRT := span.Seconds() / float64(cfg.Iterations) / 2
-		out = append(out, Point{Size: size, Value: halfRT})
+		span += sim.Duration(p.Now())
+	})
+	s.Spawn("pong", func(p *sim.Proc) {
+		c := w.Comm(1)
+		c.Barrier(p)
+		for it := 0; it < total; it++ {
+			c.Recv(p, 0, 0)
+			c.SendBytes(p, 0, 1, size)
+		}
+	})
+	if err := s.Run(); err != nil {
+		return 0, err
 	}
-	return out, nil
+	return span.Seconds() / float64(cfg.Iterations) / 2, nil
 }
 
 // Bandwidth runs the windowed streaming bandwidth benchmark (osu_bw): the
 // sender posts `window` nonblocking sends, the receiver pre-posts matching
 // receives, and a short ack closes each window. Bytes/second per size.
-func Bandwidth(cfg Config, sizes []int64, window int) ([]Point, error) {
+func Bandwidth(rn *engine.Runner, cfg Config, sizes []int64, window int) ([]Point, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -124,53 +180,54 @@ func Bandwidth(cfg Config, sizes []int64, window int) ([]Point, error) {
 	if window <= 0 {
 		return nil, fmt.Errorf("classic: window must be positive")
 	}
-	out := make([]Point, 0, len(sizes))
-	for _, size := range sizes {
-		size := size
-		s := sim.New()
-		w := cfg.world(s, mpi.Funneled)
-		var span sim.Duration
-		total := cfg.Warmup + cfg.Iterations
-		s.Spawn("sender", func(p *sim.Proc) {
-			c := w.Comm(0)
-			c.Barrier(p)
-			for it := 0; it < total; it++ {
-				if it == cfg.Warmup {
-					span = -sim.Duration(p.Now())
-				}
-				reqs := make([]*mpi.Request, window)
-				for i := range reqs {
-					reqs[i] = c.IsendBytes(p, 1, i, size)
-				}
-				mpi.WaitAll(p, reqs...)
-				c.Recv(p, 1, 999) // window ack
+	return sweepPoints(rn, "classic.Bandwidth", cfg, sizes, func(cfg Config, size int64) (float64, error) {
+		return bandwidthAt(cfg, size, window)
+	}, window)
+}
+
+func bandwidthAt(cfg Config, size int64, window int) (float64, error) {
+	s := sim.New()
+	w := cfg.world(s, mpi.Funneled)
+	var span sim.Duration
+	total := cfg.Warmup + cfg.Iterations
+	s.Spawn("sender", func(p *sim.Proc) {
+		c := w.Comm(0)
+		c.Barrier(p)
+		for it := 0; it < total; it++ {
+			if it == cfg.Warmup {
+				span = -sim.Duration(p.Now())
 			}
-			span += sim.Duration(p.Now())
-		})
-		s.Spawn("recv", func(p *sim.Proc) {
-			c := w.Comm(1)
-			c.Barrier(p)
-			for it := 0; it < total; it++ {
-				reqs := make([]*mpi.Request, window)
-				for i := range reqs {
-					reqs[i] = c.Irecv(p, 0, i)
-				}
-				mpi.WaitAll(p, reqs...)
-				c.SendBytes(p, 0, 999, 0)
+			reqs := make([]*mpi.Request, window)
+			for i := range reqs {
+				reqs[i] = c.IsendBytes(p, 1, i, size)
 			}
-		})
-		if err := s.Run(); err != nil {
-			return nil, err
+			mpi.WaitAll(p, reqs...)
+			c.Recv(p, 1, 999) // window ack
 		}
-		bytes := float64(cfg.Iterations) * float64(window) * float64(size)
-		out = append(out, Point{Size: size, Value: bytes / span.Seconds()})
+		span += sim.Duration(p.Now())
+	})
+	s.Spawn("recv", func(p *sim.Proc) {
+		c := w.Comm(1)
+		c.Barrier(p)
+		for it := 0; it < total; it++ {
+			reqs := make([]*mpi.Request, window)
+			for i := range reqs {
+				reqs[i] = c.Irecv(p, 0, i)
+			}
+			mpi.WaitAll(p, reqs...)
+			c.SendBytes(p, 0, 999, 0)
+		}
+	})
+	if err := s.Run(); err != nil {
+		return 0, err
 	}
-	return out, nil
+	bytes := float64(cfg.Iterations) * float64(window) * float64(size)
+	return bytes / span.Seconds(), nil
 }
 
 // BiBandwidth runs the bidirectional bandwidth benchmark (osu_bibw): both
 // ranks stream windows at each other simultaneously. Aggregate bytes/second.
-func BiBandwidth(cfg Config, sizes []int64, window int) ([]Point, error) {
+func BiBandwidth(rn *engine.Runner, cfg Config, sizes []int64, window int) ([]Point, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -178,51 +235,52 @@ func BiBandwidth(cfg Config, sizes []int64, window int) ([]Point, error) {
 	if window <= 0 {
 		return nil, fmt.Errorf("classic: window must be positive")
 	}
-	out := make([]Point, 0, len(sizes))
-	for _, size := range sizes {
-		size := size
-		s := sim.New()
-		w := cfg.world(s, mpi.Funneled)
-		var span sim.Duration
-		total := cfg.Warmup + cfg.Iterations
-		side := func(rank int) func(p *sim.Proc) {
-			return func(p *sim.Proc) {
-				c := w.Comm(rank)
-				other := 1 - rank
-				c.Barrier(p)
-				for it := 0; it < total; it++ {
-					if rank == 0 && it == cfg.Warmup {
-						span = -sim.Duration(p.Now())
-					}
-					reqs := make([]*mpi.Request, 0, 2*window)
-					for i := 0; i < window; i++ {
-						reqs = append(reqs, c.Irecv(p, other, 100+i))
-					}
-					for i := 0; i < window; i++ {
-						reqs = append(reqs, c.IsendBytes(p, other, 100+i, size))
-					}
-					mpi.WaitAll(p, reqs...)
-					if rank == 0 && it == total-1 {
-						span += sim.Duration(p.Now())
-					}
+	return sweepPoints(rn, "classic.BiBandwidth", cfg, sizes, func(cfg Config, size int64) (float64, error) {
+		return biBandwidthAt(cfg, size, window)
+	}, window)
+}
+
+func biBandwidthAt(cfg Config, size int64, window int) (float64, error) {
+	s := sim.New()
+	w := cfg.world(s, mpi.Funneled)
+	var span sim.Duration
+	total := cfg.Warmup + cfg.Iterations
+	side := func(rank int) func(p *sim.Proc) {
+		return func(p *sim.Proc) {
+			c := w.Comm(rank)
+			other := 1 - rank
+			c.Barrier(p)
+			for it := 0; it < total; it++ {
+				if rank == 0 && it == cfg.Warmup {
+					span = -sim.Duration(p.Now())
+				}
+				reqs := make([]*mpi.Request, 0, 2*window)
+				for i := 0; i < window; i++ {
+					reqs = append(reqs, c.Irecv(p, other, 100+i))
+				}
+				for i := 0; i < window; i++ {
+					reqs = append(reqs, c.IsendBytes(p, other, 100+i, size))
+				}
+				mpi.WaitAll(p, reqs...)
+				if rank == 0 && it == total-1 {
+					span += sim.Duration(p.Now())
 				}
 			}
 		}
-		s.Spawn("r0", side(0))
-		s.Spawn("r1", side(1))
-		if err := s.Run(); err != nil {
-			return nil, err
-		}
-		bytes := 2 * float64(cfg.Iterations) * float64(window) * float64(size)
-		out = append(out, Point{Size: size, Value: bytes / span.Seconds()})
 	}
-	return out, nil
+	s.Spawn("r0", side(0))
+	s.Spawn("r1", side(1))
+	if err := s.Run(); err != nil {
+		return 0, err
+	}
+	bytes := 2 * float64(cfg.Iterations) * float64(window) * float64(size)
+	return bytes / span.Seconds(), nil
 }
 
 // MessageRate runs the small-message rate benchmark (osu_mbw_mr's rate
 // side, one pair): messages per second at the given size and window.
-func MessageRate(cfg Config, size int64, window int) (float64, error) {
-	pts, err := Bandwidth(cfg, []int64{size}, window)
+func MessageRate(rn *engine.Runner, cfg Config, size int64, window int) (float64, error) {
+	pts, err := Bandwidth(rn, cfg, []int64{size}, window)
 	if err != nil {
 		return 0, err
 	}
@@ -237,7 +295,7 @@ func MessageRate(cfg Config, size int64, window int) (float64, error) {
 // It returns the average per-message half round trip, which grows with the
 // thread count as the library lock contends — the effect partitioned
 // communication avoids.
-func ThreadLatency(cfg Config, threads int, size int64) (sim.Duration, error) {
+func ThreadLatency(rn *engine.Runner, cfg Config, threads int, size int64) (sim.Duration, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return 0, err
@@ -245,11 +303,17 @@ func ThreadLatency(cfg Config, threads int, size int64) (sim.Duration, error) {
 	if threads <= 0 {
 		return 0, fmt.Errorf("classic: threads must be positive")
 	}
+	return cachedDuration(rn, "classic.ThreadLatency", cfg, threads, size, func() (sim.Duration, error) {
+		return threadLatencyAt(cfg, threads, size)
+	})
+}
+
+func threadLatencyAt(cfg Config, threads int, size int64) (sim.Duration, error) {
 	s := sim.New()
 	w := cfg.world(s, mpi.Multiple)
 	c0, c1 := w.Comm(0), w.Comm(1)
-	c0.SetPlacement(cluster.Place(cfg.Machine, threads))
-	c1.SetPlacement(cluster.Place(cfg.Machine, threads))
+	c0.SetPlacement(cluster.Place(cfg.Platform.Machine, threads))
+	c1.SetPlacement(cluster.Place(cfg.Platform.Machine, threads))
 	total := cfg.Warmup + cfg.Iterations
 	var start, end sim.Time
 	startBar := sim.NewBarrier(2 * threads)
@@ -294,11 +358,17 @@ func ThreadLatency(cfg Config, threads int, size int64) (sim.Duration, error) {
 // MatchStress measures the receive-posting cost behind an unexpected queue
 // of the given depth (after Schonbein et al.'s matching benchmark): the
 // returned duration is the time Irecv spends searching the queue.
-func MatchStress(cfg Config, depth int) (sim.Duration, error) {
+func MatchStress(rn *engine.Runner, cfg Config, depth int) (sim.Duration, error) {
 	cfg = cfg.withDefaults()
 	if depth < 0 {
 		return 0, fmt.Errorf("classic: negative depth")
 	}
+	return cachedDuration(rn, "classic.MatchStress", cfg, depth, 0, func() (sim.Duration, error) {
+		return matchStressAt(cfg, depth)
+	})
+}
+
+func matchStressAt(cfg Config, depth int) (sim.Duration, error) {
 	s := sim.New()
 	w := cfg.world(s, mpi.Funneled)
 	var took sim.Duration
@@ -330,7 +400,7 @@ func MatchStress(cfg Config, depth int) (sim.Duration, error) {
 // epoch of an n-partition transfer each way per iteration. It returns the
 // average one-way epoch time (Start+Pready*+Wait on the sender, Start+Wait
 // on the receiver).
-func PartLatency(cfg Config, size int64, parts int) (sim.Duration, error) {
+func PartLatency(rn *engine.Runner, cfg Config, size int64, parts int) (sim.Duration, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return 0, err
@@ -338,6 +408,12 @@ func PartLatency(cfg Config, size int64, parts int) (sim.Duration, error) {
 	if parts <= 0 || size%int64(parts) != 0 {
 		return 0, fmt.Errorf("classic: %d partitions must divide %d bytes", parts, size)
 	}
+	return cachedDuration(rn, "classic.PartLatency", cfg, parts, size, func() (sim.Duration, error) {
+		return partLatencyAt(cfg, size, parts)
+	})
+}
+
+func partLatencyAt(cfg Config, size int64, parts int) (sim.Duration, error) {
 	s := sim.New()
 	w := cfg.world(s, mpi.Multiple)
 	partBytes := size / int64(parts)
@@ -345,7 +421,7 @@ func PartLatency(cfg Config, size int64, parts int) (sim.Duration, error) {
 	total := cfg.Warmup + cfg.Iterations
 	s.Spawn("ping", func(p *sim.Proc) {
 		c := w.Comm(0)
-		c.SetPlacement(cluster.Place(cfg.Machine, parts))
+		c.SetPlacement(cluster.Place(cfg.Platform.Machine, parts))
 		tx := c.PsendInit(p, 1, 0, parts, partBytes)
 		rx := c.PrecvInit(p, 1, 1, parts, partBytes)
 		c.Barrier(p)
@@ -365,7 +441,7 @@ func PartLatency(cfg Config, size int64, parts int) (sim.Duration, error) {
 	})
 	s.Spawn("pong", func(p *sim.Proc) {
 		c := w.Comm(1)
-		c.SetPlacement(cluster.Place(cfg.Machine, parts))
+		c.SetPlacement(cluster.Place(cfg.Platform.Machine, parts))
 		rx := c.PrecvInit(p, 0, 0, parts, partBytes)
 		tx := c.PsendInit(p, 0, 1, parts, partBytes)
 		c.Barrier(p)

@@ -12,7 +12,7 @@ func quickCfg() Config {
 }
 
 func TestLatencyGrowsWithSize(t *testing.T) {
-	pts, err := Latency(quickCfg(), []int64{8, 8 << 10, 1 << 20})
+	pts, err := Latency(nil, quickCfg(), []int64{8, 8 << 10, 1 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +29,7 @@ func TestLatencyGrowsWithSize(t *testing.T) {
 
 func TestLatencyMatchesModel(t *testing.T) {
 	net := netsim.EDR()
-	pts, err := Latency(quickCfg(), []int64{8})
+	pts, err := Latency(nil, quickCfg(), []int64{8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestLatencyMatchesModel(t *testing.T) {
 }
 
 func TestBandwidthApproachesLink(t *testing.T) {
-	pts, err := Bandwidth(quickCfg(), []int64{4 << 20}, 16)
+	pts, err := Bandwidth(nil, quickCfg(), []int64{4 << 20}, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestBandwidthApproachesLink(t *testing.T) {
 }
 
 func TestBandwidthSmallMessagesOverheadBound(t *testing.T) {
-	pts, err := Bandwidth(quickCfg(), []int64{64}, 32)
+	pts, err := Bandwidth(nil, quickCfg(), []int64{64}, 32)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,11 +63,11 @@ func TestBandwidthSmallMessagesOverheadBound(t *testing.T) {
 }
 
 func TestBiBandwidthRoughlyDoubles(t *testing.T) {
-	uni, err := Bandwidth(quickCfg(), []int64{4 << 20}, 8)
+	uni, err := Bandwidth(nil, quickCfg(), []int64{4 << 20}, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bi, err := BiBandwidth(quickCfg(), []int64{4 << 20}, 8)
+	bi, err := BiBandwidth(nil, quickCfg(), []int64{4 << 20}, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestBiBandwidthRoughlyDoubles(t *testing.T) {
 }
 
 func TestMessageRate(t *testing.T) {
-	rate, err := MessageRate(quickCfg(), 8, 32)
+	rate, err := MessageRate(nil, quickCfg(), 8, 32)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,11 +90,11 @@ func TestMessageRate(t *testing.T) {
 
 func TestThreadLatencyGrowsWithThreads(t *testing.T) {
 	cfg := quickCfg()
-	one, err := ThreadLatency(cfg, 1, 1024)
+	one, err := ThreadLatency(nil, cfg, 1, 1024)
 	if err != nil {
 		t.Fatal(err)
 	}
-	eight, err := ThreadLatency(cfg, 8, 1024)
+	eight, err := ThreadLatency(nil, cfg, 8, 1024)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,11 +105,11 @@ func TestThreadLatencyGrowsWithThreads(t *testing.T) {
 
 func TestMatchStressGrowsWithDepth(t *testing.T) {
 	cfg := quickCfg()
-	shallow, err := MatchStress(cfg, 0)
+	shallow, err := MatchStress(nil, cfg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	deep, err := MatchStress(cfg, 200)
+	deep, err := MatchStress(nil, cfg, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,11 +120,11 @@ func TestMatchStressGrowsWithDepth(t *testing.T) {
 
 func TestPartLatencyOnePartitionNearPt2Pt(t *testing.T) {
 	cfg := quickCfg()
-	part, err := PartLatency(cfg, 64<<10, 1)
+	part, err := PartLatency(nil, cfg, 64<<10, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pts, err := Latency(cfg, []int64{64 << 10})
+	pts, err := Latency(nil, cfg, []int64{64 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,29 +136,29 @@ func TestPartLatencyOnePartitionNearPt2Pt(t *testing.T) {
 }
 
 func TestPartLatencyValidation(t *testing.T) {
-	if _, err := PartLatency(quickCfg(), 100, 3); err == nil {
+	if _, err := PartLatency(nil, quickCfg(), 100, 3); err == nil {
 		t.Fatal("indivisible partitioning accepted")
 	}
-	if _, err := PartLatency(quickCfg(), 64, 0); err == nil {
+	if _, err := PartLatency(nil, quickCfg(), 64, 0); err == nil {
 		t.Fatal("zero partitions accepted")
 	}
 }
 
 func TestValidationErrors(t *testing.T) {
 	bad := Config{Iterations: -1}
-	if _, err := Latency(bad, []int64{8}); err == nil {
+	if _, err := Latency(nil, bad, []int64{8}); err == nil {
 		t.Fatal("negative iterations accepted")
 	}
-	if _, err := Bandwidth(quickCfg(), []int64{8}, 0); err == nil {
+	if _, err := Bandwidth(nil, quickCfg(), []int64{8}, 0); err == nil {
 		t.Fatal("zero window accepted")
 	}
-	if _, err := MatchStress(quickCfg(), -1); err == nil {
+	if _, err := MatchStress(nil, quickCfg(), -1); err == nil {
 		t.Fatal("negative depth accepted")
 	}
-	if _, err := ThreadLatency(quickCfg(), 0, 8); err == nil {
+	if _, err := ThreadLatency(nil, quickCfg(), 0, 8); err == nil {
 		t.Fatal("zero threads accepted")
 	}
-	if _, err := MessageRate(quickCfg(), 0, 8); err == nil {
+	if _, err := MessageRate(nil, quickCfg(), 0, 8); err == nil {
 		t.Fatal("zero size accepted")
 	}
 }

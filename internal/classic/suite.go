@@ -1,0 +1,149 @@
+package classic
+
+import (
+	"fmt"
+
+	"partmb/internal/engine"
+	"partmb/internal/report"
+)
+
+// This file turns the individual benchmarks into report tables and registers
+// them as named experiments, so cmd/classic and `figures`-style suite drivers
+// share one declarative catalogue.
+
+// SuiteParams bundles the knobs the classic suite sweeps.
+type SuiteParams struct {
+	Config Config
+	// Sizes is the message-size axis of the size-sweep benchmarks.
+	Sizes []int64
+	// Window is the window size of the bandwidth tests.
+	Window int
+}
+
+// Benches lists the suite's benchmark names in presentation order.
+func Benches() []string {
+	return []string{"latency", "bw", "bibw", "rate", "threads", "match", "partlat"}
+}
+
+// BenchTable builds the named benchmark's report table on the runner.
+func BenchTable(rn *engine.Runner, name string, p SuiteParams) (*report.Table, error) {
+	switch name {
+	case "latency":
+		pts, err := Latency(rn, p.Config, p.Sizes)
+		if err != nil {
+			return nil, err
+		}
+		t := report.New("osu_latency-style ping-pong", "size", "latency us")
+		for _, pt := range pts {
+			t.AddF(FormatSize(pt.Size), pt.Value*1e6)
+		}
+		return t, nil
+	case "bw":
+		pts, err := Bandwidth(rn, p.Config, p.Sizes, p.Window)
+		if err != nil {
+			return nil, err
+		}
+		t := report.New(fmt.Sprintf("osu_bw-style streaming bandwidth (window %d)", p.Window), "size", "GB/s")
+		for _, pt := range pts {
+			t.AddF(FormatSize(pt.Size), pt.Value/1e9)
+		}
+		return t, nil
+	case "bibw":
+		pts, err := BiBandwidth(rn, p.Config, p.Sizes, p.Window)
+		if err != nil {
+			return nil, err
+		}
+		t := report.New(fmt.Sprintf("osu_bibw-style bidirectional bandwidth (window %d)", p.Window), "size", "aggregate GB/s")
+		for _, pt := range pts {
+			t.AddF(FormatSize(pt.Size), pt.Value/1e9)
+		}
+		return t, nil
+	case "rate":
+		rate, err := MessageRate(rn, p.Config, 8, p.Window)
+		if err != nil {
+			return nil, err
+		}
+		t := report.New("small-message rate (8B)", "window", "msgs/s")
+		t.AddF(p.Window, rate)
+		return t, nil
+	case "threads":
+		t := report.New("Thakur-Gropp multithreaded latency (1KiB, MPI_THREAD_MULTIPLE)", "threads", "latency us")
+		for _, n := range []int{1, 2, 4, 8, 16} {
+			lat, err := ThreadLatency(rn, p.Config, n, 1<<10)
+			if err != nil {
+				return nil, err
+			}
+			t.AddF(n, lat.Microseconds())
+		}
+		return t, nil
+	case "match":
+		t := report.New("matching queue-depth stress (after Schonbein et al.)", "unexpected depth", "Irecv search time us")
+		for _, depth := range []int{0, 16, 64, 256, 1024} {
+			took, err := MatchStress(rn, p.Config, depth)
+			if err != nil {
+				return nil, err
+			}
+			t.AddF(depth, took.Microseconds())
+		}
+		return t, nil
+	case "partlat":
+		t := report.New("partitioned ping-pong epoch time (1MiB)", "partitions", "epoch us")
+		for _, parts := range []int{1, 2, 4, 8, 16, 32} {
+			lat, err := PartLatency(rn, p.Config, 1<<20, parts)
+			if err != nil {
+				return nil, err
+			}
+			t.AddF(parts, lat.Microseconds())
+		}
+		return t, nil
+	}
+	return nil, fmt.Errorf("classic: unknown benchmark %q", name)
+}
+
+// Suite builds every benchmark table in presentation order.
+func Suite(rn *engine.Runner, p SuiteParams) ([]*report.Table, error) {
+	out := make([]*report.Table, 0, len(Benches()))
+	for _, name := range Benches() {
+		t, err := BenchTable(rn, name, p)
+		if err != nil {
+			return nil, fmt.Errorf("classic: %s: %w", name, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// suiteParams derives the suite knobs from generic experiment parameters.
+func suiteParams(p engine.Params) SuiteParams {
+	cfg := DefaultConfig()
+	cfg.Platform = p.Spec
+	sizes := []int64{8 << 10, 64 << 10, 512 << 10, 4 << 20}
+	if p.Scale == "full" {
+		sizes = []int64{8, 64, 1 << 10, 8 << 10, 64 << 10, 512 << 10, 4 << 20}
+	}
+	return SuiteParams{Config: cfg, Sizes: sizes, Window: 16}
+}
+
+func init() {
+	for _, name := range Benches() {
+		name := name
+		engine.Register(engine.Experiment{
+			Name:  "classic/" + name,
+			Title: "classic " + name + " benchmark",
+			Run: func(rn *engine.Runner, p engine.Params) ([]*report.Table, error) {
+				t, err := BenchTable(rn, name, suiteParams(p))
+				if err != nil {
+					return nil, err
+				}
+				return []*report.Table{t}, nil
+			},
+		})
+	}
+	engine.Register(engine.Experiment{
+		Name:  "classic/all",
+		Title: "classic benchmark suite",
+		Run: func(rn *engine.Runner, p engine.Params) ([]*report.Table, error) {
+			return Suite(rn, suiteParams(p))
+		},
+	})
+}

@@ -46,30 +46,14 @@ func ParseSize(s string) (int64, error) {
 }
 
 // ParseDuration parses durations such as "10ms", "100us", "250ns", "1.5s"
-// into virtual time.
+// into virtual time. Negative durations are rejected: no CLI flag takes one.
 func ParseDuration(s string) (sim.Duration, error) {
-	trimmed := strings.ToLower(strings.TrimSpace(s))
-	if trimmed == "" {
-		return 0, fmt.Errorf("cliutil: empty duration")
-	}
-	mult := sim.Nanosecond
-	digits := trimmed
-	switch {
-	case strings.HasSuffix(trimmed, "ms"):
-		mult, digits = sim.Millisecond, strings.TrimSuffix(trimmed, "ms")
-	case strings.HasSuffix(trimmed, "us"):
-		mult, digits = sim.Microsecond, strings.TrimSuffix(trimmed, "us")
-	case strings.HasSuffix(trimmed, "ns"):
-		digits = strings.TrimSuffix(trimmed, "ns")
-	case strings.HasSuffix(trimmed, "s"):
-		mult, digits = sim.Second, strings.TrimSuffix(trimmed, "s")
-	}
-	n, err := strconv.ParseFloat(strings.TrimSpace(digits), 64)
+	d, err := sim.ParseDuration(s)
 	if err != nil {
 		return 0, fmt.Errorf("cliutil: bad duration %q", s)
 	}
-	if n < 0 {
+	if d < 0 {
 		return 0, fmt.Errorf("cliutil: negative duration %q", s)
 	}
-	return sim.Duration(n * float64(mult)), nil
+	return d, nil
 }

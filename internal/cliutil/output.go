@@ -1,0 +1,100 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"partmb/internal/report"
+)
+
+// This file holds the flag plumbing every sweep CLI previously duplicated:
+// the quick|full scale selector and the -csv/-md/-spark/-out output sink.
+
+// ParseScale validates a -scale flag value; "" defaults to quick.
+func ParseScale(s string) (string, error) {
+	switch s {
+	case "", "quick":
+		return "quick", nil
+	case "full":
+		return "full", nil
+	}
+	return "", fmt.Errorf("cliutil: unknown scale %q (want quick|full)", s)
+}
+
+// Output bundles the shared table-output flags. Zero value renders text to
+// stdout.
+type Output struct {
+	// CSV / MD select the stdout format (text when both are false).
+	CSV, MD bool
+	// Spark appends a per-column sparkline summary to text output.
+	Spark bool
+	// Dir, when non-empty, writes per-table CSV files there instead of
+	// using stdout.
+	Dir string
+}
+
+// RegisterFlags installs the shared output flags on fs.
+func (o *Output) RegisterFlags(fs *flag.FlagSet) {
+	fs.BoolVar(&o.CSV, "csv", false, "emit CSV on stdout (ignored with -out)")
+	fs.BoolVar(&o.MD, "md", false, "emit GitHub-flavoured markdown on stdout (ignored with -out)")
+	fs.BoolVar(&o.Spark, "spark", false, "append a per-column sparkline summary to text output")
+	fs.StringVar(&o.Dir, "out", "", "write per-table CSV files to this directory instead of stdout")
+}
+
+// Emit renders the tables. With Dir set it writes one CSV file per table,
+// named by name(i) (e.g. "fig09_0.csv"), and returns the paths written;
+// otherwise it streams the selected stdout format to w and returns nil.
+func (o Output) Emit(w io.Writer, tables []*report.Table, name func(i int) string) ([]string, error) {
+	if o.Dir != "" {
+		if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+			return nil, err
+		}
+		var paths []string
+		for i, t := range tables {
+			path := filepath.Join(o.Dir, name(i))
+			f, err := os.Create(path)
+			if err != nil {
+				return nil, err
+			}
+			if err := t.WriteCSV(f); err != nil {
+				f.Close()
+				return nil, err
+			}
+			if err := f.Close(); err != nil {
+				return nil, err
+			}
+			paths = append(paths, path)
+		}
+		return paths, nil
+	}
+	for _, t := range tables {
+		var err error
+		switch {
+		case o.CSV:
+			err = t.WriteCSV(w)
+		case o.MD:
+			err = t.WriteMarkdown(w)
+		default:
+			err = t.WriteText(w)
+			if err == nil && o.Spark {
+				if s := t.SparkSummary(); s != "" {
+					fmt.Fprintln(w, s)
+				}
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+// IndexedName builds the name function Emit wants from a printf pattern with
+// one %d verb for the table index, e.g. IndexedName("fig%02d_%%d.csv", fig).
+func IndexedName(format string, args ...any) func(int) string {
+	prefix := fmt.Sprintf(format, args...)
+	return func(i int) string { return fmt.Sprintf(prefix, i) }
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"partmb/internal/engine"
 )
 
 // The paper's headline guidance (abstract, §6): partition count should be
@@ -86,27 +88,29 @@ func (a *Advice) String() string {
 }
 
 // Advise sweeps the candidate partition counts (counts that do not divide
-// the message size are skipped) and ranks them. base.Partitions is ignored.
-func Advise(base Config, counts []int, w AdvisorWeights) (*Advice, error) {
+// the message size are skipped) on the runner's worker pool and ranks them.
+// base.Partitions is ignored. A nil runner sweeps serially without caching.
+func Advise(rn *engine.Runner, base Config, counts []int, w AdvisorWeights) (*Advice, error) {
 	if len(counts) == 0 {
 		counts = []int{1, 2, 4, 8, 16, 32}
 	}
 	base = base.withDefaults()
-	results, err := SweepPartitions(base, counts)
+	results, err := SweepPartitions(rn, base, counts)
 	if err != nil {
 		return nil, err
 	}
 	if len(results) == 0 {
 		return nil, fmt.Errorf("core: no candidate partition count divides %d bytes", base.MessageBytes)
 	}
+	machine := base.Platform.Machine
 	adv := &Advice{Config: base}
 	for _, r := range results {
 		n := r.Config.Partitions
 		c := Candidate{
 			Partitions:     n,
 			Result:         r,
-			FitsSocket:     n <= base.Machine.CoresPerSocket,
-			Oversubscribed: n > base.Machine.TotalCores(),
+			FitsSocket:     n <= machine.CoresPerSocket,
+			Oversubscribed: n > machine.TotalCores(),
 		}
 		c.Score = score(r, w)
 		if !c.FitsSocket {

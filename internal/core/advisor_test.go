@@ -7,6 +7,7 @@ import (
 
 	"partmb/internal/mpi"
 	"partmb/internal/noise"
+	"partmb/internal/platform"
 	"partmb/internal/sim"
 )
 
@@ -14,18 +15,17 @@ func adviseCfg() Config {
 	return Config{
 		MessageBytes: 1 << 20,
 		Compute:      10 * sim.Millisecond,
-		NoiseKind:    noise.SingleThread,
-		NoisePercent: 4,
-		Impl:         mpi.PartMPIPCL,
-		ThreadMode:   mpi.Multiple,
-		Iterations:   3,
-		Warmup:       1,
-		Partitions:   1, // ignored by Advise, needed by validation
+		Platform: platform.Niagara().
+			WithNoise(noise.SingleThread, 4).
+			WithThreadMode(mpi.Multiple),
+		Iterations: 3,
+		Warmup:     1,
+		Partitions: 1, // ignored by Advise, needed by validation
 	}
 }
 
 func TestAdviseRanksCandidates(t *testing.T) {
-	adv, err := Advise(adviseCfg(), []int{1, 4, 16}, DefaultAdvisorWeights())
+	adv, err := Advise(nil, adviseCfg(), []int{1, 4, 16}, DefaultAdvisorWeights())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestAdviseRanksCandidates(t *testing.T) {
 func TestAdvisePrefersMultiplePartitionsUnderNoise(t *testing.T) {
 	// With noise and medium messages the whole point of the paper is that
 	// partitioning wins; 1 partition must not be recommended.
-	adv, err := Advise(adviseCfg(), []int{1, 2, 4, 8, 16}, DefaultAdvisorWeights())
+	adv, err := Advise(nil, adviseCfg(), []int{1, 2, 4, 8, 16}, DefaultAdvisorWeights())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestAdvisePrefersMultiplePartitionsUnderNoise(t *testing.T) {
 }
 
 func TestAdviseFlagsPlatformHazards(t *testing.T) {
-	adv, err := Advise(adviseCfg(), []int{16, 32, 64}, DefaultAdvisorWeights())
+	adv, err := Advise(nil, adviseCfg(), []int{16, 32, 64}, DefaultAdvisorWeights())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestAdviseFlagsPlatformHazards(t *testing.T) {
 }
 
 func TestAdviseDefaultsAndErrors(t *testing.T) {
-	adv, err := Advise(adviseCfg(), nil, DefaultAdvisorWeights())
+	adv, err := Advise(nil, adviseCfg(), nil, DefaultAdvisorWeights())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestAdviseDefaultsAndErrors(t *testing.T) {
 	}
 	cfg := adviseCfg()
 	cfg.MessageBytes = 7 // nothing divides it except 1... 1 divides it
-	adv2, err := Advise(cfg, []int{2, 4}, DefaultAdvisorWeights())
+	adv2, err := Advise(nil, cfg, []int{2, 4}, DefaultAdvisorWeights())
 	if err == nil {
 		t.Fatalf("expected error for indivisible size, got %v", adv2.Candidates)
 	}

@@ -74,19 +74,20 @@ func RunConsume(cfg Config, consumePerPartition sim.Duration) (*ConsumeResult, e
 
 // runConsumeMode measures the mean fork-to-last-consumption span.
 func runConsumeMode(cfg Config, consume sim.Duration, pipelined bool) (sim.Duration, error) {
+	pf := cfg.Platform
 	s := sim.New()
 	mcfg := mpi.DefaultConfig(2)
-	mcfg.ThreadMode = cfg.ThreadMode
-	mcfg.PartImpl = cfg.Impl
-	mcfg.Mem = memsim.Default(cfg.Cache)
-	mcfg.Net = cfg.Net
-	mcfg.Machine = cfg.Machine
+	mcfg.ThreadMode = pf.ThreadMode
+	mcfg.PartImpl = pf.Impl
+	mcfg.Mem = memsim.Default(pf.Cache)
+	mcfg.Net = pf.Net
+	mcfg.Machine = pf.Machine
 	w := mpi.NewWorld(s, mcfg)
 
 	n := cfg.Partitions
 	partBytes := cfg.MessageBytes / int64(n)
-	placement := cluster.Place(cfg.Machine, n)
-	noiseModel := noise.New(cfg.NoiseKind, cfg.NoisePercent, cfg.Seed)
+	placement := cluster.Place(pf.Machine, n)
+	noiseModel := noise.New(pf.NoiseKind, pf.NoisePercent, pf.Seed)
 	total := cfg.Warmup + cfg.Iterations
 
 	forkAts := make([]sim.Time, total)

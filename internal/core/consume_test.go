@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"partmb/internal/noise"
+	"partmb/internal/platform"
 	"partmb/internal/sim"
 )
 
@@ -13,8 +14,7 @@ func consumeCfg() Config {
 		MessageBytes: 8 << 20,
 		Partitions:   16,
 		Compute:      10 * sim.Millisecond,
-		NoiseKind:    noise.Uniform,
-		NoisePercent: 4,
+		Platform:     platform.Niagara().WithNoise(noise.Uniform, 4),
 		Iterations:   3,
 		Warmup:       1,
 	}

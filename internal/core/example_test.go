@@ -6,6 +6,7 @@ import (
 	"partmb/internal/core"
 	"partmb/internal/mpi"
 	"partmb/internal/noise"
+	"partmb/internal/platform"
 	"partmb/internal/sim"
 )
 
@@ -16,12 +17,11 @@ func ExampleRun() {
 		MessageBytes: 1 << 20,
 		Partitions:   16,
 		Compute:      10 * sim.Millisecond,
-		NoiseKind:    noise.SingleThread,
-		NoisePercent: 4,
-		Impl:         mpi.PartMPIPCL,
-		ThreadMode:   mpi.Multiple,
-		Iterations:   5,
-		Warmup:       1,
+		Platform: platform.Niagara().
+			WithNoise(noise.SingleThread, 4).
+			WithThreadMode(mpi.Multiple),
+		Iterations: 5,
+		Warmup:     1,
 	})
 	if err != nil {
 		panic(err)
@@ -38,16 +38,15 @@ func ExampleRun() {
 // ExampleAdvise asks the suite for a partition-count recommendation, the
 // developer guidance the paper's abstract promises.
 func ExampleAdvise() {
-	adv, err := core.Advise(core.Config{
+	adv, err := core.Advise(nil, core.Config{
 		MessageBytes: 1 << 20,
 		Partitions:   1,
 		Compute:      10 * sim.Millisecond,
-		NoiseKind:    noise.SingleThread,
-		NoisePercent: 4,
-		Impl:         mpi.PartMPIPCL,
-		ThreadMode:   mpi.Multiple,
-		Iterations:   3,
-		Warmup:       1,
+		Platform: platform.Niagara().
+			WithNoise(noise.SingleThread, 4).
+			WithThreadMode(mpi.Multiple),
+		Iterations: 3,
+		Warmup:     1,
 	}, []int{1, 4, 16}, core.DefaultAdvisorWeights())
 	if err != nil {
 		panic(err)

@@ -4,10 +4,12 @@ import (
 	"fmt"
 
 	"partmb/internal/cluster"
+	"partmb/internal/engine"
 	"partmb/internal/memsim"
 	"partmb/internal/mpi"
 	"partmb/internal/netsim"
 	"partmb/internal/noise"
+	"partmb/internal/platform"
 	"partmb/internal/sim"
 	"partmb/internal/stats"
 	"partmb/internal/trace"
@@ -20,7 +22,9 @@ const (
 )
 
 // Config describes one point of the benchmark parameter space (§3: message
-// size, partition count, compute amount, noise, cache state).
+// size, partition count, compute amount) on a platform.Spec that bundles
+// the environment knobs (noise, cache state, threading, implementation,
+// fabric, node).
 type Config struct {
 	// MessageBytes is the total message size m; it must be divisible by
 	// Partitions.
@@ -30,36 +34,26 @@ type Config struct {
 	Partitions int
 	// Compute is the per-thread compute amount per iteration.
 	Compute sim.Duration
-	// NoiseKind and NoisePercent configure the noise model of §3.3.
-	NoiseKind    noise.Kind
-	NoisePercent float64
-	// Cache selects hot or cold CPU cache (§3.4).
-	Cache memsim.CacheMode
-	// Impl selects the partitioned implementation under test.
-	Impl mpi.PartImpl
-	// ThreadMode is the MPI threading level; the paper's MPIPCL setup
-	// requires MPI_THREAD_MULTIPLE.
-	ThreadMode mpi.ThreadMode
 	// Iterations is the number of measured iterations; Warmup iterations
 	// run first and are discarded.
 	Iterations int
 	Warmup     int
-	// Seed makes the noise draws reproducible.
-	Seed int64
 	// PruneSigma drops samples more than this many standard deviations
 	// from the mean before aggregation (§4.1); 0 disables pruning.
 	PruneSigma float64
-	// Net and Machine override the interconnect and node models (nil =
-	// paper defaults).
-	Net     *netsim.Params
-	Machine *cluster.Machine
+	// Platform is the simulated platform: machine, fabric, cache mode,
+	// noise model, seed, threading level, and partitioned implementation
+	// (nil = the paper's Niagara+EDR defaults).
+	Platform *platform.Spec `json:"Platform,omitempty"`
 	// Topology overrides the rank-pair latency map (nil = uniform
-	// single-wing, the paper's point-to-point setup).
-	Topology netsim.Topology
+	// single-wing, the paper's point-to-point setup). Configs with a
+	// custom topology are never memoized.
+	Topology netsim.Topology `json:"-"`
 	// Trace, when non-nil, records a per-iteration timeline (thread
 	// compute spans, Pready instants, per-partition transfer spans, the
-	// single-send reference) in Chrome trace-event form.
-	Trace *trace.Recorder
+	// single-send reference) in Chrome trace-event form. Configs with a
+	// trace recorder are never memoized.
+	Trace *trace.Recorder `json:"-"`
 }
 
 // withDefaults fills unset fields with the paper's defaults.
@@ -70,22 +64,14 @@ func (c Config) withDefaults() Config {
 	if c.Warmup == 0 {
 		c.Warmup = 2
 	}
-	if c.Seed == 0 {
-		c.Seed = 42
-	}
 	if c.PruneSigma == 0 {
 		c.PruneSigma = 3
 	}
-	if c.ThreadMode == mpi.Funneled && c.Partitions > 1 {
+	c.Platform = c.Platform.Resolved()
+	if c.Platform.ThreadMode == mpi.Funneled && c.Partitions > 1 {
 		// Threads call Pready concurrently; the layered library needs
 		// THREAD_MULTIPLE, as the paper's MPIPCL setup did.
-		c.ThreadMode = mpi.Multiple
-	}
-	if c.Net == nil {
-		c.Net = netsim.EDR()
-	}
-	if c.Machine == nil {
-		c.Machine = cluster.Niagara()
+		c.Platform = c.Platform.WithThreadMode(mpi.Multiple)
 	}
 	return c
 }
@@ -104,8 +90,8 @@ func (c *Config) Validate() error {
 	if c.Compute < 0 {
 		return fmt.Errorf("core: negative Compute")
 	}
-	if c.NoisePercent < 0 {
-		return fmt.Errorf("core: negative NoisePercent")
+	if err := c.Platform.Validate(); err != nil {
+		return err
 	}
 	if c.Iterations <= 0 || c.Warmup < 0 {
 		return fmt.Errorf("core: Iterations must be positive and Warmup non-negative")
@@ -163,20 +149,21 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	pf := cfg.Platform
 	s := sim.New()
 	mcfg := mpi.DefaultConfig(2)
-	mcfg.ThreadMode = cfg.ThreadMode
-	mcfg.PartImpl = cfg.Impl
-	mcfg.Mem = memsim.Default(cfg.Cache)
-	mcfg.Net = cfg.Net
-	mcfg.Machine = cfg.Machine
+	mcfg.ThreadMode = pf.ThreadMode
+	mcfg.PartImpl = pf.Impl
+	mcfg.Mem = memsim.Default(pf.Cache)
+	mcfg.Net = pf.Net
+	mcfg.Machine = pf.Machine
 	mcfg.Topology = cfg.Topology
 	w := mpi.NewWorld(s, mcfg)
 
 	n := cfg.Partitions
 	partBytes := cfg.MessageBytes / int64(n)
-	placement := cluster.Place(cfg.Machine, n)
-	noiseModel := noise.New(cfg.NoiseKind, cfg.NoisePercent, cfg.Seed)
+	placement := cluster.Place(pf.Machine, n)
+	noiseModel := noise.New(pf.NoiseKind, pf.NoisePercent, pf.Seed)
 	invalidate := mcfg.Mem.InvalidateCost()
 	total := cfg.Warmup + cfg.Iterations
 
@@ -303,6 +290,36 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// cacheKey returns the engine memoization key for a defaulted config, or ""
+// (uncacheable) when the config has side effects or state the key cannot
+// capture: a trace recorder records events on every run, and a custom
+// topology is an interface the hash cannot see through.
+func (c Config) cacheKey() string {
+	if c.Trace != nil || c.Topology != nil {
+		return ""
+	}
+	key, err := engine.Key("core.Run", c)
+	if err != nil {
+		return ""
+	}
+	return key
+}
+
+// RunCached is Run memoized through the runner's content-addressed cache:
+// configurations that resolve identically share one simulation per process.
+// The simulator is deterministic, so a cached *Result is bit-identical to a
+// fresh run; callers must treat it as immutable. A nil runner runs uncached.
+func RunCached(rn *engine.Runner, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	v, err := engine.OrDefault(rn).Do(cfg.cacheKey(), func() (any, error) {
+		return Run(cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Result), nil
+}
+
 // emitTrace renders one measured iteration as Chrome trace events: the
 // sender rank is pid 0 (one tid per thread), the receiver rank pid 1 (one
 // tid per partition).
@@ -341,9 +358,10 @@ func (r *Result) aggregate() {
 
 // String renders a one-line summary.
 func (r *Result) String() string {
+	pf := r.Config.Platform.Resolved()
 	return fmt.Sprintf("m=%s parts=%d comp=%v noise=%s/%.0f%% cache=%s impl=%s: overhead=%.2fx perceivedBW=%.2fGB/s avail=%.3f early=%.1f%%",
 		FormatBytes(r.Config.MessageBytes), r.Config.Partitions, r.Config.Compute,
-		r.Config.NoiseKind, r.Config.NoisePercent, r.Config.Cache, r.Config.Impl,
+		pf.NoiseKind, pf.NoisePercent, pf.Cache, pf.Impl,
 		r.Overhead, r.PerceivedBW/1e9, r.Availability, r.EarlyBird)
 }
 

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"testing"
 
+	"partmb/internal/engine"
 	"partmb/internal/memsim"
 	"partmb/internal/mpi"
 	"partmb/internal/noise"
+	"partmb/internal/platform"
 	"partmb/internal/sim"
 	"partmb/internal/trace"
 )
@@ -17,9 +19,6 @@ func quickCfg() Config {
 		MessageBytes: 1 << 20,
 		Partitions:   8,
 		Compute:      10 * sim.Millisecond,
-		NoiseKind:    noise.None,
-		Cache:        memsim.Hot,
-		Impl:         mpi.PartMPIPCL,
 		Iterations:   4,
 		Warmup:       1,
 	}
@@ -51,8 +50,7 @@ func TestRunProducesSamples(t *testing.T) {
 
 func TestRunIsDeterministic(t *testing.T) {
 	cfg := quickCfg()
-	cfg.NoiseKind = noise.Uniform
-	cfg.NoisePercent = 4
+	cfg.Platform = cfg.Platform.WithNoise(noise.Uniform, 4)
 	a, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -73,7 +71,7 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		func(c *Config) { c.Partitions = 0 },
 		func(c *Config) { c.MessageBytes = 1000; c.Partitions = 3 }, // not divisible
 		func(c *Config) { c.Compute = -1 },
-		func(c *Config) { c.NoisePercent = -2 },
+		func(c *Config) { c.Platform = &platform.Spec{NoisePercent: -2} },
 	}
 	for i, mutate := range bad {
 		cfg := quickCfg()
@@ -145,8 +143,7 @@ func TestColdCacheLowersOverheadRatio(t *testing.T) {
 	base.MessageBytes = 256 << 10
 	base.Partitions = 16
 	hotCfg, coldCfg := base, base
-	hotCfg.Cache = memsim.Hot
-	coldCfg.Cache = memsim.Cold
+	coldCfg.Platform = coldCfg.Platform.WithCache(memsim.Cold)
 	hot, err := Run(hotCfg)
 	if err != nil {
 		t.Fatal(err)
@@ -164,8 +161,7 @@ func TestAvailabilityHighSmallLowHuge(t *testing.T) {
 	// Paper §4.4 / Fig 6: with noise, availability near 1 for small
 	// messages, dropping off for multi-MB messages.
 	base := quickCfg()
-	base.NoiseKind = noise.SingleThread
-	base.NoisePercent = 4
+	base.Platform = base.Platform.WithNoise(noise.SingleThread, 4)
 	base.Partitions = 16
 	get := func(size int64) float64 {
 		cfg := base
@@ -192,10 +188,9 @@ func TestSingleDelayBeatsDistributedNoise(t *testing.T) {
 	base := quickCfg()
 	base.MessageBytes = 256 << 10
 	base.Partitions = 16
-	base.NoisePercent = 4
 	get := func(k noise.Kind) float64 {
 		cfg := base
-		cfg.NoiseKind = k
+		cfg.Platform = cfg.Platform.WithNoise(k, 4)
 		res, err := Run(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -216,8 +211,7 @@ func TestEarlyBirdHighWithNoiseAndCompute(t *testing.T) {
 	cfg := quickCfg()
 	cfg.MessageBytes = 1 << 20
 	cfg.Partitions = 16
-	cfg.NoiseKind = noise.Uniform
-	cfg.NoisePercent = 4
+	cfg.Platform = cfg.Platform.WithNoise(noise.Uniform, 4)
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -235,9 +229,8 @@ func TestPerceivedBandwidthPeaksThenDeclines(t *testing.T) {
 	// peak then declines once a single partition saturates the link.
 	cfg := quickCfg()
 	cfg.Partitions = 16
-	cfg.NoiseKind = noise.Uniform
-	cfg.NoisePercent = 4
-	results, err := SweepMessageSizes(cfg, MessageSizes(64<<10, 64<<20))
+	cfg.Platform = cfg.Platform.WithNoise(noise.Uniform, 4)
+	results, err := SweepMessageSizes(nil, cfg, MessageSizes(64<<10, 64<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +252,7 @@ func TestPerceivedBandwidthPeaksThenDeclines(t *testing.T) {
 func TestSweepPartitionsSkipsNonDividing(t *testing.T) {
 	cfg := quickCfg()
 	cfg.MessageBytes = 1 << 20
-	results, err := SweepPartitions(cfg, []int{1, 3, 4})
+	results, err := SweepPartitions(nil, cfg, []int{1, 3, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,8 +267,7 @@ func TestNativeImplLowersOverhead(t *testing.T) {
 	base.MessageBytes = 64 << 10
 	base.Partitions = 16
 	pcclCfg, nativeCfg := base, base
-	pcclCfg.Impl = mpi.PartMPIPCL
-	nativeCfg.Impl = mpi.PartNative
+	nativeCfg.Platform = nativeCfg.Platform.WithImpl(mpi.PartNative)
 	pccl, err := Run(pcclCfg)
 	if err != nil {
 		t.Fatal(err)
@@ -330,8 +322,7 @@ func TestPruneSigmaAffectsAggregation(t *testing.T) {
 	// must change (or at least not silently equal) the aggregate when the
 	// sample set contains spread.
 	base := quickCfg()
-	base.NoiseKind = noise.Gaussian
-	base.NoisePercent = 40 // extreme spread to force outliers
+	base.Platform = base.Platform.WithNoise(noise.Gaussian, 40) // extreme spread to force outliers
 	base.Iterations = 12
 	pruned := base
 	pruned.PruneSigma = 1 // aggressive
@@ -360,13 +351,48 @@ func TestPruneSigmaAffectsAggregation(t *testing.T) {
 	}
 }
 
+func TestRunCachedMemoizes(t *testing.T) {
+	rn := engine.New()
+	a, err := RunCached(rn, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCached(rn, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical configs did not share a cached result")
+	}
+	st := rn.Stats()
+	if st.Runs != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 run, 1 hit", st)
+	}
+	// A different cell must not collide.
+	other := quickCfg()
+	other.Partitions = 4
+	c, err := RunCached(rn, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("different configs shared a cache entry")
+	}
+	// Traced configs have side effects and must never be served from cache.
+	traced := quickCfg()
+	traced.Trace = new(trace.Recorder)
+	if key := traced.withDefaults().cacheKey(); key != "" {
+		t.Fatalf("traced config got cache key %q, want uncacheable", key)
+	}
+}
+
 func TestColdCacheInvalidationExtendsIteration(t *testing.T) {
 	// The invalidation pass runs outside the timed region but still costs
 	// wall (virtual) time: raw samples should be unaffected, while the
 	// iteration barrier cadence stretches. We check samples only.
 	hot := quickCfg()
 	cold := quickCfg()
-	cold.Cache = memsim.Cold
+	cold.Platform = cold.Platform.WithCache(memsim.Cold)
 	a, err := Run(hot)
 	if err != nil {
 		t.Fatal(err)

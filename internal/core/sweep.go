@@ -1,6 +1,11 @@
 package core
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+
+	"partmb/internal/engine"
+)
 
 // MessageSizes returns the power-of-two sweep [min, max] used on the
 // figures' x axes.
@@ -15,42 +20,63 @@ func MessageSizes(min, max int64) []int64 {
 	return out
 }
 
-// SweepMessageSizes runs the benchmark at every message size, holding the
-// rest of base fixed. Sizes not divisible by the partition count are
-// skipped (they cannot be partitioned evenly, the MPIPCL restriction).
-func SweepMessageSizes(base Config, sizes []int64) ([]*Result, error) {
-	var out []*Result
+// SweepMessageSizes runs the benchmark at every message size on the
+// runner's worker pool, holding the rest of base fixed, and returns results
+// in size order. Sizes not divisible by the partition count are skipped
+// (they cannot be partitioned evenly, the MPIPCL restriction). A nil runner
+// sweeps serially without caching.
+func SweepMessageSizes(rn *engine.Runner, base Config, sizes []int64) ([]*Result, error) {
+	var eligible []int64
 	for _, size := range sizes {
-		if size%int64(base.Partitions) != 0 {
-			continue
+		if size%int64(base.Partitions) == 0 {
+			eligible = append(eligible, size)
 		}
-		cfg := base
-		cfg.MessageBytes = size
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("size %s: %w", FormatBytes(size), err)
-		}
-		out = append(out, res)
 	}
-	return out, nil
+	return sweep(rn, len(eligible), func(i int) (Config, string) {
+		cfg := base
+		cfg.MessageBytes = eligible[i]
+		return cfg, fmt.Sprintf("size %s", FormatBytes(eligible[i]))
+	})
 }
 
-// SweepPartitions runs the benchmark at every partition count, holding the
-// rest of base fixed. Counts that do not divide the message size are
-// skipped.
-func SweepPartitions(base Config, counts []int) ([]*Result, error) {
-	var out []*Result
+// SweepPartitions runs the benchmark at every partition count on the
+// runner's worker pool, holding the rest of base fixed, and returns results
+// in count order. Counts that do not divide the message size are skipped.
+// A nil runner sweeps serially without caching.
+func SweepPartitions(rn *engine.Runner, base Config, counts []int) ([]*Result, error) {
+	var eligible []int
 	for _, n := range counts {
-		if base.MessageBytes%int64(n) != 0 {
-			continue
+		if base.MessageBytes%int64(n) == 0 {
+			eligible = append(eligible, n)
 		}
+	}
+	return sweep(rn, len(eligible), func(i int) (Config, string) {
 		cfg := base
-		cfg.Partitions = n
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("partitions %d: %w", n, err)
-		}
-		out = append(out, res)
+		cfg.Partitions = eligible[i]
+		return cfg, fmt.Sprintf("partitions %d", eligible[i])
+	})
+}
+
+// sweep executes n benchmark cells through the runner, labelling errors
+// with the cell description. The engine's in-order dispatch keeps the
+// reported error the one a serial loop would have hit first.
+func sweep(rn *engine.Runner, n int, cell func(i int) (Config, string)) ([]*Result, error) {
+	r := engine.OrDefault(rn)
+	results, err := r.Map(context.Background(), n,
+		func(_ context.Context, i int) (any, error) {
+			cfg, label := cell(i)
+			res, err := RunCached(r, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", label, err)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, n)
+	for i, v := range results {
+		out[i] = v.(*Result)
 	}
 	return out, nil
 }

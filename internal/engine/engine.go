@@ -1,0 +1,279 @@
+// Package engine is the shared experiment runner: a bounded-worker parallel
+// sweep executor with deterministic result ordering, fail-fast cancellation,
+// progress callbacks, and a content-addressed in-memory result cache.
+//
+// Every layer of the suite (figures, classic benchmarks, motif sweeps, SNAP
+// scaling profiles, the CLIs) schedules its simulation cells through one
+// Runner. Because the simulator is deterministic, host-level concurrency can
+// change only wall-clock time, never results — the engine exploits that by
+// running independent cells on parallel workers and by memoizing cells under
+// a hash of their full configuration, so identical cells shared between
+// experiments (e.g. the p=1 baselines of Figs. 4–6/8) are simulated once per
+// process.
+package engine
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Runner executes experiment cells on a bounded worker pool with an
+// in-memory result cache. A Runner is safe for concurrent use; the zero
+// value is not usable — call New.
+type Runner struct {
+	workers  int
+	noCache  bool
+	progress func(done, total int)
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+
+	cells int64
+	runs  int64
+	hits  int64
+}
+
+// cacheEntry memoizes one cell result with singleflight semantics: the
+// first caller computes under once, every concurrent caller waits on it.
+type cacheEntry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// Workers bounds the number of concurrently-executing cells; n <= 0 selects
+// GOMAXPROCS.
+func Workers(n int) Option {
+	return func(r *Runner) {
+		if n > 0 {
+			r.workers = n
+		}
+	}
+}
+
+// WithoutCache disables result memoization (used by benchmarks that want to
+// measure raw simulation cost).
+func WithoutCache() Option {
+	return func(r *Runner) { r.noCache = true }
+}
+
+// OnProgress installs a callback invoked after every completed grid cell
+// with the per-grid completion count. Callbacks may run concurrently with
+// other cells but never concurrently with themselves.
+func OnProgress(fn func(done, total int)) Option {
+	return func(r *Runner) { r.progress = fn }
+}
+
+// New returns a Runner with the given options.
+func New(opts ...Option) *Runner {
+	r := &Runner{
+		workers: runtime.GOMAXPROCS(0),
+		cache:   map[string]*cacheEntry{},
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// OrDefault returns r, or a fresh default Runner when r is nil — so library
+// entry points can accept an optional runner.
+func OrDefault(r *Runner) *Runner {
+	if r != nil {
+		return r
+	}
+	return New()
+}
+
+// Workers returns the worker bound.
+func (r *Runner) Workers() int { return r.workers }
+
+// Stats reports cumulative scheduling and cache counters.
+type Stats struct {
+	// Cells is the number of grid/map cells executed.
+	Cells int64
+	// Runs is the number of cell computations actually performed (cache
+	// misses plus uncached calls).
+	Runs int64
+	// Hits is the number of cache hits (cells answered without computing).
+	Hits int64
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d cells, %d runs, %d cache hits", s.Cells, s.Runs, s.Hits)
+}
+
+// Stats returns a snapshot of the runner's counters.
+func (r *Runner) Stats() Stats {
+	return Stats{
+		Cells: atomic.LoadInt64(&r.cells),
+		Runs:  atomic.LoadInt64(&r.runs),
+		Hits:  atomic.LoadInt64(&r.hits),
+	}
+}
+
+// Key returns a content-addressed cache key: the SHA-256 of the canonical
+// JSON encoding of parts. Configurations that marshal identically share a
+// key, which is exactly the memoization contract for a deterministic
+// simulator. It returns an error when a part cannot be marshalled; callers
+// should then run uncached.
+func Key(parts ...any) (string, error) {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	for _, p := range parts {
+		if err := enc.Encode(p); err != nil {
+			return "", fmt.Errorf("engine: unkeyable config: %w", err)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Do returns the memoized result for key, computing it with fn on the first
+// call. Concurrent calls with the same key compute once and share the
+// result (errors are cached too). An empty key disables memoization.
+func (r *Runner) Do(key string, fn func() (any, error)) (any, error) {
+	if key == "" || r.noCache {
+		atomic.AddInt64(&r.runs, 1)
+		return fn()
+	}
+	r.mu.Lock()
+	e, ok := r.cache[key]
+	if !ok {
+		e = &cacheEntry{}
+		r.cache[key] = e
+	}
+	r.mu.Unlock()
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		atomic.AddInt64(&r.runs, 1)
+		e.val, e.err = fn()
+	})
+	if hit {
+		atomic.AddInt64(&r.hits, 1)
+	}
+	return e.val, e.err
+}
+
+// Grid evaluates cell over an nRows x nCols grid on the worker pool and
+// returns the results in row-major order. Cells are dispatched in row-major
+// order; after the first error no further cells start, the context passed
+// to running cells is cancelled, and the returned error is the one from the
+// smallest row-major index that failed — deterministic regardless of
+// worker interleaving, because in-order dispatch guarantees the minimal
+// failing index is always dispatched before scheduling stops.
+func (r *Runner) Grid(ctx context.Context, nRows, nCols int, cell func(ctx context.Context, row, col int) (any, error)) ([][]any, error) {
+	cells := make([][]any, nRows)
+	for i := range cells {
+		cells[i] = make([]any, nCols)
+	}
+	flat := func(ctx context.Context, i int) (any, error) {
+		return cell(ctx, i/nCols, i%nCols)
+	}
+	results, err := r.run(ctx, nRows*nCols, flat)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range results {
+		cells[i/nCols][i%nCols] = v
+	}
+	return cells, nil
+}
+
+// Map evaluates fn over n items on the worker pool and returns the results
+// in index order, with the same fail-fast and determinism guarantees as
+// Grid.
+func (r *Runner) Map(ctx context.Context, n int, fn func(ctx context.Context, i int) (any, error)) ([]any, error) {
+	return r.run(ctx, n, fn)
+}
+
+// indexedError carries the dispatch index of a failed cell so "first error
+// wins" can be decided by index, not completion order. Cancellation errors
+// rank below real errors: a cell that aborts because a later cell already
+// failed must not mask the real failure.
+type indexedError struct {
+	index  int
+	err    error
+	cancel bool
+}
+
+func (r *Runner) run(ctx context.Context, n int, fn func(ctx context.Context, i int) (any, error)) ([]any, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]any, n)
+	sem := make(chan struct{}, r.workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var first *indexedError
+	done := 0
+
+	fail := func(i int, err error) {
+		isCancel := errors.Is(err, context.Canceled)
+		mu.Lock()
+		better := first == nil ||
+			(!isCancel && first.cancel) ||
+			(isCancel == first.cancel && i < first.index)
+		if better {
+			first = &indexedError{index: i, err: err, cancel: isCancel}
+		}
+		mu.Unlock()
+		cancel() // stop dispatch and signal running cells promptly
+	}
+
+	for i := 0; i < n; i++ {
+		// Stop dispatching as soon as an error or cancellation is recorded;
+		// cells already running drain on wg.Wait below.
+		select {
+		case <-ctx.Done():
+		case sem <- struct{}{}:
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		atomic.AddInt64(&r.cells, 1)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			v, err := fn(ctx, i)
+			if err != nil {
+				fail(i, err)
+				return
+			}
+			results[i] = v
+			if r.progress != nil {
+				// Serialize callbacks so progress counts arrive in order.
+				mu.Lock()
+				done++
+				r.progress(done, n)
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if first != nil {
+		return nil, first.err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"partmb/internal/platform"
+	"partmb/internal/report"
+)
+
+// Params carries the declarative inputs of an experiment run: the sweep
+// scale, the platform spec, and free-form per-experiment options (window
+// depth, size bounds, ...) so experiments stay runnable from any CLI
+// without bespoke plumbing.
+type Params struct {
+	// Scale names the sweep scale ("quick" or "full"; empty = quick).
+	Scale string
+	// Spec is the platform to run on (nil = the paper's Niagara preset).
+	Spec *platform.Spec
+	// Options holds experiment-specific settings as strings, parsed by the
+	// experiment itself.
+	Options map[string]string
+}
+
+// Option returns the named option or def when unset.
+func (p Params) Option(key, def string) string {
+	if v, ok := p.Options[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Experiment is one registered, runnable experiment: it executes through
+// the given Runner (sharing its workers and result cache with every other
+// experiment in the process) and renders report tables.
+type Experiment struct {
+	// Name is the registry key (e.g. "fig04", "classic/latency").
+	Name string
+	// Title is a one-line human description.
+	Title string
+	// Run executes the experiment.
+	Run func(rn *Runner, p Params) ([]*report.Table, error)
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Experiment{}
+)
+
+// Register adds an experiment to the global registry. It panics on an empty
+// name, a nil Run, or a duplicate registration — all programmer errors at
+// package init time.
+func Register(e Experiment) {
+	if e.Name == "" || e.Run == nil {
+		panic("engine: Register needs a name and a Run function")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[e.Name]; dup {
+		panic(fmt.Sprintf("engine: duplicate experiment %q", e.Name))
+	}
+	registry[e.Name] = e
+}
+
+// Lookup returns the named experiment.
+func Lookup(name string) (Experiment, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Names returns all registered experiment names, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -5,16 +5,25 @@
 //
 // Two scales are provided: Full approximates the paper's parameter ranges;
 // Quick shrinks sweeps for CI and benchmarks.
+//
+// Generators run on the experiment engine: cells execute in parallel on the
+// runner's worker pool and are memoized by config hash, so cells shared
+// between figures (e.g. Figure 8's uniform-noise sweep also appears in
+// Figure 5) simulate once per run. The simulation itself is deterministic —
+// host concurrency changes wall-clock time only, never the tables.
 package figures
 
 import (
+	"context"
 	"fmt"
 
 	"partmb/internal/core"
+	"partmb/internal/engine"
 	"partmb/internal/memsim"
 	"partmb/internal/mpi"
 	"partmb/internal/noise"
 	"partmb/internal/patterns"
+	"partmb/internal/platform"
 	"partmb/internal/report"
 	"partmb/internal/sim"
 	"partmb/internal/snap"
@@ -84,43 +93,78 @@ func Quick() Scale {
 	}
 }
 
+// ScaleByName resolves a scale name; "" defaults to quick.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "", "quick":
+		return Quick(), nil
+	case "full":
+		return Full(), nil
+	}
+	return Scale{}, fmt.Errorf("figures: unknown scale %q (want quick|full)", name)
+}
+
 // The paper's two compute amounts.
 const (
 	comp10ms  = 10 * sim.Millisecond
 	comp100ms = 100 * sim.Millisecond
 )
 
+// Env binds the generators to an experiment runner and a platform spec. The
+// zero Env uses the shared default runner and the paper's Niagara/EDR
+// platform, so package-level calls keep working unchanged.
+type Env struct {
+	// Runner executes and memoizes the cells (nil = shared default runner).
+	Runner *engine.Runner
+	// Spec is the base platform; generators override the figure-controlled
+	// axes (noise model, cache state, thread mode) per cell.
+	Spec *platform.Spec
+}
+
+func (e Env) runner() *engine.Runner { return engine.OrDefault(e.Runner) }
+
+// spec returns the base platform with the metric benchmarks' thread mode:
+// the paper's MPIPCL setup initializes MPI_THREAD_MULTIPLE.
+func (e Env) metricSpec() *platform.Spec {
+	return e.Spec.Resolved().WithThreadMode(mpi.Multiple)
+}
+
+// grid evaluates cell over the rows x cols grid on the runner's worker pool.
+func (e Env) grid(rows, cols int, cell func(r, c int) (any, error)) ([][]any, error) {
+	return e.runner().Grid(context.Background(), rows, cols,
+		func(ctx context.Context, r, c int) (any, error) { return cell(r, c) })
+}
+
 // metricCfg builds the shared point-to-point benchmark configuration.
-func (sc Scale) metricCfg() core.Config {
+func (e Env) metricCfg(sc Scale) core.Config {
 	return core.Config{
 		Iterations: sc.Iterations,
 		Warmup:     sc.Warmup,
-		Impl:       mpi.PartMPIPCL,
-		ThreadMode: mpi.Multiple,
+		Platform:   e.metricSpec(),
 	}
 }
 
 // Fig4 regenerates "Overhead of Partitioned Point-to-Point Communication
 // Relative to Point-to-Point Communication for 10ms of Compute": one table
 // per cache state, overhead per partition count over the size sweep.
-func Fig4(sc Scale) ([]*report.Table, error) {
+func (e Env) Fig4(sc Scale) ([]*report.Table, error) {
 	var tables []*report.Table
 	for _, cache := range []memsim.CacheMode{memsim.Hot, memsim.Cold} {
 		cache := cache
 		t := report.New(
 			fmt.Sprintf("Figure 4 (%s cache): overhead t_part/t_pt2pt, 10ms compute, no noise", cache),
 			append([]string{"size"}, partColumns(sc.PartCounts, "p=%d")...)...)
-		cells, err := runGrid(len(sc.MetricSizes), len(sc.PartCounts), func(r, col int) (interface{}, error) {
+		cells, err := e.grid(len(sc.MetricSizes), len(sc.PartCounts), func(r, col int) (any, error) {
 			size, parts := sc.MetricSizes[r], sc.PartCounts[col]
 			if size%int64(parts) != 0 {
 				return nil, nil
 			}
-			cfg := sc.metricCfg()
+			cfg := e.metricCfg(sc)
 			cfg.MessageBytes = size
 			cfg.Partitions = parts
 			cfg.Compute = comp10ms
-			cfg.Cache = cache
-			res, err := core.Run(cfg)
+			cfg.Platform = cfg.Platform.WithCache(cache)
+			res, err := core.RunCached(e.Runner, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -136,9 +180,9 @@ func Fig4(sc Scale) ([]*report.Table, error) {
 }
 
 // addGridRows appends one row per size with the grid's cells.
-func addGridRows(t *report.Table, sizes []int64, cells [][]interface{}) {
+func addGridRows(t *report.Table, sizes []int64, cells [][]any) {
 	for r, size := range sizes {
-		row := []interface{}{core.FormatBytes(size)}
+		row := []any{core.FormatBytes(size)}
 		for _, v := range cells[r] {
 			row = append(row, cellOrDash(v))
 		}
@@ -146,10 +190,18 @@ func addGridRows(t *report.Table, sizes []int64, cells [][]interface{}) {
 	}
 }
 
+// cellOrDash renders nil (skipped) cells as "-" for AddF.
+func cellOrDash(v any) any {
+	if v == nil {
+		return "-"
+	}
+	return v
+}
+
 // Fig5 regenerates "Perceived Bandwidth ... with Uniform Noise and a Hot
 // Cache for Different Noise and Compute Amounts": one table per
 // (compute, noise%) cell, perceived bandwidth (GB/s) per partition count.
-func Fig5(sc Scale) ([]*report.Table, error) {
+func (e Env) Fig5(sc Scale) ([]*report.Table, error) {
 	var tables []*report.Table
 	for _, comp := range []sim.Duration{comp10ms, comp100ms} {
 		for _, noisePct := range []float64{0, 4} {
@@ -157,18 +209,17 @@ func Fig5(sc Scale) ([]*report.Table, error) {
 			t := report.New(
 				fmt.Sprintf("Figure 5 (compute=%v, uniform noise=%.0f%%): perceived bandwidth GB/s", comp, noisePct),
 				append([]string{"size"}, partColumns(sc.PartCounts, "p=%d")...)...)
-			cells, err := runGrid(len(sc.MetricSizes), len(sc.PartCounts), func(r, col int) (interface{}, error) {
+			cells, err := e.grid(len(sc.MetricSizes), len(sc.PartCounts), func(r, col int) (any, error) {
 				size, parts := sc.MetricSizes[r], sc.PartCounts[col]
 				if size%int64(parts) != 0 {
 					return nil, nil
 				}
-				cfg := sc.metricCfg()
+				cfg := e.metricCfg(sc)
 				cfg.MessageBytes = size
 				cfg.Partitions = parts
 				cfg.Compute = comp
-				cfg.NoiseKind = noise.Uniform
-				cfg.NoisePercent = noisePct
-				res, err := core.Run(cfg)
+				cfg.Platform = cfg.Platform.WithNoise(noise.Uniform, noisePct)
+				res, err := core.RunCached(e.Runner, cfg)
 				if err != nil {
 					return nil, err
 				}
@@ -187,7 +238,7 @@ func Fig5(sc Scale) ([]*report.Table, error) {
 // Fig6 regenerates "Application Availability ... With a Hot Cache and Our
 // Single Thread Delay Model With 4% Noise": one table per compute amount,
 // availability per partition count.
-func Fig6(sc Scale) ([]*report.Table, error) {
+func (e Env) Fig6(sc Scale) ([]*report.Table, error) {
 	counts := withoutOne(sc.PartCounts)
 	var tables []*report.Table
 	for _, comp := range []sim.Duration{comp10ms, comp100ms} {
@@ -195,18 +246,17 @@ func Fig6(sc Scale) ([]*report.Table, error) {
 		t := report.New(
 			fmt.Sprintf("Figure 6 (compute=%v): application availability, single-thread delay 4%%, hot cache", comp),
 			append([]string{"size"}, partColumns(counts, "p=%d")...)...)
-		cells, err := runGrid(len(sc.MetricSizes), len(counts), func(r, col int) (interface{}, error) {
+		cells, err := e.grid(len(sc.MetricSizes), len(counts), func(r, col int) (any, error) {
 			size, parts := sc.MetricSizes[r], counts[col]
 			if size%int64(parts) != 0 {
 				return nil, nil
 			}
-			cfg := sc.metricCfg()
+			cfg := e.metricCfg(sc)
 			cfg.MessageBytes = size
 			cfg.Partitions = parts
 			cfg.Compute = comp
-			cfg.NoiseKind = noise.SingleThread
-			cfg.NoisePercent = 4
-			res, err := core.Run(cfg)
+			cfg.Platform = cfg.Platform.WithNoise(noise.SingleThread, 4)
+			res, err := core.RunCached(e.Runner, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -223,7 +273,7 @@ func Fig6(sc Scale) ([]*report.Table, error) {
 
 // Fig7 regenerates "The Impact of Noise Models on Application Availability"
 // (16 partitions, 4% noise, hot cache).
-func Fig7(sc Scale) ([]*report.Table, error) {
+func (e Env) Fig7(sc Scale) ([]*report.Table, error) {
 	models := []noise.Kind{noise.SingleThread, noise.Uniform, noise.Gaussian}
 	t := report.New(
 		"Figure 7: application availability by noise model, 16 partitions, 4% noise, hot cache, 10ms compute",
@@ -234,14 +284,13 @@ func Fig7(sc Scale) ([]*report.Table, error) {
 			sizes = append(sizes, size)
 		}
 	}
-	cells, err := runGrid(len(sizes), len(models), func(r, col int) (interface{}, error) {
-		cfg := sc.metricCfg()
+	cells, err := e.grid(len(sizes), len(models), func(r, col int) (any, error) {
+		cfg := e.metricCfg(sc)
 		cfg.MessageBytes = sizes[r]
 		cfg.Partitions = 16
 		cfg.Compute = comp10ms
-		cfg.NoiseKind = models[col]
-		cfg.NoisePercent = 4
-		res, err := core.Run(cfg)
+		cfg.Platform = cfg.Platform.WithNoise(models[col], 4)
+		res, err := core.RunCached(e.Runner, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -257,7 +306,7 @@ func Fig7(sc Scale) ([]*report.Table, error) {
 // Fig8 regenerates "Percentage of Early-Bird Communication with MPI
 // Partitioned Point-to-Point Communication" (uniform noise): one table per
 // compute amount.
-func Fig8(sc Scale) ([]*report.Table, error) {
+func (e Env) Fig8(sc Scale) ([]*report.Table, error) {
 	counts := withoutOne(sc.PartCounts)
 	var tables []*report.Table
 	for _, comp := range []sim.Duration{comp10ms, comp100ms} {
@@ -265,18 +314,17 @@ func Fig8(sc Scale) ([]*report.Table, error) {
 		t := report.New(
 			fmt.Sprintf("Figure 8 (compute=%v): %% early-bird communication, uniform 4%% noise, hot cache", comp),
 			append([]string{"size"}, partColumns(counts, "p=%d")...)...)
-		cells, err := runGrid(len(sc.MetricSizes), len(counts), func(r, col int) (interface{}, error) {
+		cells, err := e.grid(len(sc.MetricSizes), len(counts), func(r, col int) (any, error) {
 			size, parts := sc.MetricSizes[r], counts[col]
 			if size%int64(parts) != 0 {
 				return nil, nil
 			}
-			cfg := sc.metricCfg()
+			cfg := e.metricCfg(sc)
 			cfg.MessageBytes = size
 			cfg.Partitions = parts
 			cfg.Compute = comp
-			cfg.NoiseKind = noise.Uniform
-			cfg.NoisePercent = 4
-			res, err := core.Run(cfg)
+			cfg.Platform = cfg.Platform.WithNoise(noise.Uniform, 4)
+			res, err := core.RunCached(e.Runner, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -291,7 +339,7 @@ func Fig8(sc Scale) ([]*report.Table, error) {
 	return tables, nil
 }
 
-// sweepSeries defines the Sweep3D series the paper plots: a single-threaded
+// patternSeries defines the Sweep3D series the paper plots: a single-threaded
 // baseline plus multi/partitioned at two thread counts.
 type patternSeries struct {
 	label   string
@@ -310,7 +358,7 @@ func sweepSeriesList() []patternSeries {
 }
 
 // figSweep generates a Sweep3D throughput table for one compute amount.
-func figSweep(sc Scale, figure string, comp sim.Duration) ([]*report.Table, error) {
+func (e Env) figSweep(sc Scale, figure string, comp sim.Duration) ([]*report.Table, error) {
 	series := sweepSeriesList()
 	cols := []string{"bytes/thread"}
 	for _, s := range series {
@@ -319,21 +367,20 @@ func figSweep(sc Scale, figure string, comp sim.Duration) ([]*report.Table, erro
 	t := report.New(
 		fmt.Sprintf("%s: Sweep3D throughput GB/s, %v compute, 4%% single noise, hot cache", figure, comp),
 		cols...)
-	cells, err := runGrid(len(sc.SweepSizes), len(series), func(r, col int) (interface{}, error) {
+	spec := e.Spec.Resolved().WithNoise(noise.SingleThread, 4)
+	cells, err := e.grid(len(sc.SweepSizes), len(series), func(r, col int) (any, error) {
 		cfg := patterns.SweepConfig{
 			Px: sc.SweepGridPx, Py: sc.SweepGridPy,
 			Threads:        series[col].threads,
 			BytesPerThread: sc.SweepSizes[r],
 			Compute:        comp,
-			NoiseKind:      noise.SingleThread,
-			NoisePercent:   4,
 			ZBlocks:        sc.SweepZBlocks,
 			Octants:        sc.SweepOctants,
 			Repeats:        sc.SweepRepeats,
 			Mode:           series[col].mode,
-			Impl:           mpi.PartMPIPCL,
+			Platform:       spec,
 		}
-		res, err := patterns.RunSweep3D(cfg)
+		res, err := patterns.RunSweep3DCached(e.Runner, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -348,16 +395,17 @@ func figSweep(sc Scale, figure string, comp sim.Duration) ([]*report.Table, erro
 
 // Fig9 regenerates "Sweep3D Communication Throughput For 10ms, 4% Single
 // Noise with a Hot Cache".
-func Fig9(sc Scale) ([]*report.Table, error) { return figSweep(sc, "Figure 9", comp10ms) }
+func (e Env) Fig9(sc Scale) ([]*report.Table, error) { return e.figSweep(sc, "Figure 9", comp10ms) }
 
 // Fig10 regenerates the 100ms-compute Sweep3D figure.
-func Fig10(sc Scale) ([]*report.Table, error) { return figSweep(sc, "Figure 10", comp100ms) }
+func (e Env) Fig10(sc Scale) ([]*report.Table, error) { return e.figSweep(sc, "Figure 10", comp100ms) }
 
 // figHalo generates Halo3D throughput tables for one compute amount: one
 // table per thread configuration (8 threads / 4 partitions per face, and 64
 // threads oversubscribed / 16 partitions per face).
-func figHalo(sc Scale, figure string, comp sim.Duration) ([]*report.Table, error) {
+func (e Env) figHalo(sc Scale, figure string, comp sim.Duration) ([]*report.Table, error) {
 	var tables []*report.Table
+	spec := e.Spec.Resolved().WithNoise(noise.SingleThread, 4)
 	for _, tpd := range []int{2, 4} {
 		tpd := tpd
 		threads := tpd * tpd * tpd
@@ -372,19 +420,17 @@ func figHalo(sc Scale, figure string, comp sim.Duration) ([]*report.Table, error
 			}
 		}
 		modes := patterns.Modes()
-		cells, err := runGrid(len(sizes), len(modes), func(r, col int) (interface{}, error) {
+		cells, err := e.grid(len(sizes), len(modes), func(r, col int) (any, error) {
 			cfg := patterns.HaloConfig{
 				Nx: sc.HaloGrid, Ny: sc.HaloGrid, Nz: sc.HaloGrid,
 				ThreadsPerDim: tpd,
 				FaceBytes:     sizes[r],
 				Compute:       comp,
-				NoiseKind:     noise.SingleThread,
-				NoisePercent:  4,
 				Repeats:       sc.HaloRepeats,
 				Mode:          modes[col],
-				Impl:          mpi.PartMPIPCL,
+				Platform:      spec,
 			}
-			res, err := patterns.RunHalo3D(cfg)
+			res, err := patterns.RunHalo3DCached(e.Runner, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -401,19 +447,22 @@ func figHalo(sc Scale, figure string, comp sim.Duration) ([]*report.Table, error
 
 // Fig11 regenerates "Halo3D Communication Throughput For 10ms, 4% Single
 // Noise with a Hot Cache".
-func Fig11(sc Scale) ([]*report.Table, error) { return figHalo(sc, "Figure 11", comp10ms) }
+func (e Env) Fig11(sc Scale) ([]*report.Table, error) { return e.figHalo(sc, "Figure 11", comp10ms) }
 
 // Fig12 regenerates the 100ms-compute Halo3D figure.
-func Fig12(sc Scale) ([]*report.Table, error) { return figHalo(sc, "Figure 12", comp100ms) }
+func (e Env) Fig12(sc Scale) ([]*report.Table, error) { return e.figHalo(sc, "Figure 12", comp100ms) }
 
 // Fig13 regenerates "Expected Speedup From Porting SNAP-C to MPI
 // Partitioned": the mpiP-style profile of the SNAP proxy per node count and
-// the Amdahl projection with the Sweep3D gain.
-func Fig13(sc Scale) ([]*report.Table, error) {
+// the Amdahl projection with the Sweep3D gain. The proxy keeps the MPI
+// library's funneled threading regardless of the spec's ThreadMode.
+func (e Env) Fig13(sc Scale) ([]*report.Table, error) {
 	t := report.New(
 		fmt.Sprintf("Figure 13: SNAP proxy mpiP profile and projected speedup (gain %.1fx)", snap.SweepGain),
 		"nodes", "app time", "mpi time", "mpi %", "projected speedup")
-	pts, err := snap.ProfileScaling(snap.DefaultConfig(), sc.SnapNodes)
+	cfg := snap.DefaultConfig()
+	cfg.Platform = e.Spec.Resolved()
+	pts, err := snap.ProfileScaling(e.Runner, cfg, sc.SnapNodes)
 	if err != nil {
 		return nil, err
 	}
@@ -424,10 +473,10 @@ func Fig13(sc Scale) ([]*report.Table, error) {
 }
 
 // Generate runs the generator for one figure number (4..13).
-func Generate(fig int, sc Scale) ([]*report.Table, error) {
+func (e Env) Generate(fig int, sc Scale) ([]*report.Table, error) {
 	gens := map[int]func(Scale) ([]*report.Table, error){
-		4: Fig4, 5: Fig5, 6: Fig6, 7: Fig7, 8: Fig8,
-		9: Fig9, 10: Fig10, 11: Fig11, 12: Fig12, 13: Fig13,
+		4: e.Fig4, 5: e.Fig5, 6: e.Fig6, 7: e.Fig7, 8: e.Fig8,
+		9: e.Fig9, 10: e.Fig10, 11: e.Fig11, 12: e.Fig12, 13: e.Fig13,
 	}
 	g, ok := gens[fig]
 	if !ok {
@@ -435,6 +484,42 @@ func Generate(fig int, sc Scale) ([]*report.Table, error) {
 	}
 	return g(sc)
 }
+
+// Package-level generators preserve the original API: they run on the shared
+// default runner with the paper's default platform.
+
+// Fig4 renders Figure 4 with the default environment; see Env.Fig4.
+func Fig4(sc Scale) ([]*report.Table, error) { return Env{}.Fig4(sc) }
+
+// Fig5 renders Figure 5 with the default environment; see Env.Fig5.
+func Fig5(sc Scale) ([]*report.Table, error) { return Env{}.Fig5(sc) }
+
+// Fig6 renders Figure 6 with the default environment; see Env.Fig6.
+func Fig6(sc Scale) ([]*report.Table, error) { return Env{}.Fig6(sc) }
+
+// Fig7 renders Figure 7 with the default environment; see Env.Fig7.
+func Fig7(sc Scale) ([]*report.Table, error) { return Env{}.Fig7(sc) }
+
+// Fig8 renders Figure 8 with the default environment; see Env.Fig8.
+func Fig8(sc Scale) ([]*report.Table, error) { return Env{}.Fig8(sc) }
+
+// Fig9 renders Figure 9 with the default environment; see Env.Fig9.
+func Fig9(sc Scale) ([]*report.Table, error) { return Env{}.Fig9(sc) }
+
+// Fig10 renders Figure 10 with the default environment; see Env.Fig10.
+func Fig10(sc Scale) ([]*report.Table, error) { return Env{}.Fig10(sc) }
+
+// Fig11 renders Figure 11 with the default environment; see Env.Fig11.
+func Fig11(sc Scale) ([]*report.Table, error) { return Env{}.Fig11(sc) }
+
+// Fig12 renders Figure 12 with the default environment; see Env.Fig12.
+func Fig12(sc Scale) ([]*report.Table, error) { return Env{}.Fig12(sc) }
+
+// Fig13 renders Figure 13 with the default environment; see Env.Fig13.
+func Fig13(sc Scale) ([]*report.Table, error) { return Env{}.Fig13(sc) }
+
+// Generate runs one figure with the default environment; see Env.Generate.
+func Generate(fig int, sc Scale) ([]*report.Table, error) { return Env{}.Generate(fig, sc) }
 
 // Numbers lists the reproducible figure numbers.
 func Numbers() []int { return []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13} }
@@ -461,4 +546,21 @@ func withoutOne(counts []int) []int {
 		return counts
 	}
 	return out
+}
+
+func init() {
+	for _, fig := range Numbers() {
+		fig := fig
+		engine.Register(engine.Experiment{
+			Name:  fmt.Sprintf("fig%02d", fig),
+			Title: fmt.Sprintf("paper Figure %d", fig),
+			Run: func(rn *engine.Runner, p engine.Params) ([]*report.Table, error) {
+				sc, err := ScaleByName(p.Scale)
+				if err != nil {
+					return nil, err
+				}
+				return Env{Runner: rn, Spec: p.Spec}.Generate(fig, sc)
+			},
+		})
+	}
 }

@@ -38,7 +38,7 @@ func goldenScale() Scale {
 // intentional calibration change and review the diff.
 func TestGoldenFigures(t *testing.T) {
 	sc := goldenScale()
-	for _, fig := range []int{4, 7, 9, 13} {
+	for _, fig := range []int{4, 5, 7, 8, 9, 11, 13} {
 		fig := fig
 		t.Run(fmt.Sprintf("fig%02d", fig), func(t *testing.T) {
 			tables, err := Generate(fig, sc)

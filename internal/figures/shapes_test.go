@@ -7,6 +7,7 @@ import (
 	"partmb/internal/mpi"
 	"partmb/internal/noise"
 	"partmb/internal/patterns"
+	"partmb/internal/platform"
 	"partmb/internal/sim"
 	"partmb/internal/snap"
 )
@@ -19,8 +20,7 @@ func fullCfg() core.Config {
 	return core.Config{
 		Iterations: 10,
 		Warmup:     2,
-		Impl:       mpi.PartMPIPCL,
-		ThreadMode: mpi.Multiple,
+		Platform:   platform.Niagara().WithImpl(mpi.PartMPIPCL).WithThreadMode(mpi.Multiple),
 	}
 }
 
@@ -51,8 +51,7 @@ func TestHeadlineAvailabilityDropoff(t *testing.T) {
 	cfg := fullCfg()
 	cfg.Partitions = 16
 	cfg.Compute = 10 * sim.Millisecond
-	cfg.NoiseKind = noise.SingleThread
-	cfg.NoisePercent = 4
+	cfg.Platform = cfg.Platform.WithNoise(noise.SingleThread, 4)
 	get := func(size int64) float64 {
 		c := cfg
 		c.MessageBytes = size
@@ -84,13 +83,11 @@ func TestHeadlineSweepGain(t *testing.T) {
 			Threads:        threads,
 			BytesPerThread: 4 << 20,
 			Compute:        10 * sim.Millisecond,
-			NoiseKind:      noise.SingleThread,
-			NoisePercent:   4,
 			ZBlocks:        4,
 			Octants:        8,
 			Repeats:        1,
 			Mode:           mode,
-			Impl:           mpi.PartMPIPCL,
+			Platform:       platform.Niagara().WithNoise(noise.SingleThread, 4).WithImpl(mpi.PartMPIPCL),
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -50,6 +50,25 @@ func ParseCacheMode(s string) (CacheMode, error) {
 	return Hot, fmt.Errorf("memsim: unknown cache mode %q (want hot or cold)", s)
 }
 
+// MarshalText renders the mode as "hot" or "cold" (used by JSON platform
+// specs).
+func (m CacheMode) MarshalText() ([]byte, error) {
+	if m != Hot && m != Cold {
+		return nil, fmt.Errorf("memsim: cannot marshal %v", m)
+	}
+	return []byte(m.String()), nil
+}
+
+// UnmarshalText parses the forms accepted by ParseCacheMode.
+func (m *CacheMode) UnmarshalText(b []byte) error {
+	v, err := ParseCacheMode(string(b))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
 // Model holds the memory-system parameters of a node.
 type Model struct {
 	// Mode is the cache state for timed iterations.

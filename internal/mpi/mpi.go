@@ -14,6 +14,7 @@ package mpi
 
 import (
 	"fmt"
+	"strings"
 
 	"partmb/internal/cluster"
 	"partmb/internal/memsim"
@@ -59,6 +60,44 @@ func (m ThreadMode) String() string {
 	}
 }
 
+// ParseThreadMode parses a threading-level name: the short lower-case forms
+// ("funneled", "serialized", "multiple") or the MPI constant names.
+func ParseThreadMode(s string) (ThreadMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "funneled", "mpi_thread_funneled":
+		return Funneled, nil
+	case "serialized", "mpi_thread_serialized":
+		return Serialized, nil
+	case "multiple", "mpi_thread_multiple":
+		return Multiple, nil
+	}
+	return Funneled, fmt.Errorf("mpi: unknown thread mode %q (want funneled|serialized|multiple)", s)
+}
+
+// MarshalText renders the short lower-case mode name (used by JSON platform
+// specs).
+func (m ThreadMode) MarshalText() ([]byte, error) {
+	switch m {
+	case Funneled:
+		return []byte("funneled"), nil
+	case Serialized:
+		return []byte("serialized"), nil
+	case Multiple:
+		return []byte("multiple"), nil
+	}
+	return nil, fmt.Errorf("mpi: cannot marshal %v", m)
+}
+
+// UnmarshalText parses the forms accepted by ParseThreadMode.
+func (m *ThreadMode) UnmarshalText(b []byte) error {
+	v, err := ParseThreadMode(string(b))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
 // PartImpl selects the partitioned-communication implementation.
 type PartImpl int
 
@@ -84,6 +123,35 @@ func (pi PartImpl) String() string {
 	default:
 		return fmt.Sprintf("PartImpl(%d)", int(pi))
 	}
+}
+
+// ParsePartImpl parses a partitioned-implementation name.
+func ParsePartImpl(s string) (PartImpl, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "mpipcl", "pccl", "layered":
+		return PartMPIPCL, nil
+	case "native":
+		return PartNative, nil
+	}
+	return PartMPIPCL, fmt.Errorf("mpi: unknown partitioned impl %q (want mpipcl|native)", s)
+}
+
+// MarshalText renders "mpipcl" or "native" (used by JSON platform specs).
+func (pi PartImpl) MarshalText() ([]byte, error) {
+	if pi != PartMPIPCL && pi != PartNative {
+		return nil, fmt.Errorf("mpi: cannot marshal %v", pi)
+	}
+	return []byte(pi.String()), nil
+}
+
+// UnmarshalText parses the forms accepted by ParsePartImpl.
+func (pi *PartImpl) UnmarshalText(b []byte) error {
+	v, err := ParsePartImpl(string(b))
+	if err != nil {
+		return err
+	}
+	*pi = v
+	return nil
 }
 
 // Config describes a simulated MPI world.

@@ -72,6 +72,24 @@ func ParseKind(s string) (Kind, error) {
 	return None, fmt.Errorf("noise: unknown model %q (want none|single|uniform|gaussian|periodic)", s)
 }
 
+// MarshalText renders the canonical kind name (used by JSON platform specs).
+func (k Kind) MarshalText() ([]byte, error) {
+	if k < None || k > Periodic {
+		return nil, fmt.Errorf("noise: cannot marshal %v", k)
+	}
+	return []byte(k.String()), nil
+}
+
+// UnmarshalText parses the forms accepted by ParseKind.
+func (k *Kind) UnmarshalText(b []byte) error {
+	v, err := ParseKind(string(b))
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
 // Model generates per-thread compute durations for one parallel region.
 type Model struct {
 	kind    Kind

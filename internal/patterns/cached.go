@@ -1,0 +1,43 @@
+package patterns
+
+import (
+	"partmb/internal/engine"
+)
+
+// Cached run variants: each memoizes its motif on the runner's
+// content-addressed cache, so repeated cells (the same motif point shared by
+// several figures or suites) simulate once per process. A nil runner falls
+// back to the shared default runner. Configs are hashed after defaulting, so
+// two configs that resolve identically share a cell.
+
+func cachedRun[C any](rn *engine.Runner, what string, cfg C, run func(C) (*Result, error)) (*Result, error) {
+	key, err := engine.Key(what, cfg)
+	if err != nil {
+		key = "" // unhashable config: run uncached
+	}
+	v, err := engine.OrDefault(rn).Do(key, func() (any, error) { return run(cfg) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Result), nil
+}
+
+// RunSweep3DCached is RunSweep3D memoized on the runner's cache.
+func RunSweep3DCached(rn *engine.Runner, cfg SweepConfig) (*Result, error) {
+	return cachedRun(rn, "patterns.Sweep3D", cfg.withDefaults(), RunSweep3D)
+}
+
+// RunHalo3DCached is RunHalo3D memoized on the runner's cache.
+func RunHalo3DCached(rn *engine.Runner, cfg HaloConfig) (*Result, error) {
+	return cachedRun(rn, "patterns.Halo3D", cfg.withDefaults(), RunHalo3D)
+}
+
+// RunHalo2DCached is RunHalo2D memoized on the runner's cache.
+func RunHalo2DCached(rn *engine.Runner, cfg Halo2DConfig) (*Result, error) {
+	return cachedRun(rn, "patterns.Halo2D", cfg.withDefaults(), RunHalo2D)
+}
+
+// RunIncastCached is RunIncast memoized on the runner's cache.
+func RunIncastCached(rn *engine.Runner, cfg IncastConfig) (*Result, error) {
+	return cachedRun(rn, "patterns.Incast", cfg.withDefaults(), RunIncast)
+}

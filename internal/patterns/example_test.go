@@ -6,6 +6,7 @@ import (
 	"partmb/internal/mpi"
 	"partmb/internal/noise"
 	"partmb/internal/patterns"
+	"partmb/internal/platform"
 	"partmb/internal/sim"
 )
 
@@ -17,13 +18,11 @@ func ExampleRunSweep3D() {
 		Threads:        4,
 		BytesPerThread: 64 << 10,
 		Compute:        sim.Millisecond,
-		NoiseKind:      noise.SingleThread,
-		NoisePercent:   4,
 		ZBlocks:        2,
 		Octants:        4,
 		Repeats:        1,
 		Mode:           patterns.Partitioned,
-		Impl:           mpi.PartMPIPCL,
+		Platform:       platform.Niagara().WithNoise(noise.SingleThread, 4).WithImpl(mpi.PartMPIPCL),
 	})
 	if err != nil {
 		panic(err)
@@ -62,7 +61,7 @@ func ExampleRunIncast() {
 		Compute:        sim.Millisecond,
 		Repeats:        2,
 		Mode:           patterns.Partitioned,
-		Impl:           mpi.PartNative,
+		Platform:       platform.Niagara().WithImpl(mpi.PartNative),
 	})
 	if err != nil {
 		panic(err)

@@ -4,9 +4,10 @@ import (
 	"fmt"
 
 	"partmb/internal/cluster"
+	"partmb/internal/memsim"
 	"partmb/internal/mpi"
-	"partmb/internal/netsim"
 	"partmb/internal/noise"
+	"partmb/internal/platform"
 	"partmb/internal/sim"
 )
 
@@ -26,19 +27,14 @@ type Halo2DConfig struct {
 	EdgeBytes int64
 	// Compute is the per-thread compute per step.
 	Compute sim.Duration
-	// NoiseKind / NoisePercent / Seed configure per-step compute noise.
-	NoiseKind    noise.Kind
-	NoisePercent float64
-	Seed         int64
 	// Repeats is the number of halo-exchange steps.
 	Repeats int
 	// Mode selects single / multi / partitioned communication.
 	Mode Mode
-	// Impl selects the partitioned implementation (Partitioned mode only).
-	Impl mpi.PartImpl
-	// Net and Machine override the hardware models (nil = paper defaults).
-	Net     *netsim.Params
-	Machine *cluster.Machine
+	// Platform bundles the hardware, noise, cache and partitioned-impl
+	// settings (nil = the paper's Niagara/EDR defaults). ThreadMode is
+	// derived from Mode, not the spec.
+	Platform *platform.Spec
 }
 
 // Threads returns the per-rank thread count.
@@ -48,15 +44,7 @@ func (c Halo2DConfig) withDefaults() Halo2DConfig {
 	if c.Repeats == 0 {
 		c.Repeats = 4
 	}
-	if c.Seed == 0 {
-		c.Seed = 42
-	}
-	if c.Net == nil {
-		c.Net = netsim.EDR()
-	}
-	if c.Machine == nil {
-		c.Machine = cluster.Niagara()
-	}
+	c.Platform = c.Platform.Resolved()
 	if c.Mode == Single {
 		c.ThreadsPerDim = 1
 	}
@@ -146,11 +134,13 @@ func RunHalo2D(cfg Halo2DConfig) (*Result, error) {
 		return nil, err
 	}
 	s := sim.New()
+	pf := cfg.Platform
 	nRanks := cfg.Nx * cfg.Ny
 	mcfg := mpi.DefaultConfig(nRanks)
-	mcfg.Net = cfg.Net
-	mcfg.Machine = cfg.Machine
-	configureMode(&mcfg, cfg.Mode, cfg.Impl)
+	mcfg.Net = pf.Net
+	mcfg.Machine = pf.Machine
+	mcfg.Mem = memsim.Default(pf.Cache)
+	configureMode(&mcfg, cfg.Mode, pf.Impl)
 	w := mpi.NewWorld(s, mcfg)
 
 	ranks := make([]*halo2dRank, nRanks)
@@ -158,9 +148,9 @@ func RunHalo2D(cfg Halo2DConfig) (*Result, error) {
 	for id := range ranks {
 		id := id
 		comm := w.Comm(id)
-		place := cluster.Place(cfg.Machine, cfg.Threads())
+		place := cluster.Place(pf.Machine, cfg.Threads())
 		comm.SetPlacement(place)
-		nm := noise.New(cfg.NoiseKind, cfg.NoisePercent, cfg.Seed+int64(id))
+		nm := noise.New(pf.NoiseKind, pf.NoisePercent, pf.Seed+int64(id))
 		r := &halo2dRank{
 			cfg:   cfg,
 			comm:  comm,

@@ -5,6 +5,7 @@ import (
 
 	"partmb/internal/mpi"
 	"partmb/internal/noise"
+	"partmb/internal/platform"
 	"partmb/internal/sim"
 )
 
@@ -14,11 +15,9 @@ func halo2dCfg(mode Mode) Halo2DConfig {
 		ThreadsPerDim: 4, // 16 threads, 4 partitions per edge
 		EdgeBytes:     128 << 10,
 		Compute:       500 * sim.Microsecond,
-		NoiseKind:     noise.SingleThread,
-		NoisePercent:  4,
 		Repeats:       2,
 		Mode:          mode,
-		Impl:          mpi.PartMPIPCL,
+		Platform:      platform.Niagara().WithNoise(noise.SingleThread, 4).WithImpl(mpi.PartMPIPCL),
 	}
 }
 
@@ -107,7 +106,7 @@ func TestHalo2DDeterministic(t *testing.T) {
 
 func TestHalo2DNativeImpl(t *testing.T) {
 	cfg := halo2dCfg(Partitioned)
-	cfg.Impl = mpi.PartNative
+	cfg.Platform = cfg.Platform.WithImpl(mpi.PartNative)
 	res, err := RunHalo2D(cfg)
 	if err != nil {
 		t.Fatal(err)

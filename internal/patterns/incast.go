@@ -4,9 +4,10 @@ import (
 	"fmt"
 
 	"partmb/internal/cluster"
+	"partmb/internal/memsim"
 	"partmb/internal/mpi"
-	"partmb/internal/netsim"
 	"partmb/internal/noise"
+	"partmb/internal/platform"
 	"partmb/internal/sim"
 )
 
@@ -26,34 +27,21 @@ type IncastConfig struct {
 	BytesPerThread int64
 	// Compute is the per-thread compute per step.
 	Compute sim.Duration
-	// NoiseKind / NoisePercent / Seed configure compute noise.
-	NoiseKind    noise.Kind
-	NoisePercent float64
-	Seed         int64
 	// Repeats is the number of incast rounds.
 	Repeats int
 	// Mode selects single / multi / partitioned communication.
 	Mode Mode
-	// Impl selects the partitioned implementation.
-	Impl mpi.PartImpl
-	// Net and Machine override the hardware models.
-	Net     *netsim.Params
-	Machine *cluster.Machine
+	// Platform bundles the hardware, noise, cache and partitioned-impl
+	// settings (nil = the paper's Niagara/EDR defaults). ThreadMode is
+	// derived from Mode, not the spec.
+	Platform *platform.Spec
 }
 
 func (c IncastConfig) withDefaults() IncastConfig {
 	if c.Repeats == 0 {
 		c.Repeats = 4
 	}
-	if c.Seed == 0 {
-		c.Seed = 42
-	}
-	if c.Net == nil {
-		c.Net = netsim.EDR()
-	}
-	if c.Machine == nil {
-		c.Machine = cluster.Niagara()
-	}
+	c.Platform = c.Platform.Resolved()
 	if c.Mode == Single {
 		c.Threads = 1
 	}
@@ -84,11 +72,13 @@ func RunIncast(cfg IncastConfig) (*Result, error) {
 		return nil, err
 	}
 	s := sim.New()
+	pf := cfg.Platform
 	nRanks := cfg.Senders + 1
 	mcfg := mpi.DefaultConfig(nRanks)
-	mcfg.Net = cfg.Net
-	mcfg.Machine = cfg.Machine
-	configureMode(&mcfg, cfg.Mode, cfg.Impl)
+	mcfg.Net = pf.Net
+	mcfg.Machine = pf.Machine
+	mcfg.Mem = memsim.Default(pf.Cache)
+	configureMode(&mcfg, cfg.Mode, pf.Impl)
 	w := mpi.NewWorld(s, mcfg)
 
 	var startAt, maxEnd sim.Time
@@ -96,9 +86,9 @@ func RunIncast(cfg IncastConfig) (*Result, error) {
 	for id := 0; id < nRanks; id++ {
 		id := id
 		comm := w.Comm(id)
-		place := cluster.Place(cfg.Machine, cfg.Threads)
+		place := cluster.Place(pf.Machine, cfg.Threads)
 		comm.SetPlacement(place)
-		nm := noise.New(cfg.NoiseKind, cfg.NoisePercent, cfg.Seed+int64(id))
+		nm := noise.New(pf.NoiseKind, pf.NoisePercent, pf.Seed+int64(id))
 		s.Spawn(fmt.Sprintf("incast/rank%d", id), func(p *sim.Proc) {
 			if id == 0 {
 				runIncastSink(p, comm, cfg)

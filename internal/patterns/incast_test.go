@@ -5,6 +5,7 @@ import (
 
 	"partmb/internal/mpi"
 	"partmb/internal/noise"
+	"partmb/internal/platform"
 	"partmb/internal/sim"
 )
 
@@ -14,11 +15,9 @@ func incastCfg(mode Mode) IncastConfig {
 		Threads:        8,
 		BytesPerThread: 64 << 10,
 		Compute:        2 * sim.Millisecond,
-		NoiseKind:      noise.Uniform,
-		NoisePercent:   4,
 		Repeats:        3,
 		Mode:           mode,
-		Impl:           mpi.PartMPIPCL,
+		Platform:       platform.Niagara().WithNoise(noise.Uniform, 4).WithImpl(mpi.PartMPIPCL),
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"partmb/internal/mpi"
 	"partmb/internal/noise"
+	"partmb/internal/platform"
 	"partmb/internal/sim"
 )
 
@@ -15,13 +16,11 @@ func sweepCfg(mode Mode) SweepConfig {
 		Threads:        4,
 		BytesPerThread: 64 << 10,
 		Compute:        500 * sim.Microsecond,
-		NoiseKind:      noise.SingleThread,
-		NoisePercent:   4,
 		ZBlocks:        2,
 		Octants:        4,
 		Repeats:        1,
 		Mode:           mode,
-		Impl:           mpi.PartMPIPCL,
+		Platform:       platform.Niagara().WithNoise(noise.SingleThread, 4).WithImpl(mpi.PartMPIPCL),
 	}
 }
 
@@ -147,11 +146,9 @@ func haloCfg(mode Mode) HaloConfig {
 		ThreadsPerDim: 2, // 8 threads, 4 partitions per face
 		FaceBytes:     256 << 10,
 		Compute:       500 * sim.Microsecond,
-		NoiseKind:     noise.SingleThread,
-		NoisePercent:  4,
 		Repeats:       2,
 		Mode:          mode,
-		Impl:          mpi.PartMPIPCL,
+		Platform:      platform.Niagara().WithNoise(noise.SingleThread, 4).WithImpl(mpi.PartMPIPCL),
 	}
 }
 
@@ -274,7 +271,7 @@ func TestParseMode(t *testing.T) {
 
 func TestHalo3DNativeImpl(t *testing.T) {
 	cfg := haloCfg(Partitioned)
-	cfg.Impl = mpi.PartNative
+	cfg.Platform = cfg.Platform.WithImpl(mpi.PartNative)
 	res, err := RunHalo3D(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -286,7 +283,7 @@ func TestHalo3DNativeImpl(t *testing.T) {
 
 func TestSweep3DNativeImpl(t *testing.T) {
 	cfg := sweepCfg(Partitioned)
-	cfg.Impl = mpi.PartNative
+	cfg.Platform = cfg.Platform.WithImpl(mpi.PartNative)
 	res, err := RunSweep3D(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -4,9 +4,10 @@ import (
 	"fmt"
 
 	"partmb/internal/cluster"
+	"partmb/internal/memsim"
 	"partmb/internal/mpi"
-	"partmb/internal/netsim"
 	"partmb/internal/noise"
+	"partmb/internal/platform"
 	"partmb/internal/sim"
 )
 
@@ -26,10 +27,6 @@ type SweepConfig struct {
 	BytesPerThread int64
 	// Compute is the per-thread compute per sweep step.
 	Compute sim.Duration
-	// NoiseKind / NoisePercent / Seed configure per-step compute noise.
-	NoiseKind    noise.Kind
-	NoisePercent float64
-	Seed         int64
 	// ZBlocks is the KBA pipeline depth per octant.
 	ZBlocks int
 	// Octants is the number of sweep corners exercised (1..8; the paper's
@@ -39,11 +36,10 @@ type SweepConfig struct {
 	Repeats int
 	// Mode selects single / multi / partitioned communication.
 	Mode Mode
-	// Impl selects the partitioned implementation (Partitioned mode only).
-	Impl mpi.PartImpl
-	// Net and Machine override the hardware models (nil = paper defaults).
-	Net     *netsim.Params
-	Machine *cluster.Machine
+	// Platform bundles the hardware, noise, cache and partitioned-impl
+	// settings (nil = the paper's Niagara/EDR defaults). ThreadMode is
+	// derived from Mode, not the spec.
+	Platform *platform.Spec
 }
 
 func (c SweepConfig) withDefaults() SweepConfig {
@@ -56,15 +52,7 @@ func (c SweepConfig) withDefaults() SweepConfig {
 	if c.Repeats == 0 {
 		c.Repeats = 2
 	}
-	if c.Seed == 0 {
-		c.Seed = 42
-	}
-	if c.Net == nil {
-		c.Net = netsim.EDR()
-	}
-	if c.Machine == nil {
-		c.Machine = cluster.Niagara()
-	}
+	c.Platform = c.Platform.Resolved()
 	if c.Mode == Single {
 		c.Threads = 1
 	}
@@ -166,10 +154,12 @@ func RunSweep3D(cfg SweepConfig) (*Result, error) {
 		return nil, err
 	}
 	s := sim.New()
+	pf := cfg.Platform
 	mcfg := mpi.DefaultConfig(cfg.Px * cfg.Py)
-	mcfg.Net = cfg.Net
-	mcfg.Machine = cfg.Machine
-	configureMode(&mcfg, cfg.Mode, cfg.Impl)
+	mcfg.Net = pf.Net
+	mcfg.Machine = pf.Machine
+	mcfg.Mem = memsim.Default(pf.Cache)
+	configureMode(&mcfg, cfg.Mode, pf.Impl)
 	w := mpi.NewWorld(s, mcfg)
 
 	steps := cfg.Repeats * cfg.Octants * cfg.ZBlocks
@@ -178,9 +168,9 @@ func RunSweep3D(cfg SweepConfig) (*Result, error) {
 	for id := range ranks {
 		id := id
 		comm := w.Comm(id)
-		place := cluster.Place(cfg.Machine, cfg.Threads)
+		place := cluster.Place(pf.Machine, cfg.Threads)
 		comm.SetPlacement(place)
-		nm := noise.New(cfg.NoiseKind, cfg.NoisePercent, cfg.Seed+int64(id))
+		nm := noise.New(pf.NoiseKind, pf.NoisePercent, pf.Seed+int64(id))
 		r := &sweepRank{
 			cfg:   cfg,
 			comm:  comm,

@@ -18,6 +18,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -61,6 +62,69 @@ func (d Duration) String() string {
 	default:
 		return fmt.Sprintf("%.4gs", d.Seconds())
 	}
+}
+
+// MarshalText renders the duration exactly, using the largest unit that
+// divides it evenly ("900ns", "10ms", "2s"), so JSON round trips are
+// lossless. This is distinct from String, whose adaptive %.3g formatting is
+// for display only.
+func (d Duration) MarshalText() ([]byte, error) {
+	if d < 0 {
+		b, err := (-d).MarshalText()
+		return append([]byte{'-'}, b...), err
+	}
+	switch {
+	case d%Second == 0:
+		return []byte(fmt.Sprintf("%ds", int64(d/Second))), nil
+	case d%Millisecond == 0:
+		return []byte(fmt.Sprintf("%dms", int64(d/Millisecond))), nil
+	case d%Microsecond == 0:
+		return []byte(fmt.Sprintf("%dus", int64(d/Microsecond))), nil
+	default:
+		return []byte(fmt.Sprintf("%dns", int64(d))), nil
+	}
+}
+
+// UnmarshalText parses the forms accepted by ParseDuration.
+func (d *Duration) UnmarshalText(b []byte) error {
+	v, err := ParseDuration(string(b))
+	if err != nil {
+		return err
+	}
+	*d = v
+	return nil
+}
+
+// ParseDuration parses durations such as "10ms", "100us", "250ns", "1.5s"
+// (and negative forms) into virtual time.
+func ParseDuration(s string) (Duration, error) {
+	trimmed := strings.ToLower(strings.TrimSpace(s))
+	neg := strings.HasPrefix(trimmed, "-")
+	trimmed = strings.TrimPrefix(trimmed, "-")
+	if trimmed == "" {
+		return 0, fmt.Errorf("sim: empty duration")
+	}
+	mult := Nanosecond
+	digits := trimmed
+	switch {
+	case strings.HasSuffix(trimmed, "ms"):
+		mult, digits = Millisecond, strings.TrimSuffix(trimmed, "ms")
+	case strings.HasSuffix(trimmed, "us"):
+		mult, digits = Microsecond, strings.TrimSuffix(trimmed, "us")
+	case strings.HasSuffix(trimmed, "ns"):
+		digits = strings.TrimSuffix(trimmed, "ns")
+	case strings.HasSuffix(trimmed, "s"):
+		mult, digits = Second, strings.TrimSuffix(trimmed, "s")
+	}
+	n, err := strconv.ParseFloat(strings.TrimSpace(digits), 64)
+	if err != nil {
+		return 0, fmt.Errorf("sim: bad duration %q", s)
+	}
+	d := Duration(n * float64(mult))
+	if neg {
+		d = -d
+	}
+	return d, nil
 }
 
 // Add returns the instant d after t.

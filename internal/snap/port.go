@@ -3,6 +3,7 @@ package snap
 import (
 	"fmt"
 
+	"partmb/internal/memsim"
 	"partmb/internal/mpi"
 	"partmb/internal/sim"
 )
@@ -85,8 +86,10 @@ func ComparePort(cfg Config, nodes, chunks int) (*PortResult, error) {
 func runPortedProxy(cfg Config, nodes, chunks int) (sim.Duration, error) {
 	s := sim.New()
 	mcfg := mpi.DefaultConfig(nodes)
-	mcfg.Net = cfg.Net
-	mcfg.Machine = cfg.Machine
+	spec := cfg.Platform.Resolved()
+	mcfg.Net = spec.Net
+	mcfg.Machine = spec.Machine
+	mcfg.Mem = memsim.Default(spec.Cache)
 	mcfg.PartImpl = mpi.PartNative
 	w := mpi.NewWorld(s, mcfg)
 	px, py := Grid(nodes)

@@ -12,12 +12,14 @@
 package snap
 
 import (
+	"context"
 	"fmt"
 	"math"
 
-	"partmb/internal/cluster"
+	"partmb/internal/engine"
+	"partmb/internal/memsim"
 	"partmb/internal/mpi"
-	"partmb/internal/netsim"
+	"partmb/internal/platform"
 	"partmb/internal/prof"
 	"partmb/internal/sim"
 )
@@ -39,9 +41,10 @@ type Config struct {
 	Octants int
 	// Repeats is the number of full sweeps.
 	Repeats int
-	// Net and Machine override the hardware models (nil = paper defaults).
-	Net     *netsim.Params
-	Machine *cluster.Machine
+	// Platform bundles the hardware models (nil = the paper's Niagara/EDR
+	// defaults). The proxy keeps the library's funneled threading — the
+	// spec's ThreadMode and Impl do not apply to the profiled baseline.
+	Platform *platform.Spec
 }
 
 // DefaultConfig returns a workload calibrated so the MPI fraction grows from
@@ -78,12 +81,7 @@ func (c Config) withDefaults() Config {
 	if c.Repeats == 0 {
 		c.Repeats = d.Repeats
 	}
-	if c.Net == nil {
-		c.Net = netsim.EDR()
-	}
-	if c.Machine == nil {
-		c.Machine = cluster.Niagara()
-	}
+	c.Platform = c.Platform.Resolved()
 	return c
 }
 
@@ -130,15 +128,30 @@ func Profile(cfg Config, nodes int) (ProfilePoint, error) {
 	}, nil
 }
 
-// ProfileScaling profiles every node count.
-func ProfileScaling(cfg Config, nodeCounts []int) ([]ProfilePoint, error) {
-	out := make([]ProfilePoint, 0, len(nodeCounts))
-	for _, n := range nodeCounts {
-		pt, err := Profile(cfg, n)
+// ProfileScaling profiles every node count in parallel on the runner's
+// worker pool, memoizing each (config, nodes) point. A nil runner uses the
+// shared default runner.
+func ProfileScaling(rn *engine.Runner, cfg Config, nodeCounts []int) ([]ProfilePoint, error) {
+	cfg = cfg.withDefaults()
+	r := engine.OrDefault(rn)
+	vals, err := r.Map(context.Background(), len(nodeCounts), func(ctx context.Context, i int) (any, error) {
+		n := nodeCounts[i]
+		key, kerr := engine.Key("snap.Profile", cfg, n)
+		if kerr != nil {
+			key = ""
+		}
+		v, err := r.Do(key, func() (any, error) { return Profile(cfg, n) })
 		if err != nil {
 			return nil, fmt.Errorf("snap: %d nodes: %w", n, err)
 		}
-		out = append(out, pt)
+		return v, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ProfilePoint, len(nodeCounts))
+	for i, v := range vals {
+		out[i] = v.(ProfilePoint)
 	}
 	return out, nil
 }
@@ -159,8 +172,10 @@ func ProjectSpeedup(fraction, gain float64) float64 {
 func runProxy(cfg Config, nodes int) (prof.Report, error) {
 	s := sim.New()
 	mcfg := mpi.DefaultConfig(nodes)
-	mcfg.Net = cfg.Net
-	mcfg.Machine = cfg.Machine
+	spec := cfg.Platform.Resolved()
+	mcfg.Net = spec.Net
+	mcfg.Machine = spec.Machine
+	mcfg.Mem = memsim.Default(spec.Cache)
 	w := mpi.NewWorld(s, mcfg)
 	pf := prof.New()
 	px, py := Grid(nodes)

@@ -98,7 +98,7 @@ func TestMPIFractionGrowsWithNodes(t *testing.T) {
 	// the MPI fraction rises with node count.
 	cfg := DefaultConfig()
 	cfg.Octants = 4
-	pts, err := ProfileScaling(cfg, []int{4, 16, 64})
+	pts, err := ProfileScaling(nil, cfg, []int{4, 16, 64})
 	if err != nil {
 		t.Fatal(err)
 	}
