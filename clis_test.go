@@ -1,6 +1,7 @@
 package partmb_test
 
 import (
+	"bytes"
 	"os/exec"
 	"strings"
 	"testing"
@@ -99,5 +100,76 @@ func TestCLIsRun(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// runCLI executes one go-run invocation and returns stdout and stderr
+// separately (the engine stats line goes to stderr, the tables to stdout).
+func runCLI(t *testing.T, args ...string) (stdout, stderr string) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout = &outBuf
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go run %v failed: %v\nstderr:\n%s", args, err, errBuf.String())
+	}
+	return outBuf.String(), errBuf.String()
+}
+
+// TestFaultInjectionKeepsTablesIdentical is the acceptance check for the
+// fault/retry path: a sweep with injected transient faults and retries
+// enabled must emit byte-identical tables to the fault-free sweep, while
+// the engine stats prove faults were actually injected and retried.
+func TestFaultInjectionKeepsTablesIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI execution in -short mode")
+	}
+	base := []string{"./cmd/partbench", "-sweep", "-min", "1KiB", "-max", "64KiB", "-parts", "4", "-iters", "2"}
+	clean, _ := runCLI(t, base...)
+	faulted, faultedErr := runCLI(t, append(base, "-faults", "drop:0.5:7", "-retries", "10")...)
+	if clean != faulted {
+		t.Fatalf("fault injection changed the tables:\nclean:\n%s\nfaulted:\n%s", clean, faulted)
+	}
+	if !strings.Contains(faultedErr, "retries") || !strings.Contains(faultedErr, "injected faults") {
+		t.Fatalf("faulted run's stats report no retries:\n%s", faultedErr)
+	}
+}
+
+// TestCacheDirReusesCellsAcrossProcesses: a second partbench invocation
+// sharing -cachedir must emit identical tables without re-running a single
+// cell.
+func TestCacheDirReusesCellsAcrossProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI execution in -short mode")
+	}
+	dir := t.TempDir()
+	args := []string{"./cmd/partbench", "-sweep", "-min", "1KiB", "-max", "64KiB", "-parts", "4", "-iters", "2", "-cachedir", dir}
+	cold, coldErr := runCLI(t, args...)
+	warm, warmErr := runCLI(t, args...)
+	if cold != warm {
+		t.Fatalf("warm run's tables differ from cold run:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+	if !strings.Contains(coldErr, "disk writes") {
+		t.Fatalf("cold run persisted nothing:\n%s", coldErr)
+	}
+	if !strings.Contains(warmErr, " 0 runs,") || !strings.Contains(warmErr, "disk hits") {
+		t.Fatalf("warm run recomputed cells instead of loading them:\n%s", warmErr)
+	}
+}
+
+// TestConflictingOutputFlagsRejected: -md with -out used to silently write
+// CSV files; it must now fail at startup.
+func TestConflictingOutputFlagsRejected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI execution in -short mode")
+	}
+	cmd := exec.Command("go", "run", "./cmd/partbench", "-size", "1KiB", "-iters", "1", "-md", "-out", t.TempDir())
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("-md -out accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "-md conflicts with -out") {
+		t.Fatalf("unexpected failure message:\n%s", out)
 	}
 }

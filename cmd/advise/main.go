@@ -18,7 +18,6 @@ import (
 
 	"partmb/internal/cliutil"
 	"partmb/internal/core"
-	"partmb/internal/engine"
 	"partmb/internal/memsim"
 	"partmb/internal/mpi"
 	"partmb/internal/noise"
@@ -36,7 +35,9 @@ func main() {
 		countsStr   = flag.String("counts", "1,2,4,8,16,32", "candidate partition counts")
 		iters       = flag.Int("iters", 6, "iterations per candidate")
 		platformStr = flag.String("platform", "", "platform preset name or spec JSON path (default niagara-edr)")
+		eng         cliutil.EngineFlags
 	)
+	eng.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	spec := platform.Niagara()
@@ -78,7 +79,11 @@ func main() {
 		counts = append(counts, n)
 	}
 
-	adv, err := core.Advise(engine.New(), cfg, counts, core.DefaultAdvisorWeights())
+	rn, err := eng.Runner()
+	if err != nil {
+		fatal(err)
+	}
+	adv, err := core.Advise(rn, cfg, counts, core.DefaultAdvisorWeights())
 	if err != nil {
 		fatal(err)
 	}

@@ -21,7 +21,6 @@ import (
 	"partmb/internal/classic"
 	"partmb/internal/cliutil"
 	"partmb/internal/core"
-	"partmb/internal/engine"
 	"partmb/internal/platform"
 	"partmb/internal/report"
 )
@@ -33,12 +32,16 @@ func main() {
 		maxStr      = flag.String("max", "4MiB", "maximum message size")
 		window      = flag.Int("window", 16, "window size for bandwidth tests")
 		iters       = flag.Int("iters", 100, "iterations per point")
-		workers     = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		platformStr = flag.String("platform", "", "platform preset name or spec JSON path (default niagara-edr)")
+		eng         cliutil.EngineFlags
 		out         cliutil.Output
 	)
+	eng.RegisterFlags(flag.CommandLine)
 	out.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if err := out.Validate(); err != nil {
+		fatal(err)
+	}
 
 	min, err := cliutil.ParseSize(*minStr)
 	if err != nil {
@@ -62,7 +65,10 @@ func main() {
 		Window: *window,
 	}
 
-	rn := engine.New(engine.Workers(*workers))
+	rn, err := eng.Runner()
+	if err != nil {
+		fatal(err)
+	}
 	var tables []*report.Table
 	if *bench == "all" {
 		tables, err = classic.Suite(rn, p)
@@ -81,6 +87,7 @@ func main() {
 	for _, path := range paths {
 		fmt.Fprintln(os.Stderr, "classic: wrote", path)
 	}
+	fmt.Fprintf(os.Stderr, "classic: engine: %s\n", rn.Stats())
 }
 
 func fatal(err error) {

@@ -23,8 +23,10 @@ import (
 	"os"
 	"strings"
 
+	"partmb/internal/cliutil"
 	"partmb/internal/cluster"
 	"partmb/internal/core"
+	"partmb/internal/engine"
 	"partmb/internal/mpi"
 	"partmb/internal/netsim"
 	"partmb/internal/noise"
@@ -35,9 +37,11 @@ import (
 
 func main() {
 	study := flag.String("study", "all", "study to run: impl|unequal|overlap|pbcast|topology|all")
+	var eng cliutil.EngineFlags
+	eng.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	studies := map[string]func() (*report.Table, error){
+	studies := map[string]func(*engine.Runner) (*report.Table, error){
 		"impl":     studyImpl,
 		"unequal":  studyUnequal,
 		"overlap":  studyOverlap,
@@ -57,8 +61,12 @@ func main() {
 		}
 		names = []string{*study}
 	}
+	rn, err := eng.Runner()
+	if err != nil {
+		fatal(err)
+	}
 	for _, name := range names {
-		t, err := studies[name]()
+		t, err := studies[name](rn)
 		if err != nil {
 			fatal(err)
 		}
@@ -66,6 +74,7 @@ func main() {
 			fatal(err)
 		}
 	}
+	fmt.Fprintf(os.Stderr, "extensions: engine: %s\n", rn.Stats())
 }
 
 func fatal(err error) {
@@ -86,7 +95,7 @@ func metricCfg() core.Config {
 }
 
 // studyImpl compares the layered and native implementations across sizes.
-func studyImpl() (*report.Table, error) {
+func studyImpl(rn *engine.Runner) (*report.Table, error) {
 	t := report.New(
 		"Extension: layered (MPIPCL) vs native partitioned implementation — overhead t_part/t_pt2pt, 16 partitions, no noise",
 		"size", "mpipcl", "native", "native gain")
@@ -97,7 +106,7 @@ func studyImpl() (*report.Table, error) {
 			cfg := metricCfg()
 			cfg.MessageBytes = size
 			cfg.Platform = cfg.Platform.WithNoise(noise.None, 0).WithImpl(impl)
-			res, err := core.Run(cfg)
+			res, err := core.RunCached(rn, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -111,7 +120,7 @@ func studyImpl() (*report.Table, error) {
 }
 
 // studyUnequal exercises MPI 4.0 unequal partition counts (native impl).
-func studyUnequal() (*report.Table, error) {
+func studyUnequal(*engine.Runner) (*report.Table, error) {
 	t := report.New(
 		"Extension: unequal send/receive partitioning (native impl), 1MiB total, Preadys staggered 100us",
 		"send parts", "recv parts", "t_part")
@@ -161,7 +170,7 @@ func unequalSpan(total int64, sendParts, recvParts int) (sim.Duration, error) {
 }
 
 // studyOverlap sweeps receive-side consumer work.
-func studyOverlap() (*report.Table, error) {
+func studyOverlap(*engine.Runner) (*report.Table, error) {
 	t := report.New(
 		"Extension: receive-side overlap via per-partition waits — 64MiB, 16 partitions, uniform 4% noise",
 		"consume/partition", "baseline", "partitioned", "speedup")
@@ -181,7 +190,7 @@ func studyOverlap() (*report.Table, error) {
 // studyPBcast measures partitioned-broadcast pipelining: time until the
 // deepest rank holds all partitions, vs a non-partitioned broadcast that
 // can only start after the root's last thread finishes.
-func studyPBcast() (*report.Table, error) {
+func studyPBcast(*engine.Runner) (*report.Table, error) {
 	t := report.New(
 		"Extension: partitioned broadcast (8 ranks, 8 partitions of 128KiB, root threads staggered 1ms)",
 		"variant", "deepest rank: first partition", "deepest rank: complete")
@@ -259,7 +268,7 @@ func pbcastArrivals(ranks, parts int, partBytes int64, stagger sim.Duration) (fi
 }
 
 // studyTopology compares intra-wing and cross-wing partitioned transfers.
-func studyTopology() (*report.Table, error) {
+func studyTopology(*engine.Runner) (*report.Table, error) {
 	t := report.New(
 		"Extension: Dragonfly+ placement — 1MiB, 16 partitions, overhead by wing placement",
 		"placement", "overhead", "availability")
@@ -293,7 +302,7 @@ func studyTopology() (*report.Table, error) {
 // policies: compact spills past one socket only above 20 threads; scatter
 // balances sockets but puts half the threads away from the NIC at every
 // count.
-func studyPinning() (*report.Table, error) {
+func studyPinning(*engine.Runner) (*report.Table, error) {
 	t := report.New(
 		"Extension: thread pinning policy — t_part for 16x64KiB partitions, no noise",
 		"threads/partitions", "compact", "scatter")
@@ -355,7 +364,7 @@ func runWithTopology(cfg core.Config, topo netsim.Topology) (*core.Result, error
 // hardware: the 32-partition socket-spillover step disappears on a
 // 64-core-per-socket EPYC node, and HDR's doubled bandwidth moves the
 // large-message overhead knee.
-func studyPlatform() (*report.Table, error) {
+func studyPlatform(rn *engine.Runner) (*report.Table, error) {
 	t := report.New(
 		"Extension: platform portability of the guidance — overhead at 64KiB, no noise, by partition count",
 		"platform", "p=8", "p=16", "p=32", "p=64")
@@ -376,7 +385,7 @@ func studyPlatform() (*report.Table, error) {
 			cfg.MessageBytes = 64 << 10
 			cfg.Partitions = parts
 			cfg.Platform = pf.spec.WithNoise(noise.None, 0).WithThreadMode(mpi.Multiple)
-			res, err := core.Run(cfg)
+			res, err := core.RunCached(rn, cfg)
 			if err != nil {
 				return nil, err
 			}

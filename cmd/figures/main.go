@@ -10,6 +10,8 @@
 //	figures -fig all -scale full      # everything at paper scale
 //	figures -fig 9 -out data/ -csv    # write data/fig09_*.csv
 //	figures -fig all -platform epyc-hdr -workers 4
+//	figures -fig all -cachedir .cellcache        # reuse cells across runs
+//	figures -fig 5 -faults drop:0.2 -retries 6   # exercise the retry path
 package main
 
 import (
@@ -19,7 +21,6 @@ import (
 	"strconv"
 
 	"partmb/internal/cliutil"
-	"partmb/internal/engine"
 	"partmb/internal/figures"
 	"partmb/internal/platform"
 )
@@ -28,12 +29,16 @@ func main() {
 	var (
 		figStr      = flag.String("fig", "all", "figure number (4..13) or 'all'")
 		scaleStr    = flag.String("scale", "quick", "sweep scale: quick|full")
-		workers     = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		platformStr = flag.String("platform", "", "platform preset name or spec JSON path (default niagara-edr)")
+		eng         cliutil.EngineFlags
 		out         cliutil.Output
 	)
+	eng.RegisterFlags(flag.CommandLine)
 	out.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if err := out.Validate(); err != nil {
+		fatal(err)
+	}
 
 	scaleName, err := cliutil.ParseScale(*scaleStr)
 	if err != nil {
@@ -44,7 +49,11 @@ func main() {
 		fatal(err)
 	}
 
-	env := figures.Env{Runner: engine.New(engine.Workers(*workers))}
+	rn, err := eng.Runner()
+	if err != nil {
+		fatal(err)
+	}
+	env := figures.Env{Runner: rn}
 	if *platformStr != "" {
 		if env.Spec, err = platform.Resolve(*platformStr); err != nil {
 			fatal(err)

@@ -17,7 +17,7 @@ import (
 	"os"
 
 	"partmb/internal/classic"
-	"partmb/internal/engine"
+	"partmb/internal/cliutil"
 	"partmb/internal/platform"
 	"partmb/internal/report"
 	"partmb/internal/sim"
@@ -26,6 +26,8 @@ import (
 func main() {
 	platformStr := flag.String("platform", "niagara-edr",
 		fmt.Sprintf("platform preset name %v or spec JSON path", platform.PresetNames()))
+	var eng cliutil.EngineFlags
+	eng.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	spec, err := platform.Resolve(*platformStr)
@@ -54,7 +56,10 @@ func main() {
 	cfg.Platform = spec
 	cfg.Iterations = 50
 	cfg.Warmup = 5
-	rn := engine.New()
+	rn, err := eng.Runner()
+	if err != nil {
+		fatal(err)
+	}
 
 	check := report.New("closed form vs simulated (drift here = model bug)", "quantity", "closed form", "simulated")
 

@@ -6,6 +6,8 @@
 //
 //	partbench -size 1MiB -parts 16 -compute 10ms -noise uniform -noise-pct 4
 //	partbench -sweep -min 1KiB -max 64MiB -parts 32 -cache cold
+//	partbench -sweep -faults drop:0.3 -retries 6   # inject transient faults
+//	partbench -sweep -cachedir .cellcache          # reuse cells across runs
 package main
 
 import (
@@ -15,7 +17,6 @@ import (
 
 	"partmb/internal/cliutil"
 	"partmb/internal/core"
-	"partmb/internal/engine"
 	"partmb/internal/memsim"
 	"partmb/internal/mpi"
 	"partmb/internal/noise"
@@ -43,10 +44,15 @@ func main() {
 		platformStr = flag.String("platform", "", "platform preset name or spec JSON path (default niagara-edr)")
 		traceOut    = flag.String("trace", "", "write a Chrome trace of the measured iterations to this file")
 		statsOut    = flag.Bool("stats", false, "print per-metric sample statistics (mean/median/sd/p95)")
+		eng         cliutil.EngineFlags
 		out         cliutil.Output
 	)
+	eng.RegisterFlags(flag.CommandLine)
 	out.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if err := out.Validate(); err != nil {
+		fatal(err)
+	}
 
 	spec := platform.Niagara()
 	var err error
@@ -88,6 +94,10 @@ func main() {
 		cfg.Trace = recorder
 	}
 
+	rn, err := eng.Runner()
+	if err != nil {
+		fatal(err)
+	}
 	var results []*core.Result
 	if *sweep {
 		min, err := cliutil.ParseSize(*minStr)
@@ -98,12 +108,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		results, err = core.SweepMessageSizes(engine.New(), cfg, core.MessageSizes(min, max))
+		results, err = core.SweepMessageSizes(rn, cfg, core.MessageSizes(min, max))
 		if err != nil {
 			fatal(err)
 		}
 	} else {
-		res, err := core.Run(cfg)
+		// RunCached rather than Run so single points also benefit from
+		// -cachedir and exercise -faults; traced configs key to "" and
+		// run uncached anyway.
+		res, err := core.RunCached(rn, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -158,6 +171,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "partbench: wrote %d trace events to %s (open in chrome://tracing)\n", recorder.Len(), *traceOut)
 	}
+	fmt.Fprintf(os.Stderr, "partbench: engine: %s\n", rn.Stats())
 }
 
 func fatal(err error) {

@@ -16,7 +16,6 @@ import (
 
 	"partmb/internal/cliutil"
 	"partmb/internal/core"
-	"partmb/internal/engine"
 	"partmb/internal/noise"
 	"partmb/internal/patterns"
 	"partmb/internal/platform"
@@ -41,10 +40,15 @@ func main() {
 		repeats     = flag.Int("repeats", 2, "pattern repetitions")
 		seed        = flag.Int64("seed", 42, "noise RNG seed")
 		platformStr = flag.String("platform", "", "platform preset name or spec JSON path (default niagara-edr)")
+		eng         cliutil.EngineFlags
 		out         cliutil.Output
 	)
+	eng.RegisterFlags(flag.CommandLine)
 	out.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if err := out.Validate(); err != nil {
+		fatal(err)
+	}
 
 	size, err := cliutil.ParseSize(*sizeStr)
 	if err != nil {
@@ -75,7 +79,10 @@ func main() {
 		modes = []patterns.Mode{m}
 	}
 
-	rn := engine.New()
+	rn, err := eng.Runner()
+	if err != nil {
+		fatal(err)
+	}
 	t := report.New(
 		fmt.Sprintf("%s: size=%s compute=%v noise=%s/%.0f%%", *motif, core.FormatBytes(size), compute, nk, *noisePct),
 		"mode", "elapsed", "payload MiB", "messages", "throughput GB/s")
@@ -138,6 +145,7 @@ func main() {
 	for _, path := range paths {
 		fmt.Fprintln(os.Stderr, "patterns: wrote", path)
 	}
+	fmt.Fprintf(os.Stderr, "patterns: engine: %s\n", rn.Stats())
 }
 
 func fatal(err error) {

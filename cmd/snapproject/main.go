@@ -17,7 +17,6 @@ import (
 	"strings"
 
 	"partmb/internal/cliutil"
-	"partmb/internal/engine"
 	"partmb/internal/platform"
 	"partmb/internal/report"
 	"partmb/internal/snap"
@@ -32,10 +31,15 @@ func main() {
 		port        = flag.Bool("port", false, "additionally run the actual partitioned port and compare measured vs projected speedup")
 		chunks      = flag.Int("chunks", 8, "boundary partition count for the port")
 		platformStr = flag.String("platform", "", "platform preset name or spec JSON path (default niagara-edr)")
+		eng         cliutil.EngineFlags
 		out         cliutil.Output
 	)
+	eng.RegisterFlags(flag.CommandLine)
 	out.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if err := out.Validate(); err != nil {
+		fatal(err)
+	}
 
 	var nodes []int
 	for _, part := range strings.Split(*nodesStr, ",") {
@@ -59,7 +63,11 @@ func main() {
 		}
 	}
 
-	pts, err := snap.ProfileScaling(engine.New(), cfg, nodes)
+	rn, err := eng.Runner()
+	if err != nil {
+		fatal(err)
+	}
+	pts, err := snap.ProfileScaling(rn, cfg, nodes)
 	if err != nil {
 		fatal(err)
 	}

@@ -82,7 +82,7 @@ func sweepPoints(rn *engine.Runner, what string, cfg Config, sizes []int64,
 		if kerr != nil {
 			key = ""
 		}
-		v, err := r.Do(key, func() (any, error) { return one(cfg, size) })
+		v, err := engine.DoAs(r, key, func() (float64, error) { return one(cfg, size) })
 		if err != nil {
 			return nil, fmt.Errorf("%s: size %s: %w", what, FormatSize(size), err)
 		}
@@ -105,11 +105,7 @@ func cachedDuration(rn *engine.Runner, what string, cfg Config, a int, b int64, 
 	if err != nil {
 		key = ""
 	}
-	v, err := engine.OrDefault(rn).Do(key, func() (any, error) { return run() })
-	if err != nil {
-		return 0, err
-	}
-	return v.(sim.Duration), nil
+	return engine.DoAs(engine.OrDefault(rn), key, run)
 }
 
 // FormatSize renders a byte count in the compact power-of-two form used in

@@ -1,0 +1,65 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+
+	"partmb/internal/engine"
+	"partmb/internal/faults"
+)
+
+// EngineFlags bundles the experiment-engine flags every CLI shares: worker
+// bound, persistent cell cache, fault injection, and the retry policy that
+// makes injected faults survivable. Zero value = engine defaults.
+type EngineFlags struct {
+	// Workers bounds the parallel simulation workers (0 = GOMAXPROCS).
+	Workers int
+	// CacheDir, when non-empty, persists successful cells as JSON under
+	// this directory and reuses them across invocations.
+	CacheDir string
+	// Faults is a fault-injection spec, "mode:prob[:seed]" with mode
+	// drop|delay|flaky ("" or "none" disables injection).
+	Faults string
+	// Retries is the maximum attempts per cell for transient failures.
+	Retries int
+	// Backoff is the virtual exponential-backoff base between attempts.
+	Backoff string
+}
+
+// RegisterFlags installs the shared engine flags on fs.
+func (e *EngineFlags) RegisterFlags(fs *flag.FlagSet) {
+	fs.IntVar(&e.Workers, "workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	fs.StringVar(&e.CacheDir, "cachedir", "", "persist cell results as JSON under this directory and reuse them across runs")
+	fs.StringVar(&e.Faults, "faults", "", "inject transient cell faults: mode:prob[:seed], mode = drop|delay|flaky (default none)")
+	fs.IntVar(&e.Retries, "retries", engine.DefaultRetry.MaxAttempts, "max attempts per cell for transient failures")
+	fs.StringVar(&e.Backoff, "retry-backoff", engine.DefaultRetry.Backoff.String(), "virtual exponential-backoff base between attempts")
+}
+
+// Runner builds the configured engine runner, with any extra options
+// appended.
+func (e *EngineFlags) Runner(extra ...engine.Option) (*engine.Runner, error) {
+	opts := []engine.Option{engine.Workers(e.Workers)}
+	if e.CacheDir != "" {
+		dc, err := engine.OpenDiskCache(e.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, engine.WithDiskCache(dc))
+	}
+	inj, err := faults.Parse(e.Faults)
+	if err != nil {
+		return nil, err
+	}
+	if inj != nil {
+		opts = append(opts, engine.WithFaults(inj))
+	}
+	pol := engine.DefaultRetry
+	pol.MaxAttempts = e.Retries
+	if e.Backoff != "" {
+		if pol.Backoff, err = ParseDuration(e.Backoff); err != nil {
+			return nil, fmt.Errorf("cliutil: -retry-backoff: %w", err)
+		}
+	}
+	opts = append(opts, engine.WithRetry(pol))
+	return engine.New(append(opts, extra...)...), nil
+}

@@ -1,0 +1,93 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"partmb/internal/engine"
+)
+
+func TestEngineFlagsDefaults(t *testing.T) {
+	var e EngineFlags
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	e.RegisterFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.Retries != engine.DefaultRetry.MaxAttempts || e.Backoff != engine.DefaultRetry.Backoff.String() {
+		t.Fatalf("defaults = %+v, want engine.DefaultRetry", e)
+	}
+	rn, err := e.Runner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rn.Do("k", func() (any, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineFlagsRunnerWiring(t *testing.T) {
+	dir := t.TempDir()
+	var e EngineFlags
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	e.RegisterFlags(fs)
+	err := fs.Parse([]string{
+		"-workers", "2",
+		"-cachedir", dir,
+		"-faults", "drop:0.4:7",
+		"-retries", "8",
+		"-retry-backoff", "2ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := e.Runner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn.Workers() != 2 {
+		t.Fatalf("workers = %d, want 2", rn.Workers())
+	}
+	type cell struct{ V int }
+	if _, err := engine.DoAs(rn, "k", func() (cell, error) { return cell{7}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	st := rn.Stats()
+	if st.DiskWrites != 1 {
+		t.Fatalf("stats = %+v, want one disk write", st)
+	}
+	// Injection at this seed may legitimately spare the first cell's first
+	// attempt; run cells until the schedule bites to prove -faults is wired.
+	for i := 0; st.Faults == 0 && i < 64; i++ {
+		if _, err := rn.Do(fmt.Sprintf("cell-%d", i), func() (any, error) { return nil, nil }); err != nil {
+			t.Fatal(err)
+		}
+		st = rn.Stats()
+	}
+	if st.Faults == 0 {
+		t.Fatalf("fault injector never fired across 64 cells at prob 0.4: %+v", st)
+	}
+	// The disk cache landed under the schema-versioned directory.
+	matches, err := filepath.Glob(filepath.Join(dir, "v*", "k.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("persisted cells = %v, %v", matches, err)
+	}
+	if _, err := os.Stat(matches[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineFlagsRejectsBadSpecs(t *testing.T) {
+	for _, e := range []EngineFlags{
+		{Faults: "bogus:0.5"},
+		{Faults: "drop:2"},
+		{Backoff: "not-a-duration"},
+	} {
+		if _, err := e.Runner(); err == nil {
+			t.Errorf("Runner(%+v) accepted a bad spec", e)
+		}
+	}
+}

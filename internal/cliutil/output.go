@@ -25,28 +25,46 @@ func ParseScale(s string) (string, error) {
 }
 
 // Output bundles the shared table-output flags. Zero value renders text to
-// stdout.
+// stdout. Call Validate after flag parsing: the format flags conflict in
+// combinations Emit cannot honour.
 type Output struct {
 	// CSV / MD select the stdout format (text when both are false).
 	CSV, MD bool
 	// Spark appends a per-column sparkline summary to text output.
 	Spark bool
-	// Dir, when non-empty, writes per-table CSV files there instead of
-	// using stdout.
+	// Dir, when non-empty, writes per-table files there instead of using
+	// stdout. The files are always CSV — the machine-readable interchange
+	// format — regardless of the stdout format flags.
 	Dir string
 }
 
 // RegisterFlags installs the shared output flags on fs.
 func (o *Output) RegisterFlags(fs *flag.FlagSet) {
-	fs.BoolVar(&o.CSV, "csv", false, "emit CSV on stdout (ignored with -out)")
-	fs.BoolVar(&o.MD, "md", false, "emit GitHub-flavoured markdown on stdout (ignored with -out)")
+	fs.BoolVar(&o.CSV, "csv", false, "emit CSV on stdout (redundant with -out, which always writes CSV files)")
+	fs.BoolVar(&o.MD, "md", false, "emit GitHub-flavoured markdown on stdout (conflicts with -out and -csv)")
 	fs.BoolVar(&o.Spark, "spark", false, "append a per-column sparkline summary to text output")
 	fs.StringVar(&o.Dir, "out", "", "write per-table CSV files to this directory instead of stdout")
 }
 
-// Emit renders the tables. With Dir set it writes one CSV file per table,
-// named by name(i) (e.g. "fig09_0.csv"), and returns the paths written;
-// otherwise it streams the selected stdout format to w and returns nil.
+// Validate rejects conflicting format flags. It belongs right after flag
+// parsing, so a request Emit cannot honour (e.g. -md with -out, whose
+// files are always CSV) fails loudly instead of silently emitting another
+// format.
+func (o Output) Validate() error {
+	if o.CSV && o.MD {
+		return fmt.Errorf("cliutil: -csv and -md are mutually exclusive")
+	}
+	if o.Dir != "" && o.MD {
+		return fmt.Errorf("cliutil: -md conflicts with -out: -out always writes CSV files")
+	}
+	return nil
+}
+
+// Emit renders the tables. With Dir set it writes one CSV file per table —
+// always CSV, whatever the stdout format flags say (Validate rejects the
+// combinations that would be surprising) — named by name(i) (e.g.
+// "fig09_0.csv"), and returns the paths written; otherwise it streams the
+// selected stdout format to w and returns nil.
 func (o Output) Emit(w io.Writer, tables []*report.Table, name func(i int) string) ([]string, error) {
 	if o.Dir != "" {
 		if err := os.MkdirAll(o.Dir, 0o755); err != nil {

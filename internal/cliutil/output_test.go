@@ -43,6 +43,30 @@ func TestOutputRegisterFlags(t *testing.T) {
 	}
 }
 
+func TestOutputValidate(t *testing.T) {
+	ok := []Output{
+		{},
+		{CSV: true},
+		{MD: true},
+		{CSV: true, Dir: "d"}, // redundant, not conflicting: -out files are CSV anyway
+		{Dir: "d"},
+	}
+	for _, o := range ok {
+		if err := o.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", o, err)
+		}
+	}
+	bad := []Output{
+		{CSV: true, MD: true},
+		{MD: true, Dir: "d"},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted a conflicting combination", o)
+		}
+	}
+}
+
 func TestOutputEmitStdoutFormats(t *testing.T) {
 	cases := []struct {
 		o    Output

@@ -305,19 +305,18 @@ func (c Config) cacheKey() string {
 	return key
 }
 
-// RunCached is Run memoized through the runner's content-addressed cache:
-// configurations that resolve identically share one simulation per process.
-// The simulator is deterministic, so a cached *Result is bit-identical to a
-// fresh run; callers must treat it as immutable. A nil runner runs uncached.
+// RunCached is Run memoized through the runner's content-addressed cache
+// (and its persistent disk cache, when one is configured): configurations
+// that resolve identically share one simulation per process. The simulator
+// is deterministic and a *Result round-trips losslessly through JSON, so a
+// cached Result — in-memory or reloaded from disk — is bit-identical to a
+// fresh run; callers must treat it as immutable. A nil runner runs
+// uncached.
 func RunCached(rn *engine.Runner, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	v, err := engine.OrDefault(rn).Do(cfg.cacheKey(), func() (any, error) {
+	return engine.DoAs(engine.OrDefault(rn), cfg.cacheKey(), func() (*Result, error) {
 		return Run(cfg)
 	})
-	if err != nil {
-		return nil, err
-	}
-	return v.(*Result), nil
 }
 
 // emitTrace renders one measured iteration as Chrome trace events: the

@@ -112,6 +112,29 @@ func TestMessageSizes(t *testing.T) {
 	}
 }
 
+// TestMessageSizesOverflowGuard: with max within 2x of MaxInt64, the naive
+// s *= 2 loop wrapped negative and never terminated.
+func TestMessageSizesOverflowGuard(t *testing.T) {
+	if got := MessageSizes(1<<62, math.MaxInt64); len(got) != 1 || got[0] != 1<<62 {
+		t.Fatalf("MessageSizes(1<<62, MaxInt64) = %v, want [1<<62]", got)
+	}
+	if got := MessageSizes(math.MaxInt64, math.MaxInt64); len(got) != 1 || got[0] != math.MaxInt64 {
+		t.Fatalf("MessageSizes(MaxInt64, MaxInt64) = %v, want [MaxInt64]", got)
+	}
+	got := MessageSizes(3, math.MaxInt64)
+	if len(got) != 62 {
+		t.Fatalf("MessageSizes(3, MaxInt64) has %d entries: %v", len(got), got)
+	}
+	for i, s := range got {
+		if s <= 0 || s > math.MaxInt64-2 {
+			t.Fatalf("entry %d out of range: %v", i, got)
+		}
+		if i > 0 && s != 2*got[i-1] {
+			t.Fatalf("entry %d is not a doubling: %v", i, got)
+		}
+	}
+}
+
 func TestFormatBytes(t *testing.T) {
 	cases := map[int64]string{
 		512:     "512B",

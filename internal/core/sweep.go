@@ -14,8 +14,13 @@ func MessageSizes(min, max int64) []int64 {
 		panic(fmt.Sprintf("core: bad size range [%d,%d]", min, max))
 	}
 	var out []int64
-	for s := min; s <= max; s *= 2 {
+	for s := min; ; s *= 2 {
 		out = append(out, s)
+		if s > max/2 {
+			// The next doubling would exceed max — or wrap negative when
+			// max is within 2x of MaxInt64, which used to loop forever.
+			break
+		}
 	}
 	return out
 }

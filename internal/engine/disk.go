@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SchemaVersion versions the on-disk cell format. Entries written under a
+// different schema live in a sibling directory and are simply not seen, so
+// changing the cell layout only requires bumping this constant — stale
+// trees can be garbage-collected by deleting the cache directory.
+const SchemaVersion = 1
+
+// DiskCache persists successful cell results as JSON files keyed by the
+// engine's content-addressed cell hash, so repeated CLI invocations and CI
+// runs reuse results across processes. The simulator is deterministic and
+// cells are keyed by their full configuration, which makes a persisted
+// cell exactly as trustworthy as a fresh run — the reproducibility-as-
+// artifact discipline applied at cell granularity.
+//
+// Only successful results are persisted (errors of any class never are),
+// writes are atomic (temp file + rename), and corrupt or mismatched
+// entries are deleted and recomputed rather than surfaced as failures. A
+// DiskCache is safe for concurrent use by one runner and for concurrent
+// use by cooperating processes sharing the directory.
+type DiskCache struct {
+	dir string
+}
+
+// OpenDiskCache opens (creating if needed) the cache rooted at dir;
+// entries live under a schema-versioned subdirectory.
+func OpenDiskCache(dir string) (*DiskCache, error) {
+	vdir := filepath.Join(dir, fmt.Sprintf("v%d", SchemaVersion))
+	if err := os.MkdirAll(vdir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: opening disk cache: %w", err)
+	}
+	return &DiskCache{dir: vdir}, nil
+}
+
+// Dir returns the schema-versioned directory entries are stored in.
+func (d *DiskCache) Dir() string { return d.dir }
+
+// cellEnvelope is the on-disk form of one cell.
+type cellEnvelope struct {
+	Schema int             `json:"schema"`
+	Key    string          `json:"key"`
+	Value  json.RawMessage `json:"value"`
+}
+
+func (d *DiskCache) path(key string) string {
+	return filepath.Join(d.dir, key+".json")
+}
+
+// load returns the decoded cell for key. Unreadable files are a plain
+// miss; corrupt, truncated, or mismatched entries (bad JSON, wrong schema,
+// key/filename disagreement, undecodable value) are deleted so the cell is
+// recomputed and rewritten — recovery, not failure.
+func (d *DiskCache) load(key string, decode decodeFunc) (any, bool) {
+	path := d.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var env cellEnvelope
+	if err := json.Unmarshal(data, &env); err == nil && env.Schema == SchemaVersion && env.Key == key {
+		if v, err := decode(env.Value); err == nil {
+			return v, true
+		}
+	}
+	os.Remove(path)
+	return nil, false
+}
+
+// store persists one successful cell atomically. Errors are reported for
+// accounting but are safe to ignore: the in-memory result stands, the cell
+// just is not reusable across processes.
+func (d *DiskCache) store(key string, val any) error {
+	raw, err := json.Marshal(val)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(cellEnvelope{Schema: SchemaVersion, Key: key, Value: raw})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(d.dir, key+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), d.path(key))
+}
+
+// DoAs is Do with a typed result, and the entry point that activates the
+// persistent cache: decoding a persisted cell requires its concrete type
+// T, which Do's any-typed interface cannot name (and a method cannot be
+// generic, so the typed entry point is a package function). Lookup order
+// is memory, then disk, then computing fn — with the same singleflight,
+// error-classification, fault-injection, and retry behaviour as Do. T must
+// round-trip through encoding/json losslessly for persisted cells to be
+// bit-identical to fresh runs; every result type in this repository does
+// (sim.Duration marshals exactly, and Go's float64 encoding is shortest-
+// round-trip).
+func DoAs[T any](r *Runner, key string, fn func() (T, error)) (T, error) {
+	v, err := r.do(key, decodeAs[T], func() (any, error) { return fn() })
+	if err != nil || v == nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}
+
+func decodeAs[T any](raw json.RawMessage) (any, error) {
+	var v T
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}

@@ -1,6 +1,7 @@
 // Package engine is the shared experiment runner: a bounded-worker parallel
 // sweep executor with deterministic result ordering, fail-fast cancellation,
-// progress callbacks, and a content-addressed in-memory result cache.
+// progress callbacks, and a content-addressed, error-aware result cache that
+// can persist across processes.
 //
 // Every layer of the suite (figures, classic benchmarks, motif sweeps, SNAP
 // scaling profiles, the CLIs) schedules its simulation cells through one
@@ -9,7 +10,15 @@
 // running independent cells on parallel workers and by memoizing cells under
 // a hash of their full configuration, so identical cells shared between
 // experiments (e.g. the p=1 baselines of Figs. 4–6/8) are simulated once per
-// process.
+// process (or once per cache directory, with WithDiskCache).
+//
+// Cell errors are classified before memoization — see Transient and
+// IsCancellation: cancellations are never cached (a cell aborted because a
+// sibling failed first must stay re-runnable), transient errors are retried
+// under the runner's RetryPolicy and never cached, and only permanent
+// errors are memoized. A FaultInjector (see internal/faults) can replace
+// attempts with seeded transient failures to exercise the retry path
+// end to end without giving up reproducible tables.
 package engine
 
 import (
@@ -17,33 +26,46 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"partmb/internal/sim"
 )
 
 // Runner executes experiment cells on a bounded worker pool with an
-// in-memory result cache. A Runner is safe for concurrent use; the zero
-// value is not usable — call New.
+// in-memory (and optionally on-disk) result cache. A Runner is safe for
+// concurrent use; the zero value is not usable — call New.
 type Runner struct {
 	workers  int
 	noCache  bool
 	progress func(done, total int)
+	retry    RetryPolicy
+	faults   FaultInjector
+	disk     *DiskCache
 
-	mu    sync.Mutex
-	cache map[string]*cacheEntry
+	mu       sync.Mutex
+	cache    map[string]*cacheEntry
+	attempts map[string]int64
 
-	cells int64
-	runs  int64
-	hits  int64
+	cells      int64
+	runs       int64
+	hits       int64
+	retries    int64
+	injected   int64
+	diskHits   int64
+	diskWrites int64
+	backoffNS  int64
 }
 
 // cacheEntry memoizes one cell result with singleflight semantics: the
-// first caller computes under once, every concurrent caller waits on it.
+// first caller computes, every concurrent caller waits on done. Entries
+// whose computation ends in a cancellation or transient error are removed
+// from the cache before done is closed, so the next caller recomputes
+// instead of inheriting a poisoned result.
 type cacheEntry struct {
-	once sync.Once
+	done chan struct{}
 	val  any
 	err  error
 }
@@ -61,8 +83,8 @@ func Workers(n int) Option {
 	}
 }
 
-// WithoutCache disables result memoization (used by benchmarks that want to
-// measure raw simulation cost).
+// WithoutCache disables result memoization, both in memory and on disk
+// (used by benchmarks that want to measure raw simulation cost).
 func WithoutCache() Option {
 	return func(r *Runner) { r.noCache = true }
 }
@@ -74,10 +96,68 @@ func OnProgress(fn func(done, total int)) Option {
 	return func(r *Runner) { r.progress = fn }
 }
 
+// RetryPolicy bounds how often a cell is re-attempted after a transient
+// failure and how the runner backs off between attempts. Backoff is virtual
+// time on the simulation clock: the wait before re-running attempt k+1 is
+// Backoff<<(k-1), the total is surfaced in Stats.Backoff, and no host time
+// is spent — the simulator is deterministic, so wall-clock sleeping would
+// only slow the sweep without changing any result.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per cell, first try
+	// included; values below 1 behave as 1 (no retries).
+	MaxAttempts int
+	// Backoff is the virtual exponential-backoff base between attempts.
+	Backoff sim.Duration
+}
+
+// DefaultRetry is the policy installed by New: a few bounded attempts with
+// a millisecond virtual backoff base. Only errors wrapped with Transient
+// are retried, so runners without fault injection never re-run cells.
+var DefaultRetry = RetryPolicy{MaxAttempts: 4, Backoff: sim.Millisecond}
+
+// WithRetry replaces the runner's retry policy.
+func WithRetry(p RetryPolicy) Option {
+	return func(r *Runner) {
+		if p.MaxAttempts < 1 {
+			p.MaxAttempts = 1
+		}
+		if p.Backoff < 0 {
+			p.Backoff = 0
+		}
+		r.retry = p
+	}
+}
+
+// FaultInjector decides, before each attempt of a keyed cell, whether the
+// attempt fails with an injected error instead of running the real
+// computation. Implementations must be safe for concurrent use and
+// deterministic in (key, attempt), so that results and Stats stay identical
+// under any worker count; internal/faults provides seeded probabilistic
+// injectors. Injected errors should be wrapped with Transient so the
+// runner's RetryPolicy applies to them.
+type FaultInjector interface {
+	Inject(key string, attempt int) error
+}
+
+// WithFaults installs a fault injector on every keyed cell attempt.
+func WithFaults(fi FaultInjector) Option {
+	return func(r *Runner) { r.faults = fi }
+}
+
+// WithDiskCache persists successful cell results under the cache's
+// directory and consults it before computing, so repeated invocations reuse
+// results across processes. Only cells entered through DoAs participate:
+// decoding a persisted cell needs its concrete type, which Do's any-typed
+// interface cannot provide.
+func WithDiskCache(d *DiskCache) Option {
+	return func(r *Runner) { r.disk = d }
+}
+
 // New returns a Runner with the given options.
 func New(opts ...Option) *Runner {
 	r := &Runner{
 		workers: runtime.GOMAXPROCS(0),
+		retry:   DefaultRetry,
 		cache:   map[string]*cacheEntry{},
 	}
 	for _, o := range opts {
@@ -102,24 +182,58 @@ func (r *Runner) Workers() int { return r.workers }
 type Stats struct {
 	// Cells is the number of grid/map cells executed.
 	Cells int64
-	// Runs is the number of cell computations actually performed (cache
-	// misses plus uncached calls).
+	// Runs is the number of cell attempts actually performed (cache misses
+	// plus uncached calls; retried cells count once per attempt).
 	Runs int64
-	// Hits is the number of cache hits (cells answered without computing).
+	// Hits is the number of in-memory cache hits (cells answered without
+	// computing).
 	Hits int64
+	// Retries is the number of re-attempts after transient failures.
+	Retries int64
+	// Faults is the number of attempts replaced by an injected failure.
+	Faults int64
+	// DiskHits / DiskWrites count persistent-cache loads and stores.
+	DiskHits   int64
+	DiskWrites int64
+	// Backoff is the total virtual time spent backing off between attempts.
+	Backoff sim.Duration
+	// Attempts maps the key of every cell that needed more than one attempt
+	// to its attempt count (nil when no cell retried).
+	Attempts map[string]int64
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("%d cells, %d runs, %d cache hits", s.Cells, s.Runs, s.Hits)
+	out := fmt.Sprintf("%d cells, %d runs, %d cache hits", s.Cells, s.Runs, s.Hits)
+	if s.Retries > 0 || s.Faults > 0 {
+		out += fmt.Sprintf(", %d retries (%d injected faults, %v backoff)", s.Retries, s.Faults, s.Backoff)
+	}
+	if s.DiskHits > 0 || s.DiskWrites > 0 {
+		out += fmt.Sprintf(", %d disk hits, %d disk writes", s.DiskHits, s.DiskWrites)
+	}
+	return out
 }
 
 // Stats returns a snapshot of the runner's counters.
 func (r *Runner) Stats() Stats {
-	return Stats{
-		Cells: atomic.LoadInt64(&r.cells),
-		Runs:  atomic.LoadInt64(&r.runs),
-		Hits:  atomic.LoadInt64(&r.hits),
+	st := Stats{
+		Cells:      atomic.LoadInt64(&r.cells),
+		Runs:       atomic.LoadInt64(&r.runs),
+		Hits:       atomic.LoadInt64(&r.hits),
+		Retries:    atomic.LoadInt64(&r.retries),
+		Faults:     atomic.LoadInt64(&r.injected),
+		DiskHits:   atomic.LoadInt64(&r.diskHits),
+		DiskWrites: atomic.LoadInt64(&r.diskWrites),
+		Backoff:    sim.Duration(atomic.LoadInt64(&r.backoffNS)),
 	}
+	r.mu.Lock()
+	if len(r.attempts) > 0 {
+		st.Attempts = make(map[string]int64, len(r.attempts))
+		for k, v := range r.attempts {
+			st.Attempts[k] = v
+		}
+	}
+	r.mu.Unlock()
+	return st
 }
 
 // Key returns a content-addressed cache key: the SHA-256 of the canonical
@@ -138,31 +252,106 @@ func Key(parts ...any) (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// decodeFunc rebuilds a typed cell value from its persisted JSON form; nil
+// means the call site cannot decode (plain Do), which disables the disk
+// cache for that cell.
+type decodeFunc func(json.RawMessage) (any, error)
+
 // Do returns the memoized result for key, computing it with fn on the first
 // call. Concurrent calls with the same key compute once and share the
-// result (errors are cached too). An empty key disables memoization.
+// result. Outcomes are classified before memoization: values and permanent
+// errors are cached, cancellations and transient errors are not — the next
+// caller recomputes. An empty key disables memoization.
 func (r *Runner) Do(key string, fn func() (any, error)) (any, error) {
+	return r.do(key, nil, fn)
+}
+
+func (r *Runner) do(key string, decode decodeFunc, fn func() (any, error)) (any, error) {
 	if key == "" || r.noCache {
-		atomic.AddInt64(&r.runs, 1)
-		return fn()
+		return r.compute(key, decode, fn)
 	}
 	r.mu.Lock()
-	e, ok := r.cache[key]
-	if !ok {
-		e = &cacheEntry{}
-		r.cache[key] = e
-	}
-	r.mu.Unlock()
-	hit := true
-	e.once.Do(func() {
-		hit = false
-		atomic.AddInt64(&r.runs, 1)
-		e.val, e.err = fn()
-	})
-	if hit {
+	if e, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		<-e.done
 		atomic.AddInt64(&r.hits, 1)
+		return e.val, e.err
 	}
+	e := &cacheEntry{done: make(chan struct{})}
+	r.cache[key] = e
+	r.mu.Unlock()
+	e.val, e.err = r.compute(key, decode, fn)
+	if !cacheable(e.err) {
+		// Cancellation or exhausted-transient outcome: drop the entry so
+		// the next caller recomputes. Waiters already parked on e share
+		// this outcome (they were concurrent with the abort), but the
+		// cell itself stays re-runnable.
+		r.mu.Lock()
+		if r.cache[key] == e {
+			delete(r.cache, key)
+		}
+		r.mu.Unlock()
+	}
+	close(e.done)
 	return e.val, e.err
+}
+
+// compute runs one cell through the disk cache, fault injector, and retry
+// policy.
+func (r *Runner) compute(key string, decode decodeFunc, fn func() (any, error)) (any, error) {
+	useDisk := key != "" && !r.noCache && r.disk != nil && decode != nil
+	if useDisk {
+		if v, ok := r.disk.load(key, decode); ok {
+			atomic.AddInt64(&r.diskHits, 1)
+			return v, nil
+		}
+	}
+	maxAttempts := r.retry.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var v any
+	var err error
+	attempt := 1
+	for ; ; attempt++ {
+		atomic.AddInt64(&r.runs, 1)
+		var injected error
+		if r.faults != nil && key != "" {
+			injected = r.faults.Inject(key, attempt)
+		}
+		if injected != nil {
+			atomic.AddInt64(&r.injected, 1)
+			v, err = nil, injected
+		} else {
+			v, err = fn()
+		}
+		if err == nil || attempt >= maxAttempts || !IsTransient(err) {
+			break
+		}
+		atomic.AddInt64(&r.retries, 1)
+		shift := attempt - 1
+		if shift > 20 {
+			shift = 20 // cap the exponent; policies never need >2^20x base
+		}
+		atomic.AddInt64(&r.backoffNS, int64(r.retry.Backoff)<<shift)
+	}
+	if attempt > 1 && key != "" {
+		r.mu.Lock()
+		if r.attempts == nil {
+			r.attempts = map[string]int64{}
+		}
+		r.attempts[key] = int64(attempt)
+		r.mu.Unlock()
+	}
+	if err == nil && useDisk {
+		// Persist failures (full disk, unmarshalable value) are not cell
+		// failures: the in-memory result stands, the cell just is not
+		// reusable across processes.
+		if r.disk.store(key, v) == nil {
+			atomic.AddInt64(&r.diskWrites, 1)
+		}
+	}
+	return v, err
 }
 
 // Grid evaluates cell over an nRows x nCols grid on the worker pool and
@@ -199,8 +388,9 @@ func (r *Runner) Map(ctx context.Context, n int, fn func(ctx context.Context, i 
 
 // indexedError carries the dispatch index of a failed cell so "first error
 // wins" can be decided by index, not completion order. Cancellation errors
-// rank below real errors: a cell that aborts because a later cell already
-// failed must not mask the real failure.
+// (context.Canceled and context.DeadlineExceeded alike) rank below real
+// errors: a cell that aborts because a later cell already failed must not
+// mask the real failure.
 type indexedError struct {
 	index  int
 	err    error
@@ -225,7 +415,7 @@ func (r *Runner) run(ctx context.Context, n int, fn func(ctx context.Context, i 
 	done := 0
 
 	fail := func(i int, err error) {
-		isCancel := errors.Is(err, context.Canceled)
+		isCancel := IsCancellation(err)
 		mu.Lock()
 		better := first == nil ||
 			(!isCancel && first.cancel) ||

@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// The memoizing cache classifies cell errors into three classes:
+//
+//   - cancellation (context.Canceled / context.DeadlineExceeded): never
+//     cached. A cell usually observes cancellation only because a sibling
+//     cell failed first and the sweep's context was torn down; memoizing
+//     that outcome would poison shared cells (e.g. the p=1 baselines reused
+//     across Figs. 4–6/8) for the rest of the process.
+//   - transient (wrapped with Transient): retried under the runner's
+//     RetryPolicy, never cached. This is how injected fabric faults and
+//     other recoverable conditions surface.
+//   - permanent (everything else): cached like a value — the simulator is
+//     deterministic, so a cell that failed once fails every time.
+
+// transientError marks an error as retryable.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return "transient: " + e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err as a transient failure: the runner retries it under
+// its RetryPolicy and never memoizes it. A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// Transientf is Transient(fmt.Errorf(format, args...)).
+func Transientf(format string, args ...any) error {
+	return Transient(fmt.Errorf(format, args...))
+}
+
+// IsTransient reports whether err is (or wraps) a transient failure.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// IsCancellation reports whether err is a context cancellation or deadline
+// expiry — the two abort flavours that say nothing about the cell itself
+// and must never be memoized or outrank a real error.
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// cacheable reports whether a computation outcome may be memoized.
+func cacheable(err error) bool {
+	return err == nil || (!IsCancellation(err) && !IsTransient(err))
+}

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"partmb/internal/sim"
+)
+
+// TestSharedCellRecoversAfterSiblingFailure is the poisoning regression: a
+// keyed cell aborted mid-computation because a sibling cell failed first
+// (so it returns the sweep context's cancellation error) must stay
+// re-runnable on the same Runner. The old cache memoized the cancellation
+// under the cell's key forever.
+func TestSharedCellRecoversAfterSiblingFailure(t *testing.T) {
+	rn := New(Workers(2))
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	_, err := rn.Map(context.Background(), 2, func(ctx context.Context, i int) (any, error) {
+		if i == 1 {
+			<-started // fail only once the shared cell is mid-flight
+			return nil, boom
+		}
+		return rn.Do("shared", func() (any, error) {
+			close(started)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		})
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("sweep err = %v, want boom", err)
+	}
+	v, err := rn.Do("shared", func() (any, error) { return "recomputed", nil })
+	if err != nil || v != "recomputed" {
+		t.Fatalf("shared cell after abort = %v, %v — the cancellation was memoized", v, err)
+	}
+}
+
+func TestDoDoesNotCacheCancellation(t *testing.T) {
+	for _, cerr := range []error{context.Canceled, context.DeadlineExceeded} {
+		rn := New()
+		var computed int
+		for i := 0; i < 2; i++ {
+			_, err := rn.Do("k", func() (any, error) { computed++; return nil, cerr })
+			if !errors.Is(err, cerr) {
+				t.Fatalf("%v: err = %v", cerr, err)
+			}
+		}
+		if computed != 2 {
+			t.Fatalf("%v: computed %d times, want 2 (cancellations must not be cached)", cerr, computed)
+		}
+	}
+}
+
+// TestDeadlineRanksBelowRealError: a cell that reports DeadlineExceeded at a
+// lower index (because the sweep context was torn down) must not mask the
+// real error that caused the teardown.
+func TestDeadlineRanksBelowRealError(t *testing.T) {
+	rn := New(Workers(2))
+	boom := errors.New("boom")
+	_, err := rn.Map(context.Background(), 2, func(ctx context.Context, i int) (any, error) {
+		if i == 1 {
+			return nil, boom
+		}
+		<-ctx.Done()
+		return nil, context.DeadlineExceeded
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestTransientRetriesThenSucceeds(t *testing.T) {
+	rn := New(WithRetry(RetryPolicy{MaxAttempts: 4, Backoff: sim.Millisecond}))
+	attempts := 0
+	v, err := rn.Do("k", func() (any, error) {
+		attempts++
+		if attempts < 3 {
+			return nil, Transientf("flaky attempt %d", attempts)
+		}
+		return "ok", nil
+	})
+	if err != nil || v != "ok" {
+		t.Fatalf("Do = %v, %v", v, err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	st := rn.Stats()
+	if st.Runs != 3 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want 3 runs, 2 retries", st)
+	}
+	// Backoff before attempt 2 is the base, before attempt 3 twice the base.
+	if st.Backoff != 3*sim.Millisecond {
+		t.Fatalf("backoff = %v, want 3ms", st.Backoff)
+	}
+	if st.Attempts["k"] != 3 {
+		t.Fatalf("Attempts = %v, want k:3", st.Attempts)
+	}
+	// The eventual success is memoized like any other value.
+	if _, err := rn.Do("k", func() (any, error) {
+		t.Error("recomputed a cell that succeeded")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransientExhaustedNotCached(t *testing.T) {
+	rn := New(WithRetry(RetryPolicy{MaxAttempts: 2, Backoff: 0}))
+	var computed int
+	for i := 0; i < 2; i++ {
+		_, err := rn.Do("k", func() (any, error) {
+			computed++
+			return nil, Transient(errors.New("still down"))
+		})
+		if !IsTransient(err) {
+			t.Fatalf("err = %v, want transient", err)
+		}
+	}
+	if computed != 4 {
+		t.Fatalf("computed %d times, want 4 (two attempts per call, never cached)", computed)
+	}
+	st := rn.Stats()
+	if st.Runs != 4 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want 4 runs, 2 retries", st)
+	}
+}
+
+func TestPermanentErrorNotRetried(t *testing.T) {
+	rn := New(WithRetry(RetryPolicy{MaxAttempts: 5, Backoff: sim.Millisecond}))
+	var computed int
+	boom := errors.New("deterministic failure")
+	_, err := rn.Do("k", func() (any, error) { computed++; return nil, boom })
+	if !errors.Is(err, boom) || computed != 1 {
+		t.Fatalf("err = %v after %d attempts, want boom after 1", err, computed)
+	}
+	if st := rn.Stats(); st.Retries != 0 {
+		t.Fatalf("retries = %d, want 0", st.Retries)
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	if Transient(nil) != nil {
+		t.Fatal("Transient(nil) != nil")
+	}
+	base := errors.New("link down")
+	terr := Transient(base)
+	if !IsTransient(terr) || !errors.Is(terr, base) {
+		t.Fatalf("Transient wrapping broken: %v", terr)
+	}
+	if IsTransient(base) {
+		t.Fatal("bare error classified transient")
+	}
+	if !IsCancellation(context.Canceled) || !IsCancellation(fmt.Errorf("cell: %w", context.DeadlineExceeded)) {
+		t.Fatal("cancellation flavours not recognised")
+	}
+	if IsCancellation(base) {
+		t.Fatal("bare error classified as cancellation")
+	}
+	for _, tc := range []struct {
+		err  error
+		want bool
+	}{
+		{nil, true},
+		{base, true},
+		{terr, false},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+	} {
+		if got := cacheable(tc.err); got != tc.want {
+			t.Errorf("cacheable(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}

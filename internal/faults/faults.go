@@ -1,0 +1,193 @@
+// Package faults injects seeded, probability-configured transient failures
+// into experiment-engine cells, the way a real fabric misbehaves: dropped
+// completions, latency spikes that blow a deadline, and NICs that flake for
+// a few attempts in a row before recovering.
+//
+// Injection happens at the engine's attempt level (it implements
+// engine.FaultInjector), so a faulted attempt is replaced by an
+// engine.Transient error before the simulation runs, and the runner's
+// RetryPolicy re-attempts the cell. Decisions are pure hashes of
+// (seed, mode, key, attempt) — deterministic for a seed regardless of
+// worker count or scheduling, so a fault-injected sweep with retries
+// enabled produces tables byte-identical to a fault-free sweep while
+// actually exercising the whole retry path.
+package faults
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"partmb/internal/engine"
+	"partmb/internal/sim"
+)
+
+// Mode selects the failure flavour.
+type Mode int
+
+const (
+	// Drop fails each attempt independently with the configured
+	// probability — a lost completion that a retry recovers.
+	Drop Mode = iota
+	// DelaySpike is Drop with latency-spike framing: the injected error
+	// reports a deterministic spike duration that exceeded the cell's
+	// deadline budget.
+	DelaySpike
+	// FlakyNIC marks a subset of cells (chosen by key hash with the
+	// configured probability) as sitting on a flaky NIC: their first 1–3
+	// attempts all fail, exercising multi-step backoff, then the NIC
+	// recovers for good.
+	FlakyNIC
+)
+
+// String renders the canonical mode name.
+func (m Mode) String() string {
+	switch m {
+	case Drop:
+		return "drop"
+	case DelaySpike:
+		return "delay"
+	case FlakyNIC:
+		return "flaky"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode parses the forms accepted by the -faults flag.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "drop":
+		return Drop, nil
+	case "delay", "delay-spike", "spike":
+		return DelaySpike, nil
+	case "flaky", "flaky-nic", "nic":
+		return FlakyNIC, nil
+	}
+	return 0, fmt.Errorf("faults: unknown mode %q (want drop|delay|flaky)", s)
+}
+
+// DefaultSeed matches the platform default so `-faults drop:0.2` is fully
+// specified.
+const DefaultSeed = 42
+
+// Injector is a deterministic engine.FaultInjector. Safe for concurrent
+// use: decisions are pure functions, the only state is a counter.
+type Injector struct {
+	mode Mode
+	prob float64
+	seed int64
+
+	injected int64
+}
+
+// New builds an injector. prob is the per-attempt (Drop, DelaySpike) or
+// per-cell (FlakyNIC) failure probability and must lie in [0, 1).
+func New(mode Mode, prob float64, seed int64) (*Injector, error) {
+	if prob < 0 || prob >= 1 {
+		return nil, fmt.Errorf("faults: probability %v outside [0,1)", prob)
+	}
+	if _, err := ParseMode(mode.String()); err != nil {
+		return nil, err
+	}
+	return &Injector{mode: mode, prob: prob, seed: seed}, nil
+}
+
+// Parse builds an injector from a -faults flag value of the form
+// "mode:prob[:seed]", e.g. "drop:0.3" or "flaky:0.5:7". Empty strings,
+// "none", and "off" mean no injection and return (nil, nil) — a nil
+// *Injector is a valid do-nothing engine.FaultInjector.
+func Parse(spec string) (*Injector, error) {
+	s := strings.TrimSpace(spec)
+	switch strings.ToLower(s) {
+	case "", "none", "off":
+		return nil, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return nil, fmt.Errorf("faults: bad spec %q (want mode:prob[:seed])", spec)
+	}
+	mode, err := ParseMode(parts[0])
+	if err != nil {
+		return nil, err
+	}
+	prob, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return nil, fmt.Errorf("faults: bad probability in %q", spec)
+	}
+	seed := int64(DefaultSeed)
+	if len(parts) == 3 {
+		seed, err = strconv.ParseInt(strings.TrimSpace(parts[2]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("faults: bad seed in %q", spec)
+		}
+	}
+	return New(mode, prob, seed)
+}
+
+// String renders the injector in Parse's spec form.
+func (in *Injector) String() string {
+	if in == nil {
+		return "none"
+	}
+	return fmt.Sprintf("%s:%g:%d", in.mode, in.prob, in.seed)
+}
+
+// Injected returns how many attempts this injector has failed so far.
+func (in *Injector) Injected() int64 {
+	if in == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&in.injected)
+}
+
+// Inject implements engine.FaultInjector: it returns a transient error for
+// attempts the seeded schedule fails, nil otherwise.
+func (in *Injector) Inject(key string, attempt int) error {
+	if in == nil || in.prob == 0 {
+		return nil
+	}
+	var err error
+	switch in.mode {
+	case Drop:
+		if in.chance(key, int64(attempt)) < in.prob {
+			err = engine.Transientf("injected drop (cell %.8s, attempt %d)", key, attempt)
+		}
+	case DelaySpike:
+		if in.chance(key, int64(attempt)) < in.prob {
+			// A deterministic pseudo-magnitude keeps the error message
+			// reproducible across runs and worker counts.
+			spike := sim.Duration(1+int64(16*in.chance(key, -int64(attempt)))) * 250 * sim.Microsecond
+			err = engine.Transientf("injected delay spike of %v exceeded the cell deadline (cell %.8s, attempt %d)", spike, key, attempt)
+		}
+	case FlakyNIC:
+		// Per-cell decision: a flaky cell fails a burst of 1–3 leading
+		// attempts, then recovers permanently.
+		if in.chance(key, 0) < in.prob {
+			burst := 1 + int(3*in.chance(key, -1))
+			if attempt <= burst {
+				err = engine.Transientf("injected flaky NIC (cell %.8s, attempt %d of a %d-attempt burst)", key, attempt, burst)
+			}
+		}
+	}
+	if err != nil {
+		atomic.AddInt64(&in.injected, 1)
+	}
+	return err
+}
+
+// chance hashes (seed, mode, key, draw) into [0, 1).
+func (in *Injector) chance(key string, draw int64) float64 {
+	h := sha256.New()
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(in.seed))
+	binary.BigEndian.PutUint64(buf[8:], uint64(in.mode))
+	h.Write(buf[:])
+	h.Write([]byte(key))
+	binary.BigEndian.PutUint64(buf[:8], uint64(draw))
+	h.Write(buf[:8])
+	sum := h.Sum(nil)
+	return float64(binary.BigEndian.Uint64(sum[:8])>>11) / (1 << 53)
+}

@@ -5,21 +5,18 @@ import (
 )
 
 // Cached run variants: each memoizes its motif on the runner's
-// content-addressed cache, so repeated cells (the same motif point shared by
-// several figures or suites) simulate once per process. A nil runner falls
-// back to the shared default runner. Configs are hashed after defaulting, so
-// two configs that resolve identically share a cell.
+// content-addressed cache (and persistent disk cache, when configured), so
+// repeated cells (the same motif point shared by several figures or
+// suites) simulate once per process. A nil runner falls back to the shared
+// default runner. Configs are hashed after defaulting, so two configs that
+// resolve identically share a cell.
 
 func cachedRun[C any](rn *engine.Runner, what string, cfg C, run func(C) (*Result, error)) (*Result, error) {
 	key, err := engine.Key(what, cfg)
 	if err != nil {
 		key = "" // unhashable config: run uncached
 	}
-	v, err := engine.OrDefault(rn).Do(key, func() (any, error) { return run(cfg) })
-	if err != nil {
-		return nil, err
-	}
-	return v.(*Result), nil
+	return engine.DoAs(engine.OrDefault(rn), key, func() (*Result, error) { return run(cfg) })
 }
 
 // RunSweep3DCached is RunSweep3D memoized on the runner's cache.

@@ -140,7 +140,7 @@ func ProfileScaling(rn *engine.Runner, cfg Config, nodeCounts []int) ([]ProfileP
 		if kerr != nil {
 			key = ""
 		}
-		v, err := r.Do(key, func() (any, error) { return Profile(cfg, n) })
+		v, err := engine.DoAs(r, key, func() (ProfilePoint, error) { return Profile(cfg, n) })
 		if err != nil {
 			return nil, fmt.Errorf("snap: %d nodes: %w", n, err)
 		}
