@@ -2,7 +2,9 @@ package partmb_test
 
 import (
 	"bytes"
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -155,6 +157,34 @@ func TestCacheDirReusesCellsAcrossProcesses(t *testing.T) {
 	}
 	if !strings.Contains(warmErr, " 0 runs,") || !strings.Contains(warmErr, "disk hits") {
 		t.Fatalf("warm run recomputed cells instead of loading them:\n%s", warmErr)
+	}
+}
+
+// TestJournalByteStableAcrossWorkerCounts: the run journal serializes in a
+// schedule-independent order with volatile timing omitted, so the same
+// sweep on 1 worker and on 8 workers must journal byte-for-byte the same.
+func TestJournalByteStableAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI execution in -short mode")
+	}
+	dir := t.TempDir()
+	journals := make([]string, 2)
+	for i, workers := range []string{"1", "8"} {
+		path := filepath.Join(dir, "j"+workers+".jsonl")
+		runCLI(t, "./cmd/figures", "-fig", "4", "-scale", "quick",
+			"-workers", workers, "-journal", path)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		journals[i] = string(data)
+	}
+	if journals[0] != journals[1] {
+		t.Fatalf("journal differs between -workers 1 and -workers 8:\n%s\n---\n%s",
+			journals[0], journals[1])
+	}
+	if !strings.Contains(journals[0], `"t":"journal"`) || !strings.Contains(journals[0], `"t":"stats"`) {
+		t.Fatalf("journal missing header or stats trailer:\n%s", journals[0])
 	}
 }
 

@@ -83,6 +83,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	rn.SetExperiment("advise")
 	adv, err := core.Advise(rn, cfg, counts, core.DefaultAdvisorWeights())
 	if err != nil {
 		fatal(err)
@@ -105,6 +106,10 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println(adv.String())
+	if err := eng.Finish("advise"); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "advise: engine: %s\n", rn.Stats())
 }
 
 func fatal(err error) {

@@ -1,0 +1,352 @@
+package main
+
+// This file is the benchgate's data model and gate logic: the
+// schema-versioned BENCH_<n>.json record, the in-process per-figure
+// benchmark runner, the `go test -bench` ingester, and the noise-tolerant
+// baseline comparison. main.go only does flag plumbing, so every decision
+// the gate makes is unit-testable.
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"time"
+
+	"partmb/internal/engine"
+	"partmb/internal/figures"
+	"partmb/internal/report"
+	"partmb/internal/stats"
+)
+
+// Schema versions the BENCH_<n>.json format.
+const Schema = 1
+
+// Entry is one benchmark's record.
+type Entry struct {
+	// Name identifies the benchmark ("fig04" ... "fig13", or the
+	// Benchmark function name when ingested from `go test -bench`).
+	Name string `json:"name"`
+	// NsOp is the median wall time per op in nanoseconds — the gated
+	// metric.
+	NsOp float64 `json:"ns_op"`
+	// AllocsOp is allocations per op when known (only from `go test
+	// -bench` ingestion).
+	AllocsOp float64 `json:"allocs_op,omitempty"`
+	// CellsPerSec is the engine-level throughput (scheduled cells per
+	// second of host time) when known (only from -run mode). Recorded for
+	// trend analysis; not gated, since it is derived from the same wall
+	// time as NsOp.
+	CellsPerSec float64 `json:"cells_per_sec,omitempty"`
+}
+
+// File is a BENCH_<n>.json document.
+type File struct {
+	Schema int `json:"schema"`
+	// Source says how the entries were measured: "benchgate -run" or
+	// "go test -bench".
+	Source string `json:"source"`
+	// Scale/Reps record the -run parameters ("" / 0 for ingested files).
+	Scale string `json:"scale,omitempty"`
+	Reps  int    `json:"reps,omitempty"`
+	// CalNS is the wall time of the fixed calibration workload on the
+	// machine that produced this file (-run mode only). When both sides of
+	// a comparison carry it, ns/op ratios are normalized by the machines'
+	// calibration ratio, so a committed baseline stays meaningful on
+	// faster or slower hardware.
+	CalNS   float64 `json:"cal_ns,omitempty"`
+	Entries []Entry `json:"entries"`
+}
+
+// calibrate measures a fixed, deterministic CPU workload (hashing 32 MiB)
+// and returns the fastest of three timings — the machine's current speed
+// with the least scheduling noise.
+func calibrate() float64 {
+	buf := make([]byte, 64<<10)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	best := math.MaxFloat64
+	for rep := 0; rep < 3; rep++ {
+		t0 := time.Now()
+		for i := 0; i < 512; i++ {
+			sum := sha256.Sum256(buf)
+			buf[0] = sum[0] // defeat dead-code elimination
+		}
+		if ns := float64(time.Since(t0).Nanoseconds()); ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// Load reads and validates a benchmark file.
+func Load(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, fmt.Errorf("benchgate: %w", err)
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	if f.Schema != Schema {
+		return f, fmt.Errorf("benchgate: %s: schema %d, want %d", path, f.Schema, Schema)
+	}
+	if len(f.Entries) == 0 {
+		return f, fmt.Errorf("benchgate: %s: no entries", path)
+	}
+	return f, nil
+}
+
+// Save writes the file as indented JSON.
+func Save(path string, f File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// NextBenchPath returns dir/BENCH_<n>.json with n one past the largest
+// existing index, so successive runs accumulate a performance trajectory.
+func NextBenchPath(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	next := 1
+	for _, m := range matches {
+		base := filepath.Base(m)
+		numStr := base[len("BENCH_") : len(base)-len(".json")]
+		if n, err := strconv.Atoi(numStr); err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next)), nil
+}
+
+// runBenchmarks measures every paper figure at the given scale, median of
+// reps wall-clock runs each on a fresh runner (in-memory memoization on,
+// like real sweeps; nothing shared between reps, so every rep pays the
+// full cost).
+func runBenchmarks(scaleName string, reps, workers int, progress io.Writer) (File, error) {
+	sc, err := figures.ScaleByName(scaleName)
+	if err != nil {
+		return File{}, err
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	f := File{Schema: Schema, Source: "benchgate -run", Scale: sc.Name, Reps: reps, CalNS: calibrate()}
+	if progress != nil {
+		fmt.Fprintf(progress, "benchgate: calibration workload: %.1f ms\n", f.CalNS/1e6)
+	}
+	for _, fig := range figures.Numbers() {
+		var nsSamples, cpsSamples []float64
+		// rep -1 is an untimed warmup: the first pass over a figure pays
+		// one-off process costs (page faults, allocator growth) that would
+		// otherwise skew a cold gate run against a warm baseline.
+		for rep := -1; rep < reps; rep++ {
+			rn := engine.New(engine.Workers(workers))
+			env := figures.Env{Runner: rn}
+			t0 := time.Now()
+			if _, err := env.Generate(fig, sc); err != nil {
+				return File{}, fmt.Errorf("benchgate: fig %d: %w", fig, err)
+			}
+			el := time.Since(t0)
+			if rep < 0 {
+				continue
+			}
+			nsSamples = append(nsSamples, float64(el.Nanoseconds()))
+			if secs := el.Seconds(); secs > 0 {
+				cpsSamples = append(cpsSamples, float64(rn.Stats().Cells)/secs)
+			}
+		}
+		sort.Float64s(nsSamples)
+		sort.Float64s(cpsSamples)
+		e := Entry{
+			Name: fmt.Sprintf("fig%02d", fig),
+			NsOp: stats.Percentile(nsSamples, 50),
+		}
+		if len(cpsSamples) > 0 {
+			e.CellsPerSec = stats.Percentile(cpsSamples, 50)
+		}
+		f.Entries = append(f.Entries, e)
+		if progress != nil {
+			fmt.Fprintf(progress, "benchgate: %s: %.1f ms/op (median of %d), %.0f cells/sec\n",
+				e.Name, e.NsOp/1e6, reps, e.CellsPerSec)
+		}
+	}
+	return f, nil
+}
+
+// benchLine matches `go test -bench` result lines, e.g.
+//
+//	BenchmarkFig04Overhead-8   3   412345678 ns/op   123456 B/op   789 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ B/op)?(?:\s+([0-9.]+) allocs/op)?`)
+
+// parseBench ingests `go test -bench` output. Repeated benchmark names
+// (from -count) are collapsed to their median ns/op.
+func parseBench(r io.Reader) (File, error) {
+	samples := map[string][]float64{}
+	allocs := map[string][]float64{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if _, seen := samples[name]; !seen {
+			order = append(order, name)
+		}
+		samples[name] = append(samples[name], ns)
+		if m[3] != "" {
+			if a, err := strconv.ParseFloat(m[3], 64); err == nil {
+				allocs[name] = append(allocs[name], a)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return File{}, err
+	}
+	if len(order) == 0 {
+		return File{}, fmt.Errorf("benchgate: no `go test -bench` result lines found")
+	}
+	f := File{Schema: Schema, Source: "go test -bench"}
+	for _, name := range order {
+		ns := samples[name]
+		sort.Float64s(ns)
+		e := Entry{Name: name, NsOp: stats.Percentile(ns, 50)}
+		if as := allocs[name]; len(as) > 0 {
+			sort.Float64s(as)
+			e.AllocsOp = stats.Percentile(as, 50)
+		}
+		f.Entries = append(f.Entries, e)
+	}
+	return f, nil
+}
+
+// Delta is one benchmark's baseline comparison.
+type Delta struct {
+	Name   string
+	Base   float64 // baseline ns/op (0 for status "new")
+	Cur    float64 // current ns/op (0 for status "missing")
+	Ratio  float64 // hardware-normalized Cur/Base (0 when either side is absent)
+	Status string  // "regression" | "improvement" | "ok" | "missing" | "new"
+}
+
+// Comparison is the gate's verdict over a whole file pair.
+type Comparison struct {
+	Tolerance float64
+	// SpeedFactor normalizes for hardware: the current machine's
+	// calibration time divided by the baseline machine's (1 when either
+	// side lacks calibration). Current ns/op are divided by it before
+	// gating, so a uniformly 2x-slower machine does not read as a
+	// regression.
+	SpeedFactor float64
+	Deltas      []Delta
+	Regressions int
+	Missing     int
+}
+
+// Failed reports whether the gate should reject: any benchmark slowed by
+// more than the tolerance, or disappeared from the current run.
+func (c Comparison) Failed() bool { return c.Regressions > 0 || c.Missing > 0 }
+
+// compare gates cur against base with a symmetric noise tolerance: ns/op
+// ratios within (1-tol, 1+tol] pass, above is a regression, below is an
+// improvement (reported, never fatal — re-baseline to lock it in).
+// Baseline entries missing from cur fail the gate; entries new in cur
+// pass with status "new". When both files carry calibration times the
+// ratios are hardware-normalized (see Comparison.SpeedFactor). Deltas come
+// back ranked worst-first.
+func compare(base, cur File, tol float64) Comparison {
+	c := Comparison{Tolerance: tol, SpeedFactor: 1}
+	if base.CalNS > 0 && cur.CalNS > 0 {
+		c.SpeedFactor = cur.CalNS / base.CalNS
+	}
+	curBy := map[string]Entry{}
+	for _, e := range cur.Entries {
+		curBy[e.Name] = e
+	}
+	seen := map[string]bool{}
+	for _, b := range base.Entries {
+		seen[b.Name] = true
+		e, ok := curBy[b.Name]
+		if !ok {
+			c.Deltas = append(c.Deltas, Delta{Name: b.Name, Base: b.NsOp, Status: "missing"})
+			c.Missing++
+			continue
+		}
+		d := Delta{Name: b.Name, Base: b.NsOp, Cur: e.NsOp}
+		if b.NsOp > 0 {
+			d.Ratio = e.NsOp / c.SpeedFactor / b.NsOp
+		}
+		switch {
+		case d.Ratio > 1+tol:
+			d.Status = "regression"
+			c.Regressions++
+		case d.Ratio != 0 && d.Ratio < 1-tol:
+			d.Status = "improvement"
+		default:
+			d.Status = "ok"
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+	for _, e := range cur.Entries {
+		if !seen[e.Name] {
+			c.Deltas = append(c.Deltas, Delta{Name: e.Name, Cur: e.NsOp, Status: "new"})
+		}
+	}
+	// Rank worst first: missing, then by ratio descending, new entries
+	// last.
+	rank := func(d Delta) float64 {
+		switch d.Status {
+		case "missing":
+			return 1e18
+		case "new":
+			return -1e18
+		}
+		return d.Ratio
+	}
+	sort.SliceStable(c.Deltas, func(i, j int) bool { return rank(c.Deltas[i]) > rank(c.Deltas[j]) })
+	return c
+}
+
+// Table renders the ranked comparison for humans and CI logs.
+func (c Comparison) Table() *report.Table {
+	title := fmt.Sprintf("perf gate: current vs baseline (tolerance ±%.0f%%, ranked worst first)", c.Tolerance*100)
+	if c.SpeedFactor != 1 {
+		title += fmt.Sprintf(" [machine speed factor %.2fx]", c.SpeedFactor)
+	}
+	t := report.New(title,
+		"benchmark", "baseline ms/op", "current ms/op", "delta %", "status")
+	for _, d := range c.Deltas {
+		baseMs, curMs, delta := "-", "-", "-"
+		if d.Base > 0 {
+			baseMs = fmt.Sprintf("%.1f", d.Base/1e6)
+		}
+		if d.Cur > 0 {
+			curMs = fmt.Sprintf("%.1f", d.Cur/1e6)
+		}
+		if d.Ratio > 0 {
+			delta = fmt.Sprintf("%+.1f", (d.Ratio-1)*100)
+		}
+		t.AddF(d.Name, baseMs, curMs, delta, d.Status)
+	}
+	return t
+}

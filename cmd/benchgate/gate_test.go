@@ -1,0 +1,217 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func bench(name string, ns float64) Entry { return Entry{Name: name, NsOp: ns} }
+
+func file(entries ...Entry) File {
+	return File{Schema: Schema, Source: "test", Entries: entries}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	base := file(bench("fig04", 100), bench("fig05", 100))
+	cur := file(bench("fig04", 200), bench("fig05", 100)) // 2x slowdown
+	c := compare(base, cur, 0.2)
+	if !c.Failed() || c.Regressions != 1 {
+		t.Fatalf("2x slowdown not flagged: %+v", c)
+	}
+	if c.Deltas[0].Name != "fig04" || c.Deltas[0].Status != "regression" {
+		t.Fatalf("regression not ranked first: %+v", c.Deltas)
+	}
+}
+
+func TestCompareAllowsImprovement(t *testing.T) {
+	base := file(bench("fig04", 100))
+	cur := file(bench("fig04", 50)) // 2x speedup
+	c := compare(base, cur, 0.2)
+	if c.Failed() {
+		t.Fatalf("improvement failed the gate: %+v", c)
+	}
+	if c.Deltas[0].Status != "improvement" {
+		t.Fatalf("status = %q, want improvement", c.Deltas[0].Status)
+	}
+}
+
+func TestCompareToleranceEdge(t *testing.T) {
+	base := file(bench("fig04", 1000))
+	// Exactly at the +20% boundary passes (strict > comparison), one more
+	// nanosecond fails.
+	if c := compare(base, file(bench("fig04", 1200)), 0.2); c.Failed() {
+		t.Fatalf("exactly +tolerance must pass: %+v", c)
+	}
+	if c := compare(base, file(bench("fig04", 1201)), 0.2); !c.Failed() {
+		t.Fatalf("just above +tolerance must fail: %+v", c)
+	}
+	// The symmetric lower edge is "ok", not "improvement".
+	if c := compare(base, file(bench("fig04", 800)), 0.2); c.Deltas[0].Status != "ok" {
+		t.Fatalf("exactly -tolerance should be ok: %+v", c.Deltas)
+	}
+}
+
+func TestCompareMissingAndNew(t *testing.T) {
+	base := file(bench("fig04", 100), bench("fig05", 100))
+	cur := file(bench("fig05", 100), bench("fig06", 100))
+	c := compare(base, cur, 0.2)
+	if !c.Failed() || c.Missing != 1 {
+		t.Fatalf("missing baseline benchmark must fail the gate: %+v", c)
+	}
+	if c.Deltas[0].Status != "missing" || c.Deltas[0].Name != "fig04" {
+		t.Fatalf("missing not ranked first: %+v", c.Deltas)
+	}
+	if last := c.Deltas[len(c.Deltas)-1]; last.Status != "new" || last.Name != "fig06" {
+		t.Fatalf("new benchmark not ranked last: %+v", c.Deltas)
+	}
+}
+
+func TestCompareHardwareNormalization(t *testing.T) {
+	// A uniformly 2x-slower machine (calibration 2x the baseline's) is not
+	// a regression once normalized...
+	base := file(bench("fig04", 100))
+	base.CalNS = 1e6
+	slowMachine := file(bench("fig04", 200))
+	slowMachine.CalNS = 2e6
+	c := compare(base, slowMachine, 0.2)
+	if c.Failed() || c.SpeedFactor != 2 {
+		t.Fatalf("hardware slowdown flagged as regression: %+v", c)
+	}
+	// ...but a genuine 2x slowdown on identical hardware still is.
+	sameMachine := file(bench("fig04", 200))
+	sameMachine.CalNS = 1e6
+	if c := compare(base, sameMachine, 0.2); !c.Failed() {
+		t.Fatalf("real regression hidden by normalization: %+v", c)
+	}
+	// Files without calibration (e.g. go test ingestion) compare raw.
+	if c := compare(file(bench("x", 100)), file(bench("x", 100)), 0.2); c.SpeedFactor != 1 {
+		t.Fatalf("speed factor without calibration = %v", c.SpeedFactor)
+	}
+}
+
+func TestCalibrateIsPositiveAndRepeatable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	a, b := calibrate(), calibrate()
+	if a <= 0 || b <= 0 {
+		t.Fatalf("calibration times %v, %v", a, b)
+	}
+	// Back-to-back calibrations on the same machine should agree to well
+	// within the gate tolerance; 2x apart means the workload is broken.
+	if r := a / b; r > 2 || r < 0.5 {
+		t.Fatalf("calibration unstable: %v vs %v", a, b)
+	}
+}
+
+func TestParseBench(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: partmb
+BenchmarkFig04Overhead-8   	       3	 412345678 ns/op	  123456 B/op	     789 allocs/op
+BenchmarkFig04Overhead-8   	       3	 400000000 ns/op	  123456 B/op	     781 allocs/op
+BenchmarkFig04Overhead-8   	       3	 430000000 ns/op	  123456 B/op	     799 allocs/op
+BenchmarkFig13SNAP         	       2	 900000000 ns/op
+PASS
+ok  	partmb	12.3s
+`
+	f, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Entries) != 2 {
+		t.Fatalf("entries = %+v", f.Entries)
+	}
+	e := f.Entries[0]
+	if e.Name != "BenchmarkFig04Overhead" || e.NsOp != 412345678 || e.AllocsOp != 789 {
+		t.Fatalf("median of -count samples wrong: %+v", e)
+	}
+	if f.Entries[1].Name != "BenchmarkFig13SNAP" || f.Entries[1].NsOp != 9e8 {
+		t.Fatalf("no-alloc line parsed wrong: %+v", f.Entries[1])
+	}
+}
+
+func TestFileRoundTripAndSchemaCheck(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_1.json")
+	orig := File{Schema: Schema, Source: "test", Scale: "quick", Reps: 3,
+		Entries: []Entry{{Name: "fig04", NsOp: 1.5e8, CellsPerSec: 42}}}
+	if err := Save(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entries[0] != orig.Entries[0] || got.Scale != "quick" {
+		t.Fatalf("round trip: %+v", got)
+	}
+	// Unknown schema versions must be rejected, not misread.
+	bad := orig
+	bad.Schema = Schema + 1
+	if err := Save(path, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("future schema accepted")
+	}
+}
+
+func TestNextBenchPath(t *testing.T) {
+	dir := t.TempDir()
+	p1, err := NextBenchPath(dir)
+	if err != nil || filepath.Base(p1) != "BENCH_1.json" {
+		t.Fatalf("empty dir -> %q, %v", p1, err)
+	}
+	if err := Save(filepath.Join(dir, "BENCH_7.json"), file(bench("x", 1))); err != nil {
+		t.Fatal(err)
+	}
+	p8, err := NextBenchPath(dir)
+	if err != nil || filepath.Base(p8) != "BENCH_8.json" {
+		t.Fatalf("after BENCH_7 -> %q, %v", p8, err)
+	}
+}
+
+// TestCommittedBaselineGatesItself is the acceptance check: the committed
+// baseline must pass against itself (ratio 1.0 everywhere) and must fail
+// against a synthetic 2x regression of itself.
+func TestCommittedBaselineGatesItself(t *testing.T) {
+	base, err := Load(filepath.Join("..", "..", "bench_baseline.json"))
+	if err != nil {
+		t.Fatalf("committed baseline unreadable: %v", err)
+	}
+	if c := compare(base, base, 0.2); c.Failed() {
+		t.Fatalf("baseline fails against itself: %+v", c)
+	}
+	slow := File{Schema: Schema, Source: "test"}
+	for _, e := range base.Entries {
+		e.NsOp *= 2
+		slow.Entries = append(slow.Entries, e)
+	}
+	c := compare(base, slow, 0.2)
+	if !c.Failed() || c.Regressions != len(base.Entries) {
+		t.Fatalf("synthetic 2x regression not caught: %+v", c)
+	}
+}
+
+func TestRunBenchmarksQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f, err := runBenchmarks("quick", 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Entries) == 0 {
+		t.Fatal("no entries measured")
+	}
+	for _, e := range f.Entries {
+		if e.NsOp <= 0 {
+			t.Fatalf("non-positive ns/op: %+v", e)
+		}
+		if e.CellsPerSec <= 0 {
+			t.Fatalf("missing cells/sec: %+v", e)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Command benchgate is the repo's performance-regression gate. It measures
+// every paper figure end to end (or ingests `go test -bench` output),
+// writes a schema-versioned BENCH_<n>.json snapshot, and compares the
+// result against the committed bench_baseline.json with a noise tolerance,
+// exiting nonzero when anything slowed beyond it.
+//
+// Examples:
+//
+//	benchgate -run -scale quick -reps 3            # measure, snapshot, gate
+//	go test -bench . -run - | benchgate -parse -   # gate go test benchmarks
+//	benchgate -run -write-baseline                 # refresh the baseline
+//
+// Exit codes: 0 gate passed, 1 regression (or missing benchmark), 2 usage
+// or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	var (
+		run       = flag.Bool("run", false, "measure the paper figures in-process")
+		parse     = flag.String("parse", "", "ingest `go test -bench` output from FILE (- for stdin) instead of -run")
+		scale     = flag.String("scale", "quick", "figure scale for -run (quick|paper)")
+		reps      = flag.Int("reps", 3, "repetitions per figure for -run; the median is kept")
+		workers   = flag.Int("workers", 0, "engine worker count for -run (0 = GOMAXPROCS)")
+		outDir    = flag.String("out", ".", "directory for the BENCH_<n>.json snapshot ('' to skip writing)")
+		baseline  = flag.String("baseline", "bench_baseline.json", "baseline file to gate against ('' to skip the gate)")
+		tolerance = flag.Float64("tolerance", 0.2, "allowed fractional slowdown before failing (0.2 = +20%)")
+		writeBase = flag.Bool("write-baseline", false, "overwrite the baseline with this run's results instead of gating")
+	)
+	flag.Parse()
+
+	if *run == (*parse != "") {
+		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -run or -parse is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *tolerance < 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: -tolerance must be >= 0")
+		os.Exit(2)
+	}
+
+	var cur File
+	var err error
+	if *run {
+		cur, err = runBenchmarks(*scale, *reps, *workers, os.Stderr)
+	} else {
+		var r io.ReadCloser = os.Stdin
+		if *parse != "-" {
+			if r, err = os.Open(*parse); err != nil {
+				fatal(err)
+			}
+			defer r.Close()
+		}
+		cur, err = parseBench(r)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		path, err := NextBenchPath(*outDir)
+		if err != nil {
+			fatal(err)
+		}
+		if err := Save(path, cur); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "benchgate: wrote", path)
+	}
+
+	if *writeBase {
+		if *baseline == "" {
+			fatal(fmt.Errorf("-write-baseline needs -baseline"))
+		}
+		if err := Save(*baseline, cur); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "benchgate: wrote baseline", *baseline)
+		return
+	}
+	if *baseline == "" {
+		return
+	}
+
+	base, err := Load(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	c := compare(base, cur, *tolerance)
+	if err := c.Table().WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if c.Failed() {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: %d regression(s), %d missing benchmark(s)\n",
+			c.Regressions, c.Missing)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "benchgate: ok: within tolerance of", *baseline)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(2)
+}

@@ -87,6 +87,9 @@ func main() {
 	for _, path := range paths {
 		fmt.Fprintln(os.Stderr, "classic: wrote", path)
 	}
+	if err := eng.Finish("classic"); err != nil {
+		fatal(err)
+	}
 	fmt.Fprintf(os.Stderr, "classic: engine: %s\n", rn.Stats())
 }
 

@@ -66,6 +66,7 @@ func main() {
 		fatal(err)
 	}
 	for _, name := range names {
+		rn.SetExperiment("extensions/" + name)
 		t, err := studies[name](rn)
 		if err != nil {
 			fatal(err)
@@ -73,6 +74,9 @@ func main() {
 		if err := t.WriteText(os.Stdout); err != nil {
 			fatal(err)
 		}
+	}
+	if err := eng.Finish("extensions"); err != nil {
+		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "extensions: engine: %s\n", rn.Stats())
 }

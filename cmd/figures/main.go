@@ -12,6 +12,7 @@
 //	figures -fig all -platform epyc-hdr -workers 4
 //	figures -fig all -cachedir .cellcache        # reuse cells across runs
 //	figures -fig 5 -faults drop:0.2 -retries 6   # exercise the retry path
+//	figures -fig all -journal run.jsonl -tracefile sched.json   # observability
 package main
 
 import (
@@ -84,6 +85,9 @@ func main() {
 		for _, p := range paths {
 			fmt.Fprintf(os.Stderr, "figures: wrote %s\n", p)
 		}
+	}
+	if err := eng.Finish("figures"); err != nil {
+		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "figures: engine: %s\n", env.Runner.Stats())
 }

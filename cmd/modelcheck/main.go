@@ -60,6 +60,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	rn.SetExperiment("modelcheck")
 
 	check := report.New("closed form vs simulated (drift here = model bug)", "quantity", "closed form", "simulated")
 
@@ -96,6 +97,10 @@ func main() {
 	}
 	fmt.Println("the simulated column includes MPI-layer call costs, so small")
 	fmt.Println("fixed offsets above the closed form are expected; factors are not.")
+	if err := eng.Finish("modelcheck"); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "modelcheck: engine: %s\n", rn.Stats())
 }
 
 func fatal(err error) {

@@ -98,6 +98,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	rn.SetExperiment("partbench")
 	var results []*core.Result
 	if *sweep {
 		min, err := cliutil.ParseSize(*minStr)
@@ -170,6 +171,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "partbench: wrote %d trace events to %s (open in chrome://tracing)\n", recorder.Len(), *traceOut)
+	}
+	if err := eng.Finish("partbench"); err != nil {
+		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "partbench: engine: %s\n", rn.Stats())
 }

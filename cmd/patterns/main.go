@@ -83,6 +83,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	rn.SetExperiment("patterns/" + *motif)
 	t := report.New(
 		fmt.Sprintf("%s: size=%s compute=%v noise=%s/%.0f%%", *motif, core.FormatBytes(size), compute, nk, *noisePct),
 		"mode", "elapsed", "payload MiB", "messages", "throughput GB/s")
@@ -144,6 +145,9 @@ func main() {
 	}
 	for _, path := range paths {
 		fmt.Fprintln(os.Stderr, "patterns: wrote", path)
+	}
+	if err := eng.Finish("patterns"); err != nil {
+		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "patterns: engine: %s\n", rn.Stats())
 }

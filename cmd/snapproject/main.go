@@ -67,6 +67,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	rn.SetExperiment("snap/profile")
 	pts, err := snap.ProfileScaling(rn, cfg, nodes)
 	if err != nil {
 		fatal(err)
@@ -100,6 +101,10 @@ func main() {
 	for _, path := range paths {
 		fmt.Fprintln(os.Stderr, "snapproject: wrote", path)
 	}
+	if err := eng.Finish("snapproject"); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "snapproject: engine: %s\n", rn.Stats())
 }
 
 func fatal(err error) {

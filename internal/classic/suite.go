@@ -27,6 +27,9 @@ func Benches() []string {
 
 // BenchTable builds the named benchmark's report table on the runner.
 func BenchTable(rn *engine.Runner, name string, p SuiteParams) (*report.Table, error) {
+	// Label the runner so stats, journals, and traces attribute the cells
+	// to this benchmark.
+	rn.SetExperiment("classic/" + name)
 	switch name {
 	case "latency":
 		pts, err := Latency(rn, p.Config, p.Sizes)

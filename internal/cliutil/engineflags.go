@@ -3,14 +3,18 @@ package cliutil
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"partmb/internal/engine"
 	"partmb/internal/faults"
+	"partmb/internal/obs"
 )
 
 // EngineFlags bundles the experiment-engine flags every CLI shares: worker
-// bound, persistent cell cache, fault injection, and the retry policy that
-// makes injected faults survivable. Zero value = engine defaults.
+// bound, persistent cell cache, fault injection, the retry policy that
+// makes injected faults survivable, and the observability sinks (run
+// journal, metric summary, Chrome trace). Zero value = engine defaults,
+// observability off.
 type EngineFlags struct {
 	// Workers bounds the parallel simulation workers (0 = GOMAXPROCS).
 	Workers int
@@ -24,6 +28,17 @@ type EngineFlags struct {
 	Retries int
 	// Backoff is the virtual exponential-backoff base between attempts.
 	Backoff string
+	// Journal, when non-empty, writes the deterministic JSONL run journal
+	// (one record per task and cell, plus a stats trailer) to this path.
+	Journal string
+	// Metrics, when non-empty, writes the per-experiment metric summary
+	// JSON (host-time distributions, cache tallies, cells/sec) here.
+	Metrics string
+	// TraceFile, when non-empty, writes the engine's host-time schedule as
+	// Chrome trace-event JSON (open in Perfetto) here.
+	TraceFile string
+
+	col *obs.Collector
 }
 
 // RegisterFlags installs the shared engine flags on fs.
@@ -33,6 +48,52 @@ func (e *EngineFlags) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&e.Faults, "faults", "", "inject transient cell faults: mode:prob[:seed], mode = drop|delay|flaky (default none)")
 	fs.IntVar(&e.Retries, "retries", engine.DefaultRetry.MaxAttempts, "max attempts per cell for transient failures")
 	fs.StringVar(&e.Backoff, "retry-backoff", engine.DefaultRetry.Backoff.String(), "virtual exponential-backoff base between attempts")
+	fs.StringVar(&e.Journal, "journal", "", "write the deterministic JSONL run journal to this file")
+	fs.StringVar(&e.Metrics, "metrics", "", "write the per-experiment metric summary JSON to this file")
+	fs.StringVar(&e.TraceFile, "tracefile", "", "write the engine schedule as Chrome trace JSON (Perfetto) to this file")
+}
+
+// observing reports whether any observability sink was requested.
+func (e *EngineFlags) observing() bool {
+	return e.Journal != "" || e.Metrics != "" || e.TraceFile != ""
+}
+
+// Collector returns the collector attached by Runner, or nil when
+// observability is off.
+func (e *EngineFlags) Collector() *obs.Collector { return e.col }
+
+// Finish writes the requested observability artifacts. Call it once, after
+// the sweep, with the CLI's name (recorded in the artifact headers); it is
+// a no-op when no sink was requested.
+func (e *EngineFlags) Finish(tool string) error {
+	if e.col == nil {
+		return nil
+	}
+	sinks := []struct {
+		path  string
+		write func(f *os.File) error
+	}{
+		{e.Journal, func(f *os.File) error { return obs.WriteJournal(f, tool, e.col, false) }},
+		{e.Metrics, func(f *os.File) error { return obs.WriteMetrics(f, tool, e.col) }},
+		{e.TraceFile, func(f *os.File) error { return obs.WriteChromeTrace(f, e.col) }},
+	}
+	for _, s := range sinks {
+		if s.path == "" {
+			continue
+		}
+		f, err := os.Create(s.path)
+		if err != nil {
+			return fmt.Errorf("cliutil: %w", err)
+		}
+		if err := s.write(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cliutil: writing %s: %w", s.path, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("cliutil: %w", err)
+		}
+	}
+	return nil
 }
 
 // Runner builds the configured engine runner, with any extra options
@@ -61,5 +122,9 @@ func (e *EngineFlags) Runner(extra ...engine.Option) (*engine.Runner, error) {
 		}
 	}
 	opts = append(opts, engine.WithRetry(pol))
+	if e.observing() {
+		e.col = obs.NewCollector()
+		opts = append(opts, engine.WithObserver(e.col))
+	}
 	return engine.New(append(opts, extra...)...), nil
 }

@@ -127,6 +127,18 @@ type Result struct {
 	EarlyBird    float64 // Eq. 4, percent
 }
 
+// SimElapsed returns the total virtual time the measured iterations
+// covered (the single-send reference plus the partitioned transfer of each
+// sample) — the cell-level "virtual sim time" the observability journal
+// records (see internal/obs.SimTimed).
+func (r *Result) SimElapsed() sim.Duration {
+	var total sim.Duration
+	for _, s := range r.Samples {
+		total += s.TPt2Pt + s.TPart
+	}
+	return total
+}
+
 // iterRecord is the cross-rank scratchpad for one iteration.
 type iterRecord struct {
 	pt2ptStart sim.Time

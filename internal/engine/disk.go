@@ -53,52 +53,57 @@ func (d *DiskCache) path(key string) string {
 	return filepath.Join(d.dir, key+".json")
 }
 
-// load returns the decoded cell for key. Unreadable files are a plain
-// miss; corrupt, truncated, or mismatched entries (bad JSON, wrong schema,
-// key/filename disagreement, undecodable value) are deleted so the cell is
-// recomputed and rewritten — recovery, not failure.
-func (d *DiskCache) load(key string, decode decodeFunc) (any, bool) {
+// load returns the decoded cell for key plus the envelope's byte size.
+// Unreadable files are a plain miss; corrupt, truncated, or mismatched
+// entries (bad JSON, wrong schema, key/filename disagreement, undecodable
+// value) are deleted so the cell is recomputed and rewritten — recovery,
+// not failure.
+func (d *DiskCache) load(key string, decode decodeFunc) (any, int64, bool) {
 	path := d.path(key)
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, false
+		return nil, 0, false
 	}
 	var env cellEnvelope
 	if err := json.Unmarshal(data, &env); err == nil && env.Schema == SchemaVersion && env.Key == key {
 		if v, err := decode(env.Value); err == nil {
-			return v, true
+			return v, int64(len(data)), true
 		}
 	}
 	os.Remove(path)
-	return nil, false
+	return nil, 0, false
 }
 
-// store persists one successful cell atomically. Errors are reported for
-// accounting but are safe to ignore: the in-memory result stands, the cell
-// just is not reusable across processes.
-func (d *DiskCache) store(key string, val any) error {
+// store persists one successful cell atomically and returns the envelope's
+// byte size. Errors are reported for accounting but are safe to ignore: the
+// in-memory result stands, the cell just is not reusable across processes.
+func (d *DiskCache) store(key string, val any) (int64, error) {
 	raw, err := json.Marshal(val)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	data, err := json.Marshal(cellEnvelope{Schema: SchemaVersion, Key: key, Value: raw})
 	if err != nil {
-		return err
+		return 0, err
 	}
+	data = append(data, '\n')
 	tmp, err := os.CreateTemp(d.dir, key+".tmp-*")
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return err
+		return 0, err
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return err
+		return 0, err
 	}
-	return os.Rename(tmp.Name(), d.path(key))
+	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
+		return 0, err
+	}
+	return int64(len(data)), nil
 }
 
 // DoAs is Do with a typed result, and the entry point that activates the

@@ -28,8 +28,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"partmb/internal/sim"
 )
@@ -44,10 +47,14 @@ type Runner struct {
 	retry    RetryPolicy
 	faults   FaultInjector
 	disk     *DiskCache
+	obs      Observer
+	epoch    time.Time
 
-	mu       sync.Mutex
-	cache    map[string]*cacheEntry
-	attempts map[string]int64
+	mu         sync.Mutex
+	cache      map[string]*cacheEntry
+	attempts   map[string]int64
+	experiment string
+	expRuns    map[string]int64
 
 	cells      int64
 	runs       int64
@@ -56,6 +63,8 @@ type Runner struct {
 	injected   int64
 	diskHits   int64
 	diskWrites int64
+	diskReadB  int64
+	diskWroteB int64
 	backoffNS  int64
 }
 
@@ -159,6 +168,7 @@ func New(opts ...Option) *Runner {
 		workers: runtime.GOMAXPROCS(0),
 		retry:   DefaultRetry,
 		cache:   map[string]*cacheEntry{},
+		epoch:   time.Now(),
 	}
 	for _, o := range opts {
 		o(r)
@@ -192,14 +202,22 @@ type Stats struct {
 	Retries int64
 	// Faults is the number of attempts replaced by an injected failure.
 	Faults int64
-	// DiskHits / DiskWrites count persistent-cache loads and stores.
-	DiskHits   int64
-	DiskWrites int64
+	// DiskHits / DiskWrites count persistent-cache loads and stores;
+	// DiskReadBytes / DiskWriteBytes are the corresponding byte totals of
+	// the persisted cell envelopes.
+	DiskHits       int64
+	DiskWrites     int64
+	DiskReadBytes  int64
+	DiskWriteBytes int64
 	// Backoff is the total virtual time spent backing off between attempts.
 	Backoff sim.Duration
 	// Attempts maps the key of every cell that needed more than one attempt
 	// to its attempt count (nil when no cell retried).
 	Attempts map[string]int64
+	// ExperimentRuns maps each experiment label (SetExperiment) to the
+	// number of cell attempts performed under it. Runs before any label is
+	// set are keyed by "" (nil when nothing ran).
+	ExperimentRuns map[string]int64
 }
 
 func (s Stats) String() string {
@@ -208,28 +226,56 @@ func (s Stats) String() string {
 		out += fmt.Sprintf(", %d retries (%d injected faults, %v backoff)", s.Retries, s.Faults, s.Backoff)
 	}
 	if s.DiskHits > 0 || s.DiskWrites > 0 {
-		out += fmt.Sprintf(", %d disk hits, %d disk writes", s.DiskHits, s.DiskWrites)
+		out += fmt.Sprintf(", %d disk hits (%d bytes read), %d disk writes (%d bytes written)",
+			s.DiskHits, s.DiskReadBytes, s.DiskWrites, s.DiskWriteBytes)
+	}
+	if labels := s.labeledRuns(); len(labels) > 0 {
+		out += ", runs by experiment: " + strings.Join(labels, " ")
 	}
 	return out
+}
+
+// labeledRuns renders the non-empty experiment labels as sorted name=count
+// pairs.
+func (s Stats) labeledRuns() []string {
+	var names []string
+	for name := range s.ExperimentRuns {
+		if name != "" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		names[i] = fmt.Sprintf("%s=%d", name, s.ExperimentRuns[name])
+	}
+	return names
 }
 
 // Stats returns a snapshot of the runner's counters.
 func (r *Runner) Stats() Stats {
 	st := Stats{
-		Cells:      atomic.LoadInt64(&r.cells),
-		Runs:       atomic.LoadInt64(&r.runs),
-		Hits:       atomic.LoadInt64(&r.hits),
-		Retries:    atomic.LoadInt64(&r.retries),
-		Faults:     atomic.LoadInt64(&r.injected),
-		DiskHits:   atomic.LoadInt64(&r.diskHits),
-		DiskWrites: atomic.LoadInt64(&r.diskWrites),
-		Backoff:    sim.Duration(atomic.LoadInt64(&r.backoffNS)),
+		Cells:          atomic.LoadInt64(&r.cells),
+		Runs:           atomic.LoadInt64(&r.runs),
+		Hits:           atomic.LoadInt64(&r.hits),
+		Retries:        atomic.LoadInt64(&r.retries),
+		Faults:         atomic.LoadInt64(&r.injected),
+		DiskHits:       atomic.LoadInt64(&r.diskHits),
+		DiskWrites:     atomic.LoadInt64(&r.diskWrites),
+		DiskReadBytes:  atomic.LoadInt64(&r.diskReadB),
+		DiskWriteBytes: atomic.LoadInt64(&r.diskWroteB),
+		Backoff:        sim.Duration(atomic.LoadInt64(&r.backoffNS)),
 	}
 	r.mu.Lock()
 	if len(r.attempts) > 0 {
 		st.Attempts = make(map[string]int64, len(r.attempts))
 		for k, v := range r.attempts {
 			st.Attempts[k] = v
+		}
+	}
+	if len(r.expRuns) > 0 {
+		st.ExperimentRuns = make(map[string]int64, len(r.expRuns))
+		for k, v := range r.expRuns {
+			st.ExperimentRuns[k] = v
 		}
 	}
 	r.mu.Unlock()
@@ -268,19 +314,33 @@ func (r *Runner) Do(key string, fn func() (any, error)) (any, error) {
 
 func (r *Runner) do(key string, decode decodeFunc, fn func() (any, error)) (any, error) {
 	if key == "" || r.noCache {
-		return r.compute(key, decode, fn)
+		return r.observedCompute(key, decode, fn)
 	}
 	r.mu.Lock()
 	if e, ok := r.cache[key]; ok {
 		r.mu.Unlock()
+		var t0 time.Time
+		if r.obs != nil {
+			t0 = time.Now()
+		}
 		<-e.done
 		atomic.AddInt64(&r.hits, 1)
+		if r.obs != nil {
+			r.obs.CellDone(CellEvent{
+				Experiment: r.Experiment(),
+				Key:        key,
+				Source:     SourceMemo,
+				Value:      e.val,
+				Err:        e.err,
+				Host:       time.Since(t0),
+			})
+		}
 		return e.val, e.err
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	r.cache[key] = e
 	r.mu.Unlock()
-	e.val, e.err = r.compute(key, decode, fn)
+	e.val, e.err = r.observedCompute(key, decode, fn)
 	if !cacheable(e.err) {
 		// Cancellation or exhausted-transient outcome: drop the entry so
 		// the next caller recomputes. Waiters already parked on e share
@@ -297,13 +357,15 @@ func (r *Runner) do(key string, decode decodeFunc, fn func() (any, error)) (any,
 }
 
 // compute runs one cell through the disk cache, fault injector, and retry
-// policy.
-func (r *Runner) compute(key string, decode decodeFunc, fn func() (any, error)) (any, error) {
+// policy, reporting where the result came from and how many attempts it
+// took (0 when it did not run).
+func (r *Runner) compute(key string, decode decodeFunc, fn func() (any, error)) (any, CellSource, int, error) {
 	useDisk := key != "" && !r.noCache && r.disk != nil && decode != nil
 	if useDisk {
-		if v, ok := r.disk.load(key, decode); ok {
+		if v, n, ok := r.disk.load(key, decode); ok {
 			atomic.AddInt64(&r.diskHits, 1)
-			return v, nil
+			atomic.AddInt64(&r.diskReadB, n)
+			return v, SourceDisk, 0, nil
 		}
 	}
 	maxAttempts := r.retry.MaxAttempts
@@ -315,6 +377,7 @@ func (r *Runner) compute(key string, decode decodeFunc, fn func() (any, error)) 
 	attempt := 1
 	for ; ; attempt++ {
 		atomic.AddInt64(&r.runs, 1)
+		r.countRun()
 		var injected error
 		if r.faults != nil && key != "" {
 			injected = r.faults.Inject(key, attempt)
@@ -347,11 +410,12 @@ func (r *Runner) compute(key string, decode decodeFunc, fn func() (any, error)) 
 		// Persist failures (full disk, unmarshalable value) are not cell
 		// failures: the in-memory result stands, the cell just is not
 		// reusable across processes.
-		if r.disk.store(key, v) == nil {
+		if n, serr := r.disk.store(key, v); serr == nil {
 			atomic.AddInt64(&r.diskWrites, 1)
+			atomic.AddInt64(&r.diskWroteB, n)
 		}
 	}
-	return v, err
+	return v, SourceRun, attempt, err
 }
 
 // Grid evaluates cell over an nRows x nCols grid on the worker pool and
@@ -408,7 +472,13 @@ func (r *Runner) run(ctx context.Context, n int, fn func(ctx context.Context, i 
 	defer cancel()
 
 	results := make([]any, n)
-	sem := make(chan struct{}, r.workers)
+	// Worker lanes double as the concurrency bound and, for the observer,
+	// as stable timeline rows: a task holds its lane for its whole run, so
+	// tasks sharing a lane never overlap in host time.
+	lanes := make(chan int, r.workers)
+	for w := 0; w < r.workers; w++ {
+		lanes <- w
+	}
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var first *indexedError
@@ -430,19 +500,34 @@ func (r *Runner) run(ctx context.Context, n int, fn func(ctx context.Context, i 
 	for i := 0; i < n; i++ {
 		// Stop dispatching as soon as an error or cancellation is recorded;
 		// cells already running drain on wg.Wait below.
+		var lane int
 		select {
 		case <-ctx.Done():
-		case sem <- struct{}{}:
+		case lane = <-lanes:
 		}
 		if ctx.Err() != nil {
 			break
 		}
 		atomic.AddInt64(&r.cells, 1)
 		wg.Add(1)
-		go func(i int) {
+		go func(i, lane int) {
 			defer wg.Done()
-			defer func() { <-sem }()
+			defer func() { lanes <- lane }()
+			var start time.Duration
+			if r.obs != nil {
+				start = time.Since(r.epoch)
+			}
 			v, err := fn(ctx, i)
+			if r.obs != nil {
+				r.obs.TaskDone(TaskEvent{
+					Experiment: r.Experiment(),
+					Index:      i,
+					Worker:     lane,
+					Err:        err,
+					Start:      start,
+					End:        time.Since(r.epoch),
+				})
+			}
 			if err != nil {
 				fail(i, err)
 				return
@@ -455,7 +540,7 @@ func (r *Runner) run(ctx context.Context, n int, fn func(ctx context.Context, i 
 				r.progress(done, n)
 				mu.Unlock()
 			}
-		}(i)
+		}(i, lane)
 	}
 	wg.Wait()
 

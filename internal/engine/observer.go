@@ -1,0 +1,134 @@
+package engine
+
+import "time"
+
+// This file is the engine's observability surface: an Observer receives one
+// event per scheduled task (a grid/map slot on a worker lane, with host
+// timestamps) and one event per cache-resolved cell (key, cache source,
+// attempt count, outcome). internal/obs implements Observer with a Collector
+// that turns the event stream into a JSONL run journal, per-experiment
+// metric summaries, and a Chrome-trace view of the host schedule.
+//
+// Observation is strictly passive and nil-safe: with no observer installed
+// the runner takes no timestamps and allocates nothing, so sweeps without
+// -journal/-metrics/-tracefile pay zero cost.
+
+// CellSource says where a cell's result came from.
+type CellSource string
+
+const (
+	// SourceRun: the cell was computed in this process (one or more
+	// attempts).
+	SourceRun CellSource = "run"
+	// SourceMemo: the cell was answered from the in-memory cache (the
+	// caller waited on another caller's computation or hit a settled
+	// entry).
+	SourceMemo CellSource = "memo"
+	// SourceDisk: the cell was reloaded from the persistent disk cache.
+	SourceDisk CellSource = "disk"
+)
+
+// CellEvent describes the resolution of one cell through the runner's
+// cache, fault-injection, and retry machinery.
+type CellEvent struct {
+	// Experiment is the label current at resolution time (SetExperiment).
+	Experiment string
+	// Key is the content-addressed cell key ("" for uncacheable cells).
+	Key string
+	// Source says whether the cell ran, memo-hit, or disk-hit.
+	Source CellSource
+	// Attempts is the number of attempts performed (Source == SourceRun
+	// only; 1 unless transient failures were retried).
+	Attempts int
+	// Value and Err are the cell's outcome as returned to the caller.
+	Value any
+	Err   error
+	// Host is the host wall time spent resolving the cell (for memo hits,
+	// the time spent waiting on the computing caller).
+	Host time.Duration
+}
+
+// TaskEvent describes one completed grid/map task on a worker lane.
+type TaskEvent struct {
+	// Experiment is the label current at dispatch time.
+	Experiment string
+	// Index is the task's row-major dispatch index within its grid or map.
+	Index int
+	// Worker is the lane (0..Workers-1) the task executed on.
+	Worker int
+	// Err is the task's outcome.
+	Err error
+	// Start and End are host-time offsets since the runner was created, so
+	// every task of one runner shares a single epoch and the schedule can
+	// be rendered as a timeline.
+	Start, End time.Duration
+}
+
+// Observer receives engine events. Implementations must be safe for
+// concurrent use: events arrive from every worker goroutine. Callbacks run
+// inline on the worker, so they should be cheap (append to a buffer, not
+// write a file).
+type Observer interface {
+	CellDone(CellEvent)
+	TaskDone(TaskEvent)
+}
+
+// WithObserver installs an observer on the runner.
+func WithObserver(o Observer) Option {
+	return func(r *Runner) { r.obs = o }
+}
+
+// SetExperiment labels subsequent cells, tasks, and run counters with name
+// (e.g. "fig04", "classic/latency"). Labels are process-sequential state:
+// experiment drivers set one before scheduling their sweep, and nested
+// library calls must not relabel mid-experiment. Safe on a nil runner so
+// library entry points can label unconditionally.
+func (r *Runner) SetExperiment(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.experiment = name
+	r.mu.Unlock()
+}
+
+// Experiment returns the current experiment label.
+func (r *Runner) Experiment() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.experiment
+}
+
+// countRun attributes one cell attempt to the current experiment label.
+func (r *Runner) countRun() {
+	r.mu.Lock()
+	if r.expRuns == nil {
+		r.expRuns = map[string]int64{}
+	}
+	r.expRuns[r.experiment]++
+	r.mu.Unlock()
+}
+
+// observedCompute wraps compute with the observer's cell event; with no
+// observer it adds nothing (not even a clock read).
+func (r *Runner) observedCompute(key string, decode decodeFunc, fn func() (any, error)) (any, error) {
+	if r.obs == nil {
+		v, _, _, err := r.compute(key, decode, fn)
+		return v, err
+	}
+	t0 := time.Now()
+	v, src, attempts, err := r.compute(key, decode, fn)
+	r.obs.CellDone(CellEvent{
+		Experiment: r.Experiment(),
+		Key:        key,
+		Source:     src,
+		Attempts:   attempts,
+		Value:      v,
+		Err:        err,
+		Host:       time.Since(t0),
+	})
+	return v, err
+}

@@ -482,6 +482,9 @@ func (e Env) Generate(fig int, sc Scale) ([]*report.Table, error) {
 	if !ok {
 		return nil, fmt.Errorf("figures: no figure %d (paper evaluation figures are 4..13)", fig)
 	}
+	// Label the runner so stats, journals, and traces attribute the cells
+	// to this figure.
+	e.Runner.SetExperiment(fmt.Sprintf("fig%02d", fig))
 	return g(sc)
 }
 

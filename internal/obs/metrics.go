@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"partmb/internal/stats"
+)
+
+// MetricsSchema versions the aggregated metrics JSON.
+const MetricsSchema = 1
+
+// HostSummary is the distribution of per-task host wall times within one
+// experiment, computed with internal/stats.
+type HostSummary struct {
+	TotalNS  int64   `json:"total_ns"`
+	MeanNS   float64 `json:"mean_ns"`
+	MedianNS float64 `json:"median_ns"`
+	P95NS    float64 `json:"p95_ns"`
+	MaxNS    float64 `json:"max_ns"`
+}
+
+// ExperimentSummary aggregates one experiment label's records.
+type ExperimentSummary struct {
+	Name string `json:"name"`
+	// Tasks is the number of scheduled grid/map slots.
+	Tasks int `json:"tasks"`
+	// Runs / MemoHits / DiskHits / Retries / Errors tally the experiment's
+	// cell resolutions.
+	Runs     int64 `json:"runs"`
+	MemoHits int64 `json:"memo_hits"`
+	DiskHits int64 `json:"disk_hits"`
+	Retries  int64 `json:"retries,omitempty"`
+	Errors   int64 `json:"errors,omitempty"`
+	// SimTotalNS is the total virtual simulated time the experiment's run
+	// cells covered.
+	SimTotalNS int64 `json:"sim_total_ns"`
+	// Host summarizes per-task host wall times (nil when no tasks ran).
+	Host *HostSummary `json:"host,omitempty"`
+	// CellsPerSec is tasks divided by the experiment's host-time span
+	// (first task start to last task end) — the engine-level throughput
+	// figure the perf gate tracks.
+	CellsPerSec float64 `json:"cells_per_sec,omitempty"`
+}
+
+// Metrics is the aggregated metrics document.
+type Metrics struct {
+	Schema      int                 `json:"schema"`
+	Tool        string              `json:"tool,omitempty"`
+	Experiments []ExperimentSummary `json:"experiments"`
+	Totals      ExperimentSummary   `json:"totals"`
+}
+
+// BuildMetrics aggregates the collector's records per experiment label.
+func BuildMetrics(tool string, c *Collector) Metrics {
+	tasks, cells := c.Tasks(), c.Cells()
+	names := map[string]bool{}
+	for _, t := range tasks {
+		names[t.Experiment] = true
+	}
+	for _, cl := range cells {
+		names[cl.Experiment] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	m := Metrics{Schema: MetricsSchema, Tool: tool}
+	for _, name := range sorted {
+		m.Experiments = append(m.Experiments, summarize(name, tasks, cells, func(exp string) bool { return exp == name }))
+	}
+	m.Totals = summarize("total", tasks, cells, func(string) bool { return true })
+	return m
+}
+
+// summarize aggregates the records whose experiment label passes keep.
+func summarize(name string, tasks []Task, cells []Cell, keep func(string) bool) ExperimentSummary {
+	s := ExperimentSummary{Name: name}
+	var durs []float64
+	var span0, span1 int64
+	for _, t := range tasks {
+		if !keep(t.Experiment) {
+			continue
+		}
+		s.Tasks++
+		durs = append(durs, float64(t.EndNS-t.StartNS))
+		if span0 == 0 || t.StartNS < span0 {
+			span0 = t.StartNS
+		}
+		if t.EndNS > span1 {
+			span1 = t.EndNS
+		}
+	}
+	for _, cl := range cells {
+		if !keep(cl.Experiment) {
+			continue
+		}
+		switch cl.Source {
+		case "run":
+			s.Runs += int64(cl.Attempts)
+			s.Retries += int64(cl.Attempts - 1)
+			s.SimTotalNS += cl.SimNS
+		case "memo":
+			s.MemoHits++
+		case "disk":
+			s.DiskHits++
+		}
+		if cl.Outcome == "error" {
+			s.Errors++
+		}
+	}
+	if len(durs) > 0 {
+		sum := stats.Summarize(durs)
+		var total int64
+		for _, d := range durs {
+			total += int64(d)
+		}
+		s.Host = &HostSummary{
+			TotalNS:  total,
+			MeanNS:   sum.Mean,
+			MedianNS: sum.Median,
+			P95NS:    sum.P95,
+			MaxNS:    sum.Max,
+		}
+		if span := span1 - span0; span > 0 {
+			s.CellsPerSec = float64(s.Tasks) / (float64(span) / 1e9)
+		}
+	}
+	return s
+}
+
+// WriteMetrics renders the aggregated metrics as indented JSON.
+func WriteMetrics(w io.Writer, tool string, c *Collector) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BuildMetrics(tool, c))
+}

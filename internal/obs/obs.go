@@ -1,0 +1,206 @@
+// Package obs is the observability layer of the experiment engine: a
+// Collector that implements engine.Observer and turns the engine's event
+// stream into three artifacts —
+//
+//   - a machine-readable JSONL run journal (one record per task and per
+//     cell resolution, plus a stats trailer), deterministic by default so
+//     journals diff cleanly across worker counts and hosts;
+//   - per-experiment metric summaries (runs, cache hits, host-time
+//     distribution via internal/stats, virtual sim time, cells/sec);
+//   - a Chrome-trace view of the engine's host-time schedule (worker lanes
+//     as tids) that loads directly in Perfetto or chrome://tracing.
+//
+// The package closes the loop the paper's methodology demands: a sweep is
+// not just tables, it is a performance record you can aggregate, diff, and
+// gate on (see cmd/benchgate).
+package obs
+
+import (
+	"sync"
+
+	"partmb/internal/engine"
+	"partmb/internal/sim"
+)
+
+// SimTimed is implemented by cell result types that can report how much
+// virtual simulated time the cell covered (core.Result, patterns.Result,
+// snap.ProfilePoint). Cells whose values do not implement it journal a
+// zero sim time.
+type SimTimed interface {
+	SimElapsed() sim.Duration
+}
+
+// Cell is the journal record of one cell resolution through the engine's
+// cache/retry machinery. All fields except HostNS are deterministic for a
+// deterministic simulator: the multiset of cell records does not depend on
+// the worker count or host speed.
+type Cell struct {
+	// Experiment is the engine label active when the cell resolved.
+	Experiment string `json:"exp,omitempty"`
+	// Key is the content-addressed cell key ("" for uncacheable cells).
+	Key string `json:"key,omitempty"`
+	// Source is where the result came from: "run", "memo", or "disk".
+	Source string `json:"src"`
+	// Outcome classifies the result: "ok", "error", "transient", or
+	// "canceled".
+	Outcome string `json:"out"`
+	// Attempts is the number of attempts performed (only for Source
+	// "run"; >1 means transient retries happened).
+	Attempts int `json:"attempts,omitempty"`
+	// SimNS is the virtual simulated time the cell covered, when its
+	// result type implements SimTimed.
+	SimNS int64 `json:"sim_ns,omitempty"`
+	// HostNS is the host wall time spent resolving the cell. Volatile:
+	// omitted from deterministic journals.
+	HostNS int64 `json:"host_ns,omitempty"`
+	// Error is the cell's error text, if any.
+	Error string `json:"err,omitempty"`
+}
+
+// Task is the journal record of one scheduled grid/map slot. Worker,
+// StartNS, and EndNS are volatile (schedule-dependent); the rest is
+// deterministic.
+type Task struct {
+	Experiment string `json:"exp,omitempty"`
+	// Index is the row-major dispatch index within the task's grid/map.
+	Index int `json:"i"`
+	// Worker is the lane the task ran on. Volatile.
+	Worker  int    `json:"worker,omitempty"`
+	Outcome string `json:"out"`
+	// StartNS/EndNS are host-time offsets since the runner's epoch.
+	// Volatile.
+	StartNS int64 `json:"start_ns,omitempty"`
+	EndNS   int64 `json:"end_ns,omitempty"`
+}
+
+// Collector accumulates engine events in memory. It is safe for concurrent
+// use; the zero value is ready. Install it with
+// engine.WithObserver(collector).
+type Collector struct {
+	mu    sync.Mutex
+	cells []Cell
+	tasks []Task
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// CellDone implements engine.Observer.
+func (c *Collector) CellDone(ev engine.CellEvent) {
+	rec := Cell{
+		Experiment: ev.Experiment,
+		Key:        ev.Key,
+		Source:     string(ev.Source),
+		Outcome:    outcomeOf(ev.Err),
+		Attempts:   ev.Attempts,
+		HostNS:     int64(ev.Host),
+	}
+	if ev.Err != nil {
+		rec.Error = ev.Err.Error()
+	}
+	if st, ok := ev.Value.(SimTimed); ok {
+		rec.SimNS = int64(st.SimElapsed())
+	}
+	c.mu.Lock()
+	c.cells = append(c.cells, rec)
+	c.mu.Unlock()
+}
+
+// TaskDone implements engine.Observer.
+func (c *Collector) TaskDone(ev engine.TaskEvent) {
+	rec := Task{
+		Experiment: ev.Experiment,
+		Index:      ev.Index,
+		Worker:     ev.Worker,
+		Outcome:    outcomeOf(ev.Err),
+		StartNS:    int64(ev.Start),
+		EndNS:      int64(ev.End),
+	}
+	c.mu.Lock()
+	c.tasks = append(c.tasks, rec)
+	c.mu.Unlock()
+}
+
+// Cells returns a copy of the collected cell records, in arrival order.
+func (c *Collector) Cells() []Cell {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Cell(nil), c.cells...)
+}
+
+// Tasks returns a copy of the collected task records, in arrival order.
+func (c *Collector) Tasks() []Task {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Task(nil), c.tasks...)
+}
+
+// outcomeOf classifies an error the way the engine's cache does.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case engine.IsCancellation(err):
+		return "canceled"
+	case engine.IsTransient(err):
+		return "transient"
+	default:
+		return "error"
+	}
+}
+
+// Tallies are the scheduling counters reconstructed from the collected
+// records. For a run observed end to end they must equal the runner's own
+// engine.Stats — the journal round-trip tests pin that equivalence.
+type Tallies struct {
+	// Cells is the number of scheduled tasks (engine.Stats.Cells).
+	Cells int64 `json:"cells"`
+	// Runs is the number of cell attempts performed (engine.Stats.Runs).
+	Runs int64 `json:"runs"`
+	// MemoHits / DiskHits mirror engine.Stats.Hits / DiskHits.
+	MemoHits int64 `json:"memo_hits"`
+	DiskHits int64 `json:"disk_hits"`
+	// Retries mirrors engine.Stats.Retries.
+	Retries int64 `json:"retries"`
+	// Errors counts cell resolutions that ended in a permanent error.
+	Errors int64 `json:"errors"`
+}
+
+// Tallies reconstructs the engine counters from the collected records.
+func (c *Collector) Tallies() Tallies {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := Tallies{Cells: int64(len(c.tasks))}
+	for _, cell := range c.cells {
+		switch cell.Source {
+		case string(engine.SourceRun):
+			t.Runs += int64(cell.Attempts)
+			t.Retries += int64(cell.Attempts - 1)
+		case string(engine.SourceMemo):
+			t.MemoHits++
+		case string(engine.SourceDisk):
+			t.DiskHits++
+		}
+		if cell.Outcome == "error" {
+			t.Errors++
+		}
+	}
+	return t
+}
+
+// DiffStats describes every way t disagrees with the engine's counters, or
+// "" when they match. Only counters both sides track are compared.
+func (t Tallies) DiffStats(st engine.Stats) string {
+	var out string
+	cmp := func(name string, got, want int64) {
+		if got != want {
+			out += name + " mismatch; "
+		}
+	}
+	cmp("cells", t.Cells, st.Cells)
+	cmp("runs", t.Runs, st.Runs)
+	cmp("memo hits", t.MemoHits, st.Hits)
+	cmp("disk hits", t.DiskHits, st.DiskHits)
+	cmp("retries", t.Retries, st.Retries)
+	return out
+}

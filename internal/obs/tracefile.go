@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"partmb/internal/sim"
+	"partmb/internal/trace"
+)
+
+// WriteChromeTrace renders the engine's host-time schedule as a Chrome
+// trace-event JSON array (open in Perfetto or chrome://tracing), reusing
+// internal/trace's event encoder. Worker lanes map to tids, so the trace
+// shows exactly how the sweep packed onto the worker pool; task host-time
+// offsets map onto the trace's microsecond axis. A task holds its lane for
+// its whole run, so spans within one lane never overlap.
+func WriteChromeTrace(w io.Writer, c *Collector) error {
+	rec := new(trace.Recorder)
+	for _, t := range c.Tasks() {
+		name := t.Experiment
+		if name == "" {
+			name = "task"
+		}
+		rec.Span(0, t.Worker, "engine", fmt.Sprintf("%s[%d]", name, t.Index),
+			sim.Time(t.StartNS), sim.Time(t.EndNS),
+			map[string]string{"outcome": t.Outcome, "index": fmt.Sprint(t.Index)})
+	}
+	return rec.WriteChromeTrace(w)
+}

@@ -76,6 +76,10 @@ type Result struct {
 	Messages int64
 }
 
+// SimElapsed returns the motif's virtual runtime — the cell-level "virtual
+// sim time" the observability journal records (see internal/obs.SimTimed).
+func (r *Result) SimElapsed() sim.Duration { return r.Elapsed }
+
 // Throughput returns application bytes moved per second of virtual time.
 func (r *Result) Throughput() float64 {
 	if r.Elapsed <= 0 {

@@ -107,6 +107,11 @@ type ProfilePoint struct {
 	Projected float64
 }
 
+// SimElapsed returns the profiled virtual application time — the
+// cell-level "virtual sim time" the observability journal records (see
+// internal/obs.SimTimed).
+func (p ProfilePoint) SimElapsed() sim.Duration { return p.AppTime }
+
 // Profile runs the proxy at the given node count and returns its mpiP-style
 // profile point.
 func Profile(cfg Config, nodes int) (ProfilePoint, error) {
