@@ -97,6 +97,53 @@ func BenchmarkSimEvents(b *testing.B) {
 	}
 }
 
+// BenchmarkSleepWake measures the single-proc sleep/wake fast path: with
+// the event freelist, proc-carrying wake events, and direct handoff, one op
+// is a heap push + pop with zero channel operations and zero allocations.
+func BenchmarkSleepWake(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.New()
+	s.Spawn("sleeper", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(sim.Nanosecond)
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcHandoff measures the cross-proc token handoff: two procs
+// alternating via a condition variable, so every wake transfers the run
+// token directly between procs instead of bouncing through the scheduler.
+func BenchmarkProcHandoff(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.New()
+	var mu sim.Mutex
+	cond := sim.NewCond(&mu)
+	turn := 0
+	runner := func(me int) func(p *sim.Proc) {
+		return func(p *sim.Proc) {
+			mu.Lock(p)
+			for i := 0; i < b.N; i++ {
+				for turn != me {
+					cond.Wait(p)
+				}
+				turn = 1 - me
+				cond.Signal(p)
+			}
+			mu.Unlock(p)
+		}
+	}
+	s.Spawn("a", runner(0))
+	s.Spawn("b", runner(1))
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkPt2PtRoundtrip measures one simulated eager ping-pong per op.
 func BenchmarkPt2PtRoundtrip(b *testing.B) {
 	b.ReportAllocs()

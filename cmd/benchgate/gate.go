@@ -37,9 +37,12 @@ type Entry struct {
 	// NsOp is the median wall time per op in nanoseconds — the gated
 	// metric.
 	NsOp float64 `json:"ns_op"`
-	// AllocsOp is allocations per op when known (only from `go test
-	// -bench` ingestion).
-	AllocsOp float64 `json:"allocs_op,omitempty"`
+	// AllocsOp and BytesOp are allocations and bytes allocated per op when
+	// known (only from `go test -bench -benchmem` ingestion). Pointers
+	// distinguish "measured as zero" — a gated claim about an
+	// allocation-free path — from "not measured".
+	AllocsOp *float64 `json:"allocs_op,omitempty"`
+	BytesOp  *float64 `json:"bytes_op,omitempty"`
 	// CellsPerSec is the engine-level throughput (scheduled cells per
 	// second of host time) when known (only from -run mode). Recorded for
 	// trend analysis; not gated, since it is derived from the same wall
@@ -191,13 +194,15 @@ func runBenchmarks(scaleName string, reps, workers int, progress io.Writer) (Fil
 // benchLine matches `go test -bench` result lines, e.g.
 //
 //	BenchmarkFig04Overhead-8   3   412345678 ns/op   123456 B/op   789 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ B/op)?(?:\s+([0-9.]+) allocs/op)?`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9.]+) allocs/op)?`)
 
 // parseBench ingests `go test -bench` output. Repeated benchmark names
-// (from -count) are collapsed to their median ns/op.
+// (from -count) are collapsed to their median ns/op; -benchmem B/op and
+// allocs/op columns are captured the same way when present.
 func parseBench(r io.Reader) (File, error) {
 	samples := map[string][]float64{}
 	allocs := map[string][]float64{}
+	bytesOp := map[string][]float64{}
 	var order []string
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
@@ -215,7 +220,12 @@ func parseBench(r io.Reader) (File, error) {
 		}
 		samples[name] = append(samples[name], ns)
 		if m[3] != "" {
-			if a, err := strconv.ParseFloat(m[3], 64); err == nil {
+			if b, err := strconv.ParseFloat(m[3], 64); err == nil {
+				bytesOp[name] = append(bytesOp[name], b)
+			}
+		}
+		if m[4] != "" {
+			if a, err := strconv.ParseFloat(m[4], 64); err == nil {
 				allocs[name] = append(allocs[name], a)
 			}
 		}
@@ -233,7 +243,13 @@ func parseBench(r io.Reader) (File, error) {
 		e := Entry{Name: name, NsOp: stats.Percentile(ns, 50)}
 		if as := allocs[name]; len(as) > 0 {
 			sort.Float64s(as)
-			e.AllocsOp = stats.Percentile(as, 50)
+			a := stats.Percentile(as, 50)
+			e.AllocsOp = &a
+		}
+		if bs := bytesOp[name]; len(bs) > 0 {
+			sort.Float64s(bs)
+			b := stats.Percentile(bs, 50)
+			e.BytesOp = &b
 		}
 		f.Entries = append(f.Entries, e)
 	}
@@ -242,40 +258,71 @@ func parseBench(r io.Reader) (File, error) {
 
 // Delta is one benchmark's baseline comparison.
 type Delta struct {
-	Name   string
-	Base   float64 // baseline ns/op (0 for status "new")
-	Cur    float64 // current ns/op (0 for status "missing")
-	Ratio  float64 // hardware-normalized Cur/Base (0 when either side is absent)
-	Status string  // "regression" | "improvement" | "ok" | "missing" | "new"
+	Name  string
+	Base  float64 // baseline ns/op (0 for status "new")
+	Cur   float64 // current ns/op (0 for status "missing")
+	Ratio float64 // hardware-normalized Cur/Base (0 when either side is absent)
+	// BaseAllocs/CurAllocs mirror Entry.AllocsOp; the alloc gate only
+	// engages when both sides were measured.
+	BaseAllocs *float64
+	CurAllocs  *float64
+	AllocRatio float64 // CurAllocs/BaseAllocs (0 when ungated or base is 0)
+	// AllocRegressed marks deltas whose regression verdict came from the
+	// allocation gate: allocs/op grew beyond tolerance, or a baseline
+	// 0-allocs path started allocating at all.
+	AllocRegressed bool
+	Status         string // "regression" | "improvement" | "ok" | "missing" | "new"
 }
 
 // Comparison is the gate's verdict over a whole file pair.
 type Comparison struct {
 	Tolerance float64
+	// AllocsOnly disables the ns/op gate, leaving only the
+	// hardware-independent allocs/op comparison — the mode CI uses to pin
+	// allocation-free paths without rerunning timing-sensitive benchmarks.
+	AllocsOnly bool
 	// SpeedFactor normalizes for hardware: the current machine's
 	// calibration time divided by the baseline machine's (1 when either
 	// side lacks calibration). Current ns/op are divided by it before
 	// gating, so a uniformly 2x-slower machine does not read as a
-	// regression.
+	// regression. Alloc ratios are never normalized: allocation counts do
+	// not depend on machine speed.
 	SpeedFactor float64
 	Deltas      []Delta
 	Regressions int
-	Missing     int
+	// AllocRegressions counts the subset of Regressions caused by the
+	// allocation gate.
+	AllocRegressions int
+	Missing          int
 }
 
 // Failed reports whether the gate should reject: any benchmark slowed by
-// more than the tolerance, or disappeared from the current run.
+// more than the tolerance, grew its allocation count, or disappeared from
+// the current run.
 func (c Comparison) Failed() bool { return c.Regressions > 0 || c.Missing > 0 }
 
 // compare gates cur against base with a symmetric noise tolerance: ns/op
 // ratios within (1-tol, 1+tol] pass, above is a regression, below is an
 // improvement (reported, never fatal — re-baseline to lock it in).
+// When both sides of an entry carry allocs/op, those are gated too: a
+// baseline of 0 allocs/op fails on any allocation at all (an
+// allocation-free path is a hard claim, not a noisy measurement), a
+// nonzero baseline fails beyond the same fractional tolerance.
 // Baseline entries missing from cur fail the gate; entries new in cur
 // pass with status "new". When both files carry calibration times the
-// ratios are hardware-normalized (see Comparison.SpeedFactor). Deltas come
-// back ranked worst-first.
+// ns/op ratios are hardware-normalized (see Comparison.SpeedFactor).
+// Deltas come back ranked worst-first.
 func compare(base, cur File, tol float64) Comparison {
-	c := Comparison{Tolerance: tol, SpeedFactor: 1}
+	return compareMode(base, cur, tol, false)
+}
+
+// compareAllocs is compare with the ns/op gate disabled (-allocs-only).
+func compareAllocs(base, cur File, tol float64) Comparison {
+	return compareMode(base, cur, tol, true)
+}
+
+func compareMode(base, cur File, tol float64, allocsOnly bool) Comparison {
+	c := Comparison{Tolerance: tol, AllocsOnly: allocsOnly, SpeedFactor: 1}
 	if base.CalNS > 0 && cur.CalNS > 0 {
 		c.SpeedFactor = cur.CalNS / base.CalNS
 	}
@@ -292,15 +339,44 @@ func compare(base, cur File, tol float64) Comparison {
 			c.Missing++
 			continue
 		}
-		d := Delta{Name: b.Name, Base: b.NsOp, Cur: e.NsOp}
+		d := Delta{Name: b.Name, Base: b.NsOp, Cur: e.NsOp,
+			BaseAllocs: b.AllocsOp, CurAllocs: e.AllocsOp}
 		if b.NsOp > 0 {
 			d.Ratio = e.NsOp / c.SpeedFactor / b.NsOp
 		}
+		nsStatus := "ok"
+		if !allocsOnly {
+			switch {
+			case d.Ratio > 1+tol:
+				nsStatus = "regression"
+			case d.Ratio != 0 && d.Ratio < 1-tol:
+				nsStatus = "improvement"
+			}
+		}
+		allocStatus := "ok"
+		if d.BaseAllocs != nil && d.CurAllocs != nil {
+			ba, ca := *d.BaseAllocs, *d.CurAllocs
+			if ba > 0 {
+				d.AllocRatio = ca / ba
+			}
+			switch {
+			case ba == 0 && ca > 0:
+				allocStatus = "regression"
+			case d.AllocRatio > 1+tol:
+				allocStatus = "regression"
+			case ba > 0 && d.AllocRatio < 1-tol:
+				allocStatus = "improvement"
+			}
+		}
 		switch {
-		case d.Ratio > 1+tol:
+		case nsStatus == "regression" || allocStatus == "regression":
 			d.Status = "regression"
 			c.Regressions++
-		case d.Ratio != 0 && d.Ratio < 1-tol:
+			if allocStatus == "regression" {
+				d.AllocRegressed = true
+				c.AllocRegressions++
+			}
+		case nsStatus == "improvement" || allocStatus == "improvement":
 			d.Status = "improvement"
 		default:
 			d.Status = "ok"
@@ -309,19 +385,27 @@ func compare(base, cur File, tol float64) Comparison {
 	}
 	for _, e := range cur.Entries {
 		if !seen[e.Name] {
-			c.Deltas = append(c.Deltas, Delta{Name: e.Name, Cur: e.NsOp, Status: "new"})
+			c.Deltas = append(c.Deltas, Delta{Name: e.Name, Cur: e.NsOp,
+				BaseAllocs: nil, CurAllocs: e.AllocsOp, Status: "new"})
 		}
 	}
-	// Rank worst first: missing, then by ratio descending, new entries
-	// last.
+	// Rank worst first: missing, then by the worse of the two ratios
+	// descending (alloc-gate failures on a 0-alloc baseline have no finite
+	// ratio, so they outrank everything measurable), new entries last.
 	rank := func(d Delta) float64 {
-		switch d.Status {
-		case "missing":
+		switch {
+		case d.Status == "missing":
 			return 1e18
-		case "new":
+		case d.Status == "new":
 			return -1e18
+		case d.AllocRegressed && d.AllocRatio == 0:
+			return 1e17 // 0 → n allocs: infinitely worse than any ratio
 		}
-		return d.Ratio
+		r := d.Ratio
+		if d.AllocRatio > r {
+			r = d.AllocRatio
+		}
+		return r
 	}
 	sort.SliceStable(c.Deltas, func(i, j int) bool { return rank(c.Deltas[i]) > rank(c.Deltas[j]) })
 	return c
@@ -329,14 +413,18 @@ func compare(base, cur File, tol float64) Comparison {
 
 // Table renders the ranked comparison for humans and CI logs.
 func (c Comparison) Table() *report.Table {
-	title := fmt.Sprintf("perf gate: current vs baseline (tolerance ±%.0f%%, ranked worst first)", c.Tolerance*100)
+	mode := "perf gate"
+	if c.AllocsOnly {
+		mode = "alloc gate"
+	}
+	title := fmt.Sprintf("%s: current vs baseline (tolerance ±%.0f%%, ranked worst first)", mode, c.Tolerance*100)
 	if c.SpeedFactor != 1 {
 		title += fmt.Sprintf(" [machine speed factor %.2fx]", c.SpeedFactor)
 	}
 	t := report.New(title,
-		"benchmark", "baseline ms/op", "current ms/op", "delta %", "status")
+		"benchmark", "baseline ms/op", "current ms/op", "delta %", "allocs/op", "status")
 	for _, d := range c.Deltas {
-		baseMs, curMs, delta := "-", "-", "-"
+		baseMs, curMs, delta, allocs := "-", "-", "-", "-"
 		if d.Base > 0 {
 			baseMs = fmt.Sprintf("%.1f", d.Base/1e6)
 		}
@@ -346,7 +434,12 @@ func (c Comparison) Table() *report.Table {
 		if d.Ratio > 0 {
 			delta = fmt.Sprintf("%+.1f", (d.Ratio-1)*100)
 		}
-		t.AddF(d.Name, baseMs, curMs, delta, d.Status)
+		if d.BaseAllocs != nil && d.CurAllocs != nil {
+			allocs = fmt.Sprintf("%.0f -> %.0f", *d.BaseAllocs, *d.CurAllocs)
+		} else if d.CurAllocs != nil {
+			allocs = fmt.Sprintf("%.0f", *d.CurAllocs)
+		}
+		t.AddF(d.Name, baseMs, curMs, delta, allocs, d.Status)
 	}
 	return t
 }

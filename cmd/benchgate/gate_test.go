@@ -90,6 +90,86 @@ func TestCompareHardwareNormalization(t *testing.T) {
 	}
 }
 
+func benchAllocs(name string, ns, allocs float64) Entry {
+	return Entry{Name: name, NsOp: ns, AllocsOp: &allocs}
+}
+
+func TestCompareGatesAllocs(t *testing.T) {
+	// A baseline of 0 allocs/op is a hard claim: any allocation fails, even
+	// within the fractional tolerance.
+	base := file(benchAllocs("sleepwake", 100, 0))
+	cur := file(benchAllocs("sleepwake", 100, 1))
+	c := compare(base, cur, 0.2)
+	if !c.Failed() || c.AllocRegressions != 1 {
+		t.Fatalf("0->1 allocs/op not flagged: %+v", c)
+	}
+	if d := c.Deltas[0]; d.Status != "regression" || !d.AllocRegressed {
+		t.Fatalf("delta not marked alloc-regressed: %+v", d)
+	}
+	// A nonzero baseline gets the same fractional tolerance as ns/op.
+	base = file(benchAllocs("epoch", 100, 100))
+	if c := compare(base, file(benchAllocs("epoch", 100, 120)), 0.2); c.Failed() {
+		t.Fatalf("allocs at +tolerance must pass: %+v", c)
+	}
+	if c := compare(base, file(benchAllocs("epoch", 100, 121)), 0.2); !c.Failed() || c.AllocRegressions != 1 {
+		t.Fatalf("allocs above tolerance must fail: %+v", c)
+	}
+	// Fewer allocs is an improvement, not a failure.
+	if c := compare(base, file(benchAllocs("epoch", 100, 10)), 0.2); c.Failed() || c.Deltas[0].Status != "improvement" {
+		t.Fatalf("alloc improvement misjudged: %+v", c)
+	}
+	// Entries without alloc data on either side are never alloc-gated.
+	if c := compare(file(bench("x", 100)), file(benchAllocs("x", 100, 50)), 0.2); c.Failed() {
+		t.Fatalf("one-sided alloc data must not gate: %+v", c)
+	}
+}
+
+func TestCompareAllocsOnlyIgnoresNs(t *testing.T) {
+	base := file(benchAllocs("sleepwake", 100, 0))
+	// 10x ns/op slowdown but allocs held at 0: the allocs-only gate passes
+	// (timing is machine noise in CI; allocation counts are not).
+	cur := file(benchAllocs("sleepwake", 1000, 0))
+	c := compareAllocs(base, cur, 0.2)
+	if c.Failed() {
+		t.Fatalf("allocs-only gate failed on a pure ns/op change: %+v", c)
+	}
+	if !c.AllocsOnly {
+		t.Fatal("AllocsOnly not recorded")
+	}
+	// ...but an alloc increase still fails, and missing benchmarks still
+	// fail.
+	if c := compareAllocs(base, file(benchAllocs("sleepwake", 100, 2)), 0.2); !c.Failed() {
+		t.Fatalf("allocs-only gate missed an alloc regression: %+v", c)
+	}
+	if c := compareAllocs(base, file(bench("other", 100)), 0.2); !c.Failed() || c.Missing != 1 {
+		t.Fatalf("allocs-only gate must still fail on missing entries: %+v", c)
+	}
+}
+
+func TestCommittedAllocBaselineGatesItself(t *testing.T) {
+	base, err := Load(filepath.Join("..", "..", "bench_allocs_baseline.json"))
+	if err != nil {
+		t.Fatalf("committed alloc baseline unreadable: %v", err)
+	}
+	if c := compareAllocs(base, base, 0.2); c.Failed() {
+		t.Fatalf("alloc baseline fails against itself: %+v", c)
+	}
+	// The whole point of the file: the sleep/wake path claims 0 allocs/op,
+	// so the self-gate must be exercising the zero-alloc hard-fail branch.
+	var zeros int
+	for _, e := range base.Entries {
+		if e.AllocsOp == nil {
+			t.Fatalf("alloc baseline entry without allocs/op: %+v", e)
+		}
+		if *e.AllocsOp == 0 {
+			zeros++
+		}
+	}
+	if zeros == 0 {
+		t.Fatal("alloc baseline pins no 0-allocs/op benchmarks")
+	}
+}
+
 func TestCalibrateIsPositiveAndRepeatable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
@@ -124,11 +204,20 @@ ok  	partmb	12.3s
 		t.Fatalf("entries = %+v", f.Entries)
 	}
 	e := f.Entries[0]
-	if e.Name != "BenchmarkFig04Overhead" || e.NsOp != 412345678 || e.AllocsOp != 789 {
+	if e.Name != "BenchmarkFig04Overhead" || e.NsOp != 412345678 {
 		t.Fatalf("median of -count samples wrong: %+v", e)
+	}
+	if e.AllocsOp == nil || *e.AllocsOp != 789 {
+		t.Fatalf("allocs/op median wrong: %+v", e.AllocsOp)
+	}
+	if e.BytesOp == nil || *e.BytesOp != 123456 {
+		t.Fatalf("B/op median wrong: %+v", e.BytesOp)
 	}
 	if f.Entries[1].Name != "BenchmarkFig13SNAP" || f.Entries[1].NsOp != 9e8 {
 		t.Fatalf("no-alloc line parsed wrong: %+v", f.Entries[1])
+	}
+	if f.Entries[1].AllocsOp != nil || f.Entries[1].BytesOp != nil {
+		t.Fatalf("line without -benchmem columns must leave alloc fields nil: %+v", f.Entries[1])
 	}
 }
 

@@ -23,15 +23,16 @@ import (
 
 func main() {
 	var (
-		run       = flag.Bool("run", false, "measure the paper figures in-process")
-		parse     = flag.String("parse", "", "ingest `go test -bench` output from FILE (- for stdin) instead of -run")
-		scale     = flag.String("scale", "quick", "figure scale for -run (quick|paper)")
-		reps      = flag.Int("reps", 3, "repetitions per figure for -run; the median is kept")
-		workers   = flag.Int("workers", 0, "engine worker count for -run (0 = GOMAXPROCS)")
-		outDir    = flag.String("out", ".", "directory for the BENCH_<n>.json snapshot ('' to skip writing)")
-		baseline  = flag.String("baseline", "bench_baseline.json", "baseline file to gate against ('' to skip the gate)")
-		tolerance = flag.Float64("tolerance", 0.2, "allowed fractional slowdown before failing (0.2 = +20%)")
-		writeBase = flag.Bool("write-baseline", false, "overwrite the baseline with this run's results instead of gating")
+		run        = flag.Bool("run", false, "measure the paper figures in-process")
+		parse      = flag.String("parse", "", "ingest `go test -bench` output from FILE (- for stdin) instead of -run")
+		scale      = flag.String("scale", "quick", "figure scale for -run (quick|paper)")
+		reps       = flag.Int("reps", 3, "repetitions per figure for -run; the median is kept")
+		workers    = flag.Int("workers", 0, "engine worker count for -run (0 = GOMAXPROCS)")
+		outDir     = flag.String("out", ".", "directory for the BENCH_<n>.json snapshot ('' to skip writing)")
+		baseline   = flag.String("baseline", "bench_baseline.json", "baseline file to gate against ('' to skip the gate)")
+		tolerance  = flag.Float64("tolerance", 0.2, "allowed fractional slowdown before failing (0.2 = +20%)")
+		writeBase  = flag.Bool("write-baseline", false, "overwrite the baseline with this run's results instead of gating")
+		allocsOnly = flag.Bool("allocs-only", false, "gate only allocs/op (hardware-independent; ns/op ignored)")
 	)
 	flag.Parse()
 
@@ -96,12 +97,15 @@ func main() {
 		fatal(err)
 	}
 	c := compare(base, cur, *tolerance)
+	if *allocsOnly {
+		c = compareAllocs(base, cur, *tolerance)
+	}
 	if err := c.Table().WriteText(os.Stdout); err != nil {
 		fatal(err)
 	}
 	if c.Failed() {
-		fmt.Fprintf(os.Stderr, "benchgate: FAIL: %d regression(s), %d missing benchmark(s)\n",
-			c.Regressions, c.Missing)
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: %d regression(s) (%d from the alloc gate), %d missing benchmark(s)\n",
+			c.Regressions, c.AllocRegressions, c.Missing)
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "benchgate: ok: within tolerance of", *baseline)

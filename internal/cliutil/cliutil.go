@@ -4,6 +4,7 @@ package cliutil
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -41,6 +42,9 @@ func ParseSize(s string) (int64, error) {
 	}
 	if n < 0 {
 		return 0, fmt.Errorf("cliutil: negative size %q", s)
+	}
+	if n > math.MaxInt64/mult {
+		return 0, fmt.Errorf("cliutil: size %q overflows", s)
 	}
 	return n * mult, nil
 }

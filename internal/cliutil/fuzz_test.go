@@ -1,0 +1,62 @@
+package cliutil
+
+import (
+	"strconv"
+	"testing"
+)
+
+// FuzzParseSize checks that byte-size parsing never panics, never produces a
+// negative or overflowed value, and is self-consistent: any value it accepts
+// re-parses identically from its plain decimal form.
+func FuzzParseSize(f *testing.F) {
+	for _, seed := range []string{
+		"0", "512B", "64KiB", "4MiB", "1GiB", "64K", "4M", "1G", " 8 KiB ",
+		"9223372036854775807", "8796093022208KiB", "-1", "1.5K", "", "KiB", "B",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := ParseSize(s)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("ParseSize(%q) returned %d with error %v", s, n, err)
+			}
+			return
+		}
+		if n < 0 {
+			t.Fatalf("ParseSize(%q) = %d, negative despite success", s, n)
+		}
+		again, err := ParseSize(strconv.FormatInt(n, 10))
+		if err != nil || again != n {
+			t.Fatalf("ParseSize(%q) = %d, but re-parse gave (%d, %v)", s, n, again, err)
+		}
+	})
+}
+
+// FuzzParseDuration checks that duration parsing never panics, rejects
+// negatives as documented, and is self-consistent through the nanosecond
+// form (catching silent float→int64 overflow wraparound).
+func FuzzParseDuration(f *testing.F) {
+	for _, seed := range []string{
+		"0s", "10ms", "100us", "250ns", "1.5s", "2m", "-3us", "1e300s",
+		"9223372036854775807ns", "", "s", "10", "10xs", " 5 ms ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDuration(s)
+		if err != nil {
+			if d != 0 {
+				t.Fatalf("ParseDuration(%q) returned %d with error %v", s, d, err)
+			}
+			return
+		}
+		if d < 0 {
+			t.Fatalf("ParseDuration(%q) = %d, negative despite success", s, d)
+		}
+		again, err := ParseDuration(strconv.FormatInt(int64(d), 10) + "ns")
+		if err != nil || again != d {
+			t.Fatalf("ParseDuration(%q) = %d, but re-parse gave (%d, %v)", s, d, again, err)
+		}
+	})
+}

@@ -36,11 +36,32 @@ type inbound struct {
 	rndv          *rendezvous
 }
 
+// matchKey is the exact-match envelope for the per-rank matching index.
+// Inbound messages always carry a concrete key; posted receives only do when
+// they use neither wildcard.
+type matchKey struct {
+	ctx, src, tag int
+}
+
 // matcher is the per-rank matching engine: a posted-receive queue and an
-// unexpected-message queue, both searched FIFO (MPI's non-overtaking rule).
+// unexpected-message queue, both ordered FIFO (MPI's non-overtaking rule).
+//
+// The slices stay authoritative for ordering and for the scanned counts that
+// feed matching-cost accounting, but each queue also keeps an exact-envelope
+// occupancy index so the overwhelming cases in the figure sweeps are O(1):
+// a definite miss answers without walking the queue (scanned is still
+// reported as the full queue length, exactly what the FIFO walk would have
+// inspected), and a definite hit falls back to the FIFO scan only to locate
+// its position. Posted receives using AnySource/AnyTag are counted in
+// postedWild instead; while any are pending, arrival matching always takes
+// the FIFO path so wildcards keep their non-overtaking position.
 type matcher struct {
 	posted     []*Request
 	unexpected []*inbound
+
+	postedExact map[matchKey]int
+	postedWild  int
+	unexpExact  map[matchKey]int
 }
 
 // matches implements the MPI matching predicate: contexts must be equal;
@@ -58,14 +79,67 @@ func matches(r *Request, src, tag, ctx int) bool {
 	return true
 }
 
+func isWild(r *Request) bool { return r.peer == AnySource || r.tag == AnyTag }
+
+// addPosted appends a receive to the posted queue and indexes it.
+func (m *matcher) addPosted(r *Request) {
+	m.posted = append(m.posted, r)
+	if isWild(r) {
+		m.postedWild++
+		return
+	}
+	if m.postedExact == nil {
+		m.postedExact = make(map[matchKey]int)
+	}
+	m.postedExact[matchKey{r.ctx, r.peer, r.tag}]++
+}
+
+// addUnexpected appends an arrival to the unexpected queue and indexes it.
+func (m *matcher) addUnexpected(inb *inbound) {
+	m.unexpected = append(m.unexpected, inb)
+	if m.unexpExact == nil {
+		m.unexpExact = make(map[matchKey]int)
+	}
+	m.unexpExact[matchKey{inb.ctx, inb.src, inb.tag}]++
+}
+
+func (m *matcher) dropPosted(i int) {
+	r := m.posted[i]
+	m.posted = append(m.posted[:i], m.posted[i+1:]...)
+	if isWild(r) {
+		m.postedWild--
+		return
+	}
+	k := matchKey{r.ctx, r.peer, r.tag}
+	if m.postedExact[k]--; m.postedExact[k] == 0 {
+		delete(m.postedExact, k)
+	}
+}
+
+func (m *matcher) dropUnexpected(i int) {
+	u := m.unexpected[i]
+	m.unexpected = append(m.unexpected[:i], m.unexpected[i+1:]...)
+	k := matchKey{u.ctx, u.src, u.tag}
+	if m.unexpExact[k]--; m.unexpExact[k] == 0 {
+		delete(m.unexpExact, k)
+	}
+}
+
 // matchArrival finds the earliest posted receive matching the inbound
 // message, removing it from the queue. scanned is the number of queue
-// entries inspected (for matching-cost accounting).
+// entries inspected (for matching-cost accounting): 0 on an empty queue,
+// i+1 for a hit at position i, the full queue length on a miss — identical
+// to a plain FIFO walk regardless of which path answers.
 func (m *matcher) matchArrival(inb *inbound) (req *Request, scanned int) {
+	// With no wildcard receives pending, the exact index settles a miss
+	// without walking the queue.
+	if m.postedWild == 0 && m.postedExact[matchKey{inb.ctx, inb.src, inb.tag}] == 0 {
+		return nil, len(m.posted)
+	}
 	for i, r := range m.posted {
 		scanned++
 		if matches(r, inb.src, inb.tag, inb.ctx) {
-			m.posted = append(m.posted[:i], m.posted[i+1:]...)
+			m.dropPosted(i)
 			return r, scanned
 		}
 	}
@@ -73,12 +147,18 @@ func (m *matcher) matchArrival(inb *inbound) (req *Request, scanned int) {
 }
 
 // matchPosted finds the earliest unexpected message matching a newly posted
-// receive, removing it from the queue.
+// receive, removing it from the queue. scanned follows the same FIFO-walk
+// accounting as matchArrival.
 func (m *matcher) matchPosted(r *Request) (inb *inbound, scanned int) {
+	// Exact receives settle a miss from the index; wildcard receives could
+	// match any envelope in their context, so they always walk.
+	if !isWild(r) && m.unexpExact[matchKey{r.ctx, r.peer, r.tag}] == 0 {
+		return nil, len(m.unexpected)
+	}
 	for i, u := range m.unexpected {
 		scanned++
 		if matches(r, u.src, u.tag, u.ctx) {
-			m.unexpected = append(m.unexpected[:i], m.unexpected[i+1:]...)
+			m.dropUnexpected(i)
 			return u, scanned
 		}
 	}

@@ -1,0 +1,55 @@
+package mpi
+
+import "testing"
+
+// The dominant figure-sweep pattern: arrivals miss a deep posted queue of
+// non-matching exact receives (many outstanding partitioned channels), then
+// the matching receive is posted. The index answers the miss without the
+// O(n) walk the FIFO scan needed.
+func BenchmarkMatchArrivalMissDeepQueue(b *testing.B) {
+	var m matcher
+	for i := 0; i < 64; i++ {
+		m.addPosted(recvFor(1, i, 0))
+	}
+	inb := inboundFor(2, 999, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if req, scanned := m.matchArrival(inb); req != nil || scanned != 64 {
+			b.Fatalf("unexpected match (%v, %d)", req, scanned)
+		}
+	}
+}
+
+func BenchmarkMatchPostedMissDeepQueue(b *testing.B) {
+	var m matcher
+	for i := 0; i < 64; i++ {
+		m.addUnexpected(inboundFor(1, i, 0))
+	}
+	r := recvFor(2, 999, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if inb, scanned := m.matchPosted(r); inb != nil || scanned != 64 {
+			b.Fatalf("unexpected match (%v, %d)", inb, scanned)
+		}
+	}
+}
+
+// Exact-match hit/re-add churn at the queue front — the ping-pong steady
+// state of figs 4–12.
+func BenchmarkMatchArrivalHitFront(b *testing.B) {
+	var m matcher
+	r := recvFor(0, 5, 0)
+	m.addPosted(r)
+	inb := inboundFor(0, 5, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req, scanned := m.matchArrival(inb)
+		if req == nil || scanned != 1 {
+			b.Fatalf("no match (scanned %d)", scanned)
+		}
+		m.addPosted(req)
+	}
+}

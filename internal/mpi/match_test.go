@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -39,7 +40,8 @@ func TestMatchArrivalFIFO(t *testing.T) {
 	var m matcher
 	first := recvFor(0, 5, 0)
 	second := recvFor(0, 5, 0)
-	m.posted = []*Request{first, second}
+	m.addPosted(first)
+	m.addPosted(second)
 	req, scanned := m.matchArrival(inboundFor(0, 5, 0))
 	if req != first {
 		t.Fatal("arrival did not match the earliest posted receive")
@@ -60,7 +62,8 @@ func TestMatchPostedFIFO(t *testing.T) {
 	var m matcher
 	a := inboundFor(0, 5, 0)
 	b := inboundFor(0, 5, 0)
-	m.unexpected = []*inbound{a, b}
+	m.addUnexpected(a)
+	m.addUnexpected(b)
 	got, _ := m.matchPosted(recvFor(0, 5, 0))
 	if got != a {
 		t.Fatal("posted receive did not take the earliest unexpected message")
@@ -72,7 +75,9 @@ func TestMatchPostedFIFO(t *testing.T) {
 
 func TestMatchScansPastNonMatching(t *testing.T) {
 	var m matcher
-	m.posted = []*Request{recvFor(0, 1, 0), recvFor(0, 2, 0), recvFor(0, 3, 0)}
+	m.addPosted(recvFor(0, 1, 0))
+	m.addPosted(recvFor(0, 2, 0))
+	m.addPosted(recvFor(0, 3, 0))
 	req, scanned := m.matchArrival(inboundFor(0, 3, 0))
 	if req == nil || req.tag != 3 {
 		t.Fatalf("matched %v, want tag 3", req)
@@ -84,13 +89,64 @@ func TestMatchScansPastNonMatching(t *testing.T) {
 
 func TestMatchMissScansAll(t *testing.T) {
 	var m matcher
-	m.posted = []*Request{recvFor(0, 1, 0), recvFor(0, 2, 0)}
+	m.addPosted(recvFor(0, 1, 0))
+	m.addPosted(recvFor(0, 2, 0))
 	req, scanned := m.matchArrival(inboundFor(0, 9, 0))
 	if req != nil {
 		t.Fatal("matched a non-matching arrival")
 	}
 	if scanned != 2 {
 		t.Fatalf("scanned = %d, want 2", scanned)
+	}
+}
+
+func TestMatchWildcardReceiveMiss(t *testing.T) {
+	var m matcher
+	m.addUnexpected(inboundFor(0, 1, 7))
+	m.addUnexpected(inboundFor(3, 2, 7))
+	// Wildcard receive in another context cannot take the index shortcut but
+	// must still miss with a full-traversal scanned count.
+	inb, scanned := m.matchPosted(recvFor(AnySource, AnyTag, 0))
+	if inb != nil {
+		t.Fatal("wildcard receive crossed contexts")
+	}
+	if scanned != 2 {
+		t.Fatalf("scanned = %d, want 2", scanned)
+	}
+	// Same-context wildcard takes the earliest entry.
+	inb, scanned = m.matchPosted(recvFor(AnySource, AnyTag, 7))
+	if inb == nil || inb.src != 0 || inb.tag != 1 {
+		t.Fatalf("wildcard matched %+v, want the earliest (src 0, tag 1)", inb)
+	}
+	if scanned != 1 {
+		t.Fatalf("scanned = %d, want 1", scanned)
+	}
+}
+
+func TestMatchWildcardPostedBlocksIndexShortcut(t *testing.T) {
+	var m matcher
+	m.addPosted(recvFor(AnySource, AnyTag, 0))
+	m.addPosted(recvFor(2, 9, 0))
+	// The arrival's exact key is absent from the index, but the wildcard
+	// receive must still win (non-overtaking: it was posted first).
+	req, scanned := m.matchArrival(inboundFor(5, 5, 0))
+	if req == nil || req.peer != AnySource {
+		t.Fatalf("matched %+v, want the wildcard receive", req)
+	}
+	if scanned != 1 {
+		t.Fatalf("scanned = %d, want 1", scanned)
+	}
+	if m.postedWild != 0 {
+		t.Fatalf("postedWild = %d after wildcard matched, want 0", m.postedWild)
+	}
+	// With the wildcard gone the index shortcut reactivates: a miss answers
+	// with full-traversal accounting and no false match.
+	req, scanned = m.matchArrival(inboundFor(5, 5, 0))
+	if req != nil {
+		t.Fatal("exact receive (2,9) matched a (5,5) arrival")
+	}
+	if scanned != 1 {
+		t.Fatalf("scanned = %d, want 1 (queue length)", scanned)
 	}
 }
 
@@ -107,7 +163,7 @@ func TestQuickMatcherConservation(t *testing.T) {
 				if inb, _ := m.matchPosted(r); inb != nil {
 					matched++
 				} else {
-					m.posted = append(m.posted, r)
+					m.addPosted(r)
 					posted++
 				}
 			} else {
@@ -115,7 +171,7 @@ func TestQuickMatcherConservation(t *testing.T) {
 				if r, _ := m.matchArrival(inb); r != nil {
 					matched++
 				} else {
-					m.unexpected = append(m.unexpected, inb)
+					m.addUnexpected(inb)
 					arrived++
 				}
 			}
@@ -128,5 +184,173 @@ func TestQuickMatcherConservation(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// fifoMatcher is the pre-index reference implementation: plain FIFO scans
+// over both queues, the behaviour the indexed matcher must reproduce bit for
+// bit (match identity, removal order, and scanned counts).
+type fifoMatcher struct {
+	posted     []*Request
+	unexpected []*inbound
+}
+
+func (m *fifoMatcher) matchArrival(inb *inbound) (*Request, int) {
+	for i, r := range m.posted {
+		if matches(r, inb.src, inb.tag, inb.ctx) {
+			m.posted = append(m.posted[:i], m.posted[i+1:]...)
+			return r, i + 1
+		}
+	}
+	return nil, len(m.posted)
+}
+
+func (m *fifoMatcher) matchPosted(r *Request) (*inbound, int) {
+	for i, u := range m.unexpected {
+		if matches(r, u.src, u.tag, u.ctx) {
+			m.unexpected = append(m.unexpected[:i], m.unexpected[i+1:]...)
+			return u, i + 1
+		}
+	}
+	return nil, len(m.unexpected)
+}
+
+// Property (satellite): wildcard receives interleaved with exact matches
+// must preserve MPI non-overtaking order and scanned accounting exactly as
+// the old FIFO scan did. Drives the indexed matcher and the reference
+// side by side through seeded random op streams over a small envelope space
+// (guaranteeing collisions, wildcard overlap, and deep queues).
+func TestMatcherEquivalentToFIFOReference(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var idx matcher
+		var ref fifoMatcher
+		envelope := func(wild bool) (src, tag int) {
+			src, tag = rng.Intn(3), rng.Intn(3)
+			if wild {
+				if rng.Intn(2) == 0 {
+					src = AnySource
+				}
+				if rng.Intn(2) == 0 {
+					tag = AnyTag
+				}
+			}
+			return
+		}
+		for op := 0; op < 400; op++ {
+			ctx := rng.Intn(2)
+			if rng.Intn(2) == 0 {
+				src, tag := envelope(rng.Intn(4) == 0) // 25% wildcard receives
+				ri := recvFor(src, tag, ctx)
+				rr := recvFor(src, tag, ctx)
+				gi, si := idx.matchPosted(ri)
+				gr, sr := ref.matchPosted(rr)
+				if si != sr {
+					t.Fatalf("seed %d op %d: matchPosted scanned %d, reference %d", seed, op, si, sr)
+				}
+				if (gi == nil) != (gr == nil) {
+					t.Fatalf("seed %d op %d: matchPosted hit mismatch (%v vs %v)", seed, op, gi, gr)
+				}
+				if gi != nil && (gi.src != gr.src || gi.tag != gr.tag || gi.ctx != gr.ctx || gi.size != gr.size) {
+					t.Fatalf("seed %d op %d: matchPosted took different messages: %+v vs %+v", seed, op, gi, gr)
+				}
+				if gi == nil {
+					idx.addPosted(ri)
+					ref.posted = append(ref.posted, rr)
+				}
+			} else {
+				src, tag := rng.Intn(3), rng.Intn(3) // arrivals always concrete
+				ii := inboundFor(src, tag, ctx)
+				ii.size = int64(op) // identity marker
+				ir := inboundFor(src, tag, ctx)
+				ir.size = int64(op)
+				gi, si := idx.matchArrival(ii)
+				gr, sr := ref.matchArrival(ir)
+				if si != sr {
+					t.Fatalf("seed %d op %d: matchArrival scanned %d, reference %d", seed, op, si, sr)
+				}
+				if (gi == nil) != (gr == nil) {
+					t.Fatalf("seed %d op %d: matchArrival hit mismatch", seed, op)
+				}
+				if gi != nil && (gi.peer != gr.peer || gi.tag != gr.tag || gi.ctx != gr.ctx) {
+					t.Fatalf("seed %d op %d: matchArrival took different receives: %+v vs %+v", seed, op, gi, gr)
+				}
+				if gi == nil {
+					idx.addUnexpected(ii)
+					ref.unexpected = append(ref.unexpected, ir)
+				}
+			}
+			if idx.PostedLen() != len(ref.posted) || idx.UnexpectedLen() != len(ref.unexpected) {
+				t.Fatalf("seed %d op %d: queue depths diverged (%d/%d vs %d/%d)",
+					seed, op, idx.PostedLen(), idx.UnexpectedLen(), len(ref.posted), len(ref.unexpected))
+			}
+		}
+		// Drain both and confirm identical residual order.
+		for i, u := range idx.unexpected {
+			r := ref.unexpected[i]
+			if u.src != r.src || u.tag != r.tag || u.ctx != r.ctx || u.size != r.size {
+				t.Fatalf("seed %d: residual unexpected[%d] differs", seed, i)
+			}
+		}
+		for i, q := range idx.posted {
+			r := ref.posted[i]
+			if q.peer != r.peer || q.tag != r.tag || q.ctx != r.ctx {
+				t.Fatalf("seed %d: residual posted[%d] differs", seed, i)
+			}
+		}
+	}
+}
+
+// The index must stay consistent under heavy churn: counts in the maps always
+// equal the occupancy of the authoritative slices.
+func TestMatcherIndexConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var m matcher
+	for op := 0; op < 2000; op++ {
+		src, tag, ctx := rng.Intn(4), rng.Intn(4), rng.Intn(2)
+		switch rng.Intn(2) {
+		case 0:
+			r := recvFor(src, tag, ctx)
+			if inb, _ := m.matchPosted(r); inb == nil {
+				m.addPosted(r)
+			}
+		case 1:
+			inb := inboundFor(src, tag, ctx)
+			if r, _ := m.matchArrival(inb); r == nil {
+				m.addUnexpected(inb)
+			}
+		}
+		wantPosted := map[matchKey]int{}
+		wild := 0
+		for _, r := range m.posted {
+			if isWild(r) {
+				wild++
+			} else {
+				wantPosted[matchKey{r.ctx, r.peer, r.tag}]++
+			}
+		}
+		if wild != m.postedWild {
+			t.Fatalf("op %d: postedWild = %d, queue has %d", op, m.postedWild, wild)
+		}
+		if len(wantPosted) != len(m.postedExact) {
+			t.Fatalf("op %d: postedExact has %d keys, queue has %d", op, len(m.postedExact), len(wantPosted))
+		}
+		for k, n := range wantPosted {
+			if m.postedExact[k] != n {
+				t.Fatalf("op %d: postedExact[%v] = %d, queue has %d", op, k, m.postedExact[k], n)
+			}
+		}
+		wantUnexp := map[matchKey]int{}
+		for _, u := range m.unexpected {
+			wantUnexp[matchKey{u.ctx, u.src, u.tag}]++
+		}
+		if len(wantUnexp) != len(m.unexpExact) {
+			t.Fatalf("op %d: unexpExact has %d keys, queue has %d", op, len(m.unexpExact), len(wantUnexp))
+		}
+		for k, n := range wantUnexp {
+			if m.unexpExact[k] != n {
+				t.Fatalf("op %d: unexpExact[%v] = %d, queue has %d", op, k, m.unexpExact[k], n)
+			}
+		}
 	}
 }

@@ -119,7 +119,7 @@ func (w *World) scheduleArrival(to *rankState, arrive sim.Time, inb *inbound) {
 func (w *World) handleArrival(to *rankState, inb *inbound) {
 	req, scanned := to.matcher.matchArrival(inb)
 	if req == nil {
-		to.matcher.unexpected = append(to.matcher.unexpected, inb)
+		to.matcher.addUnexpected(inb)
 		return
 	}
 	t := inb.deliveredAt.Add(sim.Duration(scanned) * w.cfg.MatchPerElement)
@@ -147,7 +147,7 @@ func (c *Comm) postRecv(p *sim.Proc, rreq *Request) {
 	// sits in neither queue, stranding both.
 	inb, scanned := st.matcher.matchPosted(rreq)
 	if inb == nil {
-		st.matcher.posted = append(st.matcher.posted, rreq)
+		st.matcher.addPosted(rreq)
 	}
 	if scanned > 0 {
 		p.Sleep(sim.Duration(scanned) * w.cfg.MatchPerElement)

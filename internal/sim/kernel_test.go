@@ -1,0 +1,361 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// Lazy park reasons: deadlock diagnostics must be byte-identical to the
+// strings the kernel built eagerly before the allocation-free rewrite.
+// ---------------------------------------------------------------------------
+
+func TestDeadlockMessagesByteIdentical(t *testing.T) {
+	s := New()
+	var m Mutex
+	c := NewCond(&m)
+	var wg WaitGroup
+	wg.Add(s, 1)
+	b := NewBarrier(2)
+	var done Completion
+	s.Spawn("mutex-holder", func(p *Proc) {
+		m.Lock(p)
+		done.Wait(p)
+	})
+	s.Spawn("mutex-waiter", func(p *Proc) { m.Lock(p) })
+	s.Spawn("cond-waiter", func(p *Proc) {
+		m2 := &Mutex{}
+		c2 := NewCond(m2)
+		m2.Lock(p)
+		c2.Wait(p)
+	})
+	s.Spawn("wg-waiter", func(p *Proc) { wg.Wait(p) })
+	s.Spawn("barrier-waiter", func(p *Proc) { b.Await(p) })
+	_ = c
+	err := s.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("Run() = %v, want DeadlockError", err)
+	}
+	want := []string{
+		"barrier-waiter(#5): barrier gen 0",
+		"cond-waiter(#3): cond wait",
+		"mutex-holder(#1): completion wait",
+		"mutex-waiter(#2): mutex wait",
+		"wg-waiter(#4): waitgroup wait",
+	}
+	if len(de.Blocked) != len(want) {
+		t.Fatalf("blocked = %v, want %v", de.Blocked, want)
+	}
+	for i := range want {
+		if de.Blocked[i] != want[i] {
+			t.Errorf("blocked[%d] = %q, want %q", i, de.Blocked[i], want[i])
+		}
+	}
+	wantErr := fmt.Sprintf("sim: deadlock at t=%v with %d blocked procs: %s",
+		Duration(0), len(want), strings.Join(want, "; "))
+	if de.Error() != wantErr {
+		t.Errorf("Error() = %q, want %q", de.Error(), wantErr)
+	}
+}
+
+// A sleeping proc can never appear in a DeadlockError (its wake event keeps
+// the queue non-empty), so the sleep reason is locked down directly.
+func TestSleepParkReasonFormat(t *testing.T) {
+	p := &Proc{parkKind: parkSleep, parkA: int64(5 * Millisecond), parkB: int64(Time(0).Add(5 * Millisecond))}
+	want := fmt.Sprintf("sleep %v until %v", 5*Millisecond, Time(0).Add(5*Millisecond))
+	if got := p.parkReason(); got != want {
+		t.Fatalf("sleep reason = %q, want %q", got, want)
+	}
+	if want != "sleep 5ms until 5000000" {
+		t.Fatalf("format drifted: %q", want)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Allocation-free fast path: driving a sleep/wake loop must not allocate
+// per event (the freelist recycles events; wakes carry no closures; park
+// reasons are codes, not strings).
+// ---------------------------------------------------------------------------
+
+func TestSleepWakeAllocationFree(t *testing.T) {
+	const iters = 5000
+	s := New()
+	s.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < iters; i++ {
+			p.Sleep(Microsecond)
+		}
+	})
+	// Warm the channel machinery and the freelist with the first few events
+	// via a bounded drive, then measure the steady state.
+	s.RunUntil(Time(10 * Microsecond))
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	allocs := after.Mallocs - before.Mallocs
+	// ~0.04 allocs per sleep of slack for runtime-internal noise; the old
+	// kernel spent 7 allocs per sleep here.
+	if allocs > iters/25 {
+		t.Errorf("driving %d sleeps allocated %d objects, want ~0", iters, allocs)
+	}
+}
+
+// Direct handoff between two procs must produce the same timeline as the
+// scheduler-mediated slow path (RunPaced at enormous scale disables it).
+func TestDirectHandoffMatchesSlowPath(t *testing.T) {
+	build := func() (*Scheduler, *[]string) {
+		s := New()
+		var log []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			s.Spawn(name, func(p *Proc) {
+				for i := 0; i < 50; i++ {
+					p.Sleep(Duration(1 + i%3))
+					log = append(log, fmt.Sprintf("%s@%d", name, p.Now()))
+				}
+			})
+		}
+		return s, &log
+	}
+	fast, fastLog := build()
+	if err := fast.Run(); err != nil {
+		t.Fatal(err)
+	}
+	slow, slowLog := build()
+	if err := slow.RunPaced(1e12); err != nil {
+		t.Fatal(err)
+	}
+	if len(*fastLog) != len(*slowLog) {
+		t.Fatalf("log lengths differ: %d vs %d", len(*fastLog), len(*slowLog))
+	}
+	for i := range *fastLog {
+		if (*fastLog)[i] != (*slowLog)[i] {
+			t.Fatalf("timelines diverge at %d: %q vs %q", i, (*fastLog)[i], (*slowLog)[i])
+		}
+	}
+	if fast.Now() != slow.Now() {
+		t.Fatalf("final clocks differ: %v vs %v", fast.Now(), slow.Now())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The drive re-entrancy contract (Run / RunPaced / RunUntil).
+// ---------------------------------------------------------------------------
+
+func TestRunAfterPartialRunUntilFinishes(t *testing.T) {
+	s := New()
+	var ticks []Time
+	s.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 6; i++ {
+			p.Sleep(Millisecond)
+			ticks = append(ticks, p.Now())
+		}
+	})
+	if s.RunUntil(Time(2 * Millisecond)) {
+		t.Fatal("RunUntil(2ms) drained early")
+	}
+	if len(ticks) != 2 {
+		t.Fatalf("ticks after partial drive = %d, want 2", len(ticks))
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 6 || s.Now() != Time(6*Millisecond) {
+		t.Fatalf("after Run: %d ticks, now %v; want 6 ticks at 6ms", len(ticks), Duration(s.Now()))
+	}
+}
+
+func TestRunUntilIncrementalDrives(t *testing.T) {
+	s := New()
+	var ticks int
+	s.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Sleep(Millisecond)
+			ticks++
+		}
+	})
+	for i := 1; i <= 4; i++ {
+		drained := s.RunUntil(Time(i) * Time(Millisecond))
+		if ticks != i {
+			t.Fatalf("after RunUntil(%dms): %d ticks", i, ticks)
+		}
+		if drained != (i == 4) {
+			t.Fatalf("RunUntil(%dms) drained = %v", i, drained)
+		}
+	}
+}
+
+func TestDriveAfterDrainPanics(t *testing.T) {
+	cases := []struct {
+		name  string
+		drive func(s *Scheduler)
+	}{
+		{"Run", func(s *Scheduler) { s.Run() }},
+		{"RunPaced", func(s *Scheduler) { s.RunPaced(1e12) }},
+		{"RunUntil", func(s *Scheduler) { s.RunUntil(Time(Second)) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := New()
+			s.Spawn("p", func(p *Proc) { p.Sleep(Microsecond) })
+			if !s.RunUntil(Time(Second)) {
+				t.Fatal("queue did not drain")
+			}
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s after drained drive did not panic", c.name)
+				}
+			}()
+			c.drive(s)
+		})
+	}
+}
+
+func TestDriveReentryFromEventPanics(t *testing.T) {
+	cases := []struct {
+		name  string
+		drive func(s *Scheduler)
+	}{
+		{"Run", func(s *Scheduler) { s.Run() }},
+		{"RunUntil", func(s *Scheduler) { s.RunUntil(Time(Second)) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := New()
+			var reentryPanic interface{}
+			s.At(0, func() {
+				defer func() { reentryPanic = recover() }()
+				c.drive(s)
+			})
+			if err := s.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if reentryPanic == nil {
+				t.Fatalf("%s from within an event callback did not panic", c.name)
+			}
+		})
+	}
+}
+
+// The run loop's monotonicity guard is defense-in-depth behind At's own
+// check; RunUntil historically lacked it. Forge a past event to prove all
+// drive loops now refuse to move the clock backwards.
+func TestRunUntilMonotonicityGuard(t *testing.T) {
+	s := New()
+	s.Spawn("p", func(p *Proc) { p.Sleep(Millisecond) })
+	if s.RunUntil(Time(Millisecond)) != true {
+		t.Fatal("expected drained drive")
+	}
+	s.running = false // re-arm the drive for the forged event
+	s.queue.push(s.newEvent(0, func() {}, nil))
+	s.queue[0].at = 0 // bypass At's scheduling-time check
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunUntil fired an event in the past without panicking")
+		}
+	}()
+	s.RunUntil(Time(2 * Millisecond))
+}
+
+// ---------------------------------------------------------------------------
+// RunPaced through the wall-clock seams: pacing must be deterministic and
+// testable without real sleeping.
+// ---------------------------------------------------------------------------
+
+func TestRunPacedDeterministicPacing(t *testing.T) {
+	origNow, origSleep := timeNowUnixNano, timeSleep
+	defer func() { timeNowUnixNano, timeSleep = origNow, origSleep }()
+
+	var wall int64 // fake wall clock, ns
+	var slept []time.Duration
+	timeNowUnixNano = func() int64 { return wall }
+	timeSleep = func(d time.Duration) {
+		slept = append(slept, d)
+		wall += int64(d)
+	}
+
+	s := New()
+	s.Spawn("p", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Sleep(10 * Millisecond)
+		}
+	})
+	if err := s.RunPaced(2); err != nil { // 40ms virtual at 2x => 20ms wall
+		t.Fatal(err)
+	}
+	var total time.Duration
+	for _, d := range slept {
+		if d <= 0 {
+			t.Fatalf("non-positive pacing sleep %v", d)
+		}
+		total += d
+	}
+	if total != 20*time.Millisecond {
+		t.Fatalf("total paced sleep = %v, want exactly 20ms on a fake clock", total)
+	}
+	if wall != int64(20*time.Millisecond) {
+		t.Fatalf("fake wall clock = %dns, want 20ms", wall)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Event queue: the typed 4-ary heap must dequeue in (time, seq) order and
+// the freelist must actually recycle.
+// ---------------------------------------------------------------------------
+
+func TestEventQueueOrdering(t *testing.T) {
+	s := New()
+	times := []Time{7, 3, 3, 9, 1, 5, 3, 8, 2, 6, 4, 1, 9, 0, 5}
+	var fired []Time
+	order := map[Time][]int{}
+	for i, at := range times {
+		i := i
+		at := at
+		order[at] = append(order[at], i)
+		s.At(at, func() {
+			fired = append(fired, at)
+			got := order[at][0]
+			order[at] = order[at][1:]
+			if got != i {
+				t.Errorf("same-time events fired out of scheduling order: got %d, want %d", i, got)
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("events fired out of time order: %v", fired)
+		}
+	}
+	if len(fired) != len(times) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(times))
+	}
+}
+
+func TestEventFreelistRecycles(t *testing.T) {
+	s := New()
+	for i := 0; i < 8; i++ {
+		s.At(Time(i), func() {})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.free) == 0 {
+		t.Fatal("freelist empty after a drive; events are not recycled")
+	}
+	free := len(s.free)
+	s.running = false
+	s.At(s.now, func() {})
+	if len(s.free) != free-1 {
+		t.Fatalf("scheduling did not reuse a freelist event: %d -> %d", free, len(s.free))
+	}
+}

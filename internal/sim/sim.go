@@ -15,8 +15,8 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -120,7 +120,13 @@ func ParseDuration(s string) (Duration, error) {
 	if err != nil {
 		return 0, fmt.Errorf("sim: bad duration %q", s)
 	}
-	d := Duration(n * float64(mult))
+	v := n * float64(mult)
+	// Converting a float beyond int64 range (or NaN) to Duration is
+	// implementation-defined and can silently come out negative.
+	if math.IsNaN(v) || v >= math.MaxInt64 || v <= -math.MaxInt64 {
+		return 0, fmt.Errorf("sim: duration %q out of range", s)
+	}
+	d := Duration(v)
 	if neg {
 		d = -d
 	}
@@ -133,31 +139,73 @@ func (t Time) Add(d Duration) Time { return t + Time(d) }
 // Sub returns the duration t-u.
 func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 
-// event is a scheduled callback.
+// event is a scheduled callback (fn != nil) or a proc wake (proc != nil).
+// Proc wakes carry no closure at all: the run loop and the direct-handoff
+// fast path resume the proc from its fields, so scheduling a wake never
+// allocates. Events are recycled through the scheduler's freelist.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	fn   func()
+	proc *Proc
 }
 
-// eventHeap orders events by (time, sequence).
-type eventHeap []*event
+// eventQueue is a typed 4-ary min-heap ordering events by (time, sequence).
+// A 4-ary layout halves the tree depth of the binary container/heap it
+// replaced, and the concrete element type removes the interface{} boxing
+// and the per-op indirect Less/Swap calls.
+type eventQueue []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less is the strict total order (at, seq); seq is unique, so there are no
+// ties and heap stability is irrelevant.
+func (q eventQueue) less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
 	}
-	return h[i].seq < h[j].seq
+	return q[i].seq < q[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+func (q *eventQueue) push(e *event) {
+	h := append(*q, e)
+	*q = h
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() *event {
+	h := *q
+	n := len(h) - 1
+	e := h[0]
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		min := i
+		base := 4*i + 1
+		end := base + 4
+		if end > n {
+			end = n
+		}
+		for c := base; c < end; c++ {
+			if h.less(c, min) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
 	return e
 }
 
@@ -175,35 +223,73 @@ func (e *DeadlockError) Error() string {
 		Duration(e.Now), len(e.Blocked), strings.Join(e.Blocked, "; "))
 }
 
+// maxTime is the fast-path drive limit for an unbounded Run.
+const maxTime = Time(math.MaxInt64)
+
 // Scheduler owns the virtual clock, the event queue, and all procs.
 // The zero value is not usable; call New.
 type Scheduler struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	queue   eventQueue
+	free    []*event // event freelist: every pop recycles into the next push
 	live    int
 	procSeq int
+
+	// procs lists the live procs for deadlock diagnostics; finished procs
+	// are swap-removed. Park reasons live on the Proc as a code + args and
+	// are only formatted when a DeadlockError is built.
+	procs []*Proc
 
 	// token handoff: the scheduler sends on p.resume to run a proc and
 	// receives on parked when the proc blocks or finishes.
 	parked chan struct{}
 
-	// blocked tracks parked procs for deadlock diagnostics.
-	blocked map[*Proc]string
-
+	// driving is set while a drive loop (Run, RunPaced, RunUntil) is on the
+	// stack; re-entering a drive from an event callback panics.
+	driving bool
+	// running becomes true once a drive has fully drained the queue; it is
+	// terminal — no further drives are allowed.
 	running bool
+	// handoff enables the direct proc-to-proc token handoff: when a parking
+	// proc finds a proc wake at the head of the queue (at or before limit),
+	// it advances the clock and resumes that proc itself — or simply keeps
+	// running on a self-wake — instead of bouncing the token through the
+	// scheduler goroutine's resume/parked channel pair. RunPaced disables
+	// it so the pacing loop sees every event.
+	handoff bool
+	limit   Time
 }
 
 // New returns an empty simulation scheduler with the clock at zero.
 func New() *Scheduler {
-	return &Scheduler{
-		parked:  make(chan struct{}),
-		blocked: make(map[*Proc]string),
-	}
+	return &Scheduler{parked: make(chan struct{})}
 }
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
+
+// newEvent takes an event from the freelist (or allocates one) and stamps
+// it with the next sequence number.
+func (s *Scheduler) newEvent(t Time, fn func(), p *Proc) *event {
+	s.seq++
+	var e *event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = new(event)
+	}
+	e.at, e.seq, e.fn, e.proc = t, s.seq, fn, p
+	return e
+}
+
+// recycle returns a popped event to the freelist, dropping its references.
+func (s *Scheduler) recycle(e *event) {
+	e.fn, e.proc = nil, nil
+	s.free = append(s.free, e)
+}
 
 // At schedules fn to run in scheduler context at absolute time t.
 // Scheduling in the past panics: virtual time is monotonic.
@@ -211,8 +297,7 @@ func (s *Scheduler) At(t Time, fn func()) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
-	s.seq++
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	s.queue.push(s.newEvent(t, fn, nil))
 }
 
 // After schedules fn to run d from now. Negative d panics.
@@ -223,17 +308,58 @@ func (s *Scheduler) After(d Duration, fn func()) {
 	s.At(s.now.Add(d), fn)
 }
 
+// parkKind encodes why a proc is parked; the human-readable reason is only
+// formatted when a DeadlockError needs it, so the hot sleep/wake path never
+// builds a diagnostic string.
+type parkKind uint8
+
+const (
+	parkNone parkKind = iota
+	parkSleep
+	parkMutex
+	parkCond
+	parkWaitGroup
+	parkBarrier
+	parkCompletion
+)
+
 // Proc is a cooperative actor. Every blocking method must be called by the
 // proc itself (i.e. from within the function passed to Spawn).
 type Proc struct {
 	s      *Scheduler
 	name   string
 	id     int
+	idx    int // position in s.procs, for swap-removal on death
 	resume chan struct{}
 	dead   bool
 	// wakeScheduled guards against double-wake: a proc may be the target of
 	// at most one pending wake event.
 	wakeScheduled bool
+	// parkKind/parkA/parkB are the lazy park reason: a code plus two
+	// numeric arguments, formatted by parkReason only on deadlock.
+	parkKind     parkKind
+	parkA, parkB int64
+}
+
+// parkReason formats the proc's current park reason, byte-identical to the
+// strings the kernel used to build eagerly on every park.
+func (p *Proc) parkReason() string {
+	switch p.parkKind {
+	case parkSleep:
+		return fmt.Sprintf("sleep %v until %v", Duration(p.parkA), Time(p.parkB))
+	case parkMutex:
+		return "mutex wait"
+	case parkCond:
+		return "cond wait"
+	case parkWaitGroup:
+		return "waitgroup wait"
+	case parkBarrier:
+		return fmt.Sprintf("barrier gen %d", p.parkA)
+	case parkCompletion:
+		return "completion wait"
+	default:
+		return "running"
+	}
 }
 
 // Name returns the name the proc was spawned with.
@@ -257,18 +383,31 @@ func (s *Scheduler) Spawn(name string, fn func(p *Proc)) *Proc {
 		s:      s,
 		name:   name,
 		id:     s.procSeq,
+		idx:    len(s.procs),
 		resume: make(chan struct{}),
 	}
+	s.procs = append(s.procs, p)
 	s.live++
 	go func() {
 		<-p.resume
 		fn(p)
 		p.dead = true
 		s.live--
+		s.dropProc(p)
 		s.parked <- struct{}{}
 	}()
 	s.wake(p)
 	return p
+}
+
+// dropProc swap-removes a finished proc from the diagnostics list.
+func (s *Scheduler) dropProc(p *Proc) {
+	last := len(s.procs) - 1
+	moved := s.procs[last]
+	s.procs[p.idx] = moved
+	moved.idx = p.idx
+	s.procs[last] = nil
+	s.procs = s.procs[:last]
 }
 
 // wake schedules p to resume at the current time. It is idempotent while a
@@ -277,28 +416,72 @@ func (s *Scheduler) wake(p *Proc) {
 	s.wakeAt(s.now, p)
 }
 
-// wakeAt schedules p to resume at time t. Idempotent while a wake is pending.
+// wakeAt schedules p to resume at time t. Idempotent while a wake is
+// pending. The wake is a plain proc event — no closure is allocated.
 func (s *Scheduler) wakeAt(t Time, p *Proc) {
 	if p.dead || p.wakeScheduled {
 		return
 	}
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
 	p.wakeScheduled = true
-	s.At(t, func() {
-		if p.dead {
-			return
-		}
-		p.wakeScheduled = false
-		delete(s.blocked, p)
-		p.resume <- struct{}{}
-		<-s.parked
-	})
+	s.queue.push(s.newEvent(t, nil, p))
 }
 
-// park blocks the calling proc until something wakes it. reason appears in
-// deadlock diagnostics.
-func (p *Proc) park(reason string) {
-	p.s.blocked[p] = reason
-	p.s.parked <- struct{}{}
+// resumeProc hands the token to p from the scheduler loop and waits for it
+// to park, finish, or hand the token onward.
+func (s *Scheduler) resumeProc(p *Proc) {
+	if p.dead {
+		return
+	}
+	p.wakeScheduled = false
+	p.parkKind = parkNone
+	p.resume <- struct{}{}
+	<-s.parked
+}
+
+// park blocks the calling proc until something wakes it. The kind and args
+// form the lazy reason shown in deadlock diagnostics.
+//
+// Fast path (direct handoff): while handoff is enabled and the head of the
+// queue is a proc wake at or before the drive limit, the parking proc plays
+// scheduler itself — it advances the clock and either keeps running (the
+// wake is its own: a sleep expiring with nothing scheduled before it) or
+// passes the token straight to the woken proc. Either way the
+// resume/parked channel round-trip through the scheduler goroutine is
+// skipped; the scheduler loop only regains control when a non-wake event
+// or the drive limit is next.
+func (p *Proc) park(kind parkKind, a, b int64) {
+	s := p.s
+	p.parkKind, p.parkA, p.parkB = kind, a, b
+	for s.handoff {
+		if len(s.queue) == 0 {
+			break
+		}
+		top := s.queue[0]
+		if top.proc == nil || top.at > s.limit {
+			break
+		}
+		q := top.proc
+		s.queue.pop()
+		s.now = top.at
+		s.recycle(top)
+		if q.dead {
+			continue
+		}
+		q.wakeScheduled = false
+		q.parkKind = parkNone
+		if q == p {
+			return // self-wake: keep running, zero channel operations
+		}
+		// Hand the token directly to q, then wait for our own wake. No
+		// scheduler state may be touched after the send: q runs now.
+		q.resume <- struct{}{}
+		<-p.resume
+		return
+	}
+	s.parked <- struct{}{}
 	<-p.resume
 }
 
@@ -310,98 +493,132 @@ func (p *Proc) Sleep(d Duration) {
 		panic("sim: negative sleep")
 	}
 	s := p.s
-	s.wakeAt(s.now.Add(d), p)
-	p.park(fmt.Sprintf("sleep %v until %v", d, s.now.Add(d)))
+	until := s.now.Add(d)
+	s.wakeAt(until, p)
+	p.park(parkSleep, int64(d), int64(until))
 }
 
 // Yield gives other same-time events a chance to run before continuing.
 func (p *Proc) Yield() { p.Sleep(0) }
 
-// Run drives the simulation until the event queue drains. It returns nil if
-// every proc has finished, and a *DeadlockError if live procs remain parked
-// with no event able to wake them. Run must be called exactly once.
-func (s *Scheduler) Run() error {
+// startDrive begins a drive loop, enforcing the re-entrancy contract: a
+// drive may not start while another is on the stack (an event callback
+// calling Run) or after a previous drive has drained the queue.
+func (s *Scheduler) startDrive(limit Time, handoff bool) {
+	if s.driving {
+		panic("sim: drive re-entered from within a drive")
+	}
 	if s.running {
 		panic("sim: Run called twice")
 	}
-	s.running = true
-	for s.queue.Len() > 0 {
-		e := heap.Pop(&s.queue).(*event)
-		if e.at < s.now {
-			panic("sim: time went backwards")
-		}
-		s.now = e.at
-		e.fn()
+	s.driving = true
+	s.handoff = handoff
+	s.limit = limit
+}
+
+// endDrive finishes a drive loop; drained drives are terminal.
+func (s *Scheduler) endDrive(drained bool) {
+	s.driving = false
+	s.handoff = false
+	if drained {
+		s.running = true
 	}
-	if s.live > 0 {
-		var blocked []string
-		for p, why := range s.blocked {
-			blocked = append(blocked, fmt.Sprintf("%s(#%d): %s", p.name, p.id, why))
-		}
-		sort.Strings(blocked)
-		return &DeadlockError{Now: s.now, Blocked: blocked}
+}
+
+// dispatch fires one popped event: it resumes the target proc or runs the
+// callback. The event is recycled first (into locals), so callbacks and
+// resumed procs can immediately reuse it for new events.
+func (s *Scheduler) dispatch(e *event) {
+	if e.at < s.now {
+		panic("sim: time went backwards")
 	}
-	return nil
+	s.now = e.at
+	if e.proc != nil {
+		p := e.proc
+		s.recycle(e)
+		s.resumeProc(p)
+		return
+	}
+	fn := e.fn
+	s.recycle(e)
+	fn()
+}
+
+// deadlock builds the drive result: nil when every proc finished, a
+// *DeadlockError naming the parked procs otherwise. Reasons are formatted
+// here, lazily — never on the park fast path.
+func (s *Scheduler) deadlock() error {
+	if s.live == 0 {
+		return nil
+	}
+	blocked := make([]string, 0, len(s.procs))
+	for _, p := range s.procs {
+		blocked = append(blocked, fmt.Sprintf("%s(#%d): %s", p.name, p.id, p.parkReason()))
+	}
+	sort.Strings(blocked)
+	return &DeadlockError{Now: s.now, Blocked: blocked}
+}
+
+// Run drives the simulation until the event queue drains. It returns nil if
+// every proc has finished, and a *DeadlockError if live procs remain parked
+// with no event able to wake them. Run may be called exactly once, except
+// that it may follow partial RunUntil drives to finish the simulation;
+// calling it from within an event callback panics.
+func (s *Scheduler) Run() error {
+	s.startDrive(maxTime, true)
+	for len(s.queue) > 0 {
+		s.dispatch(s.queue.pop())
+	}
+	s.endDrive(true)
+	return s.deadlock()
 }
 
 // RunPaced drives the simulation like Run but paces virtual time against
 // the wall clock: one second of virtual time takes 1/scale wall seconds
 // (scale 2 runs twice as fast as real time). Useful for watching timelines
 // live in demos; measurement results are identical to Run since virtual
-// timestamps do not depend on pacing.
+// timestamps do not depend on pacing. Direct handoff is disabled so the
+// pacing loop observes every event.
 func (s *Scheduler) RunPaced(scale float64) error {
-	if s.running {
-		panic("sim: Run called twice")
-	}
 	if scale <= 0 {
 		panic("sim: pacing scale must be positive")
 	}
-	s.running = true
-	wallStart := time.Now()
+	s.startDrive(maxTime, false)
+	wallStart := timeNowUnixNano()
 	simStart := s.now
-	for s.queue.Len() > 0 {
-		e := heap.Pop(&s.queue).(*event)
-		if e.at < s.now {
-			panic("sim: time went backwards")
-		}
+	for len(s.queue) > 0 {
+		e := s.queue.pop()
 		// Sleep until the wall clock catches up with this event's virtual
 		// time at the requested scale.
 		virtualAhead := time.Duration(float64(e.at-simStart) / scale)
-		if lag := virtualAhead - time.Since(wallStart); lag > 0 {
-			time.Sleep(lag)
+		if lag := virtualAhead - time.Duration(timeNowUnixNano()-wallStart); lag > 0 {
+			timeSleep(lag)
 		}
-		s.now = e.at
-		e.fn()
+		s.dispatch(e)
 	}
-	if s.live > 0 {
-		var blocked []string
-		for p, why := range s.blocked {
-			blocked = append(blocked, fmt.Sprintf("%s(#%d): %s", p.name, p.id, why))
-		}
-		sort.Strings(blocked)
-		return &DeadlockError{Now: s.now, Blocked: blocked}
-	}
-	return nil
+	s.endDrive(true)
+	return s.deadlock()
 }
 
 // RunUntil drives the simulation until the clock would pass t or the queue
 // drains. Events at exactly t still fire. It reports whether the queue
-// drained (all work done).
+// drained (all work done). RunUntil may be called repeatedly to drive the
+// simulation incrementally, and a final Run/RunPaced may finish the drive;
+// once any drive has drained the queue, all further drives panic, as does
+// re-entering a drive from an event callback.
 func (s *Scheduler) RunUntil(t Time) bool {
-	if s.running {
-		panic("sim: Run called twice")
+	s.startDrive(t, true)
+	for len(s.queue) > 0 && s.queue[0].at <= t {
+		s.dispatch(s.queue.pop())
 	}
-	for s.queue.Len() > 0 && s.queue[0].at <= t {
-		e := heap.Pop(&s.queue).(*event)
-		s.now = e.at
-		e.fn()
-	}
-	if s.queue.Len() == 0 {
-		s.running = true
-		return true
-	}
-	return false
+	drained := len(s.queue) == 0
+	s.endDrive(drained)
+	return drained
 }
 
-// timeNowUnixNano is a test seam for wall-clock access.
-func timeNowUnixNano() int64 { return time.Now().UnixNano() }
+// timeNowUnixNano and timeSleep are test seams for wall-clock access; only
+// RunPaced consults the wall clock, and only through these.
+var (
+	timeNowUnixNano = func() int64 { return time.Now().UnixNano() }
+	timeSleep       = func(d time.Duration) { time.Sleep(d) }
+)

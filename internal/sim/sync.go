@@ -1,7 +1,5 @@
 package sim
 
-import "fmt"
-
 // Mutex is a mutual-exclusion lock for procs. Waiters are queued FIFO, so
 // lock handoff is fair and deterministic. The zero value is usable but a
 // Mutex must not be copied after first use.
@@ -27,7 +25,7 @@ func (m *Mutex) Lock(p *Proc) {
 		panic("sim: recursive Mutex.Lock")
 	}
 	m.waiters = append(m.waiters, p)
-	p.park("mutex wait")
+	p.park(parkMutex, 0, 0)
 }
 
 // TryLock acquires the mutex if it is free and reports whether it did.
@@ -72,7 +70,7 @@ func NewCond(l *Mutex) *Cond { return &Cond{L: l} }
 func (c *Cond) Wait(p *Proc) {
 	c.waiters = append(c.waiters, p)
 	c.L.Unlock(p)
-	p.park("cond wait")
+	p.park(parkCond, 0, 0)
 	c.L.Lock(p)
 }
 
@@ -132,7 +130,7 @@ func (wg *WaitGroup) Done(s *Scheduler) { wg.Add(s, -1) }
 func (wg *WaitGroup) Wait(p *Proc) {
 	for wg.n > 0 {
 		wg.waiters = append(wg.waiters, p)
-		p.park("waitgroup wait")
+		p.park(parkWaitGroup, 0, 0)
 	}
 }
 
@@ -169,7 +167,7 @@ func (b *Barrier) Await(p *Proc) {
 	gen := b.gen
 	b.waiters = append(b.waiters, p)
 	for gen == b.gen {
-		p.park(fmt.Sprintf("barrier gen %d", gen))
+		p.park(parkBarrier, int64(gen), 0)
 	}
 }
 
@@ -201,6 +199,6 @@ func (c *Completion) Fire(s *Scheduler) {
 func (c *Completion) Wait(p *Proc) {
 	for !c.done {
 		c.waiters = append(c.waiters, p)
-		p.park("completion wait")
+		p.park(parkCompletion, 0, 0)
 	}
 }

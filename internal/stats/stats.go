@@ -22,11 +22,12 @@ type Summary struct {
 	P95    float64
 }
 
-// Summarize computes a Summary over xs. It panics on an empty sample set:
-// callers control iteration counts and an empty set is a harness bug.
+// Summarize computes a Summary over xs. An empty sample set — reachable when
+// outlier pruning or fault injection leaves nothing behind — yields the zero
+// Summary (N == 0) rather than a panic.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
-		panic("stats: empty sample set")
+		return Summary{}
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
@@ -76,11 +77,11 @@ func Stddev(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
-// interpolation between closest ranks. xs must be sorted ascending and
-// non-empty.
+// interpolation between closest ranks. xs must be sorted ascending; the
+// percentile of an empty set is defined as 0.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
-		panic("stats: percentile of empty set")
+		return 0
 	}
 	if p <= 0 {
 		return xs[0]

@@ -50,13 +50,32 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
-func TestSummarizeEmptyPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Summarize(empty) did not panic")
+func TestSummarizeEmptyIsZero(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Fatalf("Summarize(nil) = %+v, want zero Summary", s)
+	}
+	if s := Summarize([]float64{}); s.N != 0 {
+		t.Fatalf("Summarize(empty) N = %d, want 0", s.N)
+	}
+}
+
+func TestSummarizeSingleSample(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Median != 7 || s.Min != 7 || s.Max != 7 ||
+		s.Stddev != 0 || s.P05 != 7 || s.P95 != 7 {
+		t.Fatalf("Summarize single sample = %+v", s)
+	}
+}
+
+func TestPercentileEmptyAndSingle(t *testing.T) {
+	for _, p := range []float64{-5, 0, 50, 100, 250} {
+		if got := Percentile(nil, p); got != 0 {
+			t.Fatalf("Percentile(nil, %v) = %v, want 0", p, got)
 		}
-	}()
-	Summarize(nil)
+		if got := Percentile([]float64{3}, p); got != 3 {
+			t.Fatalf("Percentile([3], %v) = %v, want 3", p, got)
+		}
+	}
 }
 
 func TestPruneOutliers(t *testing.T) {
