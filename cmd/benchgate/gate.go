@@ -48,6 +48,15 @@ type Entry struct {
 	// trend analysis; not gated, since it is derived from the same wall
 	// time as NsOp.
 	CellsPerSec float64 `json:"cells_per_sec,omitempty"`
+	// Util is the engine's worker-lane utilization over the makespan (0,1]
+	// when known (sched/* scheduler entries and -run figure entries).
+	// Recorded for trend analysis; the scheduler gate acts on makespan
+	// ratios, not utilization.
+	Util float64 `json:"util,omitempty"`
+	// Fixed marks entries whose wall time is hardware-independent (the
+	// sleep-based scheduler workload): comparisons skip the calibration
+	// normalization for them, since a faster CPU does not shorten a sleep.
+	Fixed bool `json:"fixed,omitempty"`
 }
 
 // File is a BENCH_<n>.json document.
@@ -342,7 +351,11 @@ func compareMode(base, cur File, tol float64, allocsOnly bool) Comparison {
 		d := Delta{Name: b.Name, Base: b.NsOp, Cur: e.NsOp,
 			BaseAllocs: b.AllocsOp, CurAllocs: e.AllocsOp}
 		if b.NsOp > 0 {
-			d.Ratio = e.NsOp / c.SpeedFactor / b.NsOp
+			norm := c.SpeedFactor
+			if b.Fixed || e.Fixed {
+				norm = 1 // sleep-based workloads do not scale with CPU speed
+			}
+			d.Ratio = e.NsOp / norm / b.NsOp
 		}
 		nsStatus := "ok"
 		if !allocsOnly {

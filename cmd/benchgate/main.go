@@ -33,6 +33,7 @@ func main() {
 		tolerance  = flag.Float64("tolerance", 0.2, "allowed fractional slowdown before failing (0.2 = +20%)")
 		writeBase  = flag.Bool("write-baseline", false, "overwrite the baseline with this run's results instead of gating")
 		allocsOnly = flag.Bool("allocs-only", false, "gate only allocs/op (hardware-independent; ns/op ignored)")
+		schedMin   = flag.Float64("sched-min-improve", 0.2, "required fractional makespan improvement of warm-profile LPT over inorder dispatch for -run (negative disables the scheduler gate)")
 	)
 	flag.Parse()
 
@@ -50,6 +51,12 @@ func main() {
 	var err error
 	if *run {
 		cur, err = runBenchmarks(*scale, *reps, *workers, os.Stderr)
+		if err == nil {
+			var sched []Entry
+			if sched, err = runSchedBenchmarks(*reps, os.Stderr); err == nil {
+				cur.Entries = append(cur.Entries, sched...)
+			}
+		}
 	} else {
 		var r io.ReadCloser = os.Stdin
 		if *parse != "-" {
@@ -62,6 +69,16 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+
+	// The scheduler gate is self-contained (it compares sched/* entries
+	// within this run), so it applies even when no baseline is configured.
+	if *run && *schedMin >= 0 {
+		if err := schedGate(cur, *schedMin); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: sched gate ok: lpt-warm beats inorder by >= %.0f%%\n", *schedMin*100)
 	}
 
 	if *outDir != "" {

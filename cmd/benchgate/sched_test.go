@@ -1,0 +1,90 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"partmb/internal/engine"
+)
+
+// TestSchedLadderModeledImprovement pins the workload design: under ideal
+// 8-lane list scheduling the sleep ladder's LPT makespan must beat row-major
+// dispatch by at least the 20% gate bar, with margin. If the ladder is ever
+// reshaped below this, the CI gate turns into a coin flip.
+func TestSchedLadderModeledImprovement(t *testing.T) {
+	durs := schedDurations()
+	costs := make([]float64, len(durs))
+	for i, d := range durs {
+		costs[i] = float64(d)
+	}
+	inorder := engine.ModelMakespan(costs, nil, schedWorkers)
+	lpt := engine.ModelMakespan(costs, engine.LPTOrder(costs), schedWorkers)
+	improve := 1 - lpt/inorder
+	if improve < 0.20 {
+		t.Fatalf("modeled improvement %.1f%% (inorder %.1fms, lpt %.1fms) below the 20%% gate bar",
+			improve*100, inorder/1e6, lpt/1e6)
+	}
+}
+
+func TestSchedGate(t *testing.T) {
+	f := file(bench("sched/inorder", 100e6), bench("sched/lpt-warm", 75e6))
+	if err := schedGate(f, 0.2); err != nil {
+		t.Fatalf("25%% improvement failed the 20%% gate: %v", err)
+	}
+	if err := schedGate(f, 0.3); err == nil {
+		t.Fatal("25% improvement passed a 30% gate")
+	}
+	if err := schedGate(file(bench("sched/inorder", 100e6)), 0.2); err == nil {
+		t.Fatal("missing lpt-warm entry passed the gate")
+	}
+	if err := schedGate(file(), 0.2); err == nil {
+		t.Fatal("empty file passed the gate")
+	}
+}
+
+// TestCompareFixedSkipsNormalization: sleep-based entries are marked Fixed
+// and must compare raw — a faster CI machine does not shorten a sleep, so
+// normalizing would manufacture fake regressions (or hide real ones).
+func TestCompareFixedSkipsNormalization(t *testing.T) {
+	fixed := Entry{Name: "sched/inorder", NsOp: 100, Fixed: true}
+	base := file(fixed)
+	base.CalNS = 1e6
+	cur := file(fixed) // identical wall time on a 2x-slower machine
+	cur.CalNS = 2e6
+	if c := compare(base, cur, 0.2); c.Failed() || c.Deltas[0].Ratio != 1 {
+		t.Fatalf("fixed entry was normalized: %+v", c.Deltas)
+	}
+	slower := file(Entry{Name: "sched/inorder", NsOp: 200, Fixed: true})
+	slower.CalNS = 2e6
+	if c := compare(base, slower, 0.2); !c.Failed() {
+		t.Fatalf("real fixed-entry slowdown hidden by normalization: %+v", c)
+	}
+}
+
+// TestRunSchedBenchmarksQuick exercises the three variants end to end once,
+// including the cost-profile disk roundtrip feeding sched/lpt-warm. The
+// strict >= 20% bar is CI's job (where the median of reps smooths noise);
+// here a loose 5% check proves the plumbing orders the variants correctly.
+func TestRunSchedBenchmarksQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sleeps ~200ms of wall time")
+	}
+	entries, err := runSchedBenchmarks(1, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("got %d entries, want 3", len(entries))
+	}
+	for _, e := range entries {
+		if !e.Fixed {
+			t.Fatalf("%s not marked Fixed", e.Name)
+		}
+		if e.NsOp <= 0 || e.Util <= 0 || e.Util > 1 {
+			t.Fatalf("%s: ns_op %v, util %v", e.Name, e.NsOp, e.Util)
+		}
+	}
+	if err := schedGate(file(entries...), 0.05); err != nil {
+		t.Fatal(err)
+	}
+}

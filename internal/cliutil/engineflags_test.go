@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -80,11 +81,64 @@ func TestEngineFlagsRunnerWiring(t *testing.T) {
 	}
 }
 
+func TestEngineFlagsScheduleAndCostFile(t *testing.T) {
+	costPath := filepath.Join(t.TempDir(), "prof.json")
+	sweep := func() engine.Stats {
+		var e EngineFlags
+		fs := flag.NewFlagSet("x", flag.ContinueOnError)
+		e.RegisterFlags(fs)
+		if err := fs.Parse([]string{"-schedule", "lpt", "-costfile", costPath}); err != nil {
+			t.Fatal(err)
+		}
+		rn, err := e.Runner()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rn.Policy() != engine.LPT {
+			t.Fatalf("policy = %q, want lpt", rn.Policy())
+		}
+		if _, err := rn.Map(context.Background(), 4, func(_ context.Context, i int) (any, error) {
+			return i, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Finish("test"); err != nil {
+			t.Fatal(err)
+		}
+		return rn.Stats()
+	}
+	if st := sweep(); st.CostWarm != 0 {
+		t.Fatalf("first run found a warm profile: %+v", st)
+	}
+	if n := engine.LoadCostProfile(costPath).Len(); n != 4 {
+		t.Fatalf("persisted profile has %d tasks, want 4", n)
+	}
+	// A second invocation warm-starts from the persisted profile.
+	if st := sweep(); st.CostWarm != 4 {
+		t.Fatalf("second run not warm: %+v", st)
+	}
+}
+
+func TestEngineFlagsCostFileDefaultsToCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	e := EngineFlags{CacheDir: dir}
+	if _, err := e.Runner(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Finish("test"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cost_profile.json")); err != nil {
+		t.Fatalf("-cachedir did not imply a cost profile: %v", err)
+	}
+}
+
 func TestEngineFlagsRejectsBadSpecs(t *testing.T) {
 	for _, e := range []EngineFlags{
 		{Faults: "bogus:0.5"},
 		{Faults: "drop:2"},
 		{Backoff: "not-a-duration"},
+		{Schedule: "fifo"},
 	} {
 		if _, err := e.Runner(); err == nil {
 			t.Errorf("Runner(%+v) accepted a bad spec", e)

@@ -63,10 +63,20 @@ func SweepPartitions(rn *engine.Runner, base Config, counts []int) ([]*Result, e
 }
 
 // sweep executes n benchmark cells through the runner, labelling errors
-// with the cell description. The engine's in-order dispatch keeps the
-// reported error the one a serial loop would have hit first.
+// with the cell description. The engine keeps the reported error the one a
+// serial loop would have hit first under every dispatch policy (see
+// engine/schedule.go), and is hinted with the size x partitions heuristic
+// so LPT dispatch can front-load the expensive cells on a cold profile.
 func sweep(rn *engine.Runner, n int, cell func(i int) (Config, string)) ([]*Result, error) {
 	r := engine.OrDefault(rn)
+	r.SetCostHint(func(i int) float64 {
+		cfg, _ := cell(i)
+		parts := cfg.Partitions
+		if parts < 1 {
+			parts = 1
+		}
+		return float64(cfg.MessageBytes) * float64(parts)
+	})
 	results, err := r.Map(context.Background(), n,
 		func(_ context.Context, i int) (any, error) {
 			cfg, label := cell(i)

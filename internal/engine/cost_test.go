@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestCostModelKeepsPeak(t *testing.T) {
+	m := NewCostModel()
+	m.Observe("exp", 2, 50*time.Millisecond) // cold compute
+	m.Observe("exp", 2, 20*time.Microsecond) // warm cache replay
+	ns, warm := m.Predict("exp", 2, 0)
+	if !warm {
+		t.Fatal("profiled task predicted cold")
+	}
+	if ns != float64(50*time.Millisecond) {
+		t.Fatalf("predicted %v ns, want the 50ms peak (warm replays must not erase cold cost)", ns)
+	}
+}
+
+func TestCostModelPredictFallbacks(t *testing.T) {
+	m := NewCostModel()
+	if ns, warm := m.Predict("exp", 0, 4096); warm || ns != 4096 {
+		t.Fatalf("cold cell with hint predicted (%v, warm=%v), want the hint", ns, warm)
+	}
+	if ns, warm := m.Predict("exp", 0, 0); warm || ns != 1 {
+		t.Fatalf("cold cell without hint predicted (%v, warm=%v), want the constant 1", ns, warm)
+	}
+	var nilModel *CostModel
+	if ns, _ := nilModel.Predict("exp", 0, 7); ns != 7 {
+		t.Fatalf("nil model predicted %v, want the hint", ns)
+	}
+	nilModel.Observe("exp", 0, time.Second) // must not panic
+}
+
+func TestCostModelRejectsBadObservations(t *testing.T) {
+	m := NewCostModel()
+	m.Observe("exp", -1, time.Second)
+	m.Observe("exp", 0, -time.Second)
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after only invalid observations", m.Len())
+	}
+}
+
+func TestCostProfileRoundtrip(t *testing.T) {
+	m := NewCostModel()
+	m.Observe("figA", 0, 3*time.Millisecond)
+	m.Observe("figA", 1, 9*time.Millisecond)
+	m.Observe("figB", 4, 2*time.Second)
+	path := filepath.Join(t.TempDir(), "nested", "cost_profile.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got := LoadCostProfile(path)
+	if got.Len() != 3 {
+		t.Fatalf("Len = %d after roundtrip, want 3", got.Len())
+	}
+	for _, tc := range []struct {
+		exp   string
+		index int
+		want  time.Duration
+	}{{"figA", 0, 3 * time.Millisecond}, {"figA", 1, 9 * time.Millisecond}, {"figB", 4, 2 * time.Second}} {
+		ns, warm := got.Predict(tc.exp, tc.index, 0)
+		if !warm || ns != float64(tc.want) {
+			t.Fatalf("%s[%d] = (%v, warm=%v), want %v", tc.exp, tc.index, ns, warm, tc.want)
+		}
+	}
+}
+
+func TestCostProfileMissingOrCorruptLoadsCold(t *testing.T) {
+	dir := t.TempDir()
+	if m := LoadCostProfile(filepath.Join(dir, "absent.json")); m.Len() != 0 {
+		t.Fatal("missing profile did not load cold")
+	}
+	bad := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if m := LoadCostProfile(bad); m.Len() != 0 {
+		t.Fatal("corrupt profile did not load cold")
+	}
+}
+
+func TestParseCostProfileRecoversGoodEntries(t *testing.T) {
+	doc := `{"schema":1,"experiments":{"exp":{
+		"0":{"n":1,"peak_ns":1000},
+		"x":{"n":1,"peak_ns":1000},
+		"-3":{"n":1,"peak_ns":1000},
+		"1":{"n":0,"peak_ns":1000},
+		"2":{"n":1,"peak_ns":-5},
+		"3":{"n":1,"peak_ns":1e30}}}}`
+	m := ParseCostProfile([]byte(doc))
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want only the one valid entry", m.Len())
+	}
+	if ns, warm := m.Predict("exp", 0, 0); !warm || ns != 1000 {
+		t.Fatalf("valid entry lost: (%v, warm=%v)", ns, warm)
+	}
+	if m := ParseCostProfile([]byte(`{"schema":99,"experiments":{}}`)); m.Len() != 0 {
+		t.Fatal("future schema not ignored")
+	}
+}
+
+func TestModelMakespanLPTBeatsInOrder(t *testing.T) {
+	// Geometric ladder, 2 lanes: in-order dispatch leaves the big cell to
+	// serialize the tail; LPT fronts it.
+	costs := []float64{1, 2, 4, 8}
+	inorder := ModelMakespan(costs, nil, 2)
+	lpt := ModelMakespan(costs, LPTOrder(costs), 2)
+	if inorder != 10 {
+		t.Fatalf("in-order makespan %v, want 10", inorder)
+	}
+	if lpt != 8 {
+		t.Fatalf("LPT makespan %v, want 8", lpt)
+	}
+	if one := ModelMakespan(costs, nil, 1); one != 15 {
+		t.Fatalf("1-lane makespan %v, want the serial sum 15", one)
+	}
+}
+
+func TestLPTOrderDeterministicTies(t *testing.T) {
+	order := LPTOrder([]float64{1, 5, 3, 5})
+	want := []int{1, 3, 2, 0} // descending cost, ties by smaller index
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// FuzzParseCostProfile pins the loader's recovery contract: arbitrary bytes
+// must never panic, and whatever loads must survive a save/load roundtrip.
+func FuzzParseCostProfile(f *testing.F) {
+	f.Add([]byte(`{"schema":1,"experiments":{"exp":{"0":{"n":2,"peak_ns":123456}}}}`))
+	f.Add([]byte(`{"schema":1,"experiments":{"":{"-1":{"n":-2,"peak_ns":-1}}}}`))
+	f.Add([]byte(`{"schema":2}`))
+	f.Add([]byte(`{not json`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"schema":1,"experiments":{"e":{"9999999999999999999":{"n":1,"peak_ns":1e308}}}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := ParseCostProfile(data)
+		path := filepath.Join(t.TempDir(), "p.json")
+		if err := m.Save(path); err != nil {
+			t.Fatalf("parsed model failed to save: %v", err)
+		}
+		if got := LoadCostProfile(path).Len(); got != m.Len() {
+			t.Fatalf("roundtrip Len %d, want %d", got, m.Len())
+		}
+	})
+}

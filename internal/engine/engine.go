@@ -27,6 +27,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
@@ -49,12 +50,17 @@ type Runner struct {
 	disk     *DiskCache
 	obs      Observer
 	epoch    time.Time
+	policy   Policy
+	cost     *CostModel
 
 	mu         sync.Mutex
 	cache      map[string]*cacheEntry
 	attempts   map[string]int64
 	experiment string
 	expRuns    map[string]int64
+	costHint   func(index int) float64
+	costWarm   int64
+	costCold   int64
 
 	cells      int64
 	runs       int64
@@ -66,6 +72,14 @@ type Runner struct {
 	diskReadB  int64
 	diskWroteB int64
 	backoffNS  int64
+
+	// Scheduling accounting (see schedule.go): per-lane busy time, the
+	// host-time span of all tasks, and predicted-vs-actual cost totals.
+	laneBusy  []int64
+	spanStart int64
+	spanEnd   int64
+	predNS    int64
+	actualNS  int64
 }
 
 // cacheEntry memoizes one cell result with singleflight semantics: the
@@ -169,10 +183,13 @@ func New(opts ...Option) *Runner {
 		retry:   DefaultRetry,
 		cache:   map[string]*cacheEntry{},
 		epoch:   time.Now(),
+		policy:  InOrder,
 	}
 	for _, o := range opts {
 		o(r)
 	}
+	r.laneBusy = make([]int64, r.workers)
+	r.spanStart = math.MaxInt64
 	return r
 }
 
@@ -218,6 +235,30 @@ type Stats struct {
 	// number of cell attempts performed under it. Runs before any label is
 	// set are keyed by "" (nil when nothing ran).
 	ExperimentRuns map[string]int64
+	// Schedule is the dispatch policy the runner ran under (see
+	// schedule.go).
+	Schedule Policy
+	// Makespan is the host-time span from the first task's start to the
+	// last task's end across every sweep the runner ran (0 when no task
+	// ran).
+	Makespan time.Duration
+	// LaneBusy is the total busy time per worker lane; the gap to Makespan
+	// is that lane's idle time.
+	LaneBusy []time.Duration
+	// Utilization is total busy time over workers x Makespan, in [0,1].
+	Utilization float64
+	// PredictedCost / ActualCost total the scheduler's per-task cost
+	// predictions and the observed per-task host times. Predictions only
+	// exist when a cost model or hint was installed, and are true
+	// nanoseconds only for warm (profiled) tasks — an all-cold sweep's
+	// predictions are the hint's arbitrary units, useful for ranking but
+	// not comparable to ActualCost.
+	PredictedCost time.Duration
+	ActualCost    time.Duration
+	// CostWarm / CostCold count tasks predicted from the observed profile
+	// vs from the heuristic hint (see CostModel.Predict).
+	CostWarm int64
+	CostCold int64
 }
 
 func (s Stats) String() string {
@@ -231,6 +272,17 @@ func (s Stats) String() string {
 	}
 	if labels := s.labeledRuns(); len(labels) > 0 {
 		out += ", runs by experiment: " + strings.Join(labels, " ")
+	}
+	// Scheduling report last: the cache-accounting prefix above is parsed
+	// positionally by CI, so new sections only ever append.
+	if s.Makespan > 0 {
+		out += fmt.Sprintf(", schedule %s: makespan %v, %d lanes %.1f%% busy",
+			s.Schedule, s.Makespan.Round(time.Microsecond), len(s.LaneBusy), 100*s.Utilization)
+		if s.CostWarm+s.CostCold > 0 {
+			out += fmt.Sprintf(", predicted %v vs actual %v (%d warm, %d cold)",
+				s.PredictedCost.Round(time.Microsecond), s.ActualCost.Round(time.Microsecond),
+				s.CostWarm, s.CostCold)
+		}
 	}
 	return out
 }
@@ -264,8 +316,22 @@ func (r *Runner) Stats() Stats {
 		DiskReadBytes:  atomic.LoadInt64(&r.diskReadB),
 		DiskWriteBytes: atomic.LoadInt64(&r.diskWroteB),
 		Backoff:        sim.Duration(atomic.LoadInt64(&r.backoffNS)),
+		Schedule:       r.policy,
+		PredictedCost:  time.Duration(atomic.LoadInt64(&r.predNS)),
+		ActualCost:     time.Duration(atomic.LoadInt64(&r.actualNS)),
+	}
+	st.LaneBusy = make([]time.Duration, len(r.laneBusy))
+	var busy time.Duration
+	for i := range r.laneBusy {
+		st.LaneBusy[i] = time.Duration(atomic.LoadInt64(&r.laneBusy[i]))
+		busy += st.LaneBusy[i]
+	}
+	if start, end := atomic.LoadInt64(&r.spanStart), atomic.LoadInt64(&r.spanEnd); end > start {
+		st.Makespan = time.Duration(end - start)
+		st.Utilization = float64(busy) / (float64(len(r.laneBusy)) * float64(st.Makespan))
 	}
 	r.mu.Lock()
+	st.CostWarm, st.CostCold = r.costWarm, r.costCold
 	if len(r.attempts) > 0 {
 		st.Attempts = make(map[string]int64, len(r.attempts))
 		for k, v := range r.attempts {
@@ -419,12 +485,15 @@ func (r *Runner) compute(key string, decode decodeFunc, fn func() (any, error)) 
 }
 
 // Grid evaluates cell over an nRows x nCols grid on the worker pool and
-// returns the results in row-major order. Cells are dispatched in row-major
-// order; after the first error no further cells start, the context passed
-// to running cells is cancelled, and the returned error is the one from the
+// returns the results in row-major order. Dispatch order follows the
+// runner's schedule policy (row-major under InOrder, predicted-cost
+// descending under LPT; see schedule.go) but results, memoization, and
+// error selection are policy-independent. After the first error, cells
+// above the failure bound are no longer dispatched and running cells above
+// it have their contexts cancelled; the returned error is the one from the
 // smallest row-major index that failed — deterministic regardless of
-// worker interleaving, because in-order dispatch guarantees the minimal
-// failing index is always dispatched before scheduling stops.
+// dispatch order and worker interleaving (the invariant schedule.go
+// documents).
 func (r *Runner) Grid(ctx context.Context, nRows, nCols int, cell func(ctx context.Context, row, col int) (any, error)) ([][]any, error) {
 	cells := make([][]any, nRows)
 	for i := range cells {
@@ -462,14 +531,17 @@ type indexedError struct {
 }
 
 func (r *Runner) run(ctx context.Context, n int, fn func(ctx context.Context, i int) (any, error)) ([]any, error) {
+	// Consume the sweep hint even for empty sweeps, so a hint set for this
+	// sweep can never leak into the next one.
+	hint := r.takeCostHint()
 	if n == 0 {
 		return nil, nil
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
+	exp := r.Experiment()
+	plan := r.plan(n, exp, hint)
 
 	results := make([]any, n)
 	// Worker lanes double as the concurrency bound and, for the observer,
@@ -481,25 +553,57 @@ func (r *Runner) run(ctx context.Context, n int, fn func(ctx context.Context, i 
 	}
 	var wg sync.WaitGroup
 	var mu sync.Mutex
-	var first *indexedError
+	var firstReal, firstCancel *indexedError
+	running := map[int]context.CancelFunc{}
 	done := 0
+
+	// bound is the smallest recorded failing index (n while error-free):
+	// indices above it are skipped or cancelled, indices below it always
+	// run to natural completion — the determinism invariant schedule.go
+	// documents. Callers hold mu.
+	bound := func() int {
+		b := n
+		if firstReal != nil && firstReal.index < b {
+			b = firstReal.index
+		}
+		if firstCancel != nil && firstCancel.index < b {
+			b = firstCancel.index
+		}
+		return b
+	}
 
 	fail := func(i int, err error) {
 		isCancel := IsCancellation(err)
 		mu.Lock()
-		better := first == nil ||
-			(!isCancel && first.cancel) ||
-			(isCancel == first.cancel && i < first.index)
-		if better {
-			first = &indexedError{index: i, err: err, cancel: isCancel}
+		if isCancel {
+			if firstCancel == nil || i < firstCancel.index {
+				firstCancel = &indexedError{index: i, err: err, cancel: true}
+			}
+		} else if firstReal == nil || i < firstReal.index {
+			firstReal = &indexedError{index: i, err: err}
+		}
+		// Fail fast above the bound only: cancelling a smaller index could
+		// change its outcome and with it the reported error.
+		b := bound()
+		for idx, cancelTask := range running {
+			if idx > b {
+				cancelTask()
+			}
 		}
 		mu.Unlock()
-		cancel() // stop dispatch and signal running cells promptly
 	}
 
-	for i := 0; i < n; i++ {
-		// Stop dispatching as soon as an error or cancellation is recorded;
-		// cells already running drain on wg.Wait below.
+	for k := 0; k < n; k++ {
+		i := k
+		if plan.order != nil {
+			i = plan.order[k]
+		}
+		mu.Lock()
+		skip := i > bound()
+		mu.Unlock()
+		if skip {
+			continue
+		}
 		var lane int
 		select {
 		case <-ctx.Done():
@@ -508,24 +612,41 @@ func (r *Runner) run(ctx context.Context, n int, fn func(ctx context.Context, i 
 		if ctx.Err() != nil {
 			break
 		}
+		// Re-check under mu: the bound may have tightened while waiting for
+		// a lane, and registering in running must be atomic with the check
+		// so fail() either sees this task or the dispatch loop skips it.
+		mu.Lock()
+		if i > bound() {
+			mu.Unlock()
+			lanes <- lane
+			continue
+		}
+		tctx, cancelTask := context.WithCancel(ctx)
+		running[i] = cancelTask
+		mu.Unlock()
 		atomic.AddInt64(&r.cells, 1)
 		wg.Add(1)
-		go func(i, lane int) {
+		go func(i, lane int, tctx context.Context, cancelTask context.CancelFunc) {
 			defer wg.Done()
 			defer func() { lanes <- lane }()
-			var start time.Duration
-			if r.obs != nil {
-				start = time.Since(r.epoch)
-			}
-			v, err := fn(ctx, i)
+			start := time.Since(r.epoch)
+			v, err := fn(tctx, i)
+			end := time.Since(r.epoch)
+			mu.Lock()
+			delete(running, i)
+			mu.Unlock()
+			cancelTask() // release the per-task context
+			pred := plan.predicted(i)
+			r.recordTask(exp, i, lane, start, end, pred)
 			if r.obs != nil {
 				r.obs.TaskDone(TaskEvent{
-					Experiment: r.Experiment(),
+					Experiment: exp,
 					Index:      i,
 					Worker:     lane,
 					Err:        err,
 					Start:      start,
-					End:        time.Since(r.epoch),
+					End:        end,
+					Predicted:  time.Duration(pred),
 				})
 			}
 			if err != nil {
@@ -540,15 +661,48 @@ func (r *Runner) run(ctx context.Context, n int, fn func(ctx context.Context, i 
 				r.progress(done, n)
 				mu.Unlock()
 			}
-		}(i, lane)
+		}(i, lane, tctx, cancelTask)
 	}
 	wg.Wait()
 
-	if first != nil {
-		return nil, first.err
+	if firstReal != nil {
+		return nil, firstReal.err
+	}
+	if firstCancel != nil {
+		return nil, firstCancel.err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return results, nil
+}
+
+// recordTask folds one completed task into the scheduling accounting: its
+// lane's busy time, the runner-wide task span (makespan), the
+// predicted-vs-actual cost totals, and the cost model's observed profile.
+func (r *Runner) recordTask(exp string, i, lane int, start, end time.Duration, pred float64) {
+	busy := int64(end - start)
+	if busy < 0 {
+		busy = 0
+	}
+	if lane >= 0 && lane < len(r.laneBusy) {
+		atomic.AddInt64(&r.laneBusy[lane], busy)
+	}
+	atomic.AddInt64(&r.actualNS, busy)
+	if pred > 0 && pred <= maxCostNS {
+		atomic.AddInt64(&r.predNS, int64(pred))
+	}
+	for {
+		cur := atomic.LoadInt64(&r.spanStart)
+		if int64(start) >= cur || atomic.CompareAndSwapInt64(&r.spanStart, cur, int64(start)) {
+			break
+		}
+	}
+	for {
+		cur := atomic.LoadInt64(&r.spanEnd)
+		if int64(end) <= cur || atomic.CompareAndSwapInt64(&r.spanEnd, cur, int64(end)) {
+			break
+		}
+	}
+	r.cost.Observe(exp, i, end-start)
 }

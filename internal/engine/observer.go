@@ -10,8 +10,11 @@ import "time"
 // metric summaries, and a Chrome-trace view of the host schedule.
 //
 // Observation is strictly passive and nil-safe: with no observer installed
-// the runner takes no timestamps and allocates nothing, so sweeps without
-// -journal/-metrics/-tracefile pay zero cost.
+// no events are built and nothing is allocated. Task timestamps themselves
+// are always taken — they feed the runner's scheduling accounting
+// (Stats.Makespan, lane busy times, the cost model's observed profile) —
+// but that is two monotonic clock reads per task, invisible next to a
+// simulation cell.
 
 // CellSource says where a cell's result came from.
 type CellSource string
@@ -62,6 +65,10 @@ type TaskEvent struct {
 	// every task of one runner shares a single epoch and the schedule can
 	// be rendered as a timeline.
 	Start, End time.Duration
+	// Predicted is the scheduler's cost prediction for the task (0 when no
+	// cost model or hint was installed). Like Start/End it is volatile:
+	// predictions derive from host timings.
+	Predicted time.Duration
 }
 
 // Observer receives engine events. Implementations must be safe for

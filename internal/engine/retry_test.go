@@ -11,15 +11,17 @@ import (
 
 // TestSharedCellRecoversAfterSiblingFailure is the poisoning regression: a
 // keyed cell aborted mid-computation because a sibling cell failed first
-// (so it returns the sweep context's cancellation error) must stay
+// (so it returns its task context's cancellation error) must stay
 // re-runnable on the same Runner. The old cache memoized the cancellation
-// under the cell's key forever.
+// under the cell's key forever. The shared cell sits at the higher index:
+// under the failure-bound discipline (see schedule.go) only cells above the
+// failing index are cancelled.
 func TestSharedCellRecoversAfterSiblingFailure(t *testing.T) {
 	rn := New(Workers(2))
 	boom := errors.New("boom")
 	started := make(chan struct{})
 	_, err := rn.Map(context.Background(), 2, func(ctx context.Context, i int) (any, error) {
-		if i == 1 {
+		if i == 0 {
 			<-started // fail only once the shared cell is mid-flight
 			return nil, boom
 		}
@@ -54,17 +56,20 @@ func TestDoDoesNotCacheCancellation(t *testing.T) {
 	}
 }
 
-// TestDeadlineRanksBelowRealError: a cell that reports DeadlineExceeded at a
-// lower index (because the sweep context was torn down) must not mask the
-// real error that caused the teardown.
+// TestDeadlineRanksBelowRealError: a cell that reports a cancellation-class
+// error (here a spontaneous DeadlineExceeded at the lower index) must not
+// mask the real error elsewhere in the grid — real failures outrank
+// cancellations regardless of index.
 func TestDeadlineRanksBelowRealError(t *testing.T) {
 	rn := New(Workers(2))
 	boom := errors.New("boom")
+	started := make(chan struct{})
 	_, err := rn.Map(context.Background(), 2, func(ctx context.Context, i int) (any, error) {
 		if i == 1 {
+			close(started)
 			return nil, boom
 		}
-		<-ctx.Done()
+		<-started // both cells are dispatched before either failure records
 		return nil, context.DeadlineExceeded
 	})
 	if !errors.Is(err, boom) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"partmb/internal/engine"
@@ -160,6 +161,52 @@ func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 	if !reflect.DeepEqual(st1.Attempts, st8.Attempts) {
 		t.Fatalf("attempt maps differ:\n1: %v\n8: %v", st1.Attempts, st8.Attempts)
+	}
+}
+
+// TestLPTSweepReportsSmallestFaultedIndex is the scheduler's fail-fast
+// determinism check under injected faults: with retries disabled every
+// injected fault is a real cell error, and with an adversarial cost hint
+// LPT dispatches the LARGEST indices first — yet the sweep must always
+// report the error of the smallest faulted index, at every worker count.
+func TestLPTSweepReportsSmallestFaultedIndex(t *testing.T) {
+	const n, seed, prob = 32, 11, 0.25
+	key := func(i int) string { return fmt.Sprintf("cell-%02d", i) }
+	probe, err := New(Drop, prob, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -1
+	for i := 0; i < n; i++ {
+		if probe.Inject(key(i), 1) != nil {
+			want = i
+			break
+		}
+	}
+	if want < 0 {
+		t.Fatalf("seed %d faults no cell in %d — pick another seed", seed, n)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		for trial := 0; trial < 5; trial++ {
+			in, err := New(Drop, prob, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rn := engine.New(
+				engine.Workers(workers),
+				engine.WithFaults(in),
+				engine.WithRetry(engine.RetryPolicy{MaxAttempts: 1}),
+				engine.WithSchedule(engine.LPT),
+				engine.WithCostModel(engine.NewCostModel()),
+			)
+			rn.SetCostHint(func(i int) float64 { return float64(i + 1) })
+			_, err = rn.Map(context.Background(), n, func(_ context.Context, i int) (any, error) {
+				return rn.Do(key(i), func() (any, error) { return i, nil })
+			})
+			if err == nil || !strings.Contains(err.Error(), "(cell "+key(want)+",") {
+				t.Fatalf("workers=%d trial %d: err = %v, want the fault at %s", workers, trial, err, key(want))
+			}
+		}
 	}
 }
 

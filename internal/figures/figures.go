@@ -129,9 +129,16 @@ func (e Env) metricSpec() *platform.Spec {
 	return e.Spec.Resolved().WithThreadMode(mpi.Multiple)
 }
 
-// grid evaluates cell over the rows x cols grid on the runner's worker pool.
-func (e Env) grid(rows, cols int, cell func(r, c int) (any, error)) ([][]any, error) {
-	return e.runner().Grid(context.Background(), rows, cols,
+// grid evaluates cell over the rows x cols grid on the runner's worker
+// pool. hint is the per-cell relative cost heuristic handed to the
+// engine's scheduler for cold cells (nil = unhinted; see
+// engine.Runner.SetCostHint).
+func (e Env) grid(rows, cols int, hint func(r, c int) float64, cell func(r, c int) (any, error)) ([][]any, error) {
+	rn := e.runner()
+	if hint != nil {
+		rn.SetCostHint(func(i int) float64 { return hint(i/cols, i%cols) })
+	}
+	return rn.Grid(context.Background(), rows, cols,
 		func(ctx context.Context, r, c int) (any, error) { return cell(r, c) })
 }
 
@@ -154,7 +161,7 @@ func (e Env) Fig4(sc Scale) ([]*report.Table, error) {
 		t := report.New(
 			fmt.Sprintf("Figure 4 (%s cache): overhead t_part/t_pt2pt, 10ms compute, no noise", cache),
 			append([]string{"size"}, partColumns(sc.PartCounts, "p=%d")...)...)
-		cells, err := e.grid(len(sc.MetricSizes), len(sc.PartCounts), func(r, col int) (any, error) {
+		cells, err := e.grid(len(sc.MetricSizes), len(sc.PartCounts), metricHint(sc.MetricSizes, sc.PartCounts), func(r, col int) (any, error) {
 			size, parts := sc.MetricSizes[r], sc.PartCounts[col]
 			if size%int64(parts) != 0 {
 				return nil, nil
@@ -177,6 +184,12 @@ func (e Env) Fig4(sc Scale) ([]*report.Table, error) {
 		tables = append(tables, t)
 	}
 	return tables, nil
+}
+
+// metricHint is the size x partitions cost heuristic of the metric figures:
+// the dominant LogGP-style terms of a cell's simulation cost.
+func metricHint(sizes []int64, counts []int) func(r, c int) float64 {
+	return func(r, c int) float64 { return float64(sizes[r]) * float64(counts[c]) }
 }
 
 // addGridRows appends one row per size with the grid's cells.
@@ -209,7 +222,7 @@ func (e Env) Fig5(sc Scale) ([]*report.Table, error) {
 			t := report.New(
 				fmt.Sprintf("Figure 5 (compute=%v, uniform noise=%.0f%%): perceived bandwidth GB/s", comp, noisePct),
 				append([]string{"size"}, partColumns(sc.PartCounts, "p=%d")...)...)
-			cells, err := e.grid(len(sc.MetricSizes), len(sc.PartCounts), func(r, col int) (any, error) {
+			cells, err := e.grid(len(sc.MetricSizes), len(sc.PartCounts), metricHint(sc.MetricSizes, sc.PartCounts), func(r, col int) (any, error) {
 				size, parts := sc.MetricSizes[r], sc.PartCounts[col]
 				if size%int64(parts) != 0 {
 					return nil, nil
@@ -246,7 +259,7 @@ func (e Env) Fig6(sc Scale) ([]*report.Table, error) {
 		t := report.New(
 			fmt.Sprintf("Figure 6 (compute=%v): application availability, single-thread delay 4%%, hot cache", comp),
 			append([]string{"size"}, partColumns(counts, "p=%d")...)...)
-		cells, err := e.grid(len(sc.MetricSizes), len(counts), func(r, col int) (any, error) {
+		cells, err := e.grid(len(sc.MetricSizes), len(counts), metricHint(sc.MetricSizes, counts), func(r, col int) (any, error) {
 			size, parts := sc.MetricSizes[r], counts[col]
 			if size%int64(parts) != 0 {
 				return nil, nil
@@ -284,7 +297,9 @@ func (e Env) Fig7(sc Scale) ([]*report.Table, error) {
 			sizes = append(sizes, size)
 		}
 	}
-	cells, err := e.grid(len(sizes), len(models), func(r, col int) (any, error) {
+	cells, err := e.grid(len(sizes), len(models), func(r, c int) float64 {
+		return float64(sizes[r]) * 16
+	}, func(r, col int) (any, error) {
 		cfg := e.metricCfg(sc)
 		cfg.MessageBytes = sizes[r]
 		cfg.Partitions = 16
@@ -314,7 +329,7 @@ func (e Env) Fig8(sc Scale) ([]*report.Table, error) {
 		t := report.New(
 			fmt.Sprintf("Figure 8 (compute=%v): %% early-bird communication, uniform 4%% noise, hot cache", comp),
 			append([]string{"size"}, partColumns(counts, "p=%d")...)...)
-		cells, err := e.grid(len(sc.MetricSizes), len(counts), func(r, col int) (any, error) {
+		cells, err := e.grid(len(sc.MetricSizes), len(counts), metricHint(sc.MetricSizes, counts), func(r, col int) (any, error) {
 			size, parts := sc.MetricSizes[r], counts[col]
 			if size%int64(parts) != 0 {
 				return nil, nil
@@ -368,7 +383,9 @@ func (e Env) figSweep(sc Scale, figure string, comp sim.Duration) ([]*report.Tab
 		fmt.Sprintf("%s: Sweep3D throughput GB/s, %v compute, 4%% single noise, hot cache", figure, comp),
 		cols...)
 	spec := e.Spec.Resolved().WithNoise(noise.SingleThread, 4)
-	cells, err := e.grid(len(sc.SweepSizes), len(series), func(r, col int) (any, error) {
+	cells, err := e.grid(len(sc.SweepSizes), len(series), func(r, c int) float64 {
+		return float64(sc.SweepSizes[r]) * float64(series[c].threads)
+	}, func(r, col int) (any, error) {
 		cfg := patterns.SweepConfig{
 			Px: sc.SweepGridPx, Py: sc.SweepGridPy,
 			Threads:        series[col].threads,
@@ -420,7 +437,9 @@ func (e Env) figHalo(sc Scale, figure string, comp sim.Duration) ([]*report.Tabl
 			}
 		}
 		modes := patterns.Modes()
-		cells, err := e.grid(len(sizes), len(modes), func(r, col int) (any, error) {
+		cells, err := e.grid(len(sizes), len(modes), func(r, c int) float64 {
+			return float64(sizes[r]) * float64(threads)
+		}, func(r, col int) (any, error) {
 			cfg := patterns.HaloConfig{
 				Nx: sc.HaloGrid, Ny: sc.HaloGrid, Nz: sc.HaloGrid,
 				ThreadsPerDim: tpd,

@@ -1,0 +1,71 @@
+package figures
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"partmb/internal/engine"
+	"partmb/internal/obs"
+)
+
+// TestPolicyWorkersByteIdentity is the scheduling acceptance property: for
+// every dispatch policy and worker count, a figure's CSV tables AND its
+// deterministic obs journal are byte-identical to the in-order single-worker
+// run — the dispatch order may only move wall-clock time around. The
+// in-order baseline is additionally pinned to the committed golden file, so
+// "identical to each other but all wrong" cannot pass.
+func TestPolicyWorkersByteIdentity(t *testing.T) {
+	sc := goldenScale()
+	for _, fig := range []int{4, 9} {
+		fig := fig
+		t.Run(fmt.Sprintf("fig%02d", fig), func(t *testing.T) {
+			render := func(policy engine.Policy, workers int) (csv, journal []byte) {
+				col := obs.NewCollector()
+				rn := engine.New(
+					engine.Workers(workers),
+					engine.WithSchedule(policy),
+					engine.WithCostModel(engine.NewCostModel()),
+					engine.WithObserver(col),
+				)
+				tables, err := Env{Runner: rn}.Generate(fig, sc)
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", policy, workers, err)
+				}
+				var buf bytes.Buffer
+				for _, tab := range tables {
+					if err := tab.WriteCSV(&buf); err != nil {
+						t.Fatal(err)
+					}
+				}
+				var jbuf bytes.Buffer
+				if err := obs.WriteJournal(&jbuf, "test", col, false); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes(), jbuf.Bytes()
+			}
+
+			wantCSV, wantJournal := render(engine.InOrder, 1)
+			golden, err := os.ReadFile(filepath.Join("testdata", fmt.Sprintf("fig%02d.golden", fig)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wantCSV, golden) {
+				t.Fatal("in-order baseline diverged from the committed golden file")
+			}
+			for _, policy := range engine.Policies() {
+				for _, workers := range []int{1, 2, 8} {
+					csv, journal := render(policy, workers)
+					if !bytes.Equal(csv, wantCSV) {
+						t.Errorf("%s workers=%d changed the CSV tables", policy, workers)
+					}
+					if !bytes.Equal(journal, wantJournal) {
+						t.Errorf("%s workers=%d changed the deterministic journal", policy, workers)
+					}
+				}
+			}
+		})
+	}
+}

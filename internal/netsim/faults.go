@@ -22,7 +22,18 @@ type Faults struct {
 
 	// Retransmits counts injected retransmissions (for reporting).
 	Retransmits int64
+	// Truncations counts messages whose loss streak hit
+	// MaxRetransmitStreak and was cut short, so reports can flag that the
+	// injected delay distribution was clipped.
+	Truncations int64
 }
+
+// MaxRetransmitStreak bounds the consecutive losses injected on a single
+// message. Real transports give up and reset the connection long before
+// this; for the simulator the bound keeps near-1 drop probabilities from
+// stalling a cell in a nearly-endless RNG loop (at dropProb=0.99 the
+// expected streak is 99 draws, but the tail is unbounded without a cap).
+const MaxRetransmitStreak = 100
 
 // NewFaults builds a fault model. dropProb must be in [0, 1); the
 // retransmit timeout must be positive when dropProb > 0.
@@ -41,7 +52,8 @@ func NewFaults(dropProb float64, rto sim.Duration, seed int64) *Faults {
 }
 
 // Delay samples the extra delivery delay for one message: zero when the
-// first transmission gets through, k*RTO after k consecutive losses.
+// first transmission gets through, k*RTO after k consecutive losses, with
+// k capped at MaxRetransmitStreak (Truncations counts clipped streaks).
 func (f *Faults) Delay() sim.Duration {
 	if f == nil || f.dropProb == 0 {
 		return 0
@@ -49,6 +61,10 @@ func (f *Faults) Delay() sim.Duration {
 	var k int64
 	for f.rng.Float64() < f.dropProb {
 		k++
+		if k >= MaxRetransmitStreak {
+			f.Truncations++
+			break
+		}
 	}
 	f.Retransmits += k
 	return sim.Duration(k) * f.rto

@@ -52,6 +52,25 @@ func TestDelayDeterministicForSeed(t *testing.T) {
 	}
 }
 
+func TestDelayStreakBounded(t *testing.T) {
+	// At dropProb=0.99 the expected loss streak is 99 draws with an
+	// unbounded tail; the cap must keep every sampled delay finite and
+	// count the clipped streaks.
+	f := NewFaults(0.99, sim.Millisecond, 42)
+	max := sim.Duration(MaxRetransmitStreak) * sim.Millisecond
+	for i := 0; i < 5000; i++ {
+		if d := f.Delay(); d > max {
+			t.Fatalf("delay %v exceeds the %v streak cap", d, max)
+		}
+	}
+	if f.Truncations == 0 {
+		t.Fatal("no truncations counted at dropProb=0.99")
+	}
+	if f.Truncations > 5000 {
+		t.Fatalf("%d truncations for 5000 messages", f.Truncations)
+	}
+}
+
 func TestFaultsValidation(t *testing.T) {
 	for name, f := range map[string]func(){
 		"prob 1":   func() { NewFaults(1, sim.Microsecond, 1) },

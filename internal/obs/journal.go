@@ -63,6 +63,7 @@ func WriteJournal(w io.Writer, tool string, c *Collector, withHost bool) error {
 	if !withHost {
 		for i := range tasks {
 			tasks[i].Worker, tasks[i].StartNS, tasks[i].EndNS = 0, 0, 0
+			tasks[i].PredNS = 0
 		}
 		for i := range cells {
 			cells[i].HostNS = 0

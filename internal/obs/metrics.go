@@ -42,6 +42,32 @@ type ExperimentSummary struct {
 	// (first task start to last task end) — the engine-level throughput
 	// figure the perf gate tracks.
 	CellsPerSec float64 `json:"cells_per_sec,omitempty"`
+	// PredictedNS totals the scheduler's per-task cost predictions (0 when
+	// no cost model or hint was installed; compare with Host.TotalNS for
+	// prediction accuracy).
+	PredictedNS int64 `json:"predicted_ns,omitempty"`
+}
+
+// ScheduleSummary describes how the engine packed the sweep onto its
+// worker lanes: the makespan (first task start to last task end), total
+// lane busy and idle time, and the utilization the dispatch policy
+// achieved. This is the observability view of engine.Stats' scheduling
+// fields, reconstructed purely from task records.
+type ScheduleSummary struct {
+	// Workers is the number of distinct lanes tasks ran on.
+	Workers int `json:"workers"`
+	// MakespanNS spans the first task start to the last task end.
+	MakespanNS int64 `json:"makespan_ns"`
+	// BusyNS totals per-task host time across all lanes; IdleNS is
+	// Workers x Makespan minus BusyNS.
+	BusyNS int64 `json:"busy_ns"`
+	IdleNS int64 `json:"idle_ns"`
+	// UtilizationPct is 100 x BusyNS / (Workers x MakespanNS).
+	UtilizationPct float64 `json:"utilization_pct"`
+	// PredictedNS / ActualNS total the scheduler's cost predictions and
+	// the observed task times.
+	PredictedNS int64 `json:"predicted_ns,omitempty"`
+	ActualNS    int64 `json:"actual_ns"`
 }
 
 // Metrics is the aggregated metrics document.
@@ -50,6 +76,9 @@ type Metrics struct {
 	Tool        string              `json:"tool,omitempty"`
 	Experiments []ExperimentSummary `json:"experiments"`
 	Totals      ExperimentSummary   `json:"totals"`
+	// Schedule summarizes lane packing across the whole run (nil when no
+	// task ran).
+	Schedule *ScheduleSummary `json:"schedule,omitempty"`
 }
 
 // BuildMetrics aggregates the collector's records per experiment label.
@@ -73,7 +102,38 @@ func BuildMetrics(tool string, c *Collector) Metrics {
 		m.Experiments = append(m.Experiments, summarize(name, tasks, cells, func(exp string) bool { return exp == name }))
 	}
 	m.Totals = summarize("total", tasks, cells, func(string) bool { return true })
+	m.Schedule = summarizeSchedule(tasks)
 	return m
+}
+
+// summarizeSchedule reconstructs the lane-packing summary from the task
+// records (nil when none).
+func summarizeSchedule(tasks []Task) *ScheduleSummary {
+	if len(tasks) == 0 {
+		return nil
+	}
+	s := &ScheduleSummary{}
+	workers := map[int]bool{}
+	var span0, span1 int64
+	for i, t := range tasks {
+		workers[t.Worker] = true
+		s.BusyNS += t.EndNS - t.StartNS
+		s.PredictedNS += t.PredNS
+		if i == 0 || t.StartNS < span0 {
+			span0 = t.StartNS
+		}
+		if t.EndNS > span1 {
+			span1 = t.EndNS
+		}
+	}
+	s.Workers = len(workers)
+	s.ActualNS = s.BusyNS
+	if s.MakespanNS = span1 - span0; s.MakespanNS > 0 {
+		avail := int64(s.Workers) * s.MakespanNS
+		s.IdleNS = avail - s.BusyNS
+		s.UtilizationPct = 100 * float64(s.BusyNS) / float64(avail)
+	}
+	return s
 }
 
 // summarize aggregates the records whose experiment label passes keep.
@@ -86,6 +146,7 @@ func summarize(name string, tasks []Task, cells []Cell, keep func(string) bool) 
 			continue
 		}
 		s.Tasks++
+		s.PredictedNS += t.PredNS
 		durs = append(durs, float64(t.EndNS-t.StartNS))
 		if span0 == 0 || t.StartNS < span0 {
 			span0 = t.StartNS

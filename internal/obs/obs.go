@@ -58,8 +58,8 @@ type Cell struct {
 }
 
 // Task is the journal record of one scheduled grid/map slot. Worker,
-// StartNS, and EndNS are volatile (schedule-dependent); the rest is
-// deterministic.
+// StartNS, EndNS, and PredNS are volatile (schedule-dependent); the rest
+// is deterministic.
 type Task struct {
 	Experiment string `json:"exp,omitempty"`
 	// Index is the row-major dispatch index within the task's grid/map.
@@ -71,6 +71,10 @@ type Task struct {
 	// Volatile.
 	StartNS int64 `json:"start_ns,omitempty"`
 	EndNS   int64 `json:"end_ns,omitempty"`
+	// PredNS is the scheduler's cost prediction for the task (0 when no
+	// cost model or hint was installed). Volatile: predictions derive from
+	// host timings.
+	PredNS int64 `json:"pred_ns,omitempty"`
 }
 
 // Collector accumulates engine events in memory. It is safe for concurrent
@@ -115,6 +119,7 @@ func (c *Collector) TaskDone(ev engine.TaskEvent) {
 		Outcome:    outcomeOf(ev.Err),
 		StartNS:    int64(ev.Start),
 		EndNS:      int64(ev.End),
+		PredNS:     int64(ev.Predicted),
 	}
 	c.mu.Lock()
 	c.tasks = append(c.tasks, rec)

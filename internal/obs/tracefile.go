@@ -21,9 +21,14 @@ func WriteChromeTrace(w io.Writer, c *Collector) error {
 		if name == "" {
 			name = "task"
 		}
+		args := map[string]string{"outcome": t.Outcome, "index": fmt.Sprint(t.Index)}
+		if t.PredNS > 0 {
+			// Predicted vs actual span length shows the scheduler's cost
+			// model accuracy directly in the trace viewer.
+			args["pred_ns"] = fmt.Sprint(t.PredNS)
+		}
 		rec.Span(0, t.Worker, "engine", fmt.Sprintf("%s[%d]", name, t.Index),
-			sim.Time(t.StartNS), sim.Time(t.EndNS),
-			map[string]string{"outcome": t.Outcome, "index": fmt.Sprint(t.Index)})
+			sim.Time(t.StartNS), sim.Time(t.EndNS), args)
 	}
 	return rec.WriteChromeTrace(w)
 }
