@@ -1,6 +1,7 @@
 package partmb_test
 
 import (
+	"fmt"
 	"testing"
 
 	"partmb/internal/classic"
@@ -199,6 +200,40 @@ func BenchmarkPartitionedEpoch(b *testing.B) {
 	b.ResetTimer()
 	if err := s.Run(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-kernel benchmark: one large Halo3D simulation (512 ranks) per op
+// at several event-loop shard counts. The virtual result is identical at
+// every shard count (pinned by the patterns identity tests); the wall-clock
+// ratio between sub-benchmarks is the multi-core speedup the sharded DES
+// loop buys. cmd/benchgate runs the same workload in-process and gates the
+// shards=8 speedup (see its shards.go).
+// ---------------------------------------------------------------------------
+
+func BenchmarkShardedHalo3D(b *testing.B) {
+	for _, shards := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := patterns.RunHalo3D(patterns.HaloConfig{
+					Nx: 8, Ny: 8, Nz: 8,
+					ThreadsPerDim: 1,
+					FaceBytes:     4096,
+					Compute:       200 * sim.Microsecond,
+					Repeats:       2,
+					Mode:          patterns.Single,
+					Shards:        shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Messages == 0 {
+					b.Fatal("no messages")
+				}
+			}
+		})
 	}
 }
 

@@ -78,15 +78,19 @@ type File struct {
 }
 
 // calibrate measures a fixed, deterministic CPU workload (hashing 32 MiB)
-// and returns the fastest of three timings — the machine's current speed
-// with the least scheduling noise.
+// and returns the fastest of five timings — the machine's current speed
+// with the least scheduling noise. Callers in -run mode sample it both
+// before and after the measured figures and keep the minimum: on throttled
+// shared hosts the available CPU can drift 2x over the minutes a run
+// takes, and the min of two peak-speed estimates is far more stable across
+// runs than a single sample at process start.
 func calibrate() float64 {
 	buf := make([]byte, 64<<10)
 	for i := range buf {
 		buf[i] = byte(i)
 	}
 	best := math.MaxFloat64
-	for rep := 0; rep < 3; rep++ {
+	for rep := 0; rep < 5; rep++ {
 		t0 := time.Now()
 		for i := 0; i < 512; i++ {
 			sum := sha256.Sum256(buf)
@@ -145,10 +149,15 @@ func NextBenchPath(dir string) (string, error) {
 	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next)), nil
 }
 
-// runBenchmarks measures every paper figure at the given scale, median of
+// runBenchmarks measures every paper figure at the given scale, best of
 // reps wall-clock runs each on a fresh runner (in-memory memoization on,
 // like real sweeps; nothing shared between reps, so every rep pays the
-// full cost).
+// full cost). Reps are interleaved rep-major — every figure's rep 1, then
+// every figure's rep 2, ... — so each figure's samples spread across the
+// whole multi-minute run, and the fastest sample is kept: throttled
+// shared hosts drift between load regimes on a minutes scale, and the
+// minimum of time-spread samples is the estimator least sensitive to
+// which regime a run happened to start in (same discipline as calibrate).
 func runBenchmarks(scaleName string, reps, workers int, progress io.Writer) (File, error) {
 	sc, err := figures.ScaleByName(scaleName)
 	if err != nil {
@@ -161,12 +170,14 @@ func runBenchmarks(scaleName string, reps, workers int, progress io.Writer) (Fil
 	if progress != nil {
 		fmt.Fprintf(progress, "benchgate: calibration workload: %.1f ms\n", f.CalNS/1e6)
 	}
-	for _, fig := range figures.Numbers() {
-		var nsSamples, cpsSamples []float64
-		// rep -1 is an untimed warmup: the first pass over a figure pays
-		// one-off process costs (page faults, allocator growth) that would
-		// otherwise skew a cold gate run against a warm baseline.
-		for rep := -1; rep < reps; rep++ {
+	figs := figures.Numbers()
+	best := make([]float64, len(figs))
+	cells := make([]float64, len(figs))
+	// rep -1 is an untimed warmup round: the first pass over a figure pays
+	// one-off process costs (page faults, allocator growth) that would
+	// otherwise skew a cold gate run against a warm baseline.
+	for rep := -1; rep < reps; rep++ {
+		for i, fig := range figs {
 			rn := engine.New(engine.Workers(workers))
 			env := figures.Env{Runner: rn}
 			t0 := time.Now()
@@ -177,24 +188,32 @@ func runBenchmarks(scaleName string, reps, workers int, progress io.Writer) (Fil
 			if rep < 0 {
 				continue
 			}
-			nsSamples = append(nsSamples, float64(el.Nanoseconds()))
-			if secs := el.Seconds(); secs > 0 {
-				cpsSamples = append(cpsSamples, float64(rn.Stats().Cells)/secs)
+			if ns := float64(el.Nanoseconds()); rep == 0 || ns < best[i] {
+				best[i] = ns
+				if secs := el.Seconds(); secs > 0 {
+					cells[i] = float64(rn.Stats().Cells) / secs
+				}
 			}
 		}
-		sort.Float64s(nsSamples)
-		sort.Float64s(cpsSamples)
+	}
+	for i, fig := range figs {
 		e := Entry{
-			Name: fmt.Sprintf("fig%02d", fig),
-			NsOp: stats.Percentile(nsSamples, 50),
-		}
-		if len(cpsSamples) > 0 {
-			e.CellsPerSec = stats.Percentile(cpsSamples, 50)
+			Name:        fmt.Sprintf("fig%02d", fig),
+			NsOp:        best[i],
+			CellsPerSec: cells[i],
 		}
 		f.Entries = append(f.Entries, e)
 		if progress != nil {
-			fmt.Fprintf(progress, "benchgate: %s: %.1f ms/op (median of %d), %.0f cells/sec\n",
+			fmt.Fprintf(progress, "benchgate: %s: %.1f ms/op (best of %d), %.0f cells/sec\n",
 				e.Name, e.NsOp/1e6, reps, e.CellsPerSec)
+		}
+	}
+	// Second calibration sample after the measured window (see calibrate):
+	// keep the faster of the two peak-speed estimates.
+	if after := calibrate(); after < f.CalNS {
+		f.CalNS = after
+		if progress != nil {
+			fmt.Fprintf(progress, "benchgate: calibration workload (post-run): %.1f ms\n", after/1e6)
 		}
 	}
 	return f, nil

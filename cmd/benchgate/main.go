@@ -34,6 +34,7 @@ func main() {
 		writeBase  = flag.Bool("write-baseline", false, "overwrite the baseline with this run's results instead of gating")
 		allocsOnly = flag.Bool("allocs-only", false, "gate only allocs/op (hardware-independent; ns/op ignored)")
 		schedMin   = flag.Float64("sched-min-improve", 0.2, "required fractional makespan improvement of warm-profile LPT over inorder dispatch for -run (negative disables the scheduler gate)")
+		shardMin   = flag.Float64("shards-min-improve", 0.1, "required fractional wall-time speedup of the 512-rank Halo3D at shards=8 over shards=1 for -run, on multi-core hosts (negative disables the shard gate)")
 	)
 	flag.Parse()
 
@@ -55,6 +56,12 @@ func main() {
 			var sched []Entry
 			if sched, err = runSchedBenchmarks(*reps, os.Stderr); err == nil {
 				cur.Entries = append(cur.Entries, sched...)
+			}
+		}
+		if err == nil {
+			var sharded []Entry
+			if sharded, err = runShardBenchmarks(*reps, os.Stderr); err == nil {
+				cur.Entries = append(cur.Entries, sharded...)
 			}
 		}
 	} else {
@@ -80,6 +87,20 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "benchgate: sched gate ok: lpt-warm beats inorder by >= %.0f%%\n", *schedMin*100)
 	}
+	// The shard gate is likewise self-contained: it compares the shards/*
+	// entries within this run against a core-count-aware bar.
+	if *run && *shardMin >= 0 {
+		cores := shardGateCores()
+		if err := shardGate(cur, *shardMin, cores); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", err)
+			os.Exit(1)
+		}
+		if cores < 2 {
+			fmt.Fprintln(os.Stderr, "benchgate: shard gate ok: single core, shards=8 does not slow down")
+		} else {
+			fmt.Fprintf(os.Stderr, "benchgate: shard gate ok: shards=8 beats shards=1 by >= %.0f%% on %d cores\n", *shardMin*100, cores)
+		}
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -99,7 +120,10 @@ func main() {
 		if *baseline == "" {
 			fatal(fmt.Errorf("-write-baseline needs -baseline"))
 		}
-		if err := Save(*baseline, cur); err != nil {
+		// The shards/* family never enters the baseline: its shards=8 ratio
+		// is a property of the measuring host's core count, and the shard
+		// gate above already enforced it within this run.
+		if err := Save(*baseline, stripShardEntries(cur)); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintln(os.Stderr, "benchgate: wrote baseline", *baseline)

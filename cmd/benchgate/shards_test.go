@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func shardFile(seq, par float64) File {
+	return file(
+		Entry{Name: "shards/halo3d-512r-1", NsOp: seq, Fixed: true},
+		Entry{Name: "shards/halo3d-512r-2", NsOp: (seq + par) / 2, Fixed: true},
+		Entry{Name: "shards/halo3d-512r-8", NsOp: par, Fixed: true},
+	)
+}
+
+func TestShardGateMultiCore(t *testing.T) {
+	if err := shardGate(shardFile(100e6, 80e6), 0.1, 8); err != nil {
+		t.Fatalf("20%% speedup rejected at 10%% bar: %v", err)
+	}
+	if err := shardGate(shardFile(100e6, 95e6), 0.1, 8); err == nil {
+		t.Fatal("5% speedup accepted at 10% bar")
+	}
+	if err := shardGate(shardFile(100e6, 120e6), 0.1, 8); err == nil {
+		t.Fatal("slowdown accepted on multi-core")
+	}
+}
+
+func TestShardGateSingleCore(t *testing.T) {
+	// On one core no parallel speedup is possible; the bar drops to
+	// "does not slow down beyond the slack".
+	if err := shardGate(shardFile(100e6, 103e6), 0.5, 1); err != nil {
+		t.Fatalf("within-slack single-core run rejected: %v", err)
+	}
+	if err := shardGate(shardFile(100e6, 120e6), 0.5, 1); err == nil {
+		t.Fatal("single-core slowdown beyond slack accepted")
+	}
+}
+
+func TestShardGateMissingEntries(t *testing.T) {
+	if err := shardGate(file(), 0.1, 8); err == nil {
+		t.Fatal("empty file passed the shard gate")
+	}
+	if err := shardGate(file(bench("shards/halo3d-512r-1", 100e6)), 0.1, 8); err == nil {
+		t.Fatal("missing shards=8 entry passed the shard gate")
+	}
+}
+
+func TestStripShardEntries(t *testing.T) {
+	f := shardFile(100e6, 80e6)
+	f.Entries = append(f.Entries, bench("fig04", 1e6), bench("sched/inorder", 2e6))
+	stripped := stripShardEntries(f)
+	if len(stripped.Entries) != 2 {
+		t.Fatalf("stripped to %d entries, want 2", len(stripped.Entries))
+	}
+	for _, e := range stripped.Entries {
+		if strings.HasPrefix(e.Name, "shards/") {
+			t.Fatalf("shards entry %s survived the strip", e.Name)
+		}
+	}
+	// The original file keeps its entries (strip must not alias).
+	if len(f.Entries) != 5 {
+		t.Fatalf("input mutated to %d entries", len(f.Entries))
+	}
+}
+
+// TestRunShardBenchmarksQuick exercises the real measurement path once and
+// feeds the result through the gate with the hardware-aware bar.
+func TestRunShardBenchmarksQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three 512-rank simulations")
+	}
+	entries, err := runShardBenchmarks(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(shardCounts) {
+		t.Fatalf("%d entries, want %d", len(entries), len(shardCounts))
+	}
+	for _, e := range entries {
+		if !e.Fixed {
+			t.Fatalf("%s not marked Fixed", e.Name)
+		}
+		if e.NsOp <= 0 {
+			t.Fatalf("%s has nonpositive wall time", e.Name)
+		}
+	}
+	if err := shardGate(file(entries...), 0.05, shardGateCores()); err != nil {
+		t.Fatalf("shard gate on a live run: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 // Command partbench runs the point-to-point partitioned-communication
 // micro-benchmarks (the paper's §3.1 metrics) at a single parameter point or
-// over a message-size sweep.
+// over a message-size sweep, or — with -stencil — the many-rank weak/strong
+// stencil-scaling experiment on the sharded event loop.
 //
 // Examples:
 //
@@ -8,6 +9,8 @@
 //	partbench -sweep -min 1KiB -max 64MiB -parts 32 -cache cold
 //	partbench -sweep -faults drop:0.3 -retries 6   # inject transient faults
 //	partbench -sweep -cachedir .cellcache          # reuse cells across runs
+//	partbench -stencil halo3d -ranks 512 -shards 8 # scaling tables, 8 shards
+//	partbench -stencil sweep3d -ranks 128 -topology dragonfly
 package main
 
 import (
@@ -15,8 +18,11 @@ import (
 	"fmt"
 	"os"
 
+	"time"
+
 	"partmb/internal/cliutil"
 	"partmb/internal/core"
+	"partmb/internal/figures"
 	"partmb/internal/memsim"
 	"partmb/internal/mpi"
 	"partmb/internal/noise"
@@ -42,6 +48,10 @@ func main() {
 		minStr      = flag.String("min", "1KiB", "sweep minimum size")
 		maxStr      = flag.String("max", "64MiB", "sweep maximum size")
 		platformStr = flag.String("platform", "", "platform preset name or spec JSON path (default niagara-edr)")
+		stencilStr  = flag.String("stencil", "", "run the stencil-scaling experiment instead: halo3d|sweep3d")
+		ranksFlag   = flag.Int("ranks", 512, "largest rank count of the -stencil scaling axis")
+		shards      = flag.Int("shards", 1, "event-loop shards per -stencil simulation (results are shard-invariant)")
+		topologyStr = flag.String("topology", "uniform", "network topology for -stencil runs: uniform|dragonfly")
 		traceOut    = flag.String("trace", "", "write a Chrome trace of the measured iterations to this file")
 		statsOut    = flag.Bool("stats", false, "print per-metric sample statistics (mean/median/sd/p95)")
 		eng         cliutil.EngineFlags
@@ -53,9 +63,28 @@ func main() {
 	if err := out.Validate(); err != nil {
 		fatal(err)
 	}
+	// The shard flags fail at startup, like Output.Validate conflicts: a
+	// bad shard count or topology name must never survive until after a
+	// long simulation.
+	topology, err := cliutil.ValidateTopology(*topologyStr)
+	if err != nil {
+		fatal(err)
+	}
+	if *stencilStr != "" {
+		if err := cliutil.ValidateShards(*shards, *ranksFlag); err != nil {
+			fatal(err)
+		}
+		runStencilScaling(*stencilStr, *ranksFlag, *shards, topology, &eng, &out)
+		return
+	}
+	if *shards != 1 {
+		fatal(fmt.Errorf("-shards applies to the -stencil scaling mode (the §3.1 micro-benchmark is two ranks on one event loop)"))
+	}
+	if topology != "uniform" {
+		fatal(fmt.Errorf("-topology applies to the -stencil scaling mode"))
+	}
 
 	spec := platform.Niagara()
-	var err error
 	if *platformStr != "" {
 		if spec, err = platform.Resolve(*platformStr); err != nil {
 			fatal(err)
@@ -175,6 +204,42 @@ func main() {
 	if err := eng.Finish("partbench"); err != nil {
 		fatal(err)
 	}
+	fmt.Fprintf(os.Stderr, "partbench: engine: %s\n", rn.Stats())
+}
+
+// runStencilScaling runs the weak/strong stencil-scaling experiment (the
+// Collom et al. comparison shape) on the sharded event loop and emits its
+// tables. Table content is virtual time and therefore shard-invariant; the
+// wall-clock line on stderr is where -shards shows up.
+func runStencilScaling(stencil string, ranks, shards int, topology string, eng *cliutil.EngineFlags, out *cliutil.Output) {
+	opt := figures.ScalingOptions{
+		Stencil:  stencil,
+		Ranks:    figures.ScalingRanks(ranks),
+		Shards:   shards,
+		Topology: topology,
+	}
+	if err := opt.Validate(); err != nil {
+		fatal(err)
+	}
+	rn, err := eng.Runner()
+	if err != nil {
+		fatal(err)
+	}
+	rn.SetExperiment("partbench-scaling")
+	start := time.Now()
+	tables, err := figures.Env{Runner: rn}.ScalingTables(opt)
+	if err != nil {
+		fatal(err)
+	}
+	wall := time.Since(start)
+	if _, err := out.Emit(os.Stdout, tables, cliutil.IndexedName("scaling_%%d.csv")); err != nil {
+		fatal(err)
+	}
+	if err := eng.Finish("partbench-scaling"); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "partbench: %s scaling ranks=%v shards=%d topology=%s: wall %v\n",
+		stencil, opt.Ranks, shards, topology, wall.Round(time.Millisecond))
 	fmt.Fprintf(os.Stderr, "partbench: engine: %s\n", rn.Stats())
 }
 

@@ -43,6 +43,11 @@ func (c *Comm) Split(p *sim.Proc, color, key int) *Comm {
 	if color < 0 && color != Undefined {
 		panic(fmt.Sprintf("mpi: negative split color %d (use mpi.Undefined to opt out)", color))
 	}
+	if c.world.Sharded() {
+		// The split bookkeeping (shared entry list, one completion all
+		// members park on) is inherently cross-shard mutable state.
+		panic("mpi: Comm.Split/Dup require a single-shard world")
+	}
 	// The color/key exchange is an allgather of a few bytes — charge it.
 	c.Allgather(p, 8)
 

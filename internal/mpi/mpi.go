@@ -262,9 +262,13 @@ const (
 	ctxStride  = 3
 )
 
-// rankState is the per-process library state.
+// rankState is the per-process library state. All of it — NIC, matcher,
+// lock, registry — is mutated only from sched, the rank's event-loop shard,
+// which is what makes the sharded simulation race-free: there is no
+// cross-shard mutable MPI state.
 type rankState struct {
 	id      int
+	sched   *sim.Scheduler
 	nic     *netsim.NIC
 	matcher matcher
 	lock    sim.Mutex
@@ -284,6 +288,13 @@ type World struct {
 
 	ranks []*rankState
 	comms []*Comm
+
+	// group is non-nil for sharded worlds (NewShardedWorld): ranks are
+	// spread over the group's shards and cross-rank events route through
+	// sim.Defer. Nil for sequential worlds.
+	group *sim.ShardGroup
+	// congested is cfg.Topology when it also models link occupancy.
+	congested netsim.Congested
 
 	// nextCtx hands each created communicator a fresh context block.
 	nextCtx int
@@ -310,17 +321,66 @@ func NewWorld(s *sim.Scheduler, cfg Config) *World {
 		panic(err)
 	}
 	w := &World{s: s, cfg: cfg, nextCtx: ctxStride, splits: make(map[splitKey]*splitState)}
+	w.congested, _ = cfg.Topology.(netsim.Congested)
 	w.ranks = make([]*rankState, cfg.Ranks)
 	for i := range w.ranks {
 		nic := netsim.NewNIC(cfg.Net)
 		nic.SetFaults(cfg.Faults)
 		w.ranks[i] = &rankState{
 			id:           i,
+			sched:        s,
 			nic:          nic,
 			partRegistry: make(map[partKey][]*PRequest),
 		}
 	}
 	return w
+}
+
+// NewShardedWorld builds a world whose ranks are partitioned across the
+// shards of g: rank i's library state lives on shard shardOf(i), and every
+// cross-rank interaction that may cross shards routes through the group's
+// conservative lookahead. With a one-shard group the world is exactly a
+// sequential NewWorld world (byte-identical event order).
+//
+// Restrictions in multi-shard worlds: cfg.Faults must be nil (the fault
+// injector draws from one shared RNG, which cannot be split across shards),
+// the group's lookahead must not exceed the minimum cross-shard wire latency
+// of the topology (netsim.MinCrossLatency), Comm.Split/Dup are unavailable,
+// and all Comm handles must be created before the group runs.
+func NewShardedWorld(g *sim.ShardGroup, cfg Config, shardOf func(rank int) int) (*World, error) {
+	w := NewWorld(g.Shard(0), cfg)
+	cfg = w.cfg // defaults filled in
+	if g.Shards() == 1 {
+		return w, nil
+	}
+	if cfg.Faults != nil {
+		return nil, fmt.Errorf("mpi: fault injection shares one RNG across ranks and is not supported with %d shards", g.Shards())
+	}
+	if min := netsim.MinCrossLatency(cfg.Topology, cfg.Ranks, shardOf); g.Lookahead() > min {
+		return nil, fmt.Errorf("mpi: shard lookahead %v exceeds minimum cross-shard latency %v of %s",
+			g.Lookahead(), min, cfg.Topology.Describe())
+	}
+	w.group = g
+	for i, st := range w.ranks {
+		s := shardOf(i)
+		if s < 0 || s >= g.Shards() {
+			return nil, fmt.Errorf("mpi: shardOf(%d) = %d, out of range [0,%d)", i, s, g.Shards())
+		}
+		st.sched = g.Shard(s)
+	}
+	return w, nil
+}
+
+// Sharded reports whether the world's ranks span more than one shard.
+func (w *World) Sharded() bool { return w.group != nil }
+
+// crossDelay returns the congestion delay for a transfer, zero on topologies
+// without occupancy state. Must be called from the sender's shard.
+func (w *World) crossDelay(now sim.Time, from, to *rankState, size int64) sim.Duration {
+	if w.congested == nil {
+		return 0
+	}
+	return w.congested.CrossDelay(now, from.id, to.id, size)
 }
 
 // Scheduler returns the simulation scheduler the world runs on.
@@ -365,7 +425,7 @@ func (w *World) Launch(name string, fn func(c *Comm, p *sim.Proc)) []*sim.Proc {
 	procs := make([]*sim.Proc, w.cfg.Ranks)
 	for r := 0; r < w.cfg.Ranks; r++ {
 		c := w.Comm(r)
-		procs[r] = w.s.Spawn(fmt.Sprintf("%s/rank%d", name, r), func(p *sim.Proc) {
+		procs[r] = w.ranks[r].sched.Spawn(fmt.Sprintf("%s/rank%d", name, r), func(p *sim.Proc) {
 			fn(c, p)
 		})
 	}
@@ -452,6 +512,10 @@ func (c *Comm) Placement() *cluster.Placement { return c.placement }
 
 // state returns the rank's library state.
 func (c *Comm) state() *rankState { return c.world.ranks[c.rank] }
+
+// sched returns the shard this rank's state lives on (the world scheduler in
+// a sequential world).
+func (c *Comm) sched() *sim.Scheduler { return c.world.ranks[c.rank].sched }
 
 // peer returns another (communicator-local) rank's library state.
 func (c *Comm) peer(rank int) *rankState {

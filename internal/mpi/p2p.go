@@ -73,9 +73,10 @@ func (c *Comm) sendExtra(thread int, size int64) sim.Duration {
 // now is the injection request time.
 func (w *World) startSend(now sim.Time, from, to *rankState, sreq *Request, extra sim.Duration) {
 	if w.cfg.Net.Eager(sreq.size) {
-		txDone, arrive := from.nic.InjectLat(now, sreq.size, extra, w.latency(from.id, to.id))
-		sreq.completeAt(w.s, txDone)
-		w.scheduleArrival(to, arrive, &inbound{
+		oneWay := w.latency(from.id, to.id) + w.crossDelay(now, from, to, sreq.size)
+		txDone, arrive := from.nic.InjectLat(now, sreq.size, extra, oneWay)
+		sreq.completeAt(from.sched, txDone)
+		w.scheduleArrival(from, to, arrive, &inbound{
 			src: sreq.comm.rank, tag: sreq.tag, ctx: sreq.ctx,
 			size: sreq.size, data: sreq.data, kind: kindEager,
 		})
@@ -96,19 +97,20 @@ func (w *World) startRendezvous(now sim.Time, from, to *rankState, sreq *Request
 		data:   sreq.data,
 		size:   sreq.size,
 	}
-	w.scheduleArrival(to, arrive, &inbound{
+	w.scheduleArrival(from, to, arrive, &inbound{
 		src: sreq.comm.rank, tag: sreq.tag, ctx: sreq.ctx,
 		size: sreq.size, kind: kindRTS, rndv: rndv,
 	})
 }
 
 // scheduleArrival runs receiver-NIC delivery and matching for a message
-// whose last byte lands at time arrive.
-func (w *World) scheduleArrival(to *rankState, arrive sim.Time, inb *inbound) {
-	w.s.At(arrive, func() {
+// whose last byte lands at time arrive. It is called from the sender's shard
+// and hops to the receiver's; on a single shard Defer degenerates to At.
+func (w *World) scheduleArrival(from, to *rankState, arrive sim.Time, inb *inbound) {
+	from.sched.Defer(to.sched, arrive, func() {
 		delivered := to.nic.Deliver(arrive)
 		inb.deliveredAt = delivered
-		w.s.At(delivered, func() {
+		to.sched.At(delivered, func() {
 			w.handleArrival(to, inb)
 		})
 	})
@@ -128,7 +130,7 @@ func (w *World) handleArrival(to *rankState, inb *inbound) {
 		req.data = inb.data
 		req.size = inb.size
 		req.matchedFrom = inb.src
-		req.completeAt(w.s, t)
+		req.completeAt(to.sched, t)
 	case kindRTS:
 		req.size = inb.size
 		req.matchedFrom = inb.src
@@ -163,7 +165,7 @@ func (c *Comm) postRecv(p *sim.Proc, rreq *Request) {
 		rreq.size = inb.size
 		rreq.matchedFrom = inb.src
 		copyCost := sim.Duration(float64(inb.size) / w.cfg.CopyBandwidth * 1e9)
-		rreq.completeAt(w.s, p.Now().Add(copyCost))
+		rreq.completeAt(st.sched, p.Now().Add(copyCost))
 	case kindRTS:
 		rreq.size = inb.size
 		rreq.matchedFrom = inb.src
@@ -196,20 +198,22 @@ func (c *Comm) irecvOn(p *sim.Proc, src, tag int) *Request {
 // and chains the data transfer on its arrival.
 func (w *World) startCTS(t sim.Time, to *rankState, rndv *rendezvous, rreq *Request) {
 	rndv.rreq = rreq
-	oneWay := w.latency(to.id, rndv.sender.id)
+	sender := rndv.sender
+	oneWay := w.latency(to.id, sender.id)
 	_, arrive := to.nic.InjectLat(t, 0, 0, oneWay)
-	w.s.At(arrive, func() {
-		delivered := rndv.sender.nic.Deliver(arrive)
-		w.s.At(delivered, func() {
+	to.sched.Defer(sender.sched, arrive, func() {
+		delivered := sender.nic.Deliver(arrive)
+		sender.sched.At(delivered, func() {
 			// CTS processed: stream the payload. The configured rendezvous
 			// setup cost covers protocol bookkeeping on the sender.
 			start := delivered.Add(w.cfg.Net.RendezvousSetup)
-			txDone, dataArrive := rndv.sender.nic.InjectLat(start, rndv.size, rndv.extra, oneWay)
-			rndv.sreq.completeAt(w.s, txDone)
-			w.s.At(dataArrive, func() {
+			dataOneWay := oneWay + w.crossDelay(start, sender, to, rndv.size)
+			txDone, dataArrive := sender.nic.InjectLat(start, rndv.size, rndv.extra, dataOneWay)
+			rndv.sreq.completeAt(sender.sched, txDone)
+			sender.sched.Defer(to.sched, dataArrive, func() {
 				done := to.nic.Deliver(dataArrive)
 				rreq.data = rndv.data
-				rreq.completeAt(w.s, done)
+				rreq.completeAt(to.sched, done)
 			})
 		})
 	})

@@ -58,7 +58,12 @@ type PRequest struct {
 	inner []*Request
 
 	// native internals
-	boundTo   *PRequest
+	boundTo *PRequest
+	// bound is created in sharded worlds, where the peer's init notification
+	// crosses shards with a delay: it fires once boundTo is set, and
+	// startNative blocks on it instead of panicking. Nil in sequential worlds
+	// (binding there is synchronous).
+	bound     *sim.Completion
 	bootstrap bool // first Start still owes the setup round trip
 	// pendingNative buffers arrivals for epochs the receiver has not
 	// started yet (senders may pipeline ahead; MPI epoch counts must match
@@ -134,24 +139,45 @@ func (c *Comm) partInit(p *sim.Proc, kind reqKind, peer, tag, parts int, partByt
 
 // nativeBind pairs a native-implementation PRequest with its peer through
 // the receiver-side registry. Matching happens once, here, as a native
-// implementation would do at initialization time.
+// implementation would do at initialization time. In a sharded world the
+// registry may live on another shard: the visit is deferred there (one
+// lookahead out) and the pairing notification comes back the same way,
+// firing pr.bound; startNative waits for it.
 func (c *Comm) nativeBind(pr *PRequest) {
-	var reg *rankState
+	w := c.world
+	regRank := c.rank
 	var key partKey
 	if pr.kind == sendReq {
-		reg = c.world.ranks[pr.peer] // registry lives at the receiver
+		regRank = pr.peer // registry lives at the receiver
 		key = partKey{src: c.rank, tag: pr.tag, ctx: c.ctxPccl()}
 	} else {
-		reg = c.state()
 		key = partKey{src: pr.peer, tag: pr.tag, ctx: c.ctxPccl()}
 	}
+	reg := w.ranks[regRank]
+	self := c.sched()
+	if w.Sharded() {
+		// Any party may have a cross-shard peer, so every request gets a
+		// completion to block on; it fires when the pairing lands.
+		pr.bound = new(sim.Completion)
+	}
+	if reg.sched == self {
+		w.bindAt(reg, key, pr)
+		return
+	}
+	at := self.Now().Add(w.group.Lookahead())
+	self.Defer(reg.sched, at, func() { w.bindAt(reg, key, pr) })
+}
+
+// bindAt performs the registry match. It runs on the registry owner's shard,
+// the only place the registry is ever touched.
+func (w *World) bindAt(reg *rankState, key partKey, pr *PRequest) {
 	wantKind := recvReq
 	if pr.kind == recvReq {
 		wantKind = sendReq
 	}
 	pending := reg.partRegistry[key]
 	for i, other := range pending {
-		if other.kind == wantKind && other.boundTo == nil {
+		if other.kind == wantKind {
 			reg.partRegistry[key] = append(pending[:i], pending[i+1:]...)
 			// MPI 4.0 allows the two sides to partition the buffer
 			// differently as long as the total transfer size matches (the
@@ -163,12 +189,30 @@ func (c *Comm) nativeBind(pr *PRequest) {
 			if (other.partBytes == 0 || pr.partBytes == 0) && other.parts != pr.parts {
 				panic("mpi: zero-byte partitions require equal partition counts")
 			}
-			other.boundTo = pr
-			pr.boundTo = other
+			w.completeBind(reg, other, pr)
+			w.completeBind(reg, pr, other)
 			return
 		}
 	}
 	reg.partRegistry[key] = append(pending, pr)
+}
+
+// completeBind records that pr is now paired with other, on pr's own shard
+// so that pr's state is only ever written there.
+func (w *World) completeBind(reg *rankState, pr, other *PRequest) {
+	dst := w.ranks[pr.comm.rank].sched
+	if dst == reg.sched {
+		pr.boundTo = other
+		if pr.bound != nil {
+			pr.bound.Fire(dst)
+		}
+		return
+	}
+	at := reg.sched.Now().Add(w.group.Lookahead())
+	reg.sched.Defer(dst, at, func() {
+		pr.boundTo = other
+		pr.bound.Fire(dst)
+	})
 }
 
 // BindSendBuffer attaches a real payload buffer (len parts*partBytes) whose
@@ -300,7 +344,13 @@ func (pr *PRequest) startNative(p *sim.Proc) {
 	c := pr.comm
 	w := c.world
 	if pr.boundTo == nil {
-		panic(fmt.Sprintf("mpi: native partitioned Start on rank %d (tag %d) before the peer initialized; initialize both sides first", c.rank, pr.tag))
+		if pr.bound == nil {
+			panic(fmt.Sprintf("mpi: native partitioned Start on rank %d (tag %d) before the peer initialized; initialize both sides first", c.rank, pr.tag))
+		}
+		// Sharded world: the peer's bind notification may still be crossing
+		// shards. Block until the pairing lands; a missing peer parks the
+		// proc forever and surfaces as a simulation deadlock.
+		pr.bound.Wait(p)
 	}
 	release := c.enter(p, 0)
 	defer release()
@@ -441,13 +491,15 @@ func (pr *PRequest) Pready(p *sim.Proc, i int) {
 		}
 		p.Sleep(w.cfg.NativePreadyCost)
 		st := c.state()
-		txDone, arrive := st.nic.InjectLat(p.Now(), pr.partBytes, extra, w.latency(c.rank, pr.peer))
+		rst := w.ranks[pr.peer]
+		oneWay := w.latency(c.rank, pr.peer) + w.crossDelay(p.Now(), st, rst, pr.partBytes)
+		txDone, arrive := st.nic.InjectLat(p.Now(), pr.partBytes, extra, oneWay)
 		rpr := pr.boundTo
 		epoch := pr.epoch
-		w.s.At(txDone, func() { pr.partitionSent(txDone) })
-		w.s.At(arrive, func() {
+		st.sched.At(txDone, func() { pr.partitionSent(txDone) })
+		st.sched.Defer(rst.sched, arrive, func() {
 			done := arrive.Add(w.cfg.NativeRxOverhead)
-			w.s.At(done, func() {
+			rst.sched.At(done, func() {
 				rpr.nativeArrive(nativeArrival{part: i, epoch: epoch, at: done, data: payload})
 			})
 		})
@@ -479,7 +531,7 @@ func (pr *PRequest) PreadyList(p *sim.Proc, parts []int) {
 func (pr *PRequest) partitionSent(t sim.Time) {
 	pr.remaining--
 	if pr.remaining == 0 {
-		pr.allDone.Fire(pr.comm.world.s)
+		pr.allDone.Fire(pr.comm.sched())
 	}
 	_ = t
 }
@@ -495,10 +547,10 @@ func (pr *PRequest) partitionArrived(i int, t sim.Time, data []byte) {
 	if data != nil && pr.recvBuf != nil {
 		copy(pr.recvBuf[int64(i)*pr.partBytes:int64(i+1)*pr.partBytes], data)
 	}
-	pr.partDone[i].Fire(pr.comm.world.s)
+	pr.partDone[i].Fire(pr.comm.sched())
 	pr.remaining--
 	if pr.remaining == 0 {
-		pr.allDone.Fire(pr.comm.world.s)
+		pr.allDone.Fire(pr.comm.sched())
 	}
 }
 

@@ -94,7 +94,7 @@ func (pb *PBcast) Start(p *sim.Proc) {
 		panic("mpi: Start on active PBcast")
 	}
 	pb.active = true
-	s := pb.comm.world.s
+	s := pb.comm.sched()
 	if pb.fromParent != nil {
 		pb.fromParent.Start(p)
 	}

@@ -92,7 +92,7 @@ func (pr *PReduce) Start(p *sim.Proc) {
 		panic("mpi: Start on active PReduce")
 	}
 	pr.active = true
-	s := pr.comm.world.s
+	s := pr.comm.sched()
 	pr.contributed = make([]bool, pr.parts)
 	pr.localReady = make([]*sim.Completion, pr.parts)
 	for i := range pr.localReady {
@@ -140,7 +140,7 @@ func (pr *PReduce) Pready(p *sim.Proc, i int) {
 	pr.contributed[i] = true
 	// A local contribution costs one flag write.
 	p.Sleep(pr.comm.world.cfg.NativePreadyCost)
-	pr.localReady[i].Fire(pr.comm.world.s)
+	pr.localReady[i].Fire(pr.comm.sched())
 }
 
 // ReducedAt returns, on the root, when partition i finished combining (all

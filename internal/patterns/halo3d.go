@@ -6,6 +6,7 @@ import (
 	"partmb/internal/cluster"
 	"partmb/internal/memsim"
 	"partmb/internal/mpi"
+	"partmb/internal/netsim"
 	"partmb/internal/noise"
 	"partmb/internal/platform"
 	"partmb/internal/sim"
@@ -31,12 +32,23 @@ type HaloConfig struct {
 	Compute sim.Duration
 	// Repeats is the number of halo-exchange steps.
 	Repeats int
-	// Mode selects single / multi / partitioned communication.
+	// Mode selects single / multi / partitioned / persistent communication.
 	Mode Mode
 	// Platform bundles the hardware, noise, cache and partitioned-impl
 	// settings (nil = the paper's Niagara/EDR defaults). ThreadMode is
 	// derived from Mode, not the spec.
 	Platform *platform.Spec
+	// Shards runs the simulation on this many parallel event-loop shards
+	// with conservative lookahead synchronization; 0 or 1 selects the
+	// sequential reference kernel. Ranks are block-mapped onto shards
+	// (cluster.BlockShards). Results are identical at any shard count.
+	Shards int
+	// Topology overrides the network topology (nil = single-switch uniform
+	// at the wire latency). With Shards > 1, a topology whose inter-group
+	// latency is large — e.g. a netsim.DragonflyPlus with wings aligned to
+	// the shard blocks — gives the largest lookahead and the best parallel
+	// speedup.
+	Topology netsim.Topology
 }
 
 // Threads returns the per-rank thread count (ThreadsPerDim cubed).
@@ -56,7 +68,7 @@ func (c HaloConfig) withDefaults() HaloConfig {
 		c.Repeats = 4
 	}
 	c.Platform = c.Platform.Resolved()
-	if c.Mode == Single {
+	if c.Mode == Single || c.Mode == Persistent {
 		c.ThreadsPerDim = 1
 	}
 	return c
@@ -81,6 +93,9 @@ func (c *HaloConfig) Validate() error {
 	}
 	if c.Repeats <= 0 {
 		return fmt.Errorf("patterns: Repeats must be positive")
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("patterns: Shards = %d, must be nonnegative", c.Shards)
 	}
 	return nil
 }
@@ -114,6 +129,10 @@ type haloRank struct {
 	// Partitioned-mode persistent requests per face.
 	precv [numFaces]*mpi.PRequest
 	psend [numFaces]*mpi.PRequest
+
+	// Persistent-mode point-to-point requests per face.
+	recvP [numFaces]*mpi.Request
+	sendP [numFaces]*mpi.Request
 
 	startBar, doneBar *sim.Barrier
 	curStep           int
@@ -174,7 +193,6 @@ func RunHalo3D(cfg HaloConfig) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := sim.New()
 	pf := cfg.Platform
 	nRanks := cfg.Nx * cfg.Ny * cfg.Nz
 	mcfg := mpi.DefaultConfig(nRanks)
@@ -182,12 +200,14 @@ func RunHalo3D(cfg HaloConfig) (*Result, error) {
 	mcfg.Machine = pf.Machine
 	mcfg.Mem = memsim.Default(pf.Cache)
 	configureMode(&mcfg, cfg.Mode, pf.Impl)
-	w := mpi.NewWorld(s, mcfg)
+	w, runSim, err := buildWorld(cfg.Shards, nRanks, mcfg, cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
 
 	ranks := make([]*haloRank, nRanks)
 	var startAt sim.Time
 	for id := range ranks {
-		id := id
 		comm := w.Comm(id)
 		place := cluster.Place(pf.Machine, cfg.Threads())
 		comm.SetPlacement(place)
@@ -215,18 +235,19 @@ func RunHalo3D(cfg HaloConfig) (*Result, error) {
 			r.computeOf[st] = nm.Region(cfg.Threads(), cfg.Compute)
 		}
 		ranks[id] = r
-		s.Spawn(fmt.Sprintf("halo/rank%d", id), func(p *sim.Proc) {
-			r.setup(p)
-			comm.Barrier(p)
-			if id == 0 {
-				startAt = p.Now()
-			}
-			r.run(p)
-			comm.Barrier(p)
-			r.endAt = p.Now()
-		})
 	}
-	if err := s.Run(); err != nil {
+	w.Launch("halo", func(c *mpi.Comm, p *sim.Proc) {
+		r := ranks[c.WorldRank()]
+		r.setup(p)
+		c.Barrier(p)
+		if c.WorldRank() == 0 {
+			startAt = p.Now()
+		}
+		r.run(p)
+		c.Barrier(p)
+		r.endAt = p.Now()
+	})
+	if err := runSim(); err != nil {
 		return nil, fmt.Errorf("patterns: halo3d simulation failed: %w", err)
 	}
 	res := &Result{}
@@ -256,7 +277,16 @@ func (r *haloRank) setup(p *sim.Proc) {
 			r.precv[f] = r.comm.PrecvInit(p, r.neighbour[f], haloPartTag(opposite(f)), parts, partBytes)
 		}
 	}
-	if cfg.Mode != Single {
+	if cfg.Mode == Persistent {
+		// Fixed tags are safe: every rank Waits both requests of a face
+		// before restarting them, so at most one transfer per (peer, tag)
+		// pair is in flight and FIFO matching keeps steps aligned.
+		for f := 0; f < numFaces; f++ {
+			r.sendP[f] = r.comm.SendInitBytes(p, r.neighbour[f], haloPartTag(f), cfg.FaceBytes)
+			r.recvP[f] = r.comm.RecvInit(p, r.neighbour[f], haloPartTag(opposite(f)))
+		}
+	}
+	if cfg.Mode == Multi || cfg.Mode == Partitioned {
 		r.spawnWorkers(p)
 	}
 }
@@ -293,6 +323,8 @@ func (r *haloRank) run(p *sim.Proc) {
 		switch cfg.Mode {
 		case Single:
 			r.singleStep(p, step)
+		case Persistent:
+			r.persistentStep(p, step)
 		case Multi:
 			r.startBar.Await(p)
 			r.doneBar.Await(p)
@@ -322,6 +354,21 @@ func (r *haloRank) singleStep(p *sim.Proc, step int) {
 	p.Sleep(r.place.ComputeTime(0, r.computeOf[step][0]))
 	for f := 0; f < numFaces; f++ {
 		reqs = append(reqs, r.comm.IsendBytes(p, r.neighbour[f], haloTag(step, f, 0), cfg.FaceBytes))
+	}
+	mpi.WaitAll(p, reqs...)
+}
+
+// persistentStep is singleStep over pre-initialized persistent requests:
+// restart the six receives, compute, restart the six sends, complete all.
+func (r *haloRank) persistentStep(p *sim.Proc, step int) {
+	for f := 0; f < numFaces; f++ {
+		r.recvP[f].Start(p)
+	}
+	p.Sleep(r.place.ComputeTime(0, r.computeOf[step][0]))
+	var reqs []*mpi.Request
+	for f := 0; f < numFaces; f++ {
+		r.sendP[f].Start(p)
+		reqs = append(reqs, r.sendP[f], r.recvP[f])
 	}
 	mpi.WaitAll(p, reqs...)
 }

@@ -31,6 +31,11 @@ const (
 	// Partitioned: threads contribute partitions of persistent partitioned
 	// transfers.
 	Partitioned
+	// Persistent: one thread exchanges whole messages through persistent
+	// point-to-point requests (MPI_Send_init/MPI_Recv_init) — the classic
+	// pre-partitioned baseline the Collom et al. follow-up compares
+	// partitioned communication against. Halo3D only.
+	Persistent
 )
 
 // String returns the mode name used in reports.
@@ -42,6 +47,8 @@ func (m Mode) String() string {
 		return "multi"
 	case Partitioned:
 		return "partitioned"
+	case Persistent:
+		return "persistent"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
@@ -56,12 +63,56 @@ func ParseMode(s string) (Mode, error) {
 		return Multi, nil
 	case "partitioned", "part":
 		return Partitioned, nil
+	case "persistent", "pers":
+		return Persistent, nil
 	}
-	return Single, fmt.Errorf("patterns: unknown mode %q (want single|multi|partitioned)", s)
+	return Single, fmt.Errorf("patterns: unknown mode %q (want single|multi|partitioned|persistent)", s)
 }
 
-// Modes lists all modes in presentation order.
+// Modes lists the paper's modes in presentation order. Persistent is a
+// follow-up comparison point and deliberately not part of the figure sweeps.
 func Modes() []Mode { return []Mode{Single, Multi, Partitioned} }
+
+// Decompose3D factors n into the most cubic grid nx >= ny >= nz with
+// nx*ny*nz == n, used to map a flat -ranks count onto a Halo3D torus.
+func Decompose3D(n int) (nx, ny, nz int) {
+	if n <= 0 {
+		return 0, 0, 0
+	}
+	best := [3]int{n, 1, 1}
+	for c := 1; c*c*c <= n; c++ {
+		if n%c != 0 {
+			continue
+		}
+		m := n / c
+		for b := c; b*b <= m; b++ {
+			if m%b != 0 {
+				continue
+			}
+			a := m / b
+			// Later candidates are strictly more cubic (larger minimum edge,
+			// then smaller maximum edge).
+			if c > best[2] || (c == best[2] && a < best[0]) {
+				best = [3]int{a, b, c}
+			}
+		}
+	}
+	return best[0], best[1], best[2]
+}
+
+// Decompose2D factors n into the most square grid px >= py with px*py == n,
+// used to map a flat -ranks count onto a Sweep3D process grid.
+func Decompose2D(n int) (px, py int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	for q := 1; q*q <= n; q++ {
+		if n%q == 0 {
+			px, py = n/q, q
+		}
+	}
+	return px, py
+}
 
 // Result reports one motif run.
 type Result struct {

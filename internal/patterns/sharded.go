@@ -1,0 +1,55 @@
+package patterns
+
+import (
+	"fmt"
+
+	"partmb/internal/cluster"
+	"partmb/internal/mpi"
+	"partmb/internal/netsim"
+	"partmb/internal/sim"
+)
+
+// buildWorld constructs the simulation world a motif runs in: the sequential
+// reference kernel when shards <= 1, otherwise a conservatively synchronized
+// shard group with ranks block-mapped onto shards and the topology's minimum
+// cross-shard latency as lookahead. The returned run function drives the
+// simulation to completion.
+func buildWorld(shards, nRanks int, mcfg mpi.Config, topo netsim.Topology) (*mpi.World, func() error, error) {
+	if topo != nil {
+		mcfg.Topology = topo
+	}
+	if shards <= 1 {
+		s := sim.New()
+		return mpi.NewWorld(s, mcfg), s.Run, nil
+	}
+	shardOf, err := cluster.BlockShards(nRanks, shards)
+	if err != nil {
+		return nil, nil, fmt.Errorf("patterns: %w", err)
+	}
+	if mcfg.Topology == nil {
+		mcfg.Topology = netsim.Uniform{L: mcfg.Net.Latency}
+	}
+	la := netsim.MinCrossLatency(mcfg.Topology, nRanks, shardOf)
+	if la <= 0 {
+		return nil, nil, fmt.Errorf("patterns: %s yields zero cross-shard lookahead for %d shards over %d ranks",
+			mcfg.Topology.Describe(), shards, nRanks)
+	}
+	g := sim.NewShardGroup(shards, la)
+	w, err := mpi.NewShardedWorld(g, mcfg, shardOf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, g.Run, nil
+}
+
+// WingAlignedDragonfly builds a Dragonfly+ topology whose wings coincide
+// with the block-shard mapping of nRanks ranks over shards shards, so the
+// conservative lookahead equals the (large) inter-wing latency. intra and
+// inter are the intra-/inter-wing one-way latencies.
+func WingAlignedDragonfly(nRanks, shards int, intra, inter sim.Duration) netsim.DragonflyPlus {
+	wing := nRanks
+	if shards > 1 {
+		wing = (nRanks + shards - 1) / shards
+	}
+	return netsim.NewDragonflyPlus(wing, intra, inter)
+}

@@ -1,0 +1,195 @@
+package patterns
+
+import (
+	"testing"
+
+	"partmb/internal/mpi"
+	"partmb/internal/platform"
+	"partmb/internal/sim"
+)
+
+// TestHalo3DShardIdentity is the tentpole property test: the motif's result
+// must be identical whether the simulation runs on 1, 2 or 8 shards, for
+// every communication mode. The single-shard run exercises the literal
+// sequential code path, so equality pins the sharded kernel to the
+// deterministic reference.
+func TestHalo3DShardIdentity(t *testing.T) {
+	modes := []struct {
+		mode Mode
+		impl mpi.PartImpl
+	}{
+		{Single, mpi.PartMPIPCL},
+		{Persistent, mpi.PartMPIPCL},
+		{Multi, mpi.PartMPIPCL},
+		{Partitioned, mpi.PartMPIPCL},
+		{Partitioned, mpi.PartNative},
+	}
+	for _, m := range modes {
+		m := m
+		t.Run(m.mode.String()+"/"+m.impl.String(), func(t *testing.T) {
+			t.Parallel()
+			run := func(shards int) *Result {
+				res, err := RunHalo3D(HaloConfig{
+					Nx: 2, Ny: 2, Nz: 2,
+					ThreadsPerDim: 2,
+					FaceBytes:     16 * 1024,
+					Compute:       5 * sim.Microsecond,
+					Repeats:       3,
+					Mode:          m.mode,
+					Platform:      &platform.Spec{Impl: m.impl},
+					Shards:        shards,
+				})
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				return res
+			}
+			want := run(1)
+			for _, shards := range []int{2, 8} {
+				got := run(shards)
+				if *got != *want {
+					t.Errorf("shards=%d: result %v != sequential %v", shards, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSweep3DShardIdentity is the wavefront counterpart: sharded KBA sweeps
+// must match the sequential kernel exactly.
+func TestSweep3DShardIdentity(t *testing.T) {
+	for _, mode := range Modes() {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			run := func(shards int) *Result {
+				res, err := RunSweep3D(SweepConfig{
+					Px: 4, Py: 2,
+					Threads:        4,
+					BytesPerThread: 2048,
+					Compute:        5 * sim.Microsecond,
+					ZBlocks:        2,
+					Octants:        4,
+					Repeats:        1,
+					Mode:           mode,
+					Shards:         shards,
+				})
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				return res
+			}
+			want := run(1)
+			for _, shards := range []int{2, 8} {
+				got := run(shards)
+				if *got != *want {
+					t.Errorf("shards=%d: result %v != sequential %v", shards, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestHalo3DDragonflyShardIdentity pins the congestion-aware topology too:
+// with a wing-aligned Dragonfly+ the lookahead is the inter-wing latency and
+// results must still be shard-count independent.
+func TestHalo3DDragonflyShardIdentity(t *testing.T) {
+	run := func(shards int) *Result {
+		res, err := RunHalo3D(HaloConfig{
+			Nx: 2, Ny: 2, Nz: 2,
+			ThreadsPerDim: 1,
+			FaceBytes:     8 * 1024,
+			Repeats:       3,
+			Mode:          Single,
+			Shards:        shards,
+			Topology:      WingAlignedDragonfly(8, 2, 900*sim.Nanosecond, 5*sim.Microsecond),
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return res
+	}
+	want := run(1)
+	if got := run(2); *got != *want {
+		t.Errorf("shards=2: result %v != sequential %v", got, want)
+	}
+}
+
+// TestHalo3DLargeShardedMotif drives a 1000-rank decomposition through the
+// sharded kernel — the many-rank regime the shard refactor exists for —
+// and checks it against the sequential reference.
+func TestHalo3DLargeShardedMotif(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-rank motif")
+	}
+	nx, ny, nz := Decompose3D(1000)
+	if nx != 10 || ny != 10 || nz != 10 {
+		t.Fatalf("Decompose3D(1000) = %dx%dx%d", nx, ny, nz)
+	}
+	run := func(shards int) *Result {
+		res, err := RunHalo3D(HaloConfig{
+			Nx: nx, Ny: ny, Nz: nz,
+			ThreadsPerDim: 1,
+			FaceBytes:     4 * 1024,
+			Repeats:       2,
+			Mode:          Single,
+			Shards:        shards,
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return res
+	}
+	want := run(1)
+	if got := run(8); *got != *want {
+		t.Errorf("shards=8: result %v != sequential %v", got, want)
+	}
+	if want.Messages == 0 || want.Elapsed <= 0 {
+		t.Fatalf("degenerate result %v", want)
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	for _, tc := range []struct{ n, x, y, z int }{
+		{8, 2, 2, 2}, {12, 3, 2, 2}, {100, 5, 5, 4}, {7, 7, 1, 1}, {512, 8, 8, 8},
+	} {
+		x, y, z := Decompose3D(tc.n)
+		if x != tc.x || y != tc.y || z != tc.z {
+			t.Errorf("Decompose3D(%d) = %d,%d,%d want %d,%d,%d", tc.n, x, y, z, tc.x, tc.y, tc.z)
+		}
+		if x*y*z != tc.n {
+			t.Errorf("Decompose3D(%d) product %d", tc.n, x*y*z)
+		}
+	}
+	for _, tc := range []struct{ n, px, py int }{
+		{8, 4, 2}, {12, 4, 3}, {100, 10, 10}, {7, 7, 1},
+	} {
+		px, py := Decompose2D(tc.n)
+		if px != tc.px || py != tc.py {
+			t.Errorf("Decompose2D(%d) = %d,%d want %d,%d", tc.n, px, py, tc.px, tc.py)
+		}
+	}
+}
+
+// TestShardValidation pins the fail-at-startup contract for bad shard and
+// topology requests.
+func TestShardValidation(t *testing.T) {
+	base := HaloConfig{Nx: 2, Ny: 2, Nz: 2, ThreadsPerDim: 1, FaceBytes: 1024, Mode: Single}
+
+	neg := base
+	neg.Shards = -1
+	if _, err := RunHalo3D(neg); err == nil {
+		t.Error("negative shard count accepted")
+	}
+
+	many := base
+	many.Shards = 9 // more shards than ranks
+	if _, err := RunHalo3D(many); err == nil {
+		t.Error("shards > ranks accepted")
+	}
+
+	sw := SweepConfig{Px: 2, Py: 2, Threads: 1, BytesPerThread: 1024, Mode: Single, Shards: 5}
+	if _, err := RunSweep3D(sw); err == nil {
+		t.Error("sweep shards > ranks accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"partmb/internal/cluster"
 	"partmb/internal/memsim"
 	"partmb/internal/mpi"
+	"partmb/internal/netsim"
 	"partmb/internal/noise"
 	"partmb/internal/platform"
 	"partmb/internal/sim"
@@ -40,6 +41,11 @@ type SweepConfig struct {
 	// settings (nil = the paper's Niagara/EDR defaults). ThreadMode is
 	// derived from Mode, not the spec.
 	Platform *platform.Spec
+	// Shards runs the simulation on this many parallel event-loop shards
+	// (0 or 1 = the sequential reference kernel); see HaloConfig.Shards.
+	Shards int
+	// Topology overrides the network topology (nil = single-switch uniform).
+	Topology netsim.Topology
 }
 
 func (c SweepConfig) withDefaults() SweepConfig {
@@ -78,6 +84,12 @@ func (c *SweepConfig) Validate() error {
 	}
 	if c.ZBlocks <= 0 || c.Repeats <= 0 {
 		return fmt.Errorf("patterns: ZBlocks and Repeats must be positive")
+	}
+	if c.Mode == Persistent {
+		return fmt.Errorf("patterns: sweep3d does not support persistent mode (halo3d only)")
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("patterns: Shards = %d, must be nonnegative", c.Shards)
 	}
 	return nil
 }
@@ -153,20 +165,21 @@ func RunSweep3D(cfg SweepConfig) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := sim.New()
 	pf := cfg.Platform
 	mcfg := mpi.DefaultConfig(cfg.Px * cfg.Py)
 	mcfg.Net = pf.Net
 	mcfg.Machine = pf.Machine
 	mcfg.Mem = memsim.Default(pf.Cache)
 	configureMode(&mcfg, cfg.Mode, pf.Impl)
-	w := mpi.NewWorld(s, mcfg)
+	w, runSim, err := buildWorld(cfg.Shards, cfg.Px*cfg.Py, mcfg, cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
 
 	steps := cfg.Repeats * cfg.Octants * cfg.ZBlocks
 	ranks := make([]*sweepRank, cfg.Px*cfg.Py)
 	var startAt sim.Time
 	for id := range ranks {
-		id := id
 		comm := w.Comm(id)
 		place := cluster.Place(pf.Machine, cfg.Threads)
 		comm.SetPlacement(place)
@@ -183,18 +196,19 @@ func RunSweep3D(cfg SweepConfig) (*Result, error) {
 			r.computeOf[st] = nm.Region(cfg.Threads, cfg.Compute)
 		}
 		ranks[id] = r
-		s.Spawn(fmt.Sprintf("sweep/rank%d", id), func(p *sim.Proc) {
-			r.setup(p)
-			comm.Barrier(p)
-			if id == 0 {
-				startAt = p.Now()
-			}
-			r.run(p)
-			comm.Barrier(p)
-			r.endAt = p.Now()
-		})
 	}
-	if err := s.Run(); err != nil {
+	w.Launch("sweep", func(c *mpi.Comm, p *sim.Proc) {
+		r := ranks[c.WorldRank()]
+		r.setup(p)
+		c.Barrier(p)
+		if c.WorldRank() == 0 {
+			startAt = p.Now()
+		}
+		r.run(p)
+		c.Barrier(p)
+		r.endAt = p.Now()
+	})
+	if err := runSim(); err != nil {
 		return nil, fmt.Errorf("patterns: sweep3d simulation failed: %w", err)
 	}
 	res := &Result{}
@@ -216,7 +230,7 @@ func RunSweep3D(cfg SweepConfig) (*Result, error) {
 // MPI_THREAD_MULTIPLE (as the paper's MPIPCL setup did).
 func configureMode(mcfg *mpi.Config, mode Mode, impl mpi.PartImpl) {
 	switch mode {
-	case Single:
+	case Single, Persistent:
 		mcfg.ThreadMode = mpi.Funneled
 	case Multi, Partitioned:
 		mcfg.ThreadMode = mpi.Multiple

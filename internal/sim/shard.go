@@ -1,0 +1,283 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file adds the conservative parallel layer over the sequential kernel:
+// a ShardGroup partitions the simulation into independent Schedulers (one
+// per shard) that run real OS-parallel windows of virtual time, synchronized
+// by a lookahead barrier (a window-based conservative protocol in the YAWNS
+// family).
+//
+// The protocol invariant is the classic one: if every cross-shard
+// interaction carries at least `lookahead` of virtual latency, then every
+// shard may safely process all events strictly before
+//
+//	min over all shards of (next event time) + lookahead
+//
+// because any event processed in that window happens at or after the global
+// minimum, so any cross-shard effect it produces lands at or after
+// min + lookahead — strictly outside the window. The bound must be global,
+// not per-shard: a shard whose queue is momentarily empty (all its procs
+// parked on completions) is NOT at an infinite horizon, because the barrier
+// can deliver events that wake it and make it reply only one lookahead
+// later. Each round the group computes the window, runs every shard with
+// work inside it in parallel, barriers, and exchanges the cross-shard
+// events the window produced (in deterministic (time, source shard, issue
+// order) order), so results are independent of OS thread scheduling.
+//
+// A group of one shard is special-cased to be the sequential kernel,
+// literally: the shard is a plain Scheduler with no group attached, Run
+// delegates to Scheduler.Run, and every event takes the exact code path a
+// standalone scheduler would take. Single-shard runs are therefore
+// byte-identical to the pre-shard kernel and serve as the deterministic
+// reference for multi-shard runs.
+
+// crossEvent is an event produced on one shard for another, buffered until
+// the window barrier.
+type crossEvent struct {
+	dst  *Scheduler
+	at   Time
+	born Time   // sender-side creation time, the first same-time tiebreak
+	src  int    // source shard id, part of the deterministic merge order
+	seq  uint64 // per-source issue order, the rest of the merge order
+	fn   func()
+}
+
+// ShardGroup owns a set of shard Schedulers and drives them with the
+// conservative window protocol.
+type ShardGroup struct {
+	shards    []*Scheduler
+	lookahead Duration
+	running   bool
+
+	// next[i] caches shard i's head-of-queue time each round.
+	next []Time
+	// pending is the merge buffer for cross-shard events at the barrier.
+	pending []crossEvent
+}
+
+// NewShardGroup creates n shard schedulers. For n > 1 the lookahead must be
+// positive: it is the minimum virtual latency of any cross-shard
+// interaction, and the window width of the conservative protocol. A group
+// of one shard is exactly the sequential kernel (the shard may even be
+// driven directly via Scheduler.Run).
+func NewShardGroup(n int, lookahead Duration) *ShardGroup {
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: shard count %d must be positive", n))
+	}
+	if n > 1 && lookahead <= 0 {
+		panic("sim: a multi-shard group requires a positive lookahead")
+	}
+	g := &ShardGroup{lookahead: lookahead, next: make([]Time, n)}
+	g.shards = make([]*Scheduler, n)
+	for i := range g.shards {
+		s := New()
+		s.shardID = i
+		if n > 1 {
+			// A single-shard group leaves group nil so the shard is an
+			// ordinary scheduler (identical code paths, direct Run allowed).
+			s.group = g
+		}
+		g.shards[i] = s
+	}
+	return g
+}
+
+// Shards returns the number of shards.
+func (g *ShardGroup) Shards() int { return len(g.shards) }
+
+// Shard returns shard i's scheduler. Spawn procs on the shard that owns
+// their state; procs on different shards must not share sync primitives
+// (Mutex, Barrier, Completion, ...) — cross-shard interaction must go
+// through Scheduler.Defer.
+func (g *ShardGroup) Shard(i int) *Scheduler { return g.shards[i] }
+
+// Lookahead returns the group's lookahead window.
+func (g *ShardGroup) Lookahead() Duration { return g.lookahead }
+
+// Now returns the maximum virtual time reached by any shard.
+func (g *ShardGroup) Now() Time {
+	var now Time
+	for _, s := range g.shards {
+		if s.now > now {
+			now = s.now
+		}
+	}
+	return now
+}
+
+// Run drives all shards to completion and returns nil if every proc
+// finished, or a *DeadlockError aggregating all shards' parked procs.
+// Like Scheduler.Run it may be called exactly once.
+func (g *ShardGroup) Run() error {
+	if len(g.shards) == 1 {
+		return g.shards[0].Run()
+	}
+	if g.running {
+		panic("sim: ShardGroup.Run called twice")
+	}
+	g.running = true
+	var wg sync.WaitGroup
+	// panics[i] captures a panic escaping shard i's window so it can be
+	// re-raised on the coordinator goroutine (lowest shard first, for
+	// determinism) instead of killing the process from a worker goroutine.
+	panics := make([]any, len(g.shards))
+	for {
+		work := false
+		min := maxTime
+		for i, s := range g.shards {
+			if len(s.queue) > 0 {
+				g.next[i] = s.queue[0].at
+				work = true
+				if g.next[i] < min {
+					min = g.next[i]
+				}
+			} else {
+				g.next[i] = maxTime
+			}
+		}
+		if !work {
+			break
+		}
+		// Events strictly before min+lookahead are safe for every shard
+		// (anything processed in the window is at >= min, so its cross-shard
+		// effects land at >= min+lookahead); the inclusive drive limit is one
+		// nanosecond less.
+		limit := maxTime
+		if min < maxTime-Time(g.lookahead) {
+			limit = min + Time(g.lookahead) - 1
+		}
+		for i, s := range g.shards {
+			if g.next[i] > limit {
+				continue
+			}
+			wg.Add(1)
+			go func(i int, s *Scheduler, limit Time) {
+				defer wg.Done()
+				defer func() { panics[i] = recover() }()
+				s.runWindow(limit)
+			}(i, s, limit)
+		}
+		wg.Wait()
+		for _, r := range panics {
+			if r != nil {
+				panic(r)
+			}
+		}
+		g.deliver()
+	}
+	return g.finish()
+}
+
+// deliver moves the windows' cross-shard events into their destination
+// queues in deterministic order. It runs at the barrier, while every shard
+// is quiescent.
+func (g *ShardGroup) deliver() {
+	g.pending = g.pending[:0]
+	for _, s := range g.shards {
+		g.pending = append(g.pending, s.outbox...)
+		for i := range s.outbox {
+			s.outbox[i] = crossEvent{}
+		}
+		s.outbox = s.outbox[:0]
+	}
+	sort.Slice(g.pending, func(i, j int) bool {
+		a, b := g.pending[i], g.pending[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.born != b.born {
+			return a.born < b.born
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for _, e := range g.pending {
+		// atBorn keeps the sender-side creation time as the same-time
+		// tiebreak, so the event interleaves with the destination's local
+		// events exactly as it would have on a single scheduler.
+		e.dst.atBorn(e.at, e.born, e.fn)
+	}
+}
+
+// finish marks all shards terminally run and aggregates their deadlock
+// state into one error.
+func (g *ShardGroup) finish() error {
+	live := 0
+	var now Time
+	var blocked []string
+	for _, s := range g.shards {
+		s.running = true
+		if s.now > now {
+			now = s.now
+		}
+		live += s.live
+		if err := s.deadlock(); err != nil {
+			blocked = append(blocked, err.(*DeadlockError).Blocked...)
+		}
+	}
+	if live == 0 {
+		return nil
+	}
+	sort.Strings(blocked)
+	return &DeadlockError{Now: now, Blocked: blocked}
+}
+
+// RunPaced paces a single-shard group against the wall clock, exactly like
+// Scheduler.RunPaced. Pacing fundamentally requires observing every event
+// from one sequential drive loop, so multi-shard groups reject it with a
+// clear error rather than silently serializing.
+func (g *ShardGroup) RunPaced(scale float64) error {
+	if len(g.shards) == 1 {
+		return g.shards[0].RunPaced(scale)
+	}
+	return fmt.Errorf("sim: RunPaced is not supported with %d shards: pacing requires the sequential single-loop drive; use Run, or a single shard", len(g.shards))
+}
+
+// runWindow drives one shard through one conservative window: all queued
+// events at or before limit. Unlike the public drives it never marks the
+// scheduler terminally run — the queue legitimately drains between windows.
+func (s *Scheduler) runWindow(limit Time) {
+	s.windowing = true
+	s.startDrive(limit, true)
+	for len(s.queue) > 0 && s.queue[0].at <= limit {
+		s.dispatch(s.queue.pop())
+	}
+	s.endDrive(false)
+	s.windowing = false
+}
+
+// Defer schedules fn at absolute time t on dst. On the local scheduler it
+// is exactly At. Across shards of the same group it becomes a buffered
+// cross-shard event, delivered at the next window barrier; t must respect
+// the group's lookahead (t >= now + lookahead), which models the minimum
+// cross-shard link latency and is what makes the conservative windows safe.
+func (s *Scheduler) Defer(dst *Scheduler, t Time, fn func()) {
+	if dst == s {
+		s.At(t, fn)
+		return
+	}
+	if s.group == nil || dst.group != s.group {
+		panic("sim: Defer target is not a shard of the same group")
+	}
+	if t < s.now.Add(s.group.lookahead) {
+		panic(fmt.Sprintf("sim: cross-shard event at %v violates lookahead %v (now %v)",
+			t, s.group.lookahead, s.now))
+	}
+	s.outSeq++
+	s.outbox = append(s.outbox, crossEvent{dst: dst, at: t, born: s.now, src: s.shardID, seq: s.outSeq, fn: fn})
+}
+
+// Group returns the shard group this scheduler belongs to, or nil for a
+// standalone scheduler (including the single shard of a one-shard group).
+func (s *Scheduler) Group() *ShardGroup { return s.group }
+
+// ShardID returns the scheduler's shard index within its group (0 for a
+// standalone scheduler).
+func (s *Scheduler) ShardID() int { return s.shardID }

@@ -144,23 +144,33 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 // fast path resume the proc from its fields, so scheduling a wake never
 // allocates. Events are recycled through the scheduler's freelist.
 type event struct {
-	at   Time
+	at Time
+	// born is the virtual time the event was created at, the first tiebreak
+	// for same-time events. On a single scheduler seq order is already
+	// nondecreasing in born (the clock is monotonic), so born never reorders
+	// anything; it exists for cross-shard events merged at a window barrier,
+	// which must interleave with local same-time events exactly as they
+	// would have on one scheduler (see ShardGroup.deliver).
+	born Time
 	seq  uint64
 	fn   func()
 	proc *Proc
 }
 
-// eventQueue is a typed 4-ary min-heap ordering events by (time, sequence).
-// A 4-ary layout halves the tree depth of the binary container/heap it
-// replaced, and the concrete element type removes the interface{} boxing
-// and the per-op indirect Less/Swap calls.
+// eventQueue is a typed 4-ary min-heap ordering events by (time, creation
+// time, sequence). A 4-ary layout halves the tree depth of the binary
+// container/heap it replaced, and the concrete element type removes the
+// interface{} boxing and the per-op indirect Less/Swap calls.
 type eventQueue []*event
 
-// less is the strict total order (at, seq); seq is unique, so there are no
-// ties and heap stability is irrelevant.
+// less is the strict total order (at, born, seq); seq is unique, so there
+// are no ties and heap stability is irrelevant.
 func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
+	}
+	if q[i].born != q[j].born {
+		return q[i].born < q[j].born
 	}
 	return q[i].seq < q[j].seq
 }
@@ -259,6 +269,16 @@ type Scheduler struct {
 	// it so the pacing loop sees every event.
 	handoff bool
 	limit   Time
+
+	// Sharding state (see shard.go). group is nil for standalone schedulers
+	// and for the single shard of a one-shard group, so the sequential fast
+	// paths are untouched in that case. windowing marks a group-driven
+	// window so startDrive can reject direct drives of group members.
+	group     *ShardGroup
+	shardID   int
+	windowing bool
+	outbox    []crossEvent
+	outSeq    uint64
 }
 
 // New returns an empty simulation scheduler with the clock at zero.
@@ -281,7 +301,7 @@ func (s *Scheduler) newEvent(t Time, fn func(), p *Proc) *event {
 	} else {
 		e = new(event)
 	}
-	e.at, e.seq, e.fn, e.proc = t, s.seq, fn, p
+	e.at, e.born, e.seq, e.fn, e.proc = t, s.now, s.seq, fn, p
 	return e
 }
 
@@ -298,6 +318,19 @@ func (s *Scheduler) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
 	s.queue.push(s.newEvent(t, fn, nil))
+}
+
+// atBorn is At with an explicit creation stamp born <= t. The window
+// barrier uses it so a cross-shard event inherits its sender-side creation
+// time: same-time events then fire in creation-time order exactly as they
+// would have on a single scheduler, instead of in barrier-delivery order.
+func (s *Scheduler) atBorn(t, born Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	e := s.newEvent(t, fn, nil)
+	e.born = born
+	s.queue.push(e)
 }
 
 // After schedules fn to run d from now. Negative d panics.
@@ -505,6 +538,9 @@ func (p *Proc) Yield() { p.Sleep(0) }
 // drive may not start while another is on the stack (an event callback
 // calling Run) or after a previous drive has drained the queue.
 func (s *Scheduler) startDrive(limit Time, handoff bool) {
+	if s.group != nil && !s.windowing {
+		panic("sim: scheduler belongs to a multi-shard group; drive it with ShardGroup.Run")
+	}
 	if s.driving {
 		panic("sim: drive re-entered from within a drive")
 	}
