@@ -64,6 +64,9 @@ func main() {
 		Warmup:     1,
 		Platform:   spec,
 	}
+	if cfg.Adaptive, err = eng.RunConfig(); err != nil {
+		fatal(err)
+	}
 	if cfg.MessageBytes, err = cliutil.ParseSize(*sizeStr); err != nil {
 		fatal(err)
 	}

@@ -57,6 +57,14 @@ type Entry struct {
 	// sleep-based scheduler workload): comparisons skip the calibration
 	// normalization for them, since a faster CPU does not shorten a sleep.
 	Fixed bool `json:"fixed,omitempty"`
+	// CILoNS/CIHiNS bound the 95% confidence interval of the per-rep wall
+	// times (stats.MeanCI; present only when at least two reps were
+	// measured). When both sides of a comparison carry them, the gate acts
+	// on CI separation instead of the bare ns/op ratio tolerance: a
+	// regression must be statistically significant, not merely noisy.
+	// Omitted otherwise, so existing baseline files stay valid.
+	CILoNS float64 `json:"ci_lo_ns,omitempty"`
+	CIHiNS float64 `json:"ci_hi_ns,omitempty"`
 }
 
 // File is a BENCH_<n>.json document.
@@ -173,6 +181,7 @@ func runBenchmarks(scaleName string, reps, workers int, progress io.Writer) (Fil
 	figs := figures.Numbers()
 	best := make([]float64, len(figs))
 	cells := make([]float64, len(figs))
+	times := make([][]float64, len(figs))
 	// rep -1 is an untimed warmup round: the first pass over a figure pays
 	// one-off process costs (page faults, allocator growth) that would
 	// otherwise skew a cold gate run against a warm baseline.
@@ -188,7 +197,9 @@ func runBenchmarks(scaleName string, reps, workers int, progress io.Writer) (Fil
 			if rep < 0 {
 				continue
 			}
-			if ns := float64(el.Nanoseconds()); rep == 0 || ns < best[i] {
+			ns := float64(el.Nanoseconds())
+			times[i] = append(times[i], ns)
+			if rep == 0 || ns < best[i] {
 				best[i] = ns
 				if secs := el.Seconds(); secs > 0 {
 					cells[i] = float64(rn.Stats().Cells) / secs
@@ -201,6 +212,9 @@ func runBenchmarks(scaleName string, reps, workers int, progress io.Writer) (Fil
 			Name:        fmt.Sprintf("fig%02d", fig),
 			NsOp:        best[i],
 			CellsPerSec: cells[i],
+		}
+		if len(times[i]) >= 2 {
+			e.CILoNS, e.CIHiNS = stats.MeanCI(times[i], 0.95)
 		}
 		f.Entries = append(f.Entries, e)
 		if progress != nil {
@@ -269,6 +283,9 @@ func parseBench(r io.Reader) (File, error) {
 		ns := samples[name]
 		sort.Float64s(ns)
 		e := Entry{Name: name, NsOp: stats.Percentile(ns, 50)}
+		if len(ns) >= 2 {
+			e.CILoNS, e.CIHiNS = stats.MeanCI(ns, 0.95)
+		}
 		if as := allocs[name]; len(as) > 0 {
 			sort.Float64s(as)
 			a := stats.Percentile(as, 50)
@@ -299,7 +316,11 @@ type Delta struct {
 	// allocation gate: allocs/op grew beyond tolerance, or a baseline
 	// 0-allocs path started allocating at all.
 	AllocRegressed bool
-	Status         string // "regression" | "improvement" | "ok" | "missing" | "new"
+	// CIGated marks deltas whose ns/op verdict came from the CI-overlap
+	// gate (both sides carried confidence bounds) rather than the ratio
+	// tolerance.
+	CIGated bool
+	Status  string // "regression" | "improvement" | "ok" | "missing" | "new"
 }
 
 // Comparison is the gate's verdict over a whole file pair.
@@ -369,20 +390,34 @@ func compareMode(base, cur File, tol float64, allocsOnly bool) Comparison {
 		}
 		d := Delta{Name: b.Name, Base: b.NsOp, Cur: e.NsOp,
 			BaseAllocs: b.AllocsOp, CurAllocs: e.AllocsOp}
+		norm := c.SpeedFactor
+		if b.Fixed || e.Fixed {
+			norm = 1 // sleep-based workloads do not scale with CPU speed
+		}
 		if b.NsOp > 0 {
-			norm := c.SpeedFactor
-			if b.Fixed || e.Fixed {
-				norm = 1 // sleep-based workloads do not scale with CPU speed
-			}
 			d.Ratio = e.NsOp / norm / b.NsOp
 		}
 		nsStatus := "ok"
 		if !allocsOnly {
-			switch {
-			case d.Ratio > 1+tol:
-				nsStatus = "regression"
-			case d.Ratio != 0 && d.Ratio < 1-tol:
-				nsStatus = "improvement"
+			if b.CIHiNS > 0 && e.CIHiNS > 0 {
+				// Both sides carry confidence bounds: gate on CI overlap.
+				// Only a statistically separated slowdown — the current
+				// interval entirely above the baseline's — regresses; a
+				// separated speedup is an improvement; overlap is noise.
+				d.CIGated = true
+				switch {
+				case e.CILoNS/norm > b.CIHiNS:
+					nsStatus = "regression"
+				case e.CIHiNS/norm < b.CILoNS:
+					nsStatus = "improvement"
+				}
+			} else {
+				switch {
+				case d.Ratio > 1+tol:
+					nsStatus = "regression"
+				case d.Ratio != 0 && d.Ratio < 1-tol:
+					nsStatus = "improvement"
+				}
 			}
 		}
 		allocStatus := "ok"
@@ -471,7 +506,11 @@ func (c Comparison) Table() *report.Table {
 		} else if d.CurAllocs != nil {
 			allocs = fmt.Sprintf("%.0f", *d.CurAllocs)
 		}
-		t.AddF(d.Name, baseMs, curMs, delta, allocs, d.Status)
+		status := d.Status
+		if d.CIGated {
+			status += " (ci)"
+		}
+		t.AddF(d.Name, baseMs, curMs, delta, allocs, status)
 	}
 	return t
 }

@@ -304,3 +304,48 @@ func TestRunBenchmarksQuick(t *testing.T) {
 		}
 	}
 }
+
+func benchCI(name string, ns, lo, hi float64) Entry {
+	return Entry{Name: name, NsOp: ns, CILoNS: lo, CIHiNS: hi}
+}
+
+func TestCompareCIOverlap(t *testing.T) {
+	// When both sides carry confidence bounds, the gate demands statistical
+	// separation instead of the bare ±tolerance ratio. A +40% mean shift
+	// with wide, overlapping intervals is noise, not a regression...
+	base := file(benchCI("fig04", 100, 60, 140))
+	cur := file(benchCI("fig04", 140, 95, 185))
+	c := compare(base, cur, 0.2)
+	if c.Failed() {
+		t.Fatalf("overlapping CIs flagged as regression: %+v", c)
+	}
+	if d := c.Deltas[0]; !d.CIGated || d.Status != "ok" {
+		t.Fatalf("overlap not CI-gated ok: %+v", d)
+	}
+	// ...while a disjoint interval entirely above the baseline's is a
+	// regression even though the same mean ratio applies.
+	cur = file(benchCI("fig04", 140, 141, 150))
+	if c := compare(base, cur, 0.2); !c.Failed() || c.Deltas[0].Status != "regression" {
+		t.Fatalf("disjoint-above CI not flagged: %+v", c.Deltas)
+	}
+	// A disjoint interval entirely below is an improvement, even inside the
+	// ratio tolerance band.
+	cur = file(benchCI("fig04", 95, 40, 55))
+	if c := compare(base, cur, 0.2); c.Deltas[0].Status != "improvement" {
+		t.Fatalf("disjoint-below CI not an improvement: %+v", c.Deltas)
+	}
+	// Either side lacking bounds falls back to the ±tolerance ratio gate.
+	cur = file(bench("fig04", 200))
+	c = compare(base, cur, 0.2)
+	if !c.Failed() || c.Deltas[0].CIGated {
+		t.Fatalf("CI-less entry did not use tolerance fallback: %+v", c.Deltas)
+	}
+	// Hardware normalization applies to the current bounds: a uniformly
+	// 2x-slower machine's shifted interval is not a separation.
+	slower := file(benchCI("fig04", 200, 120, 280))
+	slower.CalNS = 2e6
+	base.CalNS = 1e6
+	if c := compare(base, slower, 0.2); c.Failed() {
+		t.Fatalf("normalized CI shift flagged as regression: %+v", c)
+	}
+}

@@ -54,6 +54,9 @@ func main() {
 	cfg := classic.DefaultConfig()
 	cfg.Iterations = *iters
 	cfg.Warmup = *iters / 10
+	if cfg.Adaptive, err = eng.RunConfig(); err != nil {
+		fatal(err)
+	}
 	if *platformStr != "" {
 		if cfg.Platform, err = platform.Resolve(*platformStr); err != nil {
 			fatal(err)

@@ -33,6 +33,7 @@ import (
 	"partmb/internal/platform"
 	"partmb/internal/report"
 	"partmb/internal/sim"
+	"partmb/internal/stats"
 )
 
 func main() {
@@ -61,6 +62,10 @@ func main() {
 		}
 		names = []string{*study}
 	}
+	var err error
+	if adaptiveRC, err = eng.RunConfig(); err != nil {
+		fatal(err)
+	}
 	rn, err := eng.Runner()
 	if err != nil {
 		fatal(err)
@@ -86,6 +91,10 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// adaptiveRC is the -samples/-ci-target run configuration (nil = fixed
+// repetitions); the p2p studies pick it up through metricCfg.
+var adaptiveRC *stats.RunConfig
+
 // metricCfg is the shared benchmark point for the p2p studies.
 func metricCfg() core.Config {
 	return core.Config{
@@ -95,6 +104,7 @@ func metricCfg() core.Config {
 		Iterations:   6,
 		Warmup:       2,
 		Platform:     platform.Niagara().WithNoise(noise.Uniform, 4).WithThreadMode(mpi.Multiple),
+		Adaptive:     adaptiveRC,
 	}
 }
 

@@ -60,6 +60,9 @@ func main() {
 			fatal(err)
 		}
 	}
+	if env.Adaptive, err = eng.RunConfig(); err != nil {
+		fatal(err)
+	}
 
 	var figs []int
 	if *figStr == "all" {

@@ -56,6 +56,9 @@ func main() {
 	cfg.Platform = spec
 	cfg.Iterations = 50
 	cfg.Warmup = 5
+	if cfg.Adaptive, err = eng.RunConfig(); err != nil {
+		fatal(err)
+	}
 	rn, err := eng.Runner()
 	if err != nil {
 		fatal(err)

@@ -69,6 +69,10 @@ func main() {
 		}
 	}
 	spec = spec.WithNoise(nk, *noisePct).WithSeed(*seed)
+	adaptive, err := eng.RunConfig()
+	if err != nil {
+		fatal(err)
+	}
 
 	modes := patterns.Modes()
 	if !*allModes {
@@ -84,9 +88,12 @@ func main() {
 		fatal(err)
 	}
 	rn.SetExperiment("patterns/" + *motif)
-	t := report.New(
-		fmt.Sprintf("%s: size=%s compute=%v noise=%s/%.0f%%", *motif, core.FormatBytes(size), compute, nk, *noisePct),
-		"mode", "elapsed", "payload MiB", "messages", "throughput GB/s")
+	title := fmt.Sprintf("%s: size=%s compute=%v noise=%s/%.0f%%", *motif, core.FormatBytes(size), compute, nk, *noisePct)
+	cols := []string{"mode", "elapsed", "payload MiB", "messages", "throughput GB/s"}
+	if adaptive != nil {
+		cols = append(cols, "± GB/s", "n", "stop")
+	}
+	t := report.New(title, cols...)
 	for _, mode := range modes {
 		var res *patterns.Result
 		switch *motif {
@@ -99,6 +106,7 @@ func main() {
 				Repeats:        *repeats,
 				Mode:           mode,
 				Platform:       spec,
+				Adaptive:       adaptive,
 			})
 		case "halo3d":
 			res, err = patterns.RunHalo3DCached(rn, patterns.HaloConfig{
@@ -109,6 +117,7 @@ func main() {
 				Repeats:       *repeats,
 				Mode:          mode,
 				Platform:      spec,
+				Adaptive:      adaptive,
 			})
 		case "halo2d":
 			res, err = patterns.RunHalo2DCached(rn, patterns.Halo2DConfig{
@@ -119,6 +128,7 @@ func main() {
 				Repeats:       *repeats,
 				Mode:          mode,
 				Platform:      spec,
+				Adaptive:      adaptive,
 			})
 		case "incast":
 			res, err = patterns.RunIncastCached(rn, patterns.IncastConfig{
@@ -129,6 +139,7 @@ func main() {
 				Repeats:        *repeats,
 				Mode:           mode,
 				Platform:       spec,
+				Adaptive:       adaptive,
 			})
 		default:
 			fatal(fmt.Errorf("unknown -motif %q (want sweep3d|halo3d|halo2d|incast)", *motif))
@@ -136,8 +147,22 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		t.AddF(mode.String(), res.Elapsed.String(),
-			float64(res.PayloadBytes)/(1<<20), res.Messages, res.Throughput()/1e9)
+		if adaptive != nil {
+			tp := res.Throughput()
+			var hw float64
+			var n int
+			reason := ""
+			if res.CI != nil {
+				// The throughput column is the across-draw mean; the first
+				// draw's Elapsed/payload stay as the representative run.
+				tp, hw, n, reason = res.CI.Mean, res.CI.HalfWidth(), res.CI.N, res.CI.Reason
+			}
+			t.AddF(mode.String(), res.Elapsed.String(),
+				float64(res.PayloadBytes)/(1<<20), res.Messages, tp/1e9, hw/1e9, n, reason)
+		} else {
+			t.AddF(mode.String(), res.Elapsed.String(),
+				float64(res.PayloadBytes)/(1<<20), res.Messages, res.Throughput()/1e9)
+		}
 	}
 	paths, err := out.Emit(os.Stdout, []*report.Table{t}, cliutil.IndexedName("%s_%%d.csv", *motif))
 	if err != nil {

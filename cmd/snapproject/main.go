@@ -62,6 +62,9 @@ func main() {
 			fatal(err)
 		}
 	}
+	if cfg.Adaptive, err = eng.RunConfig(); err != nil {
+		fatal(err)
+	}
 
 	rn, err := eng.Runner()
 	if err != nil {
@@ -72,12 +75,26 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	t := report.New(
-		fmt.Sprintf("SNAP proxy profile and projected speedup (gain %.1fx)", *gain),
-		"nodes", "app time", "mpi time", "mpi %", "projected speedup")
+	title := fmt.Sprintf("SNAP proxy profile and projected speedup (gain %.1fx)", *gain)
+	cols := []string{"nodes", "app time", "mpi time", "mpi %", "projected speedup"}
+	if cfg.Adaptive != nil {
+		cols = append(cols, "±", "n", "stop")
+	}
+	t := report.New(title, cols...)
 	for _, pt := range pts {
-		t.AddF(pt.Nodes, pt.AppTime.String(), pt.MPITime.String(),
-			100*pt.MPIFraction, snap.ProjectSpeedup(pt.MPIFraction, *gain))
+		if cfg.Adaptive != nil {
+			var hw float64
+			var n int
+			reason := ""
+			if pt.CI != nil {
+				hw, n, reason = pt.CI.HalfWidth(), pt.CI.N, pt.CI.Reason
+			}
+			t.AddF(pt.Nodes, pt.AppTime.String(), pt.MPITime.String(),
+				100*pt.MPIFraction, snap.ProjectSpeedup(pt.MPIFraction, *gain), hw, n, reason)
+		} else {
+			t.AddF(pt.Nodes, pt.AppTime.String(), pt.MPITime.String(),
+				100*pt.MPIFraction, snap.ProjectSpeedup(pt.MPIFraction, *gain))
+		}
 	}
 	tables := []*report.Table{t}
 

@@ -1,0 +1,51 @@
+package classic
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"partmb/internal/stats"
+)
+
+func TestAdaptiveLatencyConvergesAndMatchesFixed(t *testing.T) {
+	rc, err := stats.ParseRunConfig("min=2,max=8,ci=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int64{1 << 10, 64 << 10}
+	fixed, err := Latency(nil, Config{Iterations: 3, Warmup: 1}, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := Latency(nil, Config{Iterations: 3, Warmup: 1, Adaptive: &rc}, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range adaptive {
+		if pt.CI == nil {
+			t.Fatalf("size %d: adaptive point missing CI", pt.Size)
+		}
+		if !pt.CI.Converged || pt.CI.N != 2 {
+			t.Fatalf("deterministic latency should converge at 2 draws: %+v", pt.CI)
+		}
+		// The simulator is deterministic, so the adaptive mean must agree
+		// with the fixed-rep per-iteration average to well under the CI
+		// target.
+		if rel := abs(pt.Value-fixed[i].Value) / fixed[i].Value; rel > 0.05 {
+			t.Fatalf("size %d: adaptive %v vs fixed %v (rel %v)", pt.Size, pt.Value, fixed[i].Value, rel)
+		}
+	}
+	// Fixed-path points must not grow CI fields (byte-identity).
+	j, _ := json.Marshal(fixed)
+	if strings.Contains(string(j), "CI") {
+		t.Fatalf("fixed-path Point JSON mentions CI: %s", j)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

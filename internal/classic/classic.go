@@ -19,6 +19,7 @@ import (
 	"partmb/internal/mpi"
 	"partmb/internal/platform"
 	"partmb/internal/sim"
+	"partmb/internal/stats"
 )
 
 // Config holds the shared benchmark parameters.
@@ -31,6 +32,12 @@ type Config struct {
 	// defaults). Each benchmark picks its own MPI thread mode, so the
 	// spec's ThreadMode is ignored here.
 	Platform *platform.Spec
+	// Adaptive, when non-nil, replaces the fixed Iterations count with
+	// confidence-targeted sampling: each point draws single-iteration runs
+	// under derived seeds until the value's confidence interval meets the
+	// target (or the sample budget runs out), and Point carries the
+	// estimate. Nil keeps the fixed path and its cache keys byte-identical.
+	Adaptive *stats.RunConfig `json:",omitempty"`
 }
 
 // DefaultConfig returns OSU-like iteration counts.
@@ -58,6 +65,18 @@ func (c *Config) validate() error {
 type Point struct {
 	Size  int64
 	Value float64
+	// CI is the confidence estimate of Value on adaptive runs (nil on the
+	// fixed-rep path, keeping fixed-path JSON byte-identical).
+	CI *stats.Estimate `json:",omitempty"`
+}
+
+// SampleStats implements the observability layer's Sampled interface (see
+// internal/obs). Fixed-rep points report n == 0.
+func (p Point) SampleStats() (n int, relCI float64, reason string) {
+	if p.CI == nil {
+		return 0, 0, ""
+	}
+	return p.CI.N, p.CI.RelHalfWidth, p.CI.Reason
 }
 
 // world builds a 2-rank world.
@@ -72,7 +91,9 @@ func (c Config) world(s *sim.Scheduler, mode mpi.ThreadMode) *mpi.World {
 
 // sweepPoints runs one benchmark point per size on the runner's worker pool,
 // memoizing each (benchmark, config, size, args...) cell. A nil runner uses
-// the shared default runner.
+// the shared default runner. With cfg.Adaptive set, each point samples
+// adaptively (the adaptive config participates in the key, so adaptive and
+// fixed cells never alias).
 func sweepPoints(rn *engine.Runner, what string, cfg Config, sizes []int64,
 	one func(Config, int64) (float64, error), extra ...any) ([]Point, error) {
 	r := engine.OrDefault(rn)
@@ -85,20 +106,57 @@ func sweepPoints(rn *engine.Runner, what string, cfg Config, sizes []int64,
 		if kerr != nil {
 			key = ""
 		}
+		if cfg.Adaptive != nil {
+			if cfg.Adaptive.Budget > 0 {
+				key = "" // budget stops depend on host speed; never memoize
+			}
+			pt, err := engine.DoAs(r, key, func() (Point, error) {
+				return adaptivePoint(cfg, size, one)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s: size %s: %w", what, FormatSize(size), err)
+			}
+			return pt, nil
+		}
 		v, err := engine.DoAs(r, key, func() (float64, error) { return one(cfg, size) })
 		if err != nil {
 			return nil, fmt.Errorf("%s: size %s: %w", what, FormatSize(size), err)
 		}
-		return v, nil
+		return Point{Size: size, Value: v}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	out := make([]Point, len(sizes))
 	for i, v := range vals {
-		out[i] = Point{Size: sizes[i], Value: v.(float64)}
+		out[i] = v.(Point)
+		out[i].Size = sizes[i]
 	}
 	return out, nil
+}
+
+// adaptivePoint estimates one benchmark point by drawing single-iteration
+// runs under seeds derived from the platform seed (stats.DeriveSeed) until
+// the sampler declares the estimate tight — classic sims are deterministic
+// per seed, so a quiet benchmark converges at MinSamples draws instead of
+// burning the fixed OSU-style iteration count. The reported Value is the
+// sample mean, with the full estimate attached.
+func adaptivePoint(cfg Config, size int64, one func(Config, int64) (float64, error)) (Point, error) {
+	rc := *cfg.Adaptive
+	s := stats.NewSampler(rc)
+	for draw := 0; !s.Done(); draw++ {
+		sub := cfg
+		sub.Adaptive = nil
+		sub.Iterations = 1
+		sub.Platform = cfg.Platform.WithSeed(stats.DeriveSeed(cfg.Platform.Seed, draw))
+		v, err := one(sub, size)
+		if err != nil {
+			return Point{}, fmt.Errorf("adaptive draw %d: %w", draw, err)
+		}
+		s.Add(v)
+	}
+	est := s.Estimate()
+	return Point{Size: size, Value: est.Mean, CI: &est}, nil
 }
 
 // cachedDuration memoizes a single-point duration benchmark on the runner's

@@ -36,31 +36,19 @@ func BenchTable(rn *engine.Runner, name string, p SuiteParams) (*report.Table, e
 		if err != nil {
 			return nil, err
 		}
-		t := report.New("osu_latency-style ping-pong", "size", "latency us")
-		for _, pt := range pts {
-			t.AddF(FormatSize(pt.Size), pt.Value*1e6)
-		}
-		return t, nil
+		return pointTable("osu_latency-style ping-pong", "latency us", "± us", pts, 1e6, p.Config.Adaptive != nil), nil
 	case "bw":
 		pts, err := Bandwidth(rn, p.Config, p.Sizes, p.Window)
 		if err != nil {
 			return nil, err
 		}
-		t := report.New(fmt.Sprintf("osu_bw-style streaming bandwidth (window %d)", p.Window), "size", "GB/s")
-		for _, pt := range pts {
-			t.AddF(FormatSize(pt.Size), pt.Value/1e9)
-		}
-		return t, nil
+		return pointTable(fmt.Sprintf("osu_bw-style streaming bandwidth (window %d)", p.Window), "GB/s", "± GB/s", pts, 1e-9, p.Config.Adaptive != nil), nil
 	case "bibw":
 		pts, err := BiBandwidth(rn, p.Config, p.Sizes, p.Window)
 		if err != nil {
 			return nil, err
 		}
-		t := report.New(fmt.Sprintf("osu_bibw-style bidirectional bandwidth (window %d)", p.Window), "size", "aggregate GB/s")
-		for _, pt := range pts {
-			t.AddF(FormatSize(pt.Size), pt.Value/1e9)
-		}
-		return t, nil
+		return pointTable(fmt.Sprintf("osu_bibw-style bidirectional bandwidth (window %d)", p.Window), "aggregate GB/s", "± GB/s", pts, 1e-9, p.Config.Adaptive != nil), nil
 	case "rate":
 		rate, err := MessageRate(rn, p.Config, 8, p.Window)
 		if err != nil {
@@ -101,6 +89,31 @@ func BenchTable(rn *engine.Runner, name string, p SuiteParams) (*report.Table, e
 		return t, nil
 	}
 	return nil, fmt.Errorf("classic: unknown benchmark %q", name)
+}
+
+// pointTable renders a size-sweep point list, scaling values by scale. With
+// adaptive sampling on it appends the 95% CI half-width (same unit as the
+// value column) and sample-count columns — the error bars the methodology
+// layer measured. Fixed-rep tables keep their exact historical shape.
+func pointTable(title, valueCol, errCol string, pts []Point, scale float64, adaptive bool) *report.Table {
+	if !adaptive {
+		t := report.New(title, "size", valueCol)
+		for _, pt := range pts {
+			t.AddF(FormatSize(pt.Size), pt.Value*scale)
+		}
+		return t
+	}
+	t := report.New(title, "size", valueCol, errCol, "n")
+	for _, pt := range pts {
+		var hw float64
+		var n int
+		if pt.CI != nil {
+			hw = pt.CI.HalfWidth()
+			n = pt.CI.N
+		}
+		t.AddF(FormatSize(pt.Size), pt.Value*scale, hw*scale, n)
+	}
+	return t
 }
 
 // Suite builds every benchmark table in presentation order.

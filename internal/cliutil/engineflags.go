@@ -9,6 +9,7 @@ import (
 	"partmb/internal/engine"
 	"partmb/internal/faults"
 	"partmb/internal/obs"
+	"partmb/internal/stats"
 )
 
 // EngineFlags bundles the experiment-engine flags every CLI shares: worker
@@ -46,6 +47,16 @@ type EngineFlags struct {
 	// with CacheDir set defaults to <cachedir>/cost_profile.json, so cached
 	// runs get warm scheduling for free.
 	CostFile string
+	// Samples, when non-empty, switches cells to adaptive confidence-
+	// targeted sampling. The spec is stats.ParseRunConfig syntax
+	// ("min=2,max=32,conf=0.95,ci=0.05,budget=1s"); the bare value "on"
+	// selects the defaults. Empty keeps the fixed-rep path — and every
+	// journal, table, and cache key byte-identical.
+	Samples string
+	// CITarget, when positive, overrides the adaptive spec's target
+	// relative CI half-width (implies adaptive on with defaults if
+	// -samples was not given).
+	CITarget float64
 
 	col      *obs.Collector
 	cost     *engine.CostModel
@@ -64,6 +75,33 @@ func (e *EngineFlags) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&e.TraceFile, "tracefile", "", "write the engine schedule as Chrome trace JSON (Perfetto) to this file")
 	fs.StringVar(&e.Schedule, "schedule", "", "sweep dispatch policy: inorder|lpt (default inorder)")
 	fs.StringVar(&e.CostFile, "costfile", "", "persist the scheduler's cell-cost profile to this JSON file (default <cachedir>/cost_profile.json when -cachedir is set)")
+	fs.StringVar(&e.Samples, "samples", "", "adaptive sampling spec: min=A,max=B,conf=C,ci=R[,budget=D], or \"on\" for defaults (default off: fixed repetitions)")
+	fs.Float64Var(&e.CITarget, "ci-target", 0, "override the adaptive target relative CI half-width (implies -samples=on)")
+}
+
+// RunConfig resolves the adaptive sampling flags into a run configuration,
+// or nil when adaptive mode is off. CLIs hand the pointer straight to their
+// experiment config's Adaptive field: nil keeps every fixed-path artifact
+// byte-identical.
+func (e *EngineFlags) RunConfig() (*stats.RunConfig, error) {
+	if e.Samples == "" && e.CITarget == 0 {
+		return nil, nil
+	}
+	spec := e.Samples
+	if spec == "on" {
+		spec = ""
+	}
+	rc, err := stats.ParseRunConfig(spec)
+	if err != nil {
+		return nil, fmt.Errorf("cliutil: -samples: %w", err)
+	}
+	if e.CITarget != 0 {
+		rc.TargetRelCI = e.CITarget
+	}
+	if err := rc.Validate(); err != nil {
+		return nil, fmt.Errorf("cliutil: adaptive sampling config: %w", err)
+	}
+	return &rc, nil
 }
 
 // observing reports whether any observability sink was requested.

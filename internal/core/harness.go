@@ -35,9 +35,18 @@ type Config struct {
 	// Compute is the per-thread compute amount per iteration.
 	Compute sim.Duration
 	// Iterations is the number of measured iterations; Warmup iterations
-	// run first and are discarded.
+	// run first and are discarded. Warmup 0 means the default; a negative
+	// Warmup means explicitly none (the adaptive path runs warmup in-band
+	// and discards it with MSER detection instead).
 	Iterations int
 	Warmup     int
+	// Adaptive, when non-nil, switches RunCached to confidence-targeted
+	// sampling (see RunAdaptive): instead of one run of fixed Iterations,
+	// the cell draws batches across derived noise seeds until every metric's
+	// confidence interval is tight enough or the sample/wall-clock budget
+	// runs out. Nil keeps the fixed-rep path and the pre-adaptive cache
+	// keys byte-identical.
+	Adaptive *stats.RunConfig `json:",omitempty"`
 	// PruneSigma drops samples more than this many standard deviations
 	// from the mean before aggregation (§4.1); 0 disables pruning.
 	PruneSigma float64
@@ -63,6 +72,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Warmup == 0 {
 		c.Warmup = 2
+	}
+	if c.Warmup < 0 {
+		c.Warmup = 0
 	}
 	if c.PruneSigma == 0 {
 		c.PruneSigma = 3
@@ -125,6 +137,10 @@ type Result struct {
 	PerceivedBW  float64 // Eq. 2, bytes/second
 	Availability float64 // Eq. 3, fraction
 	EarlyBird    float64 // Eq. 4, percent
+
+	// CI carries the per-metric confidence estimates of an adaptive run
+	// (nil on the fixed-rep path, so fixed-path JSON stays byte-identical).
+	CI *ResultCI `json:",omitempty"`
 }
 
 // SimElapsed returns the total virtual time the measured iterations
@@ -324,8 +340,15 @@ func (c Config) cacheKey() string {
 // cached Result — in-memory or reloaded from disk — is bit-identical to a
 // fresh run; callers must treat it as immutable. A nil runner runs
 // uncached.
+//
+// When cfg.Adaptive is set, the cell runs confidence-targeted sampling
+// (RunAdaptive) instead of fixed reps; the adaptive config participates in
+// the cache key, so adaptive and fixed results never alias.
 func RunCached(rn *engine.Runner, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Adaptive != nil {
+		return RunAdaptive(rn, cfg)
+	}
 	return engine.DoAs(engine.OrDefault(rn), cfg.cacheKey(), func() (*Result, error) {
 		return Run(cfg)
 	})

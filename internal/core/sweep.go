@@ -75,7 +75,14 @@ func sweep(rn *engine.Runner, n int, cell func(i int) (Config, string)) ([]*Resu
 		if parts < 1 {
 			parts = 1
 		}
-		return float64(cfg.MessageBytes) * float64(parts)
+		hint := float64(cfg.MessageBytes) * float64(parts)
+		if cfg.Adaptive != nil {
+			// An adaptive cell may draw up to MaxSamples iterations; scale
+			// the cold-profile hint by the worst case so LPT still
+			// front-loads the potentially expensive cells.
+			hint *= float64(cfg.Adaptive.MaxSamples)
+		}
+		return hint
 	})
 	results, err := r.Map(context.Background(), n,
 		func(_ context.Context, i int) (any, error) {

@@ -52,6 +52,17 @@ type costObs struct {
 	N int64 `json:"n"`
 	// PeakNS is the largest host wall time observed for the task.
 	PeakNS float64 `json:"peak_ns"`
+	// Samples totals the adaptive sampling draws the task's cell reported
+	// (see ObserveSamples). Zero — and omitted from persisted profiles, so
+	// adaptive-off profile files keep their exact bytes — when the cell
+	// never sampled.
+	Samples int64 `json:"samples,omitempty"`
+}
+
+// sampled mirrors the observability layer's Sampled interface structurally,
+// so the engine can record adaptive sample counts without importing it.
+type sampled interface {
+	SampleStats() (n int, relCI float64, reason string)
 }
 
 // CostModel predicts per-task host cost from observed profiles, warm-started
@@ -92,6 +103,43 @@ func (m *CostModel) Observe(exp string, index int, host time.Duration) {
 		o.PeakNS = ns
 	}
 	m.mu.Unlock()
+}
+
+// ObserveSamples folds an adaptive cell's actual sample count into the
+// task's profile entry. The count rides along with the peak cost, so a
+// profile consumer can tell whether an expensive cell was expensive per
+// sample or merely sampled many times.
+func (m *CostModel) ObserveSamples(exp string, index, n int) {
+	if m == nil || index < 0 || n <= 0 {
+		return
+	}
+	m.mu.Lock()
+	cells := m.exps[exp]
+	if cells == nil {
+		cells = map[int]*costObs{}
+		m.exps[exp] = cells
+	}
+	o := cells[index]
+	if o == nil {
+		o = &costObs{}
+		cells[index] = o
+	}
+	o.Samples += int64(n)
+	m.mu.Unlock()
+}
+
+// Samples reports the total adaptive sample count recorded for a task (0
+// when the task never sampled or is unknown).
+func (m *CostModel) Samples(exp string, index int) int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if o := m.exps[exp][index]; o != nil {
+		return o.Samples
+	}
+	return 0
 }
 
 // Predict returns the predicted host cost of task index under experiment
@@ -169,11 +217,14 @@ func ParseCostProfile(data []byte) *CostModel {
 				continue
 			}
 			cur := o
+			if cur.Samples < 0 {
+				cur.Samples = 0
+			}
 			m.mu.Lock()
 			if m.exps[exp] == nil {
 				m.exps[exp] = map[int]*costObs{}
 			}
-			m.exps[exp][index] = &costObs{N: cur.N, PeakNS: cur.PeakNS}
+			m.exps[exp][index] = &costObs{N: cur.N, PeakNS: cur.PeakNS, Samples: cur.Samples}
 			m.mu.Unlock()
 		}
 	}

@@ -637,7 +637,7 @@ func (r *Runner) run(ctx context.Context, n int, fn func(ctx context.Context, i 
 			mu.Unlock()
 			cancelTask() // release the per-task context
 			pred := plan.predicted(i)
-			r.recordTask(exp, i, lane, start, end, pred)
+			r.recordTask(exp, i, lane, start, end, pred, v)
 			if r.obs != nil {
 				r.obs.TaskDone(TaskEvent{
 					Experiment: exp,
@@ -679,8 +679,9 @@ func (r *Runner) run(ctx context.Context, n int, fn func(ctx context.Context, i 
 
 // recordTask folds one completed task into the scheduling accounting: its
 // lane's busy time, the runner-wide task span (makespan), the
-// predicted-vs-actual cost totals, and the cost model's observed profile.
-func (r *Runner) recordTask(exp string, i, lane int, start, end time.Duration, pred float64) {
+// predicted-vs-actual cost totals, and the cost model's observed profile
+// (including the adaptive sample count when the task's value reports one).
+func (r *Runner) recordTask(exp string, i, lane int, start, end time.Duration, pred float64, v any) {
 	busy := int64(end - start)
 	if busy < 0 {
 		busy = 0
@@ -705,4 +706,9 @@ func (r *Runner) recordTask(exp string, i, lane int, start, end time.Duration, p
 		}
 	}
 	r.cost.Observe(exp, i, end-start)
+	if sp, ok := v.(sampled); ok {
+		if n, _, _ := sp.SampleStats(); n > 0 {
+			r.cost.ObserveSamples(exp, i, n)
+		}
+	}
 }

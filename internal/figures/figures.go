@@ -27,6 +27,7 @@ import (
 	"partmb/internal/report"
 	"partmb/internal/sim"
 	"partmb/internal/snap"
+	"partmb/internal/stats"
 )
 
 // Scale bounds the sweep ranges of the generators.
@@ -119,7 +120,19 @@ type Env struct {
 	// Spec is the base platform; generators override the figure-controlled
 	// axes (noise model, cache state, thread mode) per cell.
 	Spec *platform.Spec
+	// Adaptive, when non-nil, switches every cell to confidence-targeted
+	// sampling: values render as "mean±half-width" CI bands and cells sample
+	// across derived noise seeds until converged. Nil keeps the fixed-rep
+	// path and every table byte-identical.
+	Adaptive *stats.RunConfig
 }
+
+// band is a value with a symmetric error bar. Figure tables render it as
+// "value±half-width", so text and CSV output carry the CI band inline where
+// the plain value used to be.
+type band struct{ v, hw float64 }
+
+func (b band) String() string { return fmt.Sprintf("%.4g±%.3g", b.v, b.hw) }
 
 func (e Env) runner() *engine.Runner { return engine.OrDefault(e.Runner) }
 
@@ -148,7 +161,17 @@ func (e Env) metricCfg(sc Scale) core.Config {
 		Iterations: sc.Iterations,
 		Warmup:     sc.Warmup,
 		Platform:   e.metricSpec(),
+		Adaptive:   e.Adaptive,
 	}
+}
+
+// metricCell renders one metric-figure cell: the fixed-path value, or — on
+// adaptive runs — the across-draw mean with its CI half-width as a band.
+func metricCell(fixed float64, est *stats.Estimate, scale float64) any {
+	if est == nil {
+		return fixed
+	}
+	return band{est.Mean * scale, est.HalfWidth() * scale}
 }
 
 // Fig4 regenerates "Overhead of Partitioned Point-to-Point Communication
@@ -175,7 +198,11 @@ func (e Env) Fig4(sc Scale) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			return res.Overhead, nil
+			var est *stats.Estimate
+			if res.CI != nil {
+				est = &res.CI.Overhead
+			}
+			return metricCell(res.Overhead, est, 1), nil
 		})
 		if err != nil {
 			return nil, err
@@ -236,7 +263,11 @@ func (e Env) Fig5(sc Scale) ([]*report.Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				return res.PerceivedBW / 1e9, nil
+				var est *stats.Estimate
+				if res.CI != nil {
+					est = &res.CI.PerceivedBW
+				}
+				return metricCell(res.PerceivedBW/1e9, est, 1e-9), nil
 			})
 			if err != nil {
 				return nil, err
@@ -273,7 +304,11 @@ func (e Env) Fig6(sc Scale) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			return res.Availability, nil
+			var est *stats.Estimate
+			if res.CI != nil {
+				est = &res.CI.Availability
+			}
+			return metricCell(res.Availability, est, 1), nil
 		})
 		if err != nil {
 			return nil, err
@@ -309,7 +344,11 @@ func (e Env) Fig7(sc Scale) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		return res.Availability, nil
+		var est *stats.Estimate
+		if res.CI != nil {
+			est = &res.CI.Availability
+		}
+		return metricCell(res.Availability, est, 1), nil
 	})
 	if err != nil {
 		return nil, err
@@ -343,7 +382,11 @@ func (e Env) Fig8(sc Scale) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			return res.EarlyBird, nil
+			var est *stats.Estimate
+			if res.CI != nil {
+				est = &res.CI.EarlyBird
+			}
+			return metricCell(res.EarlyBird, est, 1), nil
 		})
 		if err != nil {
 			return nil, err
@@ -396,12 +439,13 @@ func (e Env) figSweep(sc Scale, figure string, comp sim.Duration) ([]*report.Tab
 			Repeats:        sc.SweepRepeats,
 			Mode:           series[col].mode,
 			Platform:       spec,
+			Adaptive:       e.Adaptive,
 		}
 		res, err := patterns.RunSweep3DCached(e.Runner, cfg)
 		if err != nil {
 			return nil, err
 		}
-		return res.Throughput() / 1e9, nil
+		return metricCell(res.Throughput()/1e9, res.CI, 1e-9), nil
 	})
 	if err != nil {
 		return nil, err
@@ -448,12 +492,13 @@ func (e Env) figHalo(sc Scale, figure string, comp sim.Duration) ([]*report.Tabl
 				Repeats:       sc.HaloRepeats,
 				Mode:          modes[col],
 				Platform:      spec,
+				Adaptive:      e.Adaptive,
 			}
 			res, err := patterns.RunHalo3DCached(e.Runner, cfg)
 			if err != nil {
 				return nil, err
 			}
-			return res.Throughput() / 1e9, nil
+			return metricCell(res.Throughput()/1e9, res.CI, 1e-9), nil
 		})
 		if err != nil {
 			return nil, err
@@ -481,12 +526,14 @@ func (e Env) Fig13(sc Scale) ([]*report.Table, error) {
 		"nodes", "app time", "mpi time", "mpi %", "projected speedup")
 	cfg := snap.DefaultConfig()
 	cfg.Platform = e.Spec.Resolved()
+	cfg.Adaptive = e.Adaptive
 	pts, err := snap.ProfileScaling(e.Runner, cfg, sc.SnapNodes)
 	if err != nil {
 		return nil, err
 	}
 	for _, pt := range pts {
-		t.AddF(pt.Nodes, pt.AppTime.String(), pt.MPITime.String(), 100*pt.MPIFraction, pt.Projected)
+		t.AddF(pt.Nodes, pt.AppTime.String(), pt.MPITime.String(), 100*pt.MPIFraction,
+			metricCell(pt.Projected, pt.CI, 1))
 	}
 	return []*report.Table{t}, nil
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"partmb/internal/sim"
 )
@@ -91,11 +92,24 @@ func (k *Kind) UnmarshalText(b []byte) error {
 }
 
 // Model generates per-thread compute durations for one parallel region.
+//
+// Concurrency: the embedded generator is guarded by a mutex, so a Model may
+// be shared across engine worker goroutines without data races. Determinism
+// still requires the *call order* to be deterministic — concurrent callers
+// interleave draws nondeterministically — so the harnesses keep one model
+// per cell (seed derived per cell/rank, see stats.DeriveSeed) and the lock
+// is the backstop that turns an accidental share into a correctness issue
+// only, never a race. Audit note: core and consume build a model per run,
+// patterns builds one per rank, and halo3d/sweep3d precompute Region
+// sequentially before launching goroutines; no engine sweep currently
+// shares a model across workers.
 type Model struct {
 	kind    Kind
 	percent float64 // noise amount as a fraction, e.g. 0.04 for 4%
 	period  sim.Duration
-	rng     *rand.Rand
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
 }
 
 // DefaultPeriod is the daemon firing period of the Periodic model when
@@ -153,6 +167,8 @@ func (m *Model) Region(n int, base sim.Duration) []sim.Duration {
 		return out
 	}
 	amount := float64(base) * m.percent
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	switch m.kind {
 	case SingleThread:
 		// Delay one thread by the full noise amount. The delayed thread is

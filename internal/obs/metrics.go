@@ -46,6 +46,11 @@ type ExperimentSummary struct {
 	// no cost model or hint was installed; compare with Host.TotalNS for
 	// prediction accuracy).
 	PredictedNS int64 `json:"predicted_ns,omitempty"`
+	// SamplesTotal totals adaptive sampling draws across the experiment's
+	// cells; Converged counts sampled cells that met their CI target. Both
+	// zero (and omitted) when adaptive sampling is off.
+	SamplesTotal int64 `json:"samples_total,omitempty"`
+	Converged    int64 `json:"converged,omitempty"`
 }
 
 // ScheduleSummary describes how the engine packed the sweep onto its
@@ -171,6 +176,12 @@ func summarize(name string, tasks []Task, cells []Cell, keep func(string) bool) 
 		}
 		if cl.Outcome == "error" {
 			s.Errors++
+		}
+		if cl.Samples > 0 {
+			s.SamplesTotal += int64(cl.Samples)
+			if cl.CIReason == stats.ReasonConverged {
+				s.Converged++
+			}
 		}
 	}
 	if len(durs) > 0 {

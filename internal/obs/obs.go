@@ -30,6 +30,17 @@ type SimTimed interface {
 	SimElapsed() sim.Duration
 }
 
+// Sampled is implemented by cell result types produced by the adaptive
+// confidence-targeted sampling layer (core.Result, classic.Point,
+// snap.ProfilePoint, patterns.Result). n is the number of samples drawn,
+// relCI the worst relative CI half-width across the cell's metrics, and
+// reason the sampler's stop reason ("converged", "max-samples", "budget").
+// Fixed-path cells return n == 0 and journal no sampling fields at all, so
+// adaptive-off journals stay byte-identical.
+type Sampled interface {
+	SampleStats() (n int, relCI float64, reason string)
+}
+
 // Cell is the journal record of one cell resolution through the engine's
 // cache/retry machinery. All fields except HostNS are deterministic for a
 // deterministic simulator: the multiset of cell records does not depend on
@@ -53,6 +64,13 @@ type Cell struct {
 	// HostNS is the host wall time spent resolving the cell. Volatile:
 	// omitted from deterministic journals.
 	HostNS int64 `json:"host_ns,omitempty"`
+	// Samples / CIRel / CIReason carry the adaptive sampling outcome when
+	// the cell's result type implements Sampled and actually sampled
+	// (Samples > 0). Absent on fixed-path cells — adaptive-off journals do
+	// not change shape.
+	Samples  int     `json:"samples,omitempty"`
+	CIRel    float64 `json:"ci_rel,omitempty"`
+	CIReason string  `json:"ci_reason,omitempty"`
 	// Error is the cell's error text, if any.
 	Error string `json:"err,omitempty"`
 }
@@ -104,6 +122,11 @@ func (c *Collector) CellDone(ev engine.CellEvent) {
 	}
 	if st, ok := ev.Value.(SimTimed); ok {
 		rec.SimNS = int64(st.SimElapsed())
+	}
+	if sp, ok := ev.Value.(Sampled); ok {
+		if n, rel, reason := sp.SampleStats(); n > 0 {
+			rec.Samples, rec.CIRel, rec.CIReason = n, rel, reason
+		}
 	}
 	c.mu.Lock()
 	c.cells = append(c.cells, rec)

@@ -1,7 +1,11 @@
 package patterns
 
 import (
+	"fmt"
+
 	"partmb/internal/engine"
+	"partmb/internal/platform"
+	"partmb/internal/stats"
 )
 
 // Cached run variants: each memoizes its motif on the runner's
@@ -10,6 +14,12 @@ import (
 // suites) simulate once per process. A nil runner falls back to the shared
 // default runner. Configs are hashed after defaulting, so two configs that
 // resolve identically share a cell.
+//
+// With an Adaptive config set, the motif samples its throughput across
+// derived noise seeds until the confidence interval is tight (the adaptive
+// config participates in the cache key, so adaptive and fixed cells never
+// alias); each underlying draw is itself memoized under the fixed key of
+// its derived seed.
 
 func cachedRun[C any](rn *engine.Runner, what string, cfg C, run func(C) (*Result, error)) (*Result, error) {
 	key, err := engine.Key(what, cfg)
@@ -19,22 +29,93 @@ func cachedRun[C any](rn *engine.Runner, what string, cfg C, run func(C) (*Resul
 	return engine.DoAs(engine.OrDefault(rn), key, func() (*Result, error) { return run(cfg) })
 }
 
+// adaptiveRun estimates a motif's throughput with confidence-targeted
+// sampling. reseed must return the config of draw d: Adaptive cleared and
+// the platform seed derived (stats.DeriveSeed). The returned Result is the
+// first draw's, with the throughput estimate attached.
+func adaptiveRun[C any](rn *engine.Runner, what string, cfg C, rc *stats.RunConfig,
+	reseed func(C, int) C, run func(C) (*Result, error)) (*Result, error) {
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
+	key, err := engine.Key(what, cfg)
+	if err != nil || rc.Budget > 0 {
+		key = "" // unhashable or host-speed dependent: run uncached
+	}
+	return engine.DoAs(engine.OrDefault(rn), key, func() (*Result, error) {
+		s := stats.NewSampler(*rc)
+		var first *Result
+		for d := 0; !s.Done(); d++ {
+			r, err := cachedRun(rn, what, reseed(cfg, d), run)
+			if err != nil {
+				return nil, fmt.Errorf("%s: adaptive draw %d: %w", what, d, err)
+			}
+			if d == 0 {
+				first = r
+			}
+			s.Add(r.Throughput())
+		}
+		est := s.Estimate()
+		out := *first
+		out.CI = &est
+		return &out, nil
+	})
+}
+
+// derivedSpec resolves pf and swaps in the seed of adaptive draw d.
+func derivedSpec(pf *platform.Spec, d int) *platform.Spec {
+	pf = pf.Resolved()
+	return pf.WithSeed(stats.DeriveSeed(pf.Seed, d))
+}
+
 // RunSweep3DCached is RunSweep3D memoized on the runner's cache.
 func RunSweep3DCached(rn *engine.Runner, cfg SweepConfig) (*Result, error) {
-	return cachedRun(rn, "patterns.Sweep3D", cfg.withDefaults(), RunSweep3D)
+	cfg = cfg.withDefaults()
+	if cfg.Adaptive != nil {
+		return adaptiveRun(rn, "patterns.Sweep3D", cfg, cfg.Adaptive, func(c SweepConfig, d int) SweepConfig {
+			c.Adaptive = nil
+			c.Platform = derivedSpec(c.Platform, d)
+			return c
+		}, RunSweep3D)
+	}
+	return cachedRun(rn, "patterns.Sweep3D", cfg, RunSweep3D)
 }
 
 // RunHalo3DCached is RunHalo3D memoized on the runner's cache.
 func RunHalo3DCached(rn *engine.Runner, cfg HaloConfig) (*Result, error) {
-	return cachedRun(rn, "patterns.Halo3D", cfg.withDefaults(), RunHalo3D)
+	cfg = cfg.withDefaults()
+	if cfg.Adaptive != nil {
+		return adaptiveRun(rn, "patterns.Halo3D", cfg, cfg.Adaptive, func(c HaloConfig, d int) HaloConfig {
+			c.Adaptive = nil
+			c.Platform = derivedSpec(c.Platform, d)
+			return c
+		}, RunHalo3D)
+	}
+	return cachedRun(rn, "patterns.Halo3D", cfg, RunHalo3D)
 }
 
 // RunHalo2DCached is RunHalo2D memoized on the runner's cache.
 func RunHalo2DCached(rn *engine.Runner, cfg Halo2DConfig) (*Result, error) {
-	return cachedRun(rn, "patterns.Halo2D", cfg.withDefaults(), RunHalo2D)
+	cfg = cfg.withDefaults()
+	if cfg.Adaptive != nil {
+		return adaptiveRun(rn, "patterns.Halo2D", cfg, cfg.Adaptive, func(c Halo2DConfig, d int) Halo2DConfig {
+			c.Adaptive = nil
+			c.Platform = derivedSpec(c.Platform, d)
+			return c
+		}, RunHalo2D)
+	}
+	return cachedRun(rn, "patterns.Halo2D", cfg, RunHalo2D)
 }
 
 // RunIncastCached is RunIncast memoized on the runner's cache.
 func RunIncastCached(rn *engine.Runner, cfg IncastConfig) (*Result, error) {
-	return cachedRun(rn, "patterns.Incast", cfg.withDefaults(), RunIncast)
+	cfg = cfg.withDefaults()
+	if cfg.Adaptive != nil {
+		return adaptiveRun(rn, "patterns.Incast", cfg, cfg.Adaptive, func(c IncastConfig, d int) IncastConfig {
+			c.Adaptive = nil
+			c.Platform = derivedSpec(c.Platform, d)
+			return c
+		}, RunIncast)
+	}
+	return cachedRun(rn, "patterns.Incast", cfg, RunIncast)
 }

@@ -9,6 +9,7 @@ import (
 	"partmb/internal/noise"
 	"partmb/internal/platform"
 	"partmb/internal/sim"
+	"partmb/internal/stats"
 )
 
 // Halo2DConfig describes a 5-point 2-D halo exchange (the paper's Figure 2b
@@ -35,6 +36,11 @@ type Halo2DConfig struct {
 	// settings (nil = the paper's Niagara/EDR defaults). ThreadMode is
 	// derived from Mode, not the spec.
 	Platform *platform.Spec
+	// Adaptive, when non-nil, estimates the motif's throughput from
+	// repeated draws under derived noise seeds until the confidence
+	// interval meets the target (see cached.go); nil keeps the fixed path
+	// and its cache keys byte-identical.
+	Adaptive *stats.RunConfig `json:",omitempty"`
 }
 
 // Threads returns the per-rank thread count.

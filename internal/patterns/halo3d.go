@@ -10,6 +10,7 @@ import (
 	"partmb/internal/noise"
 	"partmb/internal/platform"
 	"partmb/internal/sim"
+	"partmb/internal/stats"
 )
 
 // HaloConfig describes a Halo3D run, after the Ember Halo3D motif: ranks
@@ -49,6 +50,11 @@ type HaloConfig struct {
 	// the shard blocks — gives the largest lookahead and the best parallel
 	// speedup.
 	Topology netsim.Topology
+	// Adaptive, when non-nil, estimates the motif's throughput from
+	// repeated draws under derived noise seeds until the confidence
+	// interval meets the target (see cached.go); nil keeps the fixed path
+	// and its cache keys byte-identical.
+	Adaptive *stats.RunConfig `json:",omitempty"`
 }
 
 // Threads returns the per-rank thread count (ThreadsPerDim cubed).

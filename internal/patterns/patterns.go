@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"partmb/internal/sim"
+	"partmb/internal/stats"
 )
 
 // Mode selects the threading/communication strategy of a motif run.
@@ -125,11 +126,24 @@ type Result struct {
 	// Messages is the total number of network messages injected, including
 	// protocol control messages.
 	Messages int64
+	// CI is the confidence estimate of Throughput on adaptive runs (nil on
+	// the fixed path, keeping fixed-path JSON byte-identical). The Elapsed/
+	// PayloadBytes/Messages fields describe the first draw.
+	CI *stats.Estimate `json:",omitempty"`
 }
 
 // SimElapsed returns the motif's virtual runtime — the cell-level "virtual
 // sim time" the observability journal records (see internal/obs.SimTimed).
 func (r *Result) SimElapsed() sim.Duration { return r.Elapsed }
+
+// SampleStats implements the observability layer's Sampled interface (see
+// internal/obs). Fixed-path results report n == 0.
+func (r *Result) SampleStats() (n int, relCI float64, reason string) {
+	if r.CI == nil {
+		return 0, 0, ""
+	}
+	return r.CI.N, r.CI.RelHalfWidth, r.CI.Reason
+}
 
 // Throughput returns application bytes moved per second of virtual time.
 func (r *Result) Throughput() float64 {

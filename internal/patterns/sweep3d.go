@@ -10,6 +10,7 @@ import (
 	"partmb/internal/noise"
 	"partmb/internal/platform"
 	"partmb/internal/sim"
+	"partmb/internal/stats"
 )
 
 // SweepConfig describes a Sweep3D (KBA wavefront) run, after the Ember
@@ -46,6 +47,11 @@ type SweepConfig struct {
 	Shards int
 	// Topology overrides the network topology (nil = single-switch uniform).
 	Topology netsim.Topology
+	// Adaptive, when non-nil, estimates the motif's throughput from
+	// repeated draws under derived noise seeds until the confidence
+	// interval meets the target (see cached.go); nil keeps the fixed path
+	// and its cache keys byte-identical.
+	Adaptive *stats.RunConfig `json:",omitempty"`
 }
 
 func (c SweepConfig) withDefaults() SweepConfig {

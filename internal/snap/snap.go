@@ -22,6 +22,7 @@ import (
 	"partmb/internal/platform"
 	"partmb/internal/prof"
 	"partmb/internal/sim"
+	"partmb/internal/stats"
 )
 
 // SweepGain is the communication-throughput improvement factor measured for
@@ -45,6 +46,12 @@ type Config struct {
 	// defaults). The proxy keeps the library's funneled threading — the
 	// spec's ThreadMode and Impl do not apply to the profiled baseline.
 	Platform *platform.Spec
+	// Adaptive, when non-nil, estimates each scaling point from repeated
+	// draws under derived seeds until the projected speedup's confidence
+	// interval is tight (see ProfileScaling). The proxy is deterministic,
+	// so draws converge at MinSamples; the field exists so the whole suite
+	// shares one sampling contract. Nil keeps fixed cache keys identical.
+	Adaptive *stats.RunConfig `json:",omitempty"`
 }
 
 // DefaultConfig returns a workload calibrated so the MPI fraction grows from
@@ -105,12 +112,24 @@ type ProfilePoint struct {
 	// Projected is the speedup from porting to MPI Partitioned, per the
 	// paper's projection with SweepGain.
 	Projected float64
+	// CI is the confidence estimate of Projected on adaptive runs (nil on
+	// the fixed path, keeping fixed-path JSON byte-identical).
+	CI *stats.Estimate `json:",omitempty"`
 }
 
 // SimElapsed returns the profiled virtual application time — the
 // cell-level "virtual sim time" the observability journal records (see
 // internal/obs.SimTimed).
 func (p ProfilePoint) SimElapsed() sim.Duration { return p.AppTime }
+
+// SampleStats implements the observability layer's Sampled interface (see
+// internal/obs). Fixed-path points report n == 0.
+func (p ProfilePoint) SampleStats() (n int, relCI float64, reason string) {
+	if p.CI == nil {
+		return 0, 0, ""
+	}
+	return p.CI.N, p.CI.RelHalfWidth, p.CI.Reason
+}
 
 // Profile runs the proxy at the given node count and returns its mpiP-style
 // profile point.
@@ -148,7 +167,15 @@ func ProfileScaling(rn *engine.Runner, cfg Config, nodeCounts []int) ([]ProfileP
 		if kerr != nil {
 			key = ""
 		}
-		v, err := engine.DoAs(r, key, func() (ProfilePoint, error) { return Profile(cfg, n) })
+		if cfg.Adaptive != nil && cfg.Adaptive.Budget > 0 {
+			key = "" // budget stops depend on host speed; never memoize
+		}
+		v, err := engine.DoAs(r, key, func() (ProfilePoint, error) {
+			if cfg.Adaptive != nil {
+				return adaptiveProfile(cfg, n)
+			}
+			return Profile(cfg, n)
+		})
 		if err != nil {
 			return nil, fmt.Errorf("snap: %d nodes: %w", n, err)
 		}
@@ -162,6 +189,35 @@ func ProfileScaling(rn *engine.Runner, cfg Config, nodeCounts []int) ([]ProfileP
 		out[i] = v.(ProfilePoint)
 	}
 	return out, nil
+}
+
+// adaptiveProfile estimates one scaling point with confidence-targeted
+// draws: the proxy runs under seeds derived from the platform seed
+// (stats.DeriveSeed) and the projected speedup feeds a sampler until its
+// interval is tight or the budget runs out. The returned point is the first
+// draw's profile with Projected replaced by the sample mean and the full
+// estimate attached.
+func adaptiveProfile(cfg Config, nodes int) (ProfilePoint, error) {
+	rc := *cfg.Adaptive
+	s := stats.NewSampler(rc)
+	var first ProfilePoint
+	for draw := 0; !s.Done(); draw++ {
+		sub := cfg
+		sub.Adaptive = nil
+		sub.Platform = cfg.Platform.Resolved().WithSeed(stats.DeriveSeed(cfg.Platform.Resolved().Seed, draw))
+		pt, err := Profile(sub, nodes)
+		if err != nil {
+			return ProfilePoint{}, fmt.Errorf("adaptive draw %d: %w", draw, err)
+		}
+		if draw == 0 {
+			first = pt
+		}
+		s.Add(pt.Projected)
+	}
+	est := s.Estimate()
+	first.Projected = est.Mean
+	first.CI = &est
+	return first, nil
 }
 
 // ProjectSpeedup applies the paper's projection: the MPI fraction f of the

@@ -10,7 +10,12 @@ import (
 	"sort"
 )
 
-// Summary holds descriptive statistics over a sample set.
+// SummaryConfidence is the confidence level of the interval Summarize
+// attaches to every Summary.
+const SummaryConfidence = 0.95
+
+// Summary holds descriptive statistics over a sample set, including a
+// Student-t confidence interval on the mean at SummaryConfidence.
 type Summary struct {
 	N      int
 	Mean   float64
@@ -20,6 +25,12 @@ type Summary struct {
 	Stddev float64
 	P05    float64
 	P95    float64
+	// CILo and CIHi bound the two-sided confidence interval on the mean;
+	// degenerate sample sets (n < 2 or zero variance) collapse to the mean.
+	CILo float64
+	CIHi float64
+	// Trimean is Tukey's trimean, the robust companion location estimate.
+	Trimean float64
 }
 
 // Summarize computes a Summary over xs. An empty sample set — reachable when
@@ -31,7 +42,7 @@ func Summarize(xs []float64) Summary {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
-	return Summary{
+	s := Summary{
 		N:      len(sorted),
 		Mean:   Mean(sorted),
 		Median: Percentile(sorted, 50),
@@ -41,6 +52,9 @@ func Summarize(xs []float64) Summary {
 		P05:    Percentile(sorted, 5),
 		P95:    Percentile(sorted, 95),
 	}
+	s.CILo, s.CIHi = MeanCI(sorted, SummaryConfidence)
+	s.Trimean = (Percentile(sorted, 25) + 2*s.Median + Percentile(sorted, 75)) / 4
+	return s
 }
 
 // String renders the summary on one line.
@@ -99,22 +113,58 @@ func Percentile(xs []float64, p float64) float64 {
 	return xs[lo]*(1-frac) + xs[hi]*frac
 }
 
-// PruneOutliers drops samples more than k standard deviations from the mean,
-// returning the retained samples. This mirrors the paper's removal of extreme
-// noise samples "that do not often occur in practice". With fewer than three
-// samples, or k <= 0, the input is returned unchanged.
+// Median returns the middle value of xs (interpolated for even n, 0 for
+// empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Percentile(sorted, 50)
+}
+
+// MAD returns the median absolute deviation of xs scaled by 1.4826, the
+// consistency constant that makes it estimate the standard deviation for
+// normal data (0 for empty input).
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	med := Median(xs)
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - med)
+	}
+	return 1.4826 * Median(devs)
+}
+
+// PruneOutliers drops samples more than k robust standard deviations from a
+// robust center, returning the retained samples. This mirrors the paper's
+// removal of extreme noise samples "that do not often occur in practice".
+//
+// The center is the median and the scale is the MAD (scaled to estimate sd),
+// so the outliers being pruned cannot inflate the cut that is supposed to
+// remove them — with a mean/sd cut, a single large spike drags the mean
+// toward itself and widens sd enough to escape the k·sd fence. When the MAD
+// is 0 (at least half the samples identical) the plain standard deviation is
+// the fallback scale. With fewer than three samples, k <= 0, or zero scale,
+// the input is returned unchanged.
 func PruneOutliers(xs []float64, k float64) []float64 {
 	if len(xs) < 3 || k <= 0 {
 		return xs
 	}
-	m := Mean(xs)
-	sd := Stddev(xs)
-	if sd == 0 {
+	center := Median(xs)
+	scale := MAD(xs)
+	if scale == 0 {
+		scale = Stddev(xs)
+	}
+	if scale == 0 {
 		return xs
 	}
 	kept := make([]float64, 0, len(xs))
 	for _, x := range xs {
-		if math.Abs(x-m) <= k*sd {
+		if math.Abs(x-center) <= k*scale {
 			kept = append(kept, x)
 		}
 	}
@@ -125,7 +175,9 @@ func PruneOutliers(xs []float64, k float64) []float64 {
 }
 
 // TrimmedMean returns the mean after discarding the lowest and highest
-// fraction (0 <= frac < 0.5) of the sorted samples.
+// fraction of the sorted samples. Like every function in this package it
+// never panics: frac <= 0 is the plain mean, frac >= 0.5 (everything
+// trimmed) degrades to the median, and empty input yields 0.
 func TrimmedMean(xs []float64, frac float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -133,11 +185,11 @@ func TrimmedMean(xs []float64, frac float64) float64 {
 	if frac <= 0 {
 		return Mean(xs)
 	}
-	if frac >= 0.5 {
-		panic("stats: trim fraction must be < 0.5")
-	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	if frac >= 0.5 {
+		return Percentile(sorted, 50)
+	}
 	cut := int(float64(len(sorted)) * frac)
 	trimmed := sorted[cut : len(sorted)-cut]
 	if len(trimmed) == 0 {
@@ -146,25 +198,31 @@ func TrimmedMean(xs []float64, frac float64) float64 {
 	return Mean(trimmed)
 }
 
-// GeoMean returns the geometric mean of xs; all samples must be positive.
+// GeoMean returns the geometric mean of the positive samples in xs.
+// Non-positive samples have no logarithm and are skipped rather than
+// panicking; if nothing positive remains (or xs is empty) the result is 0,
+// matching the empty-input contract of Mean and Summarize.
 func GeoMean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
 	var sumLog float64
+	n := 0
 	for _, x := range xs {
 		if x <= 0 {
-			panic("stats: geometric mean of non-positive sample")
+			continue
 		}
 		sumLog += math.Log(x)
+		n++
 	}
-	return math.Exp(sumLog / float64(len(xs)))
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sumLog / float64(n))
 }
 
-// MinMax returns the smallest and largest values in xs.
+// MinMax returns the smallest and largest values in xs. Empty input yields
+// (0, 0), matching the package's non-panicking empty-set contract.
 func MinMax(xs []float64) (min, max float64) {
 	if len(xs) == 0 {
-		panic("stats: MinMax of empty set")
+		return 0, 0
 	}
 	min, max = xs[0], xs[0]
 	for _, x := range xs[1:] {
