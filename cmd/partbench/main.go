@@ -28,6 +28,7 @@ import (
 	"partmb/internal/noise"
 	"partmb/internal/platform"
 	"partmb/internal/report"
+	"partmb/internal/service"
 	"partmb/internal/stats"
 	"partmb/internal/trace"
 )
@@ -156,25 +157,9 @@ func main() {
 		results = []*core.Result{res}
 	}
 
-	title := fmt.Sprintf("partbench: parts=%d compute=%v noise=%s/%.0f%% cache=%s impl=%s",
-		cfg.Partitions, cfg.Compute, spec.NoiseKind, spec.NoisePercent, spec.Cache, spec.Impl)
-	var t *report.Table
-	if cfg.Adaptive != nil {
-		// Adaptive runs carry uncertainty: append the sample count, the
-		// loosest relative 95% CI half-width across the metrics, and the
-		// sampler's stop reason (budget exhaustion is reported, not hidden).
-		t = report.New(title, "size", "overhead", "perceived GB/s", "availability", "early-bird %", "n", "ci ±%", "stop")
-		for _, r := range results {
-			n, rel, reason := r.SampleStats()
-			t.AddF(core.FormatBytes(r.Config.MessageBytes), r.Overhead, r.PerceivedBW/1e9, r.Availability, r.EarlyBird,
-				n, 100*rel, reason)
-		}
-	} else {
-		t = report.New(title, "size", "overhead", "perceived GB/s", "availability", "early-bird %")
-		for _, r := range results {
-			t.AddF(core.FormatBytes(r.Config.MessageBytes), r.Overhead, r.PerceivedBW/1e9, r.Availability, r.EarlyBird)
-		}
-	}
+	// The shared service table builder is what keeps this output
+	// byte-identical to the same spec served by sweepd over HTTP.
+	t := service.ResultTable(cfg, results)
 	if _, err := out.Emit(os.Stdout, []*report.Table{t}, cliutil.IndexedName("partbench_%%d.csv")); err != nil {
 		fatal(err)
 	}

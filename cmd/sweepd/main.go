@@ -1,0 +1,106 @@
+// Command sweepd serves the sweep engine over HTTP: a long-lived daemon
+// that accepts partbench-shaped sweep specs as JSON, answers from the
+// persistent cell cache, runs misses through the engine (identical
+// concurrent specs collapse into one run), and streams per-cell progress
+// over SSE. Tables served over HTTP are byte-identical to the partbench
+// CLI's output for the same spec.
+//
+// Examples:
+//
+//	sweepd -addr 127.0.0.1:8080 -cachedir .cellcache -cache-max 256MiB
+//	curl -d '{"sweep":true,"max":"1MiB"}' 'localhost:8080/v1/sweep?format=csv'
+//	curl -N -d '{"size":"4MiB"}' 'localhost:8080/v1/sweep?stream=1'
+//
+// SIGTERM/SIGINT drains: in-flight sweeps finish (bounded by
+// -drain-timeout), new requests get 503, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"partmb/internal/cliutil"
+	"partmb/internal/engine"
+	"partmb/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		maxActive    = flag.Int("max-active", 4, "sweeps running concurrently")
+		queue        = flag.Int("queue", 8, "sweeps waiting behind the active ones before 429s")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight sweeps")
+		eng          cliutil.EngineFlags
+	)
+	eng.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+
+	// One fan-out feeds the per-request subscribers (SSE, tally headers)
+	// and, when observability flags are set, the flags' collector. The
+	// runner's memo is ephemeral: a daemon that pinned every result in
+	// memory would grow without bound, so the disk cache (with its byte
+	// budget) is the store of record.
+	fan := engine.NewFanOut()
+	rn, err := eng.Runner(engine.WithSingleFlight(), engine.WithObserver(fan))
+	if err != nil {
+		fatal(err)
+	}
+	if col := eng.Collector(); col != nil {
+		fan.Add(col)
+	}
+	rn.SetExperiment("sweepd")
+
+	srv := service.New(service.Config{
+		Runner:     rn,
+		Fan:        fan,
+		Disk:       eng.DiskCache(),
+		MaxActive:  *maxActive,
+		QueueDepth: *queue,
+		RetryAfter: *retryAfter,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweepd: listening on http://%s\n", ln.Addr())
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "sweepd: %v: draining\n", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "sweepd: %v (exiting anyway)\n", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "sweepd: shutdown: %v\n", err)
+	}
+	if err := eng.Finish("sweepd"); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweepd: engine: %s\n", rn.Stats())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweepd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,240 @@
+// Command sweepload drives a running sweepd with a paced, mixed hit/miss
+// request stream and reports latency percentiles, error rates, and the
+// cache-hit ratio as JSON — the load half of the service CI gate.
+//
+// The hit/miss mix is synthesized through the spec's RNG seed: "hot"
+// requests draw from a small pool of seeds (after the warmup pass these
+// are cache hits), "miss" requests use a fresh seed each (a guaranteed
+// cold cell, because the seed is part of the content-addressed cell key).
+//
+// Examples:
+//
+//	sweepload -url http://127.0.0.1:8080 -qps 200 -duration 5s
+//	sweepload -qps 200 -hit-frac 0.9 -clients 8 -max-p99 100ms -max-errors 0
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"partmb/internal/service"
+	"partmb/internal/stats"
+)
+
+// Report is sweepload's JSON result.
+type Report struct {
+	URL       string  `json:"url"`
+	QPSTarget float64 `json:"qps_target"`
+	Clients   int     `json:"clients"`
+	HitFrac   float64 `json:"hit_frac"`
+	HotPool   int     `json:"hot_pool"`
+
+	DurationSeconds float64 `json:"duration_seconds"`
+	Requests        int64   `json:"requests"`
+	HTTP2xx         int64   `json:"http_2xx"`
+	HTTP429         int64   `json:"http_429"`
+	HTTP4xx         int64   `json:"http_4xx"`
+	HTTP5xx         int64   `json:"http_5xx"`
+	TransportErrors int64   `json:"transport_errors"`
+	// Errors is what the gate counts: server errors plus transport
+	// failures. 429s are the service's explicit backpressure contract and
+	// are reported separately.
+	Errors      int64   `json:"errors"`
+	ErrorRate   float64 `json:"error_rate"`
+	QPSAchieved float64 `json:"qps_achieved"`
+
+	Latency struct {
+		Mean float64 `json:"mean_ms"`
+		P50  float64 `json:"p50_ms"`
+		P95  float64 `json:"p95_ms"`
+		P99  float64 `json:"p99_ms"`
+		Max  float64 `json:"max_ms"`
+	} `json:"latency"`
+
+	// CacheHits counts 2xx responses whose X-Sweepd-Runs header was 0:
+	// the request was answered without computing anything.
+	CacheHits     int64   `json:"cache_hits"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+}
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8080", "sweepd base URL")
+		qps      = flag.Float64("qps", 200, "target request rate")
+		clients  = flag.Int("clients", 4, "concurrent client workers")
+		duration = flag.Duration("duration", 5*time.Second, "measured load duration")
+		hitFrac  = flag.Float64("hit-frac", 1.0, "fraction of requests drawn from the hot (cached) spec pool")
+		hotPool  = flag.Int("hot-pool", 4, "distinct hot specs (seeds) in the cached pool")
+		seed     = flag.Int64("seed", 1, "mix RNG seed")
+		warm     = flag.Bool("warm", true, "issue each hot spec once, unmeasured, before the run")
+		size     = flag.String("size", "64KiB", "spec message size")
+		parts    = flag.Int("parts", 16, "spec partition count")
+		compute  = flag.String("compute", "1ms", "spec per-thread compute")
+		maxP99   = flag.Duration("max-p99", 0, "gate: fail when p99 latency exceeds this (0 = off)")
+		maxErr   = flag.Int64("max-errors", -1, "gate: fail when errors (5xx + transport) exceed this (-1 = off)")
+		minQPS   = flag.Float64("min-qps", 0, "gate: fail when achieved QPS is below this (0 = off)")
+	)
+	flag.Parse()
+	if *qps <= 0 || *clients < 1 || *hotPool < 1 || *hitFrac < 0 || *hitFrac > 1 {
+		fatal(fmt.Errorf("bad load shape: qps=%v clients=%d hot-pool=%d hit-frac=%v", *qps, *clients, *hotPool, *hitFrac))
+	}
+
+	spec := func(seed int64) []byte {
+		raw, err := json.Marshal(service.Spec{Size: *size, Parts: *parts, Compute: *compute, Seed: seed})
+		if err != nil {
+			fatal(err)
+		}
+		return raw
+	}
+	endpoint := *url + "/v1/sweep?format=csv"
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	if *warm {
+		for i := 0; i < *hotPool; i++ {
+			if _, _, _, err := post(client, endpoint, spec(hotSeed(i))); err != nil {
+				fatal(fmt.Errorf("warmup: %w", err))
+			}
+		}
+	}
+
+	var (
+		rep       Report
+		mu        sync.Mutex
+		latencies []float64
+		missSeq   atomic.Int64
+	)
+	rep.URL, rep.QPSTarget, rep.Clients = *url, *qps, *clients
+	rep.HitFrac, rep.HotPool = *hitFrac, *hotPool
+
+	// The pacer meters tokens at the target rate; workers block on the
+	// channel, so a slow server shows up as achieved QPS below target
+	// rather than an unbounded in-flight pile-up.
+	tokens := make(chan struct{}, *clients)
+	go func() {
+		defer close(tokens)
+		interval := time.Duration(float64(time.Second) / *qps)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		deadline := time.Now().Add(*duration)
+		for range tick.C {
+			if time.Now().After(deadline) {
+				return
+			}
+			tokens <- struct{}{}
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(c)))
+			for range tokens {
+				s := hotSeed(rng.Intn(*hotPool))
+				if rng.Float64() >= *hitFrac {
+					s = 1_000_000 + missSeq.Add(1)
+				}
+				t0 := time.Now()
+				status, runs, _, err := post(client, endpoint, spec(s))
+				ms := float64(time.Since(t0)) / float64(time.Millisecond)
+				mu.Lock()
+				rep.Requests++
+				latencies = append(latencies, ms)
+				switch {
+				case err != nil:
+					rep.TransportErrors++
+				case status == http.StatusTooManyRequests:
+					rep.HTTP429++
+				case status >= 500:
+					rep.HTTP5xx++
+				case status >= 400:
+					rep.HTTP4xx++
+				default:
+					rep.HTTP2xx++
+					if runs == "0" {
+						rep.CacheHits++
+					}
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep.DurationSeconds = elapsed.Seconds()
+	rep.Errors = rep.HTTP5xx + rep.TransportErrors
+	if rep.Requests > 0 {
+		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+		rep.QPSAchieved = float64(rep.Requests) / elapsed.Seconds()
+	}
+	if rep.HTTP2xx > 0 {
+		rep.CacheHitRatio = float64(rep.CacheHits) / float64(rep.HTTP2xx)
+	}
+	sort.Float64s(latencies)
+	if len(latencies) > 0 {
+		rep.Latency.Mean = stats.Summarize(latencies).Mean
+		rep.Latency.P50 = stats.Percentile(latencies, 50)
+		rep.Latency.P95 = stats.Percentile(latencies, 95)
+		rep.Latency.P99 = stats.Percentile(latencies, 99)
+		rep.Latency.Max = latencies[len(latencies)-1]
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+
+	failed := false
+	gate := func(bad bool, format string, args ...any) {
+		if bad {
+			fmt.Fprintf(os.Stderr, "sweepload: GATE FAILED: "+format+"\n", args...)
+			failed = true
+		}
+	}
+	gate(*maxP99 > 0 && rep.Latency.P99 > float64(*maxP99)/float64(time.Millisecond),
+		"p99 %.2fms > %v", rep.Latency.P99, *maxP99)
+	gate(*maxErr >= 0 && rep.Errors > *maxErr, "%d errors > %d", rep.Errors, *maxErr)
+	gate(*minQPS > 0 && rep.QPSAchieved < *minQPS, "achieved %.1f QPS < %.1f", rep.QPSAchieved, *minQPS)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// hotSeed maps a hot-pool index to its spec seed. Hot seeds and miss
+// seeds live in disjoint ranges so a miss can never collide into the hot
+// pool.
+func hotSeed(i int) int64 { return 1000 + int64(i) }
+
+// post issues one sweep request and returns the HTTP status, the
+// X-Sweepd-Runs header, and the body.
+func post(client *http.Client, url string, body []byte) (status int, runs string, out []byte, err error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	out, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, "", nil, err
+	}
+	return resp.StatusCode, resp.Header.Get("X-Sweepd-Runs"), out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweepload:", err)
+	os.Exit(1)
+}

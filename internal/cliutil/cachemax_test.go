@@ -1,0 +1,35 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEngineFlagsCacheMax(t *testing.T) {
+	e := EngineFlags{CacheDir: t.TempDir(), CacheMax: "1MiB"}
+	if _, err := e.Runner(); err != nil {
+		t.Fatal(err)
+	}
+	dc := e.DiskCache()
+	if dc == nil {
+		t.Fatal("DiskCache() = nil with -cachedir set")
+	}
+	if acc := dc.Accounting(); acc.Budget != 1<<20 {
+		t.Fatalf("budget = %d, want 1MiB", acc.Budget)
+	}
+}
+
+func TestEngineFlagsCacheMaxNeedsCacheDir(t *testing.T) {
+	e := EngineFlags{CacheMax: "1MiB"}
+	_, err := e.Runner()
+	if err == nil || !strings.Contains(err.Error(), "-cachedir") {
+		t.Fatalf("Runner() = %v, want a -cache-max needs -cachedir error", err)
+	}
+}
+
+func TestEngineFlagsCacheMaxBadSize(t *testing.T) {
+	e := EngineFlags{CacheDir: t.TempDir(), CacheMax: "lots"}
+	if _, err := e.Runner(); err == nil {
+		t.Fatal("Runner() accepted -cache-max lots")
+	}
+}

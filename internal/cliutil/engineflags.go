@@ -23,6 +23,10 @@ type EngineFlags struct {
 	// CacheDir, when non-empty, persists successful cells as JSON under
 	// this directory and reuses them across invocations.
 	CacheDir string
+	// CacheMax, when non-empty, bounds the disk cache's total entry bytes
+	// (cliutil.ParseSize syntax, e.g. "256MiB"); stores past the budget
+	// evict least-recently-used cells. Empty means unlimited.
+	CacheMax string
 	// Faults is a fault-injection spec, "mode:prob[:seed]" with mode
 	// drop|delay|flaky ("" or "none" disables injection).
 	Faults string
@@ -61,12 +65,14 @@ type EngineFlags struct {
 	col      *obs.Collector
 	cost     *engine.CostModel
 	costPath string
+	disk     *engine.DiskCache
 }
 
 // RegisterFlags installs the shared engine flags on fs.
 func (e *EngineFlags) RegisterFlags(fs *flag.FlagSet) {
 	fs.IntVar(&e.Workers, "workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	fs.StringVar(&e.CacheDir, "cachedir", "", "persist cell results as JSON under this directory and reuse them across runs")
+	fs.StringVar(&e.CacheMax, "cache-max", "", "bound the disk cache at this many bytes (e.g. 256MiB), evicting least-recently-used cells (default unlimited)")
 	fs.StringVar(&e.Faults, "faults", "", "inject transient cell faults: mode:prob[:seed], mode = drop|delay|flaky (default none)")
 	fs.IntVar(&e.Retries, "retries", engine.DefaultRetry.MaxAttempts, "max attempts per cell for transient failures")
 	fs.StringVar(&e.Backoff, "retry-backoff", engine.DefaultRetry.Backoff.String(), "virtual exponential-backoff base between attempts")
@@ -113,6 +119,11 @@ func (e *EngineFlags) observing() bool {
 // observability is off.
 func (e *EngineFlags) Collector() *obs.Collector { return e.col }
 
+// DiskCache returns the persistent cell cache Runner opened, or nil when
+// -cachedir was not given. Services use it to surface size/eviction
+// accounting.
+func (e *EngineFlags) DiskCache() *engine.DiskCache { return e.disk }
+
 // Finish writes the requested observability artifacts and persists the
 // scheduler's cost profile. Call it once, after the sweep, with the CLI's
 // name (recorded in the artifact headers); it is a no-op when no sink or
@@ -157,11 +168,22 @@ func (e *EngineFlags) Finish(tool string) error {
 // appended.
 func (e *EngineFlags) Runner(extra ...engine.Option) (*engine.Runner, error) {
 	opts := []engine.Option{engine.Workers(e.Workers)}
+	if e.CacheMax != "" && e.CacheDir == "" {
+		return nil, fmt.Errorf("cliutil: -cache-max needs -cachedir")
+	}
 	if e.CacheDir != "" {
 		dc, err := engine.OpenDiskCache(e.CacheDir)
 		if err != nil {
 			return nil, err
 		}
+		if e.CacheMax != "" {
+			budget, err := ParseSize(e.CacheMax)
+			if err != nil {
+				return nil, fmt.Errorf("cliutil: -cache-max: %w", err)
+			}
+			dc.SetBudget(budget)
+		}
+		e.disk = dc
 		opts = append(opts, engine.WithDiskCache(dc))
 	}
 	inj, err := faults.Parse(e.Faults)

@@ -333,6 +333,26 @@ func (c Config) cacheKey() string {
 	return key
 }
 
+// CacheKey returns the content-addressed engine cell key RunCached files
+// this configuration under, after applying the same defaults RunCached
+// does — "" when the cell is uncacheable (trace or custom topology
+// attached, or an adaptive wall-clock budget that makes results
+// host-speed dependent). Callers that watch the engine's observer stream
+// (e.g. the sweep service's progress SSE) use it to recognize their own
+// cells.
+func (c Config) CacheKey() string {
+	c = c.withDefaults()
+	if c.Adaptive != nil {
+		// RunCached hands adaptive cells to RunAdaptive, which applies
+		// defaults a second time before keying; mirror that exactly.
+		c = c.withDefaults()
+		if c.Adaptive.Budget > 0 {
+			return ""
+		}
+	}
+	return c.cacheKey()
+}
+
 // RunCached is Run memoized through the runner's content-addressed cache
 // (and its persistent disk cache, when one is configured): configurations
 // that resolve identically share one simulation per process. The simulator

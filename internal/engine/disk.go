@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"sync"
 )
 
 // SchemaVersion versions the on-disk cell format. Entries written under a
@@ -25,22 +27,216 @@ const SchemaVersion = 1
 // entries are deleted and recomputed rather than surfaced as failures. A
 // DiskCache is safe for concurrent use by one runner and for concurrent
 // use by cooperating processes sharing the directory.
+//
+// A cache can run under a byte budget (SetBudget): every load and store
+// maintains a per-key size/recency index, and stores that push the total
+// past the budget evict least-recently-used entries until it fits. Keys
+// pinned with Pin (the runner pins a cell for the whole time it is being
+// resolved) are never evicted, so a cell currently being served cannot be
+// deleted out from under its readers. Budget accounting is per process:
+// cooperating processes sharing a directory each enforce their own view,
+// which can transiently overshoot but never deletes a pinned entry.
 type DiskCache struct {
 	dir string
+
+	mu       sync.Mutex
+	budget   int64
+	clock    int64
+	bytes    int64
+	entries  map[string]*diskEntry
+	pins     map[string]int
+	evicted  int64
+	evictedB int64
+}
+
+// diskEntry is the in-memory accounting record of one persisted cell.
+type diskEntry struct {
+	size int64
+	seq  int64 // LRU clock value of the last touch
 }
 
 // OpenDiskCache opens (creating if needed) the cache rooted at dir;
-// entries live under a schema-versioned subdirectory.
+// entries live under a schema-versioned subdirectory. The directory must
+// be writable: an unwritable cache is reported here, at open time, instead
+// of surfacing later as a confusing per-cell persist failure. Existing
+// entries are scanned into the size/recency index so byte budgets account
+// for cells persisted by earlier processes.
 func OpenDiskCache(dir string) (*DiskCache, error) {
 	vdir := filepath.Join(dir, fmt.Sprintf("v%d", SchemaVersion))
 	if err := os.MkdirAll(vdir, 0o755); err != nil {
 		return nil, fmt.Errorf("engine: opening disk cache: %w", err)
 	}
-	return &DiskCache{dir: vdir}, nil
+	// MkdirAll succeeds on a pre-existing directory whatever its mode, so
+	// probe writability explicitly: failing fast here beats a confusing
+	// per-cell failure on the first store.
+	probe, err := os.CreateTemp(vdir, ".probe-*")
+	if err != nil {
+		return nil, fmt.Errorf("engine: disk cache directory %s is not writable: %w", dir, err)
+	}
+	probe.Close()
+	os.Remove(probe.Name())
+
+	d := &DiskCache{dir: vdir, entries: map[string]*diskEntry{}, pins: map[string]int{}}
+	if err := d.scan(); err != nil {
+		return nil, fmt.Errorf("engine: scanning disk cache: %w", err)
+	}
+	return d, nil
+}
+
+// scan builds the size/recency index from the files already in the cache
+// directory, ordering initial recency by modification time (the best
+// cross-process approximation available).
+func (d *DiskCache) scan() error {
+	des, err := os.ReadDir(d.dir)
+	if err != nil {
+		return err
+	}
+	type stat struct {
+		key   string
+		size  int64
+		mtime int64
+	}
+	var stats []stat
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || filepath.Ext(name) != ".json" {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // raced with another process's eviction
+		}
+		stats = append(stats, stat{key: name[:len(name)-len(".json")], size: info.Size(), mtime: info.ModTime().UnixNano()})
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].mtime < stats[j].mtime })
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, st := range stats {
+		d.clock++
+		d.entries[st.key] = &diskEntry{size: st.size, seq: d.clock}
+		d.bytes += st.size
+	}
+	return nil
 }
 
 // Dir returns the schema-versioned directory entries are stored in.
 func (d *DiskCache) Dir() string { return d.dir }
+
+// SetBudget bounds the cache's total entry bytes; 0 (the default) means
+// unlimited. Shrinking the budget below the current size evicts
+// immediately, oldest unpinned entries first.
+func (d *DiskCache) SetBudget(maxBytes int64) {
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	d.mu.Lock()
+	d.budget = maxBytes
+	d.evictLocked()
+	d.mu.Unlock()
+}
+
+// Pin marks key as in use: eviction skips pinned keys, so a cell that is
+// currently being served (loaded, computed, or stored) can never be
+// deleted mid-flight. Pins nest; each Pin needs a matching Unpin. Safe on
+// a nil cache.
+func (d *DiskCache) Pin(key string) {
+	if d == nil || key == "" {
+		return
+	}
+	d.mu.Lock()
+	d.pins[key]++
+	d.mu.Unlock()
+}
+
+// Unpin releases one Pin of key; the final Unpin makes it evictable again
+// (and evicts immediately if the cache is over budget). Safe on a nil
+// cache.
+func (d *DiskCache) Unpin(key string) {
+	if d == nil || key == "" {
+		return
+	}
+	d.mu.Lock()
+	if d.pins[key] > 1 {
+		d.pins[key]--
+	} else {
+		delete(d.pins, key)
+		d.evictLocked()
+	}
+	d.mu.Unlock()
+}
+
+// Accounting is a snapshot of the cache's size and eviction counters.
+type Accounting struct {
+	// Entries and Bytes are the persisted cells this process accounts for.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// Budget is the configured byte bound (0 = unlimited).
+	Budget int64 `json:"budget_bytes,omitempty"`
+	// Evictions / EvictedBytes count entries removed to honour the budget.
+	Evictions    int64 `json:"evictions"`
+	EvictedBytes int64 `json:"evicted_bytes"`
+}
+
+// Accounting returns the cache's current size and eviction counters. Safe
+// on a nil cache (zero snapshot).
+func (d *DiskCache) Accounting() Accounting {
+	if d == nil {
+		return Accounting{}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Accounting{
+		Entries:      len(d.entries),
+		Bytes:        d.bytes,
+		Budget:       d.budget,
+		Evictions:    d.evicted,
+		EvictedBytes: d.evictedB,
+	}
+}
+
+// evictLocked removes least-recently-used unpinned entries until the cache
+// fits its budget. Callers hold d.mu. An all-pinned cache may stay over
+// budget — pinned cells are being served and must not disappear.
+func (d *DiskCache) evictLocked() {
+	if d.budget <= 0 {
+		return
+	}
+	for d.bytes > d.budget {
+		victim := ""
+		var oldest int64
+		for key, e := range d.entries {
+			if d.pins[key] > 0 {
+				continue
+			}
+			if victim == "" || e.seq < oldest {
+				victim, oldest = key, e.seq
+			}
+		}
+		if victim == "" {
+			return
+		}
+		e := d.entries[victim]
+		os.Remove(d.path(victim))
+		delete(d.entries, victim)
+		d.bytes -= e.size
+		d.evicted++
+		d.evictedB += e.size
+	}
+}
+
+// touchLocked records a use of key with the given on-disk size, creating
+// the accounting entry when another process wrote the file. Callers hold
+// d.mu.
+func (d *DiskCache) touchLocked(key string, size int64) {
+	d.clock++
+	if e, ok := d.entries[key]; ok {
+		d.bytes += size - e.size
+		e.size, e.seq = size, d.clock
+	} else {
+		d.entries[key] = &diskEntry{size: size, seq: d.clock}
+		d.bytes += size
+	}
+}
 
 // cellEnvelope is the on-disk form of one cell.
 type cellEnvelope struct {
@@ -57,7 +253,7 @@ func (d *DiskCache) path(key string) string {
 // Unreadable files are a plain miss; corrupt, truncated, or mismatched
 // entries (bad JSON, wrong schema, key/filename disagreement, undecodable
 // value) are deleted so the cell is recomputed and rewritten — recovery,
-// not failure.
+// not failure. Hits refresh the key's recency in the eviction index.
 func (d *DiskCache) load(key string, decode decodeFunc) (any, int64, bool) {
 	path := d.path(key)
 	data, err := os.ReadFile(path)
@@ -67,15 +263,25 @@ func (d *DiskCache) load(key string, decode decodeFunc) (any, int64, bool) {
 	var env cellEnvelope
 	if err := json.Unmarshal(data, &env); err == nil && env.Schema == SchemaVersion && env.Key == key {
 		if v, err := decode(env.Value); err == nil {
+			d.mu.Lock()
+			d.touchLocked(key, int64(len(data)))
+			d.mu.Unlock()
 			return v, int64(len(data)), true
 		}
 	}
 	os.Remove(path)
+	d.mu.Lock()
+	if e, ok := d.entries[key]; ok {
+		d.bytes -= e.size
+		delete(d.entries, key)
+	}
+	d.mu.Unlock()
 	return nil, 0, false
 }
 
 // store persists one successful cell atomically and returns the envelope's
-// byte size. Errors are reported for accounting but are safe to ignore: the
+// byte size, evicting older entries if the write pushed the cache past its
+// budget. Errors are reported for accounting but are safe to ignore: the
 // in-memory result stands, the cell just is not reusable across processes.
 func (d *DiskCache) store(key string, val any) (int64, error) {
 	raw, err := json.Marshal(val)
@@ -103,6 +309,10 @@ func (d *DiskCache) store(key string, val any) (int64, error) {
 	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
 		return 0, err
 	}
+	d.mu.Lock()
+	d.touchLocked(key, int64(len(data)))
+	d.evictLocked()
+	d.mu.Unlock()
 	return int64(len(data)), nil
 }
 

@@ -42,16 +42,17 @@ import (
 // in-memory (and optionally on-disk) result cache. A Runner is safe for
 // concurrent use; the zero value is not usable — call New.
 type Runner struct {
-	workers  int
-	noCache  bool
-	progress func(done, total int)
-	retry    RetryPolicy
-	faults   FaultInjector
-	disk     *DiskCache
-	obs      Observer
-	epoch    time.Time
-	policy   Policy
-	cost     *CostModel
+	workers   int
+	noCache   bool
+	ephemeral bool
+	progress  func(done, total int)
+	retry     RetryPolicy
+	faults    FaultInjector
+	disk      *DiskCache
+	obs       Observer
+	epoch     time.Time
+	policy    Policy
+	cost      *CostModel
 
 	mu         sync.Mutex
 	cache      map[string]*cacheEntry
@@ -110,6 +111,17 @@ func Workers(n int) Option {
 // (used by benchmarks that want to measure raw simulation cost).
 func WithoutCache() Option {
 	return func(r *Runner) { r.noCache = true }
+}
+
+// WithSingleFlight makes the in-memory cell cache ephemeral: concurrent
+// callers of the same key still share one computation (and its waiters
+// still count as Hits), but the entry is dropped as soon as it settles
+// instead of pinning every result in process memory for the Runner's
+// lifetime. Long-lived daemons use it together with WithDiskCache: the
+// disk cache — with its byte budget and eviction — is the store of
+// record, and memory holds only cells currently in flight.
+func WithSingleFlight() Option {
+	return func(r *Runner) { r.ephemeral = true }
 }
 
 // OnProgress installs a callback invoked after every completed grid cell
@@ -407,11 +419,13 @@ func (r *Runner) do(key string, decode decodeFunc, fn func() (any, error)) (any,
 	r.cache[key] = e
 	r.mu.Unlock()
 	e.val, e.err = r.observedCompute(key, decode, fn)
-	if !cacheable(e.err) {
-		// Cancellation or exhausted-transient outcome: drop the entry so
-		// the next caller recomputes. Waiters already parked on e share
-		// this outcome (they were concurrent with the abort), but the
-		// cell itself stays re-runnable.
+	if r.ephemeral || !cacheable(e.err) {
+		// Drop the entry: on a cancellation or exhausted-transient outcome
+		// so the next caller recomputes instead of inheriting a poisoned
+		// result, and unconditionally under WithSingleFlight so settled
+		// cells do not accumulate in memory. Waiters already parked on e
+		// share this outcome either way (they were concurrent with the
+		// computation).
 		r.mu.Lock()
 		if r.cache[key] == e {
 			delete(r.cache, key)
@@ -428,6 +442,11 @@ func (r *Runner) do(key string, decode decodeFunc, fn func() (any, error)) (any,
 func (r *Runner) compute(key string, decode decodeFunc, fn func() (any, error)) (any, CellSource, int, error) {
 	useDisk := key != "" && !r.noCache && r.disk != nil && decode != nil
 	if useDisk {
+		// Pin the cell for the whole resolution (load, compute, store):
+		// the eviction policy must never delete a cell that is currently
+		// being served.
+		r.disk.Pin(key)
+		defer r.disk.Unpin(key)
 		if v, n, ok := r.disk.load(key, decode); ok {
 			atomic.AddInt64(&r.diskHits, 1)
 			atomic.AddInt64(&r.diskReadB, n)

@@ -1,6 +1,9 @@
 package engine
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // This file is the engine's observability surface: an Observer receives one
 // event per scheduled task (a grid/map slot on a worker lane, with host
@@ -83,6 +86,61 @@ type Observer interface {
 // WithObserver installs an observer on the runner.
 func WithObserver(o Observer) Option {
 	return func(r *Runner) { r.obs = o }
+}
+
+// FanOut broadcasts engine events to a dynamic set of observers, so one
+// long-lived Runner can feed a permanent sink (a Collector) and
+// per-request subscribers (e.g. an SSE progress stream) at the same time.
+// Add and Remove are safe while events are being delivered; events arrive
+// on the engine's worker goroutines, so subscribers must be cheap and
+// non-blocking (buffer, drop, or hand off — never wait). The zero value is
+// not usable; call NewFanOut.
+type FanOut struct {
+	mu   sync.RWMutex
+	next int
+	obs  map[int]Observer
+}
+
+// NewFanOut returns an empty fan-out observer.
+func NewFanOut() *FanOut { return &FanOut{obs: map[int]Observer{}} }
+
+// Add subscribes o and returns a token for Remove.
+func (f *FanOut) Add(o Observer) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	id := f.next
+	f.next++
+	f.obs[id] = o
+	return id
+}
+
+// Remove unsubscribes the observer Add returned id for. Removing an
+// unknown id is a no-op. Once Remove returns, no further events are
+// delivered to that observer (delivery in flight on another goroutine may
+// still complete — subscribers that free resources on Remove must
+// tolerate one trailing event).
+func (f *FanOut) Remove(id int) {
+	f.mu.Lock()
+	delete(f.obs, id)
+	f.mu.Unlock()
+}
+
+// CellDone implements Observer by broadcasting to every subscriber.
+func (f *FanOut) CellDone(ev CellEvent) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, o := range f.obs {
+		o.CellDone(ev)
+	}
+}
+
+// TaskDone implements Observer by broadcasting to every subscriber.
+func (f *FanOut) TaskDone(ev TaskEvent) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, o := range f.obs {
+		o.TaskDone(ev)
+	}
 }
 
 // SetExperiment labels subsequent cells, tasks, and run counters with name

@@ -163,6 +163,17 @@ func (c *Collector) Tasks() []Task {
 	return append([]Task(nil), c.tasks...)
 }
 
+// Reset discards every collected record. Long-lived services scrape a
+// collector (BuildMetrics) and then Reset it, turning the unbounded
+// accumulate-forever collector into per-scrape-window metrics with bounded
+// memory. Batch CLIs never call it.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.cells = nil
+	c.tasks = nil
+	c.mu.Unlock()
+}
+
 // outcomeOf classifies an error the way the engine's cache does.
 func outcomeOf(err error) string {
 	switch {

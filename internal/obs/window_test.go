@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestWindowWrapsAndSnapshotOrder(t *testing.T) {
+	w := NewWindow(3)
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		w.Add(v)
+	}
+	if w.Count() != 5 || w.Capacity() != 3 {
+		t.Fatalf("count %d cap %d", w.Count(), w.Capacity())
+	}
+	snap := w.Snapshot()
+	want := []float64{3, 4, 5}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot = %v, want %v", snap, want)
+	}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Fatalf("snapshot = %v, want %v (oldest first)", snap, want)
+		}
+	}
+}
+
+func TestWindowPercentiles(t *testing.T) {
+	w := NewWindow(100)
+	for i := 1; i <= 100; i++ {
+		w.Add(float64(i))
+	}
+	ps := w.Percentiles(50, 99)
+	if ps[0] < 50 || ps[0] > 51 || ps[1] < 99 || ps[1] > 100 {
+		t.Fatalf("percentiles = %v", ps)
+	}
+	if s := w.Summary(); s.Mean != 50.5 {
+		t.Fatalf("mean = %v, want 50.5", s.Mean)
+	}
+
+	empty := NewWindow(4)
+	if got := empty.Percentiles(50, 95, 99); got[0] != 0 || got[2] != 0 {
+		t.Fatalf("empty percentiles = %v, want zeros", got)
+	}
+}
+
+func TestWindowTinyCapacity(t *testing.T) {
+	w := NewWindow(0) // clamped to 1
+	w.Add(7)
+	w.Add(9)
+	if snap := w.Snapshot(); len(snap) != 1 || snap[0] != 9 {
+		t.Fatalf("snapshot = %v, want [9]", snap)
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	c := NewCollector()
+	c.cells = append(c.cells, Cell{Source: "run"})
+	c.tasks = append(c.tasks, Task{Index: 1})
+	c.Reset()
+	if len(c.Cells()) != 0 || len(c.Tasks()) != 0 {
+		t.Fatal("Reset left records behind")
+	}
+	if tl := c.Tallies(); tl.Cells != 0 || tl.Runs != 0 {
+		t.Fatalf("post-reset tallies = %+v", tl)
+	}
+}

@@ -1,0 +1,415 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"partmb/internal/core"
+	"partmb/internal/engine"
+	"partmb/internal/obs"
+	"partmb/internal/report"
+)
+
+// Config configures a Server. Runner is required; everything else has a
+// sensible default.
+type Config struct {
+	// Runner executes the sweeps. Build it with engine.WithSingleFlight()
+	// so the in-memory cache stays ephemeral (the disk cache is the store
+	// of record for a long-lived process) — the server works either way.
+	Runner *engine.Runner
+	// Fan, when non-nil, must be the observer installed on Runner; the
+	// server adds per-request subscribers to it for SSE progress streams
+	// and the X-Sweepd-* tally headers. Without it requests still work,
+	// they just stream no per-cell events and report no tallies.
+	Fan *engine.FanOut
+	// Disk, when non-nil, surfaces cache size/eviction accounting on
+	// /metrics.
+	Disk *engine.DiskCache
+	// MaxActive bounds concurrently running sweeps (default 4).
+	MaxActive int
+	// QueueDepth bounds sweeps waiting behind the active ones; a request
+	// arriving with the queue full is rejected with 429 (default 8).
+	QueueDepth int
+	// RetryAfter is the hint clients get with 429/503 responses
+	// (default 1s).
+	RetryAfter time.Duration
+	// LatencyWindow is how many recent request latencies the /metrics
+	// percentiles cover (default 1024).
+	LatencyWindow int
+}
+
+// Server is the sweep service: an http.Handler exposing
+//
+//	POST /v1/sweep   — run a Spec; ?format=text|csv|md|json, ?stream=1 for SSE
+//	GET  /healthz    — liveness (503 while draining)
+//	GET  /metrics    — request/latency/engine/cache counters as JSON
+//
+// Admission is two-stage: a request first claims one of
+// MaxActive+QueueDepth admission slots (none free → 429 with Retry-After,
+// the explicit backpressure signal), then waits for one of MaxActive run
+// slots. Identical concurrent specs collapse into one engine run via the
+// engine's single-flight cell cache — the server adds no second layer of
+// deduplication because the engine's content-addressed keys already are
+// the canonical identity of a cell.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	slots   chan struct{} // admission: active + queued
+	active  chan struct{} // concurrency bound on running sweeps
+	latency *obs.Window   // request latency, milliseconds
+	start   time.Time
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	total, ok2xx, client4xx, server5xx atomic.Int64
+	rejected, drainRejected            atomic.Int64
+
+	// runSweep is the sweep execution seam; tests stub it to make
+	// admission and drain behaviour deterministic.
+	runSweep func(Request) ([]*core.Result, error)
+}
+
+// New builds a Server around an engine runner.
+func New(cfg Config) *Server {
+	if cfg.MaxActive <= 0 {
+		cfg.MaxActive = 4
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	} else if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 8
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.LatencyWindow <= 0 {
+		cfg.LatencyWindow = 1024
+	}
+	s := &Server{
+		cfg:     cfg,
+		slots:   make(chan struct{}, cfg.MaxActive+cfg.QueueDepth),
+		active:  make(chan struct{}, cfg.MaxActive),
+		latency: obs.NewWindow(cfg.LatencyWindow),
+		start:   time.Now(),
+	}
+	s.runSweep = func(rq Request) ([]*core.Result, error) { return rq.Run(cfg.Runner) }
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain stops admitting new sweeps and waits for the in-flight ones to
+// finish (or ctx to expire). After Drain, /healthz answers 503 and
+// /v1/sweep answers 503 with Retry-After; /metrics keeps working so the
+// endgame stays observable.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain: %w", ctx.Err())
+	}
+}
+
+// enter registers an in-flight request unless the server is draining. The
+// mutex around the draining check and inflight.Add is what makes Drain's
+// Wait race-free: once draining is set under the lock, no Add can follow.
+func (s *Server) enter() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+func (s *Server) retryAfter(w http.ResponseWriter) {
+	secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		s.retryAfter(w)
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	s.total.Add(1)
+	if r.Method != http.MethodPost {
+		s.client4xx.Add(1)
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST a sweep spec", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.enter() {
+		s.drainRejected.Add(1)
+		s.retryAfter(w)
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	defer s.inflight.Done()
+
+	// Validate at the door, before claiming any capacity: a bad spec must
+	// never occupy a queue slot.
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		s.client4xx.Add(1)
+		http.Error(w, "bad spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	rq, err := spec.Resolve()
+	if err != nil {
+		s.client4xx.Add(1)
+		http.Error(w, "bad spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "text", "csv", "md", "json":
+	default:
+		s.client4xx.Add(1)
+		http.Error(w, "unknown format "+strconv.Quote(format)+" (text|csv|md|json)", http.StatusBadRequest)
+		return
+	}
+
+	// Admission: claim a slot (active or queued) without blocking — a full
+	// queue is explicit backpressure, not silent latency.
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		s.rejected.Add(1)
+		s.retryAfter(w)
+		http.Error(w, "queue full, retry later", http.StatusTooManyRequests)
+		return
+	}
+	defer func() { <-s.slots }()
+
+	// Wait (queued) for a run slot; give up if the client goes away.
+	select {
+	case s.active <- struct{}{}:
+	case <-r.Context().Done():
+		s.client4xx.Add(1)
+		return
+	}
+	defer func() { <-s.active }()
+
+	if r.URL.Query().Get("stream") != "" {
+		s.streamSweep(w, r, rq, t0)
+		return
+	}
+
+	tal := s.subscribe(rq)
+	results, err := s.runSweep(rq)
+	if tal != nil {
+		s.cfg.Fan.Remove(tal.id)
+	}
+	s.latency.Add(float64(time.Since(t0)) / float64(time.Millisecond))
+	if err != nil {
+		s.server5xx.Add(1)
+		http.Error(w, "sweep failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.ok2xx.Add(1)
+	tal.setHeaders(w.Header())
+	table := rq.Table(results)
+	switch format {
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		table.WriteCSV(w)
+	case "md":
+		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+		table.WriteMarkdown(w)
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.Encode(sweepJSON{Table: table, Tallies: tal.tallies()})
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		table.WriteText(w)
+	}
+}
+
+// sweepJSON is the format=json response body.
+type sweepJSON struct {
+	Table   *report.Table `json:"table"`
+	Tallies *SweepTallies `json:"tallies,omitempty"`
+}
+
+// SweepTallies classifies a request's cells by how they resolved. When
+// concurrent requests share cells, a cell another request computed while
+// this one waited counts as a hit here — the single-flight view: this
+// request did not pay for the run.
+type SweepTallies struct {
+	Cells    int `json:"cells"`
+	Runs     int `json:"runs"`
+	DiskHits int `json:"disk_hits"`
+	MemoHits int `json:"memo_hits"`
+}
+
+// tally is the per-request fan-out subscriber behind the X-Sweepd-*
+// headers: it watches the engine's cell events for the request's own
+// content-addressed keys and records how each resolved. A memo or disk
+// event beats a run event for the same key (see SweepTallies).
+type tally struct {
+	id   int
+	keys map[string]bool
+
+	mu  sync.Mutex
+	src map[string]engine.CellSource
+}
+
+// subscribe attaches a tally for rq to the fan-out, or returns nil when
+// the server has no fan-out. The nil receiver is safe on every method.
+func (s *Server) subscribe(rq Request) *tally {
+	if s.cfg.Fan == nil {
+		return nil
+	}
+	t := &tally{keys: map[string]bool{}, src: map[string]engine.CellSource{}}
+	for _, k := range rq.CellKeys() {
+		if k != "" {
+			t.keys[k] = true
+		}
+	}
+	t.id = s.cfg.Fan.Add(t)
+	return t
+}
+
+// CellDone implements engine.Observer.
+func (t *tally) CellDone(ev engine.CellEvent) {
+	if ev.Key == "" || !t.keys[ev.Key] {
+		return
+	}
+	t.mu.Lock()
+	if cur, seen := t.src[ev.Key]; !seen || cur == engine.SourceRun {
+		t.src[ev.Key] = ev.Source
+	}
+	t.mu.Unlock()
+}
+
+// TaskDone implements engine.Observer.
+func (t *tally) TaskDone(engine.TaskEvent) {}
+
+func (t *tally) tallies() *SweepTallies {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := &SweepTallies{Cells: len(t.keys)}
+	for _, src := range t.src {
+		switch src {
+		case engine.SourceRun:
+			out.Runs++
+		case engine.SourceDisk:
+			out.DiskHits++
+		case engine.SourceMemo:
+			out.MemoHits++
+		}
+	}
+	return out
+}
+
+// setHeaders publishes the tallies as response headers. Safe on nil.
+func (t *tally) setHeaders(h http.Header) {
+	tl := t.tallies()
+	if tl == nil {
+		return
+	}
+	h.Set("X-Sweepd-Cells", strconv.Itoa(tl.Cells))
+	h.Set("X-Sweepd-Runs", strconv.Itoa(tl.Runs))
+	h.Set("X-Sweepd-Disk-Hits", strconv.Itoa(tl.DiskHits))
+	h.Set("X-Sweepd-Memo-Hits", strconv.Itoa(tl.MemoHits))
+}
+
+// Metrics is the /metrics response body.
+type Metrics struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      struct {
+		Total         int64 `json:"total"`
+		OK            int64 `json:"ok"`
+		ClientErrors  int64 `json:"client_errors"`
+		ServerErrors  int64 `json:"server_errors"`
+		Rejected      int64 `json:"rejected"`       // 429: queue full
+		DrainRejected int64 `json:"drain_rejected"` // 503: draining
+	} `json:"requests"`
+	Active  int `json:"active"`
+	Queued  int `json:"queued"`
+	Latency struct {
+		Count int64   `json:"count"`
+		P50ms float64 `json:"p50_ms"`
+		P95ms float64 `json:"p95_ms"`
+		P99ms float64 `json:"p99_ms"`
+	} `json:"latency"`
+	Engine engine.Stats       `json:"engine"`
+	Cache  *engine.Accounting `json:"cache,omitempty"`
+}
+
+// Snapshot returns the current metrics (the /metrics body, for embedding).
+func (s *Server) Snapshot() Metrics {
+	var m Metrics
+	m.UptimeSeconds = time.Since(s.start).Seconds()
+	m.Requests.Total = s.total.Load()
+	m.Requests.OK = s.ok2xx.Load()
+	m.Requests.ClientErrors = s.client4xx.Load()
+	m.Requests.ServerErrors = s.server5xx.Load()
+	m.Requests.Rejected = s.rejected.Load()
+	m.Requests.DrainRejected = s.drainRejected.Load()
+	m.Active = len(s.active)
+	if q := len(s.slots) - len(s.active); q > 0 {
+		m.Queued = q
+	}
+	m.Latency.Count = s.latency.Count()
+	ps := s.latency.Percentiles(50, 95, 99)
+	m.Latency.P50ms, m.Latency.P95ms, m.Latency.P99ms = ps[0], ps[1], ps[2]
+	if s.cfg.Runner != nil {
+		m.Engine = s.cfg.Runner.Stats()
+	}
+	if s.cfg.Disk != nil {
+		acc := s.cfg.Disk.Accounting()
+		m.Cache = &acc
+	}
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Snapshot())
+}

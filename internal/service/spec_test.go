@@ -1,0 +1,106 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"partmb/internal/memsim"
+	"partmb/internal/mpi"
+	"partmb/internal/noise"
+	"partmb/internal/sim"
+)
+
+// TestSpecDefaultsMirrorPartbench: an empty spec must resolve to exactly
+// the partbench flag defaults — that equivalence is what makes HTTP specs
+// and CLI flag vectors two spellings of the same experiment.
+func TestSpecDefaultsMirrorPartbench(t *testing.T) {
+	rq, err := Spec{}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rq.Base
+	if c.Partitions != 16 || c.Iterations != 10 || c.Warmup != 2 {
+		t.Fatalf("shape = parts %d iters %d warmup %d", c.Partitions, c.Iterations, c.Warmup)
+	}
+	if c.Compute != 10*sim.Millisecond {
+		t.Fatalf("compute = %v, want 10ms", c.Compute)
+	}
+	if len(rq.Sizes) != 1 || rq.Sizes[0] != 1<<20 {
+		t.Fatalf("sizes = %v, want [1MiB]", rq.Sizes)
+	}
+	pf := c.Platform
+	if pf.Name != "niagara-edr" || pf.Seed != 42 || pf.NoiseKind != noise.None ||
+		pf.NoisePercent != 4 || pf.Cache != memsim.Hot || pf.Impl != mpi.PartMPIPCL ||
+		pf.ThreadMode != mpi.Multiple {
+		t.Fatalf("platform = %+v", pf)
+	}
+	if c.Adaptive != nil {
+		t.Fatal("empty spec resolved adaptive")
+	}
+}
+
+func TestSpecSweepSizes(t *testing.T) {
+	rq, err := Spec{Sweep: true, Min: "1KiB", Max: "8KiB", Parts: 4}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1024, 2048, 4096, 8192}
+	if len(rq.Sizes) != len(want) {
+		t.Fatalf("sizes = %v, want %v", rq.Sizes, want)
+	}
+	for i, s := range want {
+		if rq.Sizes[i] != s {
+			t.Fatalf("sizes = %v, want %v", rq.Sizes, want)
+		}
+	}
+	keys := rq.CellKeys()
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if k == "" || seen[k] {
+			t.Fatalf("cell keys not unique and non-empty: %v", keys)
+		}
+		seen[k] = true
+	}
+}
+
+func TestSpecRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"unknown preset", Spec{Platform: "cray-1"}, "unknown preset"},
+		// Paths resolve through Preset only: a remote client must not be
+		// able to make the daemon read files.
+		{"platform path", Spec{Platform: "specs/foo.json"}, "unknown preset"},
+		{"bad noise", Spec{Noise: "cosmic"}, "noise"},
+		{"bad cache", Spec{Cache: "lukewarm"}, "cache"},
+		{"bad impl", Spec{Impl: "smoke-signals"}, "impl"},
+		{"bad size", Spec{Size: "12 parsecs"}, "size"},
+		{"bad range", Spec{Sweep: true, Min: "4MiB", Max: "1MiB"}, "bad size range"},
+		{"indivisible", Spec{Size: "1000", Parts: 7}, "divisible"},
+		{"negative parts", Spec{Parts: -4}, "Partitions"},
+		{"budget samples", Spec{Samples: "budget=1s"}, "budget"},
+		{"bad samples", Spec{Samples: "min=banana"}, "samples"},
+	}
+	for _, c := range cases {
+		if _, err := c.spec.Resolve(); err == nil {
+			t.Errorf("%s: Resolve accepted %+v", c.name, c.spec)
+		} else if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(c.want)) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestSpecAdaptiveOn(t *testing.T) {
+	rq, err := Spec{Samples: "on"}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rq.Base.Adaptive == nil || rq.Base.Adaptive.Budget != 0 {
+		t.Fatalf("adaptive = %+v", rq.Base.Adaptive)
+	}
+	if k := rq.CellKeys()[0]; k == "" {
+		t.Fatal("budget-free adaptive cell keyed to \"\" (uncacheable)")
+	}
+}

@@ -1,0 +1,154 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"partmb/internal/core"
+	"partmb/internal/engine"
+)
+
+// CellUpdate is one SSE "cell" event: a cell of the request resolved.
+type CellUpdate struct {
+	// Key is the cell's content-addressed engine key.
+	Key string `json:"key"`
+	// Source is where the result came from: "run", "memo", or "disk".
+	Source string `json:"source"`
+	// Error carries the cell's error text, if it failed.
+	Error string `json:"error,omitempty"`
+}
+
+// sseSub forwards the request's own cell events onto a buffered channel.
+// Events arrive on engine worker goroutines, which must never block on a
+// slow HTTP client: when the buffer is full the event is dropped and
+// counted — progress events are advisory, the final result event is not
+// built from them.
+type sseSub struct {
+	keys    map[string]bool
+	ch      chan CellUpdate
+	dropped atomic.Int64
+}
+
+// CellDone implements engine.Observer.
+func (s *sseSub) CellDone(ev engine.CellEvent) {
+	if ev.Key == "" || !s.keys[ev.Key] {
+		return
+	}
+	up := CellUpdate{Key: ev.Key, Source: string(ev.Source)}
+	if ev.Err != nil {
+		up.Error = ev.Err.Error()
+	}
+	select {
+	case s.ch <- up:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// TaskDone implements engine.Observer.
+func (s *sseSub) TaskDone(engine.TaskEvent) {}
+
+// sseEvent writes one SSE frame. data must be newline-free, which JSON
+// encoding guarantees.
+func sseEvent(w http.ResponseWriter, f http.Flusher, event string, data any) {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		raw = []byte(`{"error":"encoding event"}`)
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, raw)
+	f.Flush()
+}
+
+// streamSweep answers ?stream=1: per-cell progress as SSE "cell" events
+// while the sweep runs, then one terminal "result" (table + tallies) or
+// "error" event. The sweep itself is never cancelled on client disconnect
+// — its cells land in the shared caches either way, so abandoning a
+// stream wastes nothing.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, rq Request, t0 time.Time) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.server5xx.Add(1)
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	var sub *sseSub
+	var subID int
+	if s.cfg.Fan != nil {
+		sub = &sseSub{keys: map[string]bool{}, ch: make(chan CellUpdate, 4*len(rq.Sizes)+16)}
+		for _, k := range rq.CellKeys() {
+			if k != "" {
+				sub.keys[k] = true
+			}
+		}
+		subID = s.cfg.Fan.Add(sub)
+	}
+	tal := s.subscribe(rq)
+
+	type outcome struct {
+		results []*core.Result
+		err     error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		results, err := s.runSweep(rq)
+		done <- outcome{results, err}
+	}()
+
+	var out outcome
+	finished := false
+	for !finished {
+		if sub == nil {
+			out = <-done
+			break
+		}
+		select {
+		case up := <-sub.ch:
+			sseEvent(w, flusher, "cell", up)
+		case out = <-done:
+			finished = true
+		case <-r.Context().Done():
+			// Client gone: stop writing, let the sweep finish into the
+			// caches, and account the request as client-terminated.
+			s.cfg.Fan.Remove(subID)
+			if tal != nil {
+				s.cfg.Fan.Remove(tal.id)
+			}
+			<-done
+			s.client4xx.Add(1)
+			s.latency.Add(float64(time.Since(t0)) / float64(time.Millisecond))
+			return
+		}
+	}
+	if sub != nil {
+		s.cfg.Fan.Remove(subID)
+		// Flush progress events that raced with completion.
+		for {
+			select {
+			case up := <-sub.ch:
+				sseEvent(w, flusher, "cell", up)
+				continue
+			default:
+			}
+			break
+		}
+	}
+	if tal != nil {
+		s.cfg.Fan.Remove(tal.id)
+	}
+	s.latency.Add(float64(time.Since(t0)) / float64(time.Millisecond))
+	if out.err != nil {
+		s.server5xx.Add(1)
+		sseEvent(w, flusher, "error", map[string]string{"error": out.err.Error()})
+		return
+	}
+	s.ok2xx.Add(1)
+	sseEvent(w, flusher, "result", sweepJSON{Table: rq.Table(out.results), Tallies: tal.tallies()})
+}
