@@ -20,6 +20,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"os"
@@ -29,17 +30,20 @@ import (
 
 	"partmb/internal/cliutil"
 	"partmb/internal/engine"
+	"partmb/internal/remote"
 	"partmb/internal/service"
 )
 
 func main() {
 	var (
-		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
-		maxActive    = flag.Int("max-active", 4, "sweeps running concurrently")
-		queue        = flag.Int("queue", 8, "sweeps waiting behind the active ones before 429s")
-		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight sweeps")
-		eng          cliutil.EngineFlags
+		addr          = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		maxActive     = flag.Int("max-active", 4, "sweeps running concurrently")
+		queue         = flag.Int("queue", 8, "sweeps waiting behind the active ones before 429s")
+		retryAfter    = flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight sweeps")
+		distributed   = flag.Bool("distributed", false, "accept sweepworker registrations on /v1/workers/ and dispatch cells to them (local fallback when none are registered)")
+		workerTimeout = flag.Duration("worker-timeout", remote.DefaultHeartbeatTimeout, "declare a silent worker lost after this long (with -distributed)")
+		eng           cliutil.EngineFlags
 	)
 	eng.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -50,7 +54,23 @@ func main() {
 	// memory would grow without bound, so the disk cache (with its byte
 	// budget) is the store of record.
 	fan := engine.NewFanOut()
-	rn, err := eng.Runner(engine.WithSingleFlight(), engine.WithObserver(fan))
+	opts := []engine.Option{engine.WithSingleFlight(), engine.WithObserver(fan)}
+
+	// With -distributed, a coordinator dispatches cells to registered
+	// sweepworkers; results flow through the same single-flight and disk
+	// cache layers, so distributed sweeps serve (and populate) the exact
+	// same cache local ones do.
+	var coord *remote.Coordinator
+	if *distributed {
+		coord = remote.NewCoordinator(remote.CoordinatorConfig{
+			HeartbeatTimeout: *workerTimeout,
+			Logf:             log.New(os.Stderr, "sweepd: ", 0).Printf,
+		})
+		defer coord.Close()
+		opts = append(opts, engine.WithExecutor(coord))
+	}
+
+	rn, err := eng.Runner(opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -68,12 +88,25 @@ func main() {
 		RetryAfter: *retryAfter,
 	})
 
+	var root http.Handler = srv
+	if coord != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/v1/workers", coord)
+		mux.Handle("/v1/workers/", coord)
+		mux.Handle("/", srv)
+		root = mux
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "sweepd: listening on http://%s\n", ln.Addr())
-	hs := &http.Server{Handler: srv}
+	mode := "local"
+	if *distributed {
+		mode = "distributed"
+	}
+	fmt.Fprintf(os.Stderr, "sweepd: listening on http://%s (%s)\n", ln.Addr(), mode)
+	hs := &http.Server{Handler: root}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -85,7 +86,7 @@ func main() {
 		minQPS   = flag.Float64("min-qps", 0, "gate: fail when achieved QPS is below this (0 = off)")
 	)
 	flag.Parse()
-	if *qps <= 0 || *clients < 1 || *hotPool < 1 || *hitFrac < 0 || *hitFrac > 1 {
+	if !validQPS(*qps) || *clients < 1 || *hotPool < 1 || *hitFrac < 0 || *hitFrac > 1 {
 		fatal(fmt.Errorf("bad load shape: qps=%v clients=%d hot-pool=%d hit-frac=%v", *qps, *clients, *hotPool, *hitFrac))
 	}
 
@@ -122,8 +123,7 @@ func main() {
 	tokens := make(chan struct{}, *clients)
 	go func() {
 		defer close(tokens)
-		interval := time.Duration(float64(time.Second) / *qps)
-		tick := time.NewTicker(interval)
+		tick := time.NewTicker(pacerInterval(*qps))
 		defer tick.Stop()
 		deadline := time.Now().Add(*duration)
 		for range tick.C {
@@ -212,6 +212,24 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// validQPS rejects rates the pacer cannot meter: non-positive, NaN
+// (which slides past a plain <= 0 comparison), and +Inf.
+func validQPS(q float64) bool {
+	return q > 0 && !math.IsNaN(q) && !math.IsInf(q, 1)
+}
+
+// pacerInterval converts the target rate to the pacer's ticker period.
+// Rates above 1e9 QPS truncate to zero nanoseconds, and time.NewTicker
+// panics on a non-positive period — clamp to 1ns and let the pacer
+// saturate at whatever the scheduler delivers.
+func pacerInterval(qps float64) time.Duration {
+	d := time.Duration(float64(time.Second) / qps)
+	if d < time.Nanosecond {
+		d = time.Nanosecond
+	}
+	return d
 }
 
 // hotSeed maps a hot-pool index to its spec seed. Hot seeds and miss

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestPacerInterval: the pacer period is the rate's reciprocal, clamped
+// to 1ns — rates above 1e9 QPS truncate to a zero duration, which
+// time.NewTicker rejects with a panic.
+func TestPacerInterval(t *testing.T) {
+	cases := []struct {
+		qps  float64
+		want time.Duration
+	}{
+		{1, time.Second},
+		{200, 5 * time.Millisecond},
+		{1e9, time.Nanosecond},
+		{5e9, time.Nanosecond}, // would truncate to 0 unclamped
+		{math.MaxFloat64, time.Nanosecond},
+	}
+	for _, c := range cases {
+		if got := pacerInterval(c.qps); got != c.want {
+			t.Errorf("pacerInterval(%v) = %v, want %v", c.qps, got, c.want)
+		}
+	}
+	// The clamp is what makes the period ticker-safe at any valid rate.
+	tick := time.NewTicker(pacerInterval(math.MaxFloat64))
+	tick.Stop()
+}
+
+// TestValidQPS: startup validation rejects every rate the pacer cannot
+// meter, including NaN — which a plain <= 0 comparison lets through.
+func TestValidQPS(t *testing.T) {
+	for _, q := range []float64{1, 0.5, 200, 1e12, math.MaxFloat64} {
+		if !validQPS(q) {
+			t.Errorf("validQPS(%v) = false, want true", q)
+		}
+	}
+	for _, q := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if validQPS(q) {
+			t.Errorf("validQPS(%v) = true, want false", q)
+		}
+	}
+}

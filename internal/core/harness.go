@@ -369,7 +369,11 @@ func RunCached(rn *engine.Runner, cfg Config) (*Result, error) {
 	if cfg.Adaptive != nil {
 		return RunAdaptive(rn, cfg)
 	}
-	return engine.DoAs(engine.OrDefault(rn), cfg.cacheKey(), func() (*Result, error) {
+	// "core.Run" names the worker-side execute function for distributed
+	// runners (internal/remote.CoreRunKind); cfg is already defaulted, so
+	// its JSON is exactly the identity the cache key hashes. With no
+	// executor installed this is DoAs.
+	return engine.DoAsVia(engine.OrDefault(rn), cfg.cacheKey(), "core.Run", cfg, func() (*Result, error) {
 		return Run(cfg)
 	})
 }

@@ -327,7 +327,7 @@ func (d *DiskCache) store(key string, val any) (int64, error) {
 // (sim.Duration marshals exactly, and Go's float64 encoding is shortest-
 // round-trip).
 func DoAs[T any](r *Runner, key string, fn func() (T, error)) (T, error) {
-	v, err := r.do(key, decodeAs[T], func() (any, error) { return fn() })
+	v, err := r.do(key, decodeAs[T], nil, func() (any, error) { return fn() })
 	if err != nil || v == nil {
 		var zero T
 		return zero, err

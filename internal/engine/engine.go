@@ -53,6 +53,7 @@ type Runner struct {
 	epoch     time.Time
 	policy    Policy
 	cost      *CostModel
+	exec      Executor
 
 	mu         sync.Mutex
 	cache      map[string]*cacheEntry
@@ -73,6 +74,9 @@ type Runner struct {
 	diskReadB  int64
 	diskWroteB int64
 	backoffNS  int64
+	remoteRuns int64
+	remoteErrs int64
+	remoteNS   int64
 
 	// Scheduling accounting (see schedule.go): per-lane busy time, the
 	// host-time span of all tasks, and predicted-vs-actual cost totals.
@@ -238,6 +242,14 @@ type Stats struct {
 	DiskWrites     int64
 	DiskReadBytes  int64
 	DiskWriteBytes int64
+	// RemoteRuns counts cell attempts executed on a remote worker through
+	// the installed Executor; RemoteErrors counts remote attempts that
+	// failed (worker loss, transport, undecodable results — transient,
+	// so usually retried); RemoteHost totals the worker-reported host time
+	// of successful remote attempts.
+	RemoteRuns   int64
+	RemoteErrors int64
+	RemoteHost   time.Duration
 	// Backoff is the total virtual time spent backing off between attempts.
 	Backoff sim.Duration
 	// Attempts maps the key of every cell that needed more than one attempt
@@ -281,6 +293,10 @@ func (s Stats) String() string {
 	if s.DiskHits > 0 || s.DiskWrites > 0 {
 		out += fmt.Sprintf(", %d disk hits (%d bytes read), %d disk writes (%d bytes written)",
 			s.DiskHits, s.DiskReadBytes, s.DiskWrites, s.DiskWriteBytes)
+	}
+	if s.RemoteRuns > 0 || s.RemoteErrors > 0 {
+		out += fmt.Sprintf(", %d remote runs (%v worker time, %d remote errors)",
+			s.RemoteRuns, s.RemoteHost.Round(time.Microsecond), s.RemoteErrors)
 	}
 	if labels := s.labeledRuns(); len(labels) > 0 {
 		out += ", runs by experiment: " + strings.Join(labels, " ")
@@ -332,6 +348,7 @@ func (r *Runner) Stats() Stats {
 		PredictedCost:  time.Duration(atomic.LoadInt64(&r.predNS)),
 		ActualCost:     time.Duration(atomic.LoadInt64(&r.actualNS)),
 	}
+	r.remoteStats(&st)
 	st.LaneBusy = make([]time.Duration, len(r.laneBusy))
 	var busy time.Duration
 	for i := range r.laneBusy {
@@ -387,12 +404,12 @@ type decodeFunc func(json.RawMessage) (any, error)
 // errors are cached, cancellations and transient errors are not — the next
 // caller recomputes. An empty key disables memoization.
 func (r *Runner) Do(key string, fn func() (any, error)) (any, error) {
-	return r.do(key, nil, fn)
+	return r.do(key, nil, nil, fn)
 }
 
-func (r *Runner) do(key string, decode decodeFunc, fn func() (any, error)) (any, error) {
+func (r *Runner) do(key string, decode decodeFunc, rc *remoteCell, fn func() (any, error)) (any, error) {
 	if key == "" || r.noCache {
-		return r.observedCompute(key, decode, fn)
+		return r.observedCompute(key, decode, rc, fn)
 	}
 	r.mu.Lock()
 	if e, ok := r.cache[key]; ok {
@@ -411,6 +428,7 @@ func (r *Runner) do(key string, decode decodeFunc, fn func() (any, error)) (any,
 				Value:      e.val,
 				Err:        e.err,
 				Host:       time.Since(t0),
+				Start:      t0.Sub(r.epoch),
 			})
 		}
 		return e.val, e.err
@@ -418,7 +436,7 @@ func (r *Runner) do(key string, decode decodeFunc, fn func() (any, error)) (any,
 	e := &cacheEntry{done: make(chan struct{})}
 	r.cache[key] = e
 	r.mu.Unlock()
-	e.val, e.err = r.observedCompute(key, decode, fn)
+	e.val, e.err = r.observedCompute(key, decode, rc, fn)
 	if r.ephemeral || !cacheable(e.err) {
 		// Drop the entry: on a cancellation or exhausted-transient outcome
 		// so the next caller recomputes instead of inheriting a poisoned
@@ -436,10 +454,10 @@ func (r *Runner) do(key string, decode decodeFunc, fn func() (any, error)) (any,
 	return e.val, e.err
 }
 
-// compute runs one cell through the disk cache, fault injector, and retry
-// policy, reporting where the result came from and how many attempts it
-// took (0 when it did not run).
-func (r *Runner) compute(key string, decode decodeFunc, fn func() (any, error)) (any, CellSource, int, error) {
+// compute runs one cell through the disk cache, remote executor, fault
+// injector, and retry policy, reporting where the result came from and how
+// many attempts it took (0 when it did not run).
+func (r *Runner) compute(key string, decode decodeFunc, rc *remoteCell, fn func() (any, error)) (any, CellSource, int, error) {
 	useDisk := key != "" && !r.noCache && r.disk != nil && decode != nil
 	if useDisk {
 		// Pin the cell for the whole resolution (load, compute, store):
@@ -470,6 +488,8 @@ func (r *Runner) compute(key string, decode decodeFunc, fn func() (any, error)) 
 		if injected != nil {
 			atomic.AddInt64(&r.injected, 1)
 			v, err = nil, injected
+		} else if rc != nil && r.exec != nil {
+			v, err = r.runRemote(key, rc, decode, fn)
 		} else {
 			v, err = fn()
 		}

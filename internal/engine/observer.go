@@ -52,6 +52,16 @@ type CellEvent struct {
 	// Host is the host wall time spent resolving the cell (for memo hits,
 	// the time spent waiting on the computing caller).
 	Host time.Duration
+	// Start is the host-time offset (since the runner's epoch) at which the
+	// cell's resolution began — the same epoch task events use, so cell and
+	// task spans share one timeline. Volatile, like Host.
+	Start time.Duration
+	// Remote names the remote worker that executed the cell's final attempt
+	// ("" when it ran locally); RemoteHost is that worker's own measured
+	// host time for the cell. Both are volatile: where a cell ran can change
+	// only wall-clock time, never its value.
+	Remote     string
+	RemoteHost time.Duration
 }
 
 // TaskEvent describes one completed grid/map task on a worker lane.
@@ -179,14 +189,14 @@ func (r *Runner) countRun() {
 
 // observedCompute wraps compute with the observer's cell event; with no
 // observer it adds nothing (not even a clock read).
-func (r *Runner) observedCompute(key string, decode decodeFunc, fn func() (any, error)) (any, error) {
+func (r *Runner) observedCompute(key string, decode decodeFunc, rc *remoteCell, fn func() (any, error)) (any, error) {
 	if r.obs == nil {
-		v, _, _, err := r.compute(key, decode, fn)
+		v, _, _, err := r.compute(key, decode, rc, fn)
 		return v, err
 	}
 	t0 := time.Now()
-	v, src, attempts, err := r.compute(key, decode, fn)
-	r.obs.CellDone(CellEvent{
+	v, src, attempts, err := r.compute(key, decode, rc, fn)
+	ev := CellEvent{
 		Experiment: r.Experiment(),
 		Key:        key,
 		Source:     src,
@@ -194,6 +204,11 @@ func (r *Runner) observedCompute(key string, decode decodeFunc, fn func() (any, 
 		Value:      v,
 		Err:        err,
 		Host:       time.Since(t0),
-	})
+		Start:      t0.Sub(r.epoch),
+	}
+	if rc != nil {
+		ev.Remote, ev.RemoteHost = rc.worker, time.Duration(rc.hostNS)
+	}
+	r.obs.CellDone(ev)
 	return v, err
 }

@@ -66,7 +66,11 @@ func WriteJournal(w io.Writer, tool string, c *Collector, withHost bool) error {
 			tasks[i].PredNS = 0
 		}
 		for i := range cells {
-			cells[i].HostNS = 0
+			// Where a cell ran (this process or a named remote worker) and
+			// when are volatile, like HostNS: zeroing them is what keeps a
+			// distributed run's journal byte-identical to a local run's.
+			cells[i].HostNS, cells[i].StartNS = 0, 0
+			cells[i].Remote, cells[i].RemoteHostNS = "", 0
 		}
 	}
 	sort.SliceStable(tasks, func(i, j int) bool {

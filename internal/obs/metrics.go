@@ -84,6 +84,21 @@ type Metrics struct {
 	// Schedule summarizes lane packing across the whole run (nil when no
 	// task ran).
 	Schedule *ScheduleSummary `json:"schedule,omitempty"`
+	// Remote summarizes per-worker distributed execution (absent on local
+	// runs).
+	Remote []RemoteWorkerSummary `json:"remote,omitempty"`
+}
+
+// RemoteWorkerSummary aggregates the cells one remote worker executed in a
+// distributed run: how many, the worker's own measured execution time, and
+// how many ended in a permanent error. Sorted by name in Metrics.
+type RemoteWorkerSummary struct {
+	Name  string `json:"name"`
+	Cells int64  `json:"cells"`
+	// HostNS totals the worker-side measured execution time — the cost the
+	// coordinator's dispatch predictions are learned from.
+	HostNS int64 `json:"host_ns"`
+	Errors int64 `json:"errors,omitempty"`
 }
 
 // BuildMetrics aggregates the collector's records per experiment label.
@@ -108,7 +123,42 @@ func BuildMetrics(tool string, c *Collector) Metrics {
 	}
 	m.Totals = summarize("total", tasks, cells, func(string) bool { return true })
 	m.Schedule = summarizeSchedule(tasks)
+	m.Remote = summarizeRemote(cells)
 	return m
+}
+
+// summarizeRemote aggregates cells by the remote worker that executed them
+// (nil when every cell ran locally).
+func summarizeRemote(cells []Cell) []RemoteWorkerSummary {
+	byName := map[string]*RemoteWorkerSummary{}
+	for _, cl := range cells {
+		if cl.Remote == "" {
+			continue
+		}
+		s := byName[cl.Remote]
+		if s == nil {
+			s = &RemoteWorkerSummary{Name: cl.Remote}
+			byName[cl.Remote] = s
+		}
+		s.Cells++
+		s.HostNS += cl.RemoteHostNS
+		if cl.Outcome == "error" {
+			s.Errors++
+		}
+	}
+	if len(byName) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]RemoteWorkerSummary, 0, len(names))
+	for _, n := range names {
+		out = append(out, *byName[n])
+	}
+	return out
 }
 
 // summarizeSchedule reconstructs the lane-packing summary from the task

@@ -64,6 +64,18 @@ type Cell struct {
 	// HostNS is the host wall time spent resolving the cell. Volatile:
 	// omitted from deterministic journals.
 	HostNS int64 `json:"host_ns,omitempty"`
+	// StartNS is the host-time offset (since the runner's epoch) at which
+	// the cell's resolution began — the cell-side counterpart of
+	// Task.StartNS, which lets traces render cell spans on a shared
+	// timeline. Volatile.
+	StartNS int64 `json:"start_ns,omitempty"`
+	// Remote names the remote worker that executed the cell ("" when it ran
+	// locally); RemoteHostNS is that worker's own measured host time. Both
+	// volatile: where a cell ran can change only wall-clock time, never its
+	// value, and deterministic journals must stay byte-identical between
+	// distributed and local runs.
+	Remote       string `json:"remote,omitempty"`
+	RemoteHostNS int64  `json:"remote_host_ns,omitempty"`
 	// Samples / CIRel / CIReason carry the adaptive sampling outcome when
 	// the cell's result type implements Sampled and actually sampled
 	// (Samples > 0). Absent on fixed-path cells — adaptive-off journals do
@@ -110,12 +122,15 @@ func NewCollector() *Collector { return &Collector{} }
 // CellDone implements engine.Observer.
 func (c *Collector) CellDone(ev engine.CellEvent) {
 	rec := Cell{
-		Experiment: ev.Experiment,
-		Key:        ev.Key,
-		Source:     string(ev.Source),
-		Outcome:    outcomeOf(ev.Err),
-		Attempts:   ev.Attempts,
-		HostNS:     int64(ev.Host),
+		Experiment:   ev.Experiment,
+		Key:          ev.Key,
+		Source:       string(ev.Source),
+		Outcome:      outcomeOf(ev.Err),
+		Attempts:     ev.Attempts,
+		HostNS:       int64(ev.Host),
+		StartNS:      int64(ev.Start),
+		Remote:       ev.Remote,
+		RemoteHostNS: int64(ev.RemoteHost),
 	}
 	if ev.Err != nil {
 		rec.Error = ev.Err.Error()

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"partmb/internal/sim"
 	"partmb/internal/trace"
@@ -29,6 +30,40 @@ func WriteChromeTrace(w io.Writer, c *Collector) error {
 		}
 		rec.Span(0, t.Worker, "engine", fmt.Sprintf("%s[%d]", name, t.Index),
 			sim.Time(t.StartNS), sim.Time(t.EndNS), args)
+	}
+	// Remotely executed cells get their own process row (pid 1) with one
+	// lane per worker name, so a distributed sweep shows the fleet next to
+	// the local lanes. A cell's span starts when the engine began resolving
+	// it and extends by the worker's own measured execution time — transport
+	// and queueing show up as the gap to the enclosing task span.
+	cells := c.Cells()
+	lanes := map[string]int{}
+	for _, cl := range cells {
+		if cl.Remote != "" {
+			lanes[cl.Remote] = 0
+		}
+	}
+	if len(lanes) > 0 {
+		names := make([]string, 0, len(lanes))
+		for n := range lanes {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for i, n := range names {
+			lanes[n] = i
+		}
+		for _, cl := range cells {
+			if cl.Remote == "" {
+				continue
+			}
+			name := cl.Experiment
+			if name == "" {
+				name = "cell"
+			}
+			args := map[string]string{"worker": cl.Remote, "outcome": cl.Outcome, "key": cl.Key}
+			rec.Span(1, lanes[cl.Remote], "remote", fmt.Sprintf("%s@%s", name, cl.Remote),
+				sim.Time(cl.StartNS), sim.Time(cl.StartNS+cl.RemoteHostNS), args)
+		}
 	}
 	return rec.WriteChromeTrace(w)
 }

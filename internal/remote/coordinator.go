@@ -1,0 +1,591 @@
+package remote
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"partmb/internal/engine"
+
+	"context"
+)
+
+// CoordinatorConfig tunes a Coordinator.
+type CoordinatorConfig struct {
+	// HeartbeatTimeout is how long a silent worker stays live; past it the
+	// worker is declared lost, its queued tasks are requeued to survivors,
+	// and its leased tasks fail transiently (the engine's retry policy then
+	// re-dispatches them). 0 means the 10s default; negative disables
+	// expiry (tests drive it explicitly).
+	HeartbeatTimeout time.Duration
+	// Logf, when non-nil, receives one line per lifecycle event (register,
+	// leave, lost worker, requeue) — wire it to log.Printf in daemons.
+	Logf func(format string, args ...any)
+}
+
+// DefaultHeartbeatTimeout is the liveness window workers must heartbeat
+// within; the worker runtime heartbeats several times per window.
+const DefaultHeartbeatTimeout = 10 * time.Second
+
+// Coordinator is the driver-side half of distributed execution. It is both
+// an engine.Executor — Execute dispatches one cell to a registered worker
+// and blocks until its result crosses back — and an http.Handler serving
+// the worker wire protocol under /v1/workers/.
+//
+// Scheduling: Execute assigns each cell to the live worker with the least
+// predicted backlog, normalized by the worker's parallelism. The engine
+// already releases cells in LPT order (longest predicted first, PR 5's
+// dispatch permutation), so least-backlog assignment reproduces classic LPT
+// list scheduling across workers; per-key costs observed from completed
+// results sharpen the predictions as the sweep runs. Idle workers steal
+// from the back of the most-loaded queue — the tail task, which would
+// otherwise run last — so an imbalanced tail drains across the fleet.
+//
+// Failure: a worker that misses its heartbeat window (or leaves) has its
+// queued cells requeued to survivors and its in-flight cells failed with an
+// engine-transient error; the runner's RetryPolicy re-enters Execute, which
+// picks a surviving worker — or, via ErrNoWorkers, falls back to computing
+// locally when the fleet is empty. Either way the sweep completes, and
+// because cells are content-addressed its journal is unchanged.
+type Coordinator struct {
+	timeout time.Duration
+	logf    func(format string, args ...any)
+	now     func() time.Time // injectable for tests
+	mux     *http.ServeMux
+	done    chan struct{}
+	closeFn sync.Once
+
+	mu         sync.Mutex
+	workers    map[string]*workerState
+	order      []string // registration order, for stable iteration
+	leases     map[int64]*pending
+	nextTask   int64
+	nextWorker int64
+	costs      map[string]int64 // observed host-ns per cell key
+	costSum    int64
+	costN      int64
+	dispatched int64
+	completed  int64
+	failed     int64
+	stolen     int64
+	requeued   int64
+	lost       int64
+}
+
+// workerState is the coordinator's view of one registered worker.
+type workerState struct {
+	id        string
+	name      string
+	parallel  int
+	lastSeen  time.Time
+	live      bool
+	queue     []*pending         // assigned, not yet leased
+	leased    map[int64]*pending // polled, awaiting result
+	backlogNS int64              // predicted cost of queue + leased
+	completed int64
+	wake      chan struct{} // buffered-1 signal: work may be available
+}
+
+// pending is one in-flight Execute call.
+type pending struct {
+	task   Task
+	predNS int64
+	owner  *workerState // queue or lease holder
+	done   chan outcome // buffered 1; exactly one send per pending
+}
+
+type outcome struct {
+	res engine.RemoteResult
+	err error
+}
+
+// NewCoordinator returns a coordinator ready to mount on an HTTP server and
+// install on a runner with engine.WithExecutor. Close releases its
+// background liveness reaper.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	timeout := cfg.HeartbeatTimeout
+	if timeout == 0 {
+		timeout = DefaultHeartbeatTimeout
+	}
+	c := &Coordinator{
+		timeout: timeout,
+		logf:    cfg.Logf,
+		now:     time.Now,
+		done:    make(chan struct{}),
+		workers: map[string]*workerState{},
+		leases:  map[int64]*pending{},
+		costs:   map[string]int64{},
+	}
+	if c.logf == nil {
+		c.logf = func(string, ...any) {}
+	}
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc(PathRegister, c.handleRegister)
+	c.mux.HandleFunc(PathHeartbeat, c.handleHeartbeat)
+	c.mux.HandleFunc(PathPoll, c.handlePoll)
+	c.mux.HandleFunc(PathResult, c.handleResult)
+	c.mux.HandleFunc(PathLeave, c.handleLeave)
+	c.mux.HandleFunc(PathStatus, c.handleStatus)
+	if timeout > 0 {
+		go c.reap(timeout)
+	}
+	return c
+}
+
+// Close stops the liveness reaper and unblocks idle long-polls. It does not
+// fail in-flight cells; call it after the runner is drained.
+func (c *Coordinator) Close() { c.closeFn.Do(func() { close(c.done) }) }
+
+// reap periodically expires workers whose heartbeats stopped, so leased
+// cells of a dead worker fail (and requeue) even while every Execute is
+// parked waiting on a result.
+func (c *Coordinator) reap(timeout time.Duration) {
+	period := timeout / 2
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.mu.Lock()
+			c.expireLocked(c.now())
+			c.mu.Unlock()
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// ServeHTTP serves the worker wire protocol; mount the coordinator at the
+// server root (paths are absolute) or pass requests for /v1/workers/*.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
+
+// Execute implements engine.Executor: it dispatches one cell to the live
+// worker with the least predicted backlog and blocks until the result (or
+// the worker's loss, surfaced as a transient error) crosses back. With no
+// live workers it returns engine.ErrNoWorkers and the runner computes the
+// cell locally.
+func (c *Coordinator) Execute(ctx context.Context, t engine.RemoteTask) (engine.RemoteResult, error) {
+	p := &pending{done: make(chan outcome, 1)}
+	c.mu.Lock()
+	c.expireLocked(c.now())
+	w := c.pickLocked()
+	if w == nil {
+		c.mu.Unlock()
+		return engine.RemoteResult{}, engine.ErrNoWorkers
+	}
+	c.nextTask++
+	p.task = Task{
+		Schema:     WireSchema,
+		ID:         c.nextTask,
+		Key:        t.Key,
+		Experiment: t.Experiment,
+		Kind:       t.Kind,
+		Config:     t.Config,
+	}
+	p.predNS = c.predictLocked(t.Key)
+	c.dispatched++
+	c.enqueueLocked(w, p)
+	c.mu.Unlock()
+
+	select {
+	case out := <-p.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		c.abandon(p)
+		return engine.RemoteResult{}, ctx.Err()
+	}
+}
+
+// abandon withdraws a still-queued pending after its Execute context died.
+// A leased pending is left to finish: its result lands in the buffered done
+// channel and is garbage-collected with the pending.
+func (c *Coordinator) abandon(p *pending) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := p.owner
+	if w == nil {
+		return
+	}
+	for i, q := range w.queue {
+		if q == p {
+			w.queue = append(w.queue[:i], w.queue[i+1:]...)
+			w.backlogNS -= p.predNS
+			if w.backlogNS < 0 {
+				w.backlogNS = 0
+			}
+			p.owner = nil
+			return
+		}
+	}
+}
+
+// pickLocked returns the live worker with the least predicted backlog per
+// parallel slot (nil when none are live), tie-broken by registration order
+// for determinism.
+func (c *Coordinator) pickLocked() *workerState {
+	var best *workerState
+	var bestLoad float64
+	for _, id := range c.order {
+		w := c.workers[id]
+		if !w.live {
+			continue
+		}
+		load := float64(w.backlogNS) / float64(w.parallel)
+		if best == nil || load < bestLoad {
+			best, bestLoad = w, load
+		}
+	}
+	return best
+}
+
+// predictLocked estimates a cell's cost: the last observed host-ns for the
+// exact key, else the mean over all completed cells, else 1 (any constant —
+// with no observations every cell looks equal and assignment degenerates to
+// round-robin-by-backlog, which is the right cold-start behaviour).
+func (c *Coordinator) predictLocked(key string) int64 {
+	if ns, ok := c.costs[key]; ok && ns > 0 {
+		return ns
+	}
+	if c.costN > 0 {
+		return c.costSum / c.costN
+	}
+	return 1
+}
+
+// enqueueLocked appends p to w's queue and wakes every live worker: the
+// owner to serve it, the rest so an idle worker can steal it promptly.
+func (c *Coordinator) enqueueLocked(w *workerState, p *pending) {
+	p.owner = w
+	w.queue = append(w.queue, p)
+	w.backlogNS += p.predNS
+	for _, id := range c.order {
+		if ws := c.workers[id]; ws.live {
+			select {
+			case ws.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// takeLocked pops the next task for w: the front of its own queue, else —
+// work stealing — the tail of the longest live queue. The stolen tail is
+// the task that would otherwise run last, so stealing it shortens the
+// imbalanced queue's makespan without reordering its head. The task is
+// leased to w until its result (or w's loss) settles it.
+func (c *Coordinator) takeLocked(w *workerState) *pending {
+	var p *pending
+	if len(w.queue) > 0 {
+		p = w.queue[0]
+		w.queue = w.queue[1:]
+	} else {
+		var victim *workerState
+		for _, id := range c.order {
+			v := c.workers[id]
+			if v == w || !v.live || len(v.queue) == 0 {
+				continue
+			}
+			if victim == nil || len(v.queue) > len(victim.queue) {
+				victim = v
+			}
+		}
+		if victim == nil {
+			return nil
+		}
+		p = victim.queue[len(victim.queue)-1]
+		victim.queue = victim.queue[:len(victim.queue)-1]
+		victim.backlogNS -= p.predNS
+		if victim.backlogNS < 0 {
+			victim.backlogNS = 0
+		}
+		w.backlogNS += p.predNS
+		c.stolen++
+		c.logf("remote: worker %s (%s) stole task %d (cell %.12s) from %s",
+			w.name, w.id, p.task.ID, p.task.Key, victim.name)
+	}
+	p.owner = w
+	w.leased[p.task.ID] = p
+	c.leases[p.task.ID] = p
+	return p
+}
+
+// expireLocked declares every worker silent past the heartbeat window lost.
+func (c *Coordinator) expireLocked(now time.Time) {
+	if c.timeout <= 0 {
+		return
+	}
+	for _, id := range c.order {
+		w := c.workers[id]
+		if w.live && now.Sub(w.lastSeen) > c.timeout {
+			c.lost++
+			c.logf("remote: worker %s (%s) lost (no heartbeat for %v)", w.name, w.id, now.Sub(w.lastSeen).Round(time.Millisecond))
+			c.dropLocked(w)
+		}
+	}
+}
+
+// dropLocked removes w from service: queued cells are requeued to surviving
+// workers (or failed transiently when none remain — the engine retries, and
+// the retry's Execute falls back to local via ErrNoWorkers), and leased
+// cells fail transiently so the retry re-dispatches them.
+func (c *Coordinator) dropLocked(w *workerState) {
+	w.live = false
+	queued := w.queue
+	w.queue = nil
+	w.backlogNS = 0
+	for id, p := range w.leased {
+		delete(w.leased, id)
+		delete(c.leases, id)
+		p.owner = nil
+		c.failed++
+		p.done <- outcome{err: engine.Transientf("remote: worker %s (%s) lost mid-cell", w.name, w.id)}
+	}
+	for _, p := range queued {
+		p.owner = nil
+		if nw := c.pickLocked(); nw != nil {
+			c.requeued++
+			c.logf("remote: requeued task %d (cell %.12s) from %s to %s", p.task.ID, p.task.Key, w.name, nw.name)
+			c.enqueueLocked(nw, p)
+		} else {
+			c.failed++
+			p.done <- outcome{err: engine.Transientf("remote: worker %s (%s) lost with no surviving workers", w.name, w.id)}
+		}
+	}
+}
+
+// Status returns a point-in-time snapshot of workers and dispatch counters.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{
+		Schema:     WireSchema,
+		Dispatched: c.dispatched,
+		Completed:  c.completed,
+		Failed:     c.failed,
+		Stolen:     c.stolen,
+		Requeued:   c.requeued,
+		Lost:       c.lost,
+	}
+	for _, id := range c.order {
+		w := c.workers[id]
+		st.Workers = append(st.Workers, WorkerStatus{
+			ID:        w.id,
+			Name:      w.name,
+			Live:      w.live,
+			Queued:    len(w.queue),
+			Leased:    len(w.leased),
+			BacklogNS: w.backlogNS,
+			Completed: w.completed,
+		})
+	}
+	return st
+}
+
+// --- HTTP handlers -------------------------------------------------------
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !c.decode(w, r, &req, &req.Schema) {
+		return
+	}
+	c.mu.Lock()
+	c.nextWorker++
+	id := fmt.Sprintf("w%d", c.nextWorker)
+	name := req.Name
+	if name == "" {
+		name = id
+	}
+	par := req.Parallel
+	if par < 1 {
+		par = 1
+	}
+	ws := &workerState{
+		id:       id,
+		name:     name,
+		parallel: par,
+		lastSeen: c.now(),
+		live:     true,
+		leased:   map[int64]*pending{},
+		wake:     make(chan struct{}, 1),
+	}
+	c.workers[id] = ws
+	c.order = append(c.order, id)
+	c.mu.Unlock()
+	c.logf("remote: worker %s registered as %s (parallel %d)", name, id, par)
+	writeJSON(w, http.StatusOK, RegisterResponse{Schema: WireSchema, WorkerID: id})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !c.decode(w, r, &req, &req.Schema) {
+		return
+	}
+	c.mu.Lock()
+	ws := c.workers[req.WorkerID]
+	live := ws != nil && ws.live
+	if live {
+		ws.lastSeen = c.now()
+	}
+	c.mu.Unlock()
+	if !live {
+		http.Error(w, "remote: unknown or expired worker; re-register", http.StatusGone)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
+	var req PollRequest
+	if !c.decode(w, r, &req, &req.Schema) {
+		return
+	}
+	wait := time.Duration(req.WaitMS) * time.Millisecond
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > 30*time.Second {
+		wait = 30 * time.Second
+	}
+	deadline := c.now().Add(wait)
+	for {
+		now := c.now()
+		c.mu.Lock()
+		ws := c.workers[req.WorkerID]
+		if ws == nil || !ws.live {
+			c.mu.Unlock()
+			http.Error(w, "remote: unknown or expired worker; re-register", http.StatusGone)
+			return
+		}
+		ws.lastSeen = now
+		c.expireLocked(now)
+		if p := c.takeLocked(ws); p != nil {
+			c.mu.Unlock()
+			writeJSON(w, http.StatusOK, p.task)
+			return
+		}
+		wake := ws.wake
+		c.mu.Unlock()
+
+		remaining := deadline.Sub(c.now())
+		if remaining <= 0 {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		// Cap each nap so a long poll still notices stealable work enqueued
+		// on another worker's queue and keeps its lastSeen fresh.
+		nap := remaining
+		if nap > 250*time.Millisecond {
+			nap = 250 * time.Millisecond
+		}
+		timer := time.NewTimer(nap)
+		select {
+		case <-wake:
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		case <-c.done:
+			timer.Stop()
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		timer.Stop()
+	}
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var res Result
+	if !c.decode(w, r, &res, &res.Schema) {
+		return
+	}
+	c.mu.Lock()
+	if ws := c.workers[res.WorkerID]; ws != nil && ws.live {
+		ws.lastSeen = c.now()
+	}
+	p := c.leases[res.ID]
+	if p == nil || p.owner == nil || p.owner.id != res.WorkerID {
+		// Stale: the task was re-dispatched after this worker was presumed
+		// lost. The newer resolution is authoritative; drop this one.
+		c.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	owner := p.owner
+	delete(c.leases, res.ID)
+	delete(owner.leased, res.ID)
+	owner.backlogNS -= p.predNS
+	if owner.backlogNS < 0 {
+		owner.backlogNS = 0
+	}
+	if res.Err != "" {
+		c.failed++
+		err := errors.New(res.Err)
+		if res.ErrClass != ErrClassPermanent {
+			err = engine.Transient(err)
+		}
+		p.done <- outcome{err: err}
+	} else {
+		c.completed++
+		owner.completed++
+		if res.HostNS > 0 {
+			c.costs[res.Key] = res.HostNS
+			c.costSum += res.HostNS
+			c.costN++
+		}
+		p.done <- outcome{res: engine.RemoteResult{Value: res.Value, HostNS: res.HostNS, Worker: owner.name}}
+	}
+	c.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
+	var req LeaveRequest
+	if !c.decode(w, r, &req, &req.Schema) {
+		return
+	}
+	c.mu.Lock()
+	if ws := c.workers[req.WorkerID]; ws != nil && ws.live {
+		c.logf("remote: worker %s (%s) left", ws.name, ws.id)
+		c.dropLocked(ws)
+	}
+	c.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "remote: GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+// decode reads a POSTed JSON message and checks its wire schema, writing
+// the HTTP error itself when the message is unusable.
+func (c *Coordinator) decode(w http.ResponseWriter, r *http.Request, v any, schema *int) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "remote: POST only", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("remote: bad request body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	if *schema != WireSchema {
+		http.Error(w, fmt.Sprintf("remote: wire schema %d, want %d", *schema, WireSchema), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

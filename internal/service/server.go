@@ -280,6 +280,12 @@ type SweepTallies struct {
 	Runs     int `json:"runs"`
 	DiskHits int `json:"disk_hits"`
 	MemoHits int `json:"memo_hits"`
+	// DroppedEvents counts per-cell progress events the request's SSE
+	// stream had to drop because the client consumed too slowly (progress
+	// is advisory and never blocks engine workers). Non-zero only on
+	// streamed requests; a client that sees it knows its progress view was
+	// lossy — the terminal result is complete either way.
+	DroppedEvents int64 `json:"dropped_events,omitempty"`
 }
 
 // tally is the per-request fan-out subscriber behind the X-Sweepd-*
@@ -347,7 +353,14 @@ func (t *tally) tallies() *SweepTallies {
 
 // setHeaders publishes the tallies as response headers. Safe on nil.
 func (t *tally) setHeaders(h http.Header) {
-	tl := t.tallies()
+	t.tallies().setHeaders(h)
+}
+
+// setHeaders publishes the tallies as X-Sweepd-* response headers. Safe on
+// nil. Dropped events appear only when there were any: buffered (non-
+// streamed) responses can never drop progress events, and their headers
+// should not suggest otherwise.
+func (tl *SweepTallies) setHeaders(h http.Header) {
 	if tl == nil {
 		return
 	}
@@ -355,6 +368,9 @@ func (t *tally) setHeaders(h http.Header) {
 	h.Set("X-Sweepd-Runs", strconv.Itoa(tl.Runs))
 	h.Set("X-Sweepd-Disk-Hits", strconv.Itoa(tl.DiskHits))
 	h.Set("X-Sweepd-Memo-Hits", strconv.Itoa(tl.MemoHits))
+	if tl.DroppedEvents > 0 {
+		h.Set("X-Sweepd-Dropped-Events", strconv.FormatInt(tl.DroppedEvents, 10))
+	}
 }
 
 // Metrics is the /metrics response body.

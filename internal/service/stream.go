@@ -150,5 +150,22 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, rq Request,
 		return
 	}
 	s.ok2xx.Add(1)
-	sseEvent(w, flusher, "result", sweepJSON{Table: rq.Table(out.results), Tallies: tal.tallies()})
+	sseEvent(w, flusher, "result", sweepJSON{Table: rq.Table(out.results), Tallies: resultTallies(tal, sub)})
+}
+
+// resultTallies assembles the terminal result event's tallies: the
+// request's cell tallies (nil on a Fan-less server — the explicit guard
+// every tally call site carries) plus the stream's dropped-progress-event
+// count, so a slow client can tell its progress view was lossy. The SSE
+// response status and headers are long gone by the time the count is
+// known, so the terminal event is where it rides.
+func resultTallies(tal *tally, sub *sseSub) *SweepTallies {
+	if tal == nil {
+		return nil
+	}
+	tl := tal.tallies()
+	if sub != nil {
+		tl.DroppedEvents = sub.dropped.Load()
+	}
+	return tl
 }

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"partmb/internal/engine"
+)
+
+// TestStreamFanlessServer: a server configured without a fan-out must
+// still serve ?stream=1 — no progress events, but a complete terminal
+// result with absent tallies. Regression test for the terminal result
+// event calling tallies() without the nil guard every other call site
+// carries.
+func TestStreamFanlessServer(t *testing.T) {
+	_, ts, _ := newTestServer(t, func(c *Config) { c.Fan = nil })
+	resp, body := postSpec(t, ts.URL+"/v1/sweep?stream=1", cheapSpec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	text := string(body)
+	if strings.Contains(text, "event: cell\n") {
+		t.Fatalf("Fan-less server emitted progress events:\n%s", text)
+	}
+	i := strings.Index(text, "event: result\ndata: ")
+	if i < 0 {
+		t.Fatalf("no result event in stream:\n%s", text)
+	}
+	payload := text[i+len("event: result\ndata: "):]
+	payload = payload[:strings.Index(payload, "\n")]
+	var res sweepJSON
+	if err := json.Unmarshal([]byte(payload), &res); err != nil {
+		t.Fatalf("result event is not JSON: %v\n%s", err, payload)
+	}
+	if res.Table == nil || len(res.Table.Rows) != 1 {
+		t.Fatalf("result table = %+v", res.Table)
+	}
+	if res.Tallies != nil {
+		t.Fatalf("Fan-less result tallies = %+v, want absent", res.Tallies)
+	}
+}
+
+// TestSSESubDropsWhenFull: a full progress buffer drops events (engine
+// workers never block on a slow client) and counts every drop; events
+// for other requests' keys are ignored entirely.
+func TestSSESubDropsWhenFull(t *testing.T) {
+	sub := &sseSub{keys: map[string]bool{"mine": true}, ch: make(chan CellUpdate, 2)}
+	for i := 0; i < 5; i++ {
+		sub.CellDone(engine.CellEvent{Key: "mine", Source: engine.SourceRun})
+	}
+	sub.CellDone(engine.CellEvent{Key: "theirs", Source: engine.SourceRun})
+	sub.CellDone(engine.CellEvent{Source: engine.SourceRun})
+	if got := sub.dropped.Load(); got != 3 {
+		t.Fatalf("dropped = %d, want 3 (5 events, buffer of 2)", got)
+	}
+	if len(sub.ch) != 2 {
+		t.Fatalf("buffered = %d, want 2", len(sub.ch))
+	}
+}
+
+// TestResultTallies: the terminal result event's tally assembly — nil on
+// a Fan-less server, and folding the stream's dropped-event count in
+// otherwise.
+func TestResultTallies(t *testing.T) {
+	if tl := resultTallies(nil, nil); tl != nil {
+		t.Fatalf("resultTallies(nil, nil) = %+v, want nil", tl)
+	}
+	tal := &tally{
+		keys: map[string]bool{"k": true},
+		src:  map[string]engine.CellSource{"k": engine.SourceRun},
+	}
+	sub := &sseSub{}
+	sub.dropped.Store(3)
+	tl := resultTallies(tal, sub)
+	if tl == nil || tl.Cells != 1 || tl.Runs != 1 || tl.DroppedEvents != 3 {
+		t.Fatalf("resultTallies = %+v, want 1 cell, 1 run, 3 dropped", tl)
+	}
+}
+
+// TestTallyHeadersDroppedEvents: X-Sweepd-Dropped-Events appears only
+// when events were actually dropped — buffered responses can never drop
+// progress and must not suggest otherwise.
+func TestTallyHeadersDroppedEvents(t *testing.T) {
+	h := http.Header{}
+	(&SweepTallies{Cells: 1}).setHeaders(h)
+	if got := h.Get("X-Sweepd-Dropped-Events"); got != "" {
+		t.Fatalf("dropped header = %q on a lossless response, want unset", got)
+	}
+	(&SweepTallies{Cells: 1, DroppedEvents: 4}).setHeaders(h)
+	if got := h.Get("X-Sweepd-Dropped-Events"); got != "4" {
+		t.Fatalf("dropped header = %q, want 4", got)
+	}
+	var none *SweepTallies
+	none.setHeaders(h) // must not panic
+}
