@@ -62,7 +62,10 @@ type Entry struct {
 	// measured). When both sides of a comparison carry them, the gate acts
 	// on CI separation instead of the bare ns/op ratio tolerance: a
 	// regression must be statistically significant, not merely noisy.
-	// Omitted otherwise, so existing baseline files stay valid.
+	// Omitted otherwise, so existing baseline files stay valid. Baselines
+	// are written without bounds (stripCIBounds): the committed file gates
+	// by ratio tolerance, so CI separation only applies when comparing two
+	// locally measured snapshots.
 	CILoNS float64 `json:"ci_lo_ns,omitempty"`
 	CIHiNS float64 `json:"ci_hi_ns,omitempty"`
 }

@@ -1,0 +1,202 @@
+package main
+
+// This file is the steal gate: benchgate's imbalanced-partition entries.
+// The shard worker pool (see internal/sim/shard.go) pairs cost-ordered
+// dispatch with work stealing so an adversarially skewed rank→shard
+// mapping cannot serialize the window behind one overloaded worker; this
+// gate pins that property the way the shard gate pins plain speedup.
+//
+// Two workloads are measured, each with stealing on and off:
+//
+//   - shards/halo3d-skewed-*: the 512-rank Halo3D under the skewed
+//     mapping (two heavy shards holding ~80% of the ranks), on
+//     2×GOMAXPROCS shards. The heavy shards are adjacent, so the static
+//     contiguous-chunk ownership of the no-steal pool lands both on one
+//     worker and its makespan roughly doubles — stealing must win by the
+//     gated margin on any multi-core host.
+//   - shards/sweep3d-wave-*: a block-sharded Sweep3D wavefront, whose
+//     imbalance is structural (the active diagonal sweeps across shards).
+//     Stealing helps less predictably here, so the bar is only "does not
+//     slow down": the entry exists to catch stealing-induced overhead on
+//     balanced-ish work, not to require a speedup.
+//
+// Like the shards/* speedup family, these entries are Fixed, compared
+// within one run only, and stripped from baselines (the ratios are
+// properties of the measuring host's core count).
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"partmb/internal/patterns"
+	"partmb/internal/sim"
+)
+
+// imbalanceShards returns the shard count of the skewed Halo3D entries:
+// twice the worker-pool width, so the two adjacent heavy shards always
+// collide in one worker's static chunk when stealing is off.
+func imbalanceShards(cores, ranks int) int {
+	shards := 2 * cores
+	if shards < 2 {
+		shards = 2
+	}
+	if shards > ranks {
+		shards = ranks
+	}
+	return shards
+}
+
+// measureHaloSkewed runs the 512-rank Halo3D under the skewed mapping and
+// returns its wall time.
+func measureHaloSkewed(shards int, noSteal bool) (time.Duration, error) {
+	start := time.Now()
+	res, err := patterns.RunHalo3D(patterns.HaloConfig{
+		Nx: 8, Ny: 8, Nz: 8,
+		ThreadsPerDim: 1,
+		FaceBytes:     4096,
+		Compute:       200 * sim.Microsecond,
+		Repeats:       2,
+		Mode:          patterns.Single,
+		Shards:        shards,
+		ShardMapping:  "skewed",
+		ShardNoSteal:  noSteal,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if res.Shard == nil || res.Shard.Windows == 0 {
+		return 0, fmt.Errorf("benchgate: skewed halo3d ran no windows")
+	}
+	return time.Since(start), nil
+}
+
+// measureSweepWavefront runs a block-sharded 128-rank Sweep3D wavefront
+// and returns its wall time.
+func measureSweepWavefront(shards int, noSteal bool) (time.Duration, error) {
+	start := time.Now()
+	res, err := patterns.RunSweep3D(patterns.SweepConfig{
+		Px: 16, Py: 8,
+		Threads:        1,
+		BytesPerThread: 4096,
+		Compute:        100 * sim.Microsecond,
+		ZBlocks:        2,
+		Octants:        4,
+		Repeats:        3,
+		Mode:           patterns.Single,
+		Shards:         shards,
+		ShardNoSteal:   noSteal,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if res.Shard == nil || res.Shard.Windows == 0 {
+		return 0, fmt.Errorf("benchgate: sharded sweep3d ran no windows")
+	}
+	return time.Since(start), nil
+}
+
+// imbalanceCase is one measured (workload, stealing) point.
+type imbalanceCase struct {
+	name    string
+	measure func() (time.Duration, error)
+}
+
+// imbalanceCases builds the measured points for the given core count.
+func imbalanceCases(cores int) []imbalanceCase {
+	haloShards := imbalanceShards(cores, 512)
+	sweepShards := 8
+	return []imbalanceCase{
+		{"shards/halo3d-skewed-steal", func() (time.Duration, error) { return measureHaloSkewed(haloShards, false) }},
+		{"shards/halo3d-skewed-nosteal", func() (time.Duration, error) { return measureHaloSkewed(haloShards, true) }},
+		{"shards/sweep3d-wave-steal", func() (time.Duration, error) { return measureSweepWavefront(sweepShards, false) }},
+		{"shards/sweep3d-wave-nosteal", func() (time.Duration, error) { return measureSweepWavefront(sweepShards, true) }},
+	}
+}
+
+// runImbalanceBenchmarks measures the imbalanced entries (best of reps,
+// rep-major like runShardBenchmarks) and returns them as Fixed entries.
+func runImbalanceBenchmarks(reps int, progress io.Writer) ([]Entry, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	cases := imbalanceCases(stealGateCores())
+	best := make([]float64, len(cases))
+	for rep := 0; rep < reps; rep++ {
+		for j := range cases {
+			// Alternate the measurement order between reps: each run
+			// inherits allocator and GC state from its predecessor, so a
+			// fixed order would bias the steal/no-steal ratios the gate
+			// compares. With both directions measured, best-of keeps each
+			// case's least-burdened run.
+			i := j
+			if rep%2 == 1 {
+				i = len(cases) - 1 - j
+			}
+			runtime.GC()
+			w, err := cases[i].measure()
+			if err != nil {
+				return nil, err
+			}
+			if ns := float64(w); rep == 0 || ns < best[i] {
+				best[i] = ns
+			}
+		}
+	}
+	var entries []Entry
+	for i, c := range cases {
+		e := Entry{Name: c.name, NsOp: best[i], Fixed: true}
+		entries = append(entries, e)
+		if progress != nil {
+			fmt.Fprintf(progress, "benchgate: %s: wall %.1f ms (best of %d)\n", e.Name, e.NsOp/1e6, reps)
+		}
+	}
+	return entries, nil
+}
+
+// stealGate enforces the work-stealing acceptance bar on a measured file:
+// with multiple cores, stealing must beat the pinned no-steal pool on the
+// skewed Halo3D by at least minImprove, and must stay within
+// singleCoreSlack on the (structurally balanced-ish) Sweep3D wavefront.
+// On a single core the gate only checks that the entries were measured:
+// a one-worker pool runs every window inline on the coordinator, so the
+// stealing flag selects the *same* code path and any wall-clock ratio is
+// pure scheduling noise — there is nothing to gate. Missing entries fail
+// loudly either way.
+func stealGate(f File, minImprove float64, cores int) error {
+	wall := map[string]float64{}
+	for _, e := range f.Entries {
+		wall[e.Name] = e.NsOp
+	}
+	ratio := func(steal, nosteal string) (float64, error) {
+		s, n := wall[steal], wall[nosteal]
+		if s <= 0 || n <= 0 {
+			return 0, fmt.Errorf("benchgate: steal gate: missing %s or %s entries", steal, nosteal)
+		}
+		return s / n, nil
+	}
+	halo, err := ratio("shards/halo3d-skewed-steal", "shards/halo3d-skewed-nosteal")
+	if err != nil {
+		return err
+	}
+	wave, err := ratio("shards/sweep3d-wave-steal", "shards/sweep3d-wave-nosteal")
+	if err != nil {
+		return err
+	}
+	if cores < 2 {
+		return nil
+	}
+	if wave > singleCoreSlack {
+		return fmt.Errorf("benchgate: steal gate: stealing costs %.2fx on the sweep3d wavefront, need <= %.2fx",
+			wave, singleCoreSlack)
+	}
+	if halo > 1-minImprove {
+		return fmt.Errorf("benchgate: steal gate: stealing wall is %.2fx no-steal on the skewed halo3d on %d cores, need <= %.2fx (>= %.0f%% speedup)",
+			halo, cores, 1-minImprove, minImprove*100)
+	}
+	return nil
+}
+
+// stealGateCores reports the parallelism the gate should assume.
+func stealGateCores() int { return runtime.GOMAXPROCS(0) }

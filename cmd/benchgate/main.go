@@ -35,6 +35,7 @@ func main() {
 		allocsOnly = flag.Bool("allocs-only", false, "gate only allocs/op (hardware-independent; ns/op ignored)")
 		schedMin   = flag.Float64("sched-min-improve", 0.2, "required fractional makespan improvement of warm-profile LPT over inorder dispatch for -run (negative disables the scheduler gate)")
 		shardMin   = flag.Float64("shards-min-improve", 0.1, "required fractional wall-time speedup of the 512-rank Halo3D at shards=8 over shards=1 for -run, on multi-core hosts (negative disables the shard gate)")
+		stealMin   = flag.Float64("steal-min-improve", 0.1, "required fractional wall-time speedup of work stealing over the pinned no-steal pool on the skewed Halo3D for -run, on multi-core hosts (negative disables the steal gate)")
 	)
 	flag.Parse()
 
@@ -62,6 +63,12 @@ func main() {
 			var sharded []Entry
 			if sharded, err = runShardBenchmarks(*reps, os.Stderr); err == nil {
 				cur.Entries = append(cur.Entries, sharded...)
+			}
+		}
+		if err == nil {
+			var imbalanced []Entry
+			if imbalanced, err = runImbalanceBenchmarks(*reps, os.Stderr); err == nil {
+				cur.Entries = append(cur.Entries, imbalanced...)
 			}
 		}
 	} else {
@@ -102,6 +109,21 @@ func main() {
 		}
 	}
 
+	// The steal gate compares the stealing-on/off pairs within this run,
+	// against the same core-count-aware bar shape as the shard gate.
+	if *run && *stealMin >= 0 {
+		cores := stealGateCores()
+		if err := stealGate(cur, *stealMin, cores); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", err)
+			os.Exit(1)
+		}
+		if cores < 2 {
+			fmt.Fprintln(os.Stderr, "benchgate: steal gate ok: single core, stealing-on and -off share the sequential path (entries recorded, ratios not gated)")
+		} else {
+			fmt.Fprintf(os.Stderr, "benchgate: steal gate ok: stealing beats no-steal by >= %.0f%% on the skewed halo3d on %d cores\n", *stealMin*100, cores)
+		}
+	}
+
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fatal(err)
@@ -122,8 +144,10 @@ func main() {
 		}
 		// The shards/* family never enters the baseline: its shards=8 ratio
 		// is a property of the measuring host's core count, and the shard
-		// gate above already enforced it within this run.
-		if err := Save(*baseline, stripShardEntries(cur)); err != nil {
+		// gate above already enforced it within this run. CI bounds are
+		// stripped too — the committed baseline gates by ratio tolerance,
+		// not by host-noise-sized intervals (see stripCIBounds).
+		if err := Save(*baseline, stripCIBounds(stripShardEntries(cur))); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintln(os.Stderr, "benchgate: wrote baseline", *baseline)

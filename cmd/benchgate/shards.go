@@ -144,3 +144,19 @@ func stripShardEntries(f File) File {
 	f.Entries = kept
 	return f
 }
+
+// stripCIBounds drops the per-rep confidence bounds before a file is
+// written as a baseline. The committed baseline must gate on the ns/op
+// ratio tolerance: CI widths are a property of the measuring host's noise
+// (a loaded container produces ±50% intervals at -reps 3), and a baseline
+// carrying such bounds would wave through any regression the interval can
+// swallow. CI-separation gating stays available where it belongs — between
+// two locally measured snapshots, which both carry their own bounds.
+func stripCIBounds(f File) File {
+	kept := append(f.Entries[:0:0], f.Entries...)
+	for i := range kept {
+		kept[i].CILoNS, kept[i].CIHiNS = 0, 0
+	}
+	f.Entries = kept
+	return f
+}

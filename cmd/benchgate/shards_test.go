@@ -63,6 +63,29 @@ func TestStripShardEntries(t *testing.T) {
 	}
 }
 
+func TestStripCIBounds(t *testing.T) {
+	f := file(
+		Entry{Name: "fig04", NsOp: 1e6, CILoNS: 0.8e6, CIHiNS: 1.2e6},
+		Entry{Name: "fig05", NsOp: 2e6},
+	)
+	stripped := stripCIBounds(f)
+	for _, e := range stripped.Entries {
+		if e.CILoNS != 0 || e.CIHiNS != 0 {
+			t.Fatalf("CI bounds survived the strip: %+v", e)
+		}
+	}
+	// The original file keeps its bounds (strip must not alias).
+	if f.Entries[0].CILoNS != 0.8e6 {
+		t.Fatalf("input mutated: %+v", f.Entries[0])
+	}
+	// A baseline written this way falls back to tolerance gating, so a 2x
+	// regression is caught even though the noisy run carried wide bounds.
+	slow := file(Entry{Name: "fig04", NsOp: 2e6, CILoNS: 0.9e6, CIHiNS: 4e6})
+	if c := compare(stripped, slow, 0.2); c.Regressions == 0 {
+		t.Fatal("2x regression slipped past a CI-stripped baseline")
+	}
+}
+
 // TestRunShardBenchmarksQuick exercises the real measurement path once and
 // feeds the result through the gate with the hardware-aware bar.
 func TestRunShardBenchmarksQuick(t *testing.T) {
@@ -86,5 +109,96 @@ func TestRunShardBenchmarksQuick(t *testing.T) {
 	}
 	if err := shardGate(file(entries...), 0.05, shardGateCores()); err != nil {
 		t.Fatalf("shard gate on a live run: %v", err)
+	}
+}
+
+func stealFile(haloSteal, haloNoSteal, waveSteal, waveNoSteal float64) File {
+	return file(
+		Entry{Name: "shards/halo3d-skewed-steal", NsOp: haloSteal, Fixed: true},
+		Entry{Name: "shards/halo3d-skewed-nosteal", NsOp: haloNoSteal, Fixed: true},
+		Entry{Name: "shards/sweep3d-wave-steal", NsOp: waveSteal, Fixed: true},
+		Entry{Name: "shards/sweep3d-wave-nosteal", NsOp: waveNoSteal, Fixed: true},
+	)
+}
+
+func TestStealGateMultiCore(t *testing.T) {
+	// 40% speedup on the skewed halo, wavefront flat: passes a 10% bar.
+	if err := stealGate(stealFile(60e6, 100e6, 50e6, 50e6), 0.1, 8); err != nil {
+		t.Fatalf("40%% steal speedup rejected at 10%% bar: %v", err)
+	}
+	if err := stealGate(stealFile(95e6, 100e6, 50e6, 50e6), 0.1, 8); err == nil {
+		t.Fatal("5% steal speedup accepted at 10% bar")
+	}
+	// A wavefront slowdown beyond the slack fails regardless of the halo win.
+	if err := stealGate(stealFile(60e6, 100e6, 60e6, 50e6), 0.1, 8); err == nil {
+		t.Fatal("wavefront stealing overhead beyond slack accepted")
+	}
+}
+
+func TestStealGateSingleCore(t *testing.T) {
+	// One core: a one-worker pool runs the same inline path with stealing
+	// on or off, so ratios are noise and only entry presence is checked.
+	if err := stealGate(stealFile(140e6, 100e6, 80e6, 50e6), 0.5, 1); err != nil {
+		t.Fatalf("single-core run rejected on an ungated ratio: %v", err)
+	}
+	if err := stealGate(file(bench("shards/halo3d-skewed-steal", 100e6)), 0.5, 1); err == nil {
+		t.Fatal("missing entries passed the single-core steal gate")
+	}
+}
+
+func TestStealGateMissingEntries(t *testing.T) {
+	if err := stealGate(file(), 0.1, 8); err == nil {
+		t.Fatal("empty file passed the steal gate")
+	}
+	f := file(
+		Entry{Name: "shards/halo3d-skewed-steal", NsOp: 60e6, Fixed: true},
+		Entry{Name: "shards/halo3d-skewed-nosteal", NsOp: 100e6, Fixed: true},
+	)
+	if err := stealGate(f, 0.1, 8); err == nil {
+		t.Fatal("missing wavefront entries passed the steal gate")
+	}
+}
+
+func TestImbalanceShards(t *testing.T) {
+	for _, tc := range []struct{ cores, ranks, want int }{
+		{1, 512, 2}, {2, 512, 4}, {8, 512, 16}, {512, 512, 512}, {1024, 512, 512},
+	} {
+		if got := imbalanceShards(tc.cores, tc.ranks); got != tc.want {
+			t.Errorf("imbalanceShards(%d, %d) = %d, want %d", tc.cores, tc.ranks, got, tc.want)
+		}
+	}
+}
+
+func TestStripShardEntriesCoversImbalance(t *testing.T) {
+	f := stealFile(60e6, 100e6, 50e6, 50e6)
+	f.Entries = append(f.Entries, bench("fig04", 1e6))
+	stripped := stripShardEntries(f)
+	if len(stripped.Entries) != 1 || stripped.Entries[0].Name != "fig04" {
+		t.Fatalf("imbalance entries survived the strip: %+v", stripped.Entries)
+	}
+}
+
+// TestRunImbalanceBenchmarksQuick exercises the real measurement path once
+// and feeds the result through the steal gate with the hardware-aware bar.
+func TestRunImbalanceBenchmarksQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four imbalanced simulations")
+	}
+	// Best-of-2 like the real gate's best-of-reps: the wavefront pair is a
+	// near-tie, so a single rep can lose to scheduling noise.
+	entries, err := runImbalanceBenchmarks(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("%d entries, want 4", len(entries))
+	}
+	for _, e := range entries {
+		if !e.Fixed || e.NsOp <= 0 {
+			t.Fatalf("bad entry %+v", e)
+		}
+	}
+	if err := stealGate(file(entries...), 0.05, stealGateCores()); err != nil {
+		t.Fatalf("steal gate on a live run: %v", err)
 	}
 }

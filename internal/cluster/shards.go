@@ -27,6 +27,56 @@ func RoundRobinShards(ranks, shards int) (func(rank int) int, error) {
 	return func(rank int) int { return rank % shards }, nil
 }
 
+// SkewedShards builds a deliberately imbalanced mapping: the first one or
+// two "heavy" shards hold ~80% of the ranks in contiguous blocks and the
+// remaining shards split the rest evenly. It models the uneven
+// decompositions that realistic partitions produce and is the adversarial
+// input of the work-stealing benchmarks: with stealing off, the heavy
+// shards sit in one static owner's chunk and serialize every window.
+func SkewedShards(ranks, shards int) (func(rank int) int, error) {
+	if err := validateShardCount(ranks, shards); err != nil {
+		return nil, err
+	}
+	if shards == 1 {
+		return func(int) int { return 0 }, nil
+	}
+	heavies := 2
+	if shards == 2 {
+		heavies = 1
+	}
+	light := shards - heavies
+	heavy := 4 * ranks / 5 / heavies
+	if rest := ranks - heavies*heavy; rest < light {
+		// Not enough ranks left for one per light shard; give the excess
+		// back until every shard is non-empty.
+		heavy = (ranks - light) / heavies
+	}
+	off := heavies * heavy
+	rest := ranks - off
+	return func(rank int) int {
+		if rank < off {
+			return rank / heavy
+		}
+		// Even contiguous split of the remainder over the light shards;
+		// surjective because rest >= light.
+		return heavies + (rank-off)*light/rest
+	}, nil
+}
+
+// ShardMapping resolves a mapping by name: "block" (or "") is BlockShards,
+// "roundrobin" is RoundRobinShards, and "skewed" is SkewedShards.
+func ShardMapping(name string, ranks, shards int) (func(rank int) int, error) {
+	switch name {
+	case "", "block":
+		return BlockShards(ranks, shards)
+	case "roundrobin", "rr":
+		return RoundRobinShards(ranks, shards)
+	case "skewed":
+		return SkewedShards(ranks, shards)
+	}
+	return nil, fmt.Errorf("cluster: unknown shard mapping %q (want block|roundrobin|skewed)", name)
+}
+
 func validateShardCount(ranks, shards int) error {
 	if ranks <= 0 {
 		return fmt.Errorf("cluster: rank count %d must be positive", ranks)

@@ -1,8 +1,9 @@
 package mpi
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"partmb/internal/sim"
 )
@@ -95,16 +96,16 @@ func (st *splitState) resolve(w *World) {
 	for color := range byColor {
 		colors = append(colors, color)
 	}
-	sort.Ints(colors)
+	slices.Sort(colors)
 	st.groupOf = make(map[int][]int, len(colors))
 	st.ctxOf = make(map[int]int, len(colors))
 	for _, color := range colors {
 		members := byColor[color]
-		sort.Slice(members, func(i, j int) bool {
-			if members[i].key != members[j].key {
-				return members[i].key < members[j].key
+		slices.SortFunc(members, func(a, b splitEntry) int {
+			if c := cmp.Compare(a.key, b.key); c != 0 {
+				return c
 			}
-			return members[i].world < members[j].world
+			return cmp.Compare(a.world, b.world)
 		})
 		group := make([]int, len(members))
 		for i, m := range members {

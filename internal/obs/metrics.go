@@ -87,6 +87,23 @@ type Metrics struct {
 	// Remote summarizes per-worker distributed execution (absent on local
 	// runs).
 	Remote []RemoteWorkerSummary `json:"remote,omitempty"`
+	// Shard summarizes sharded-kernel execution across all run cells
+	// (absent when every cell used the sequential kernel).
+	Shard *ShardSummary `json:"shard,omitempty"`
+}
+
+// ShardSummary aggregates the sharded DES kernel's execution counters
+// across every cell that ran on a multi-shard group: total windows and
+// events, rebalancing steals made by the work-stealing dispatch, the widest
+// worker pool observed, and the windows-weighted mean imbalance ratio
+// (max/mean events per window; 1.0 is perfectly balanced).
+type ShardSummary struct {
+	Cells         int64   `json:"cells"`
+	Windows       int64   `json:"windows"`
+	Events        int64   `json:"events"`
+	Steals        int64   `json:"steals"`
+	MaxWorkers    int     `json:"max_workers"`
+	ImbalanceMean float64 `json:"imbalance_mean"`
 }
 
 // RemoteWorkerSummary aggregates the cells one remote worker executed in a
@@ -124,7 +141,34 @@ func BuildMetrics(tool string, c *Collector) Metrics {
 	m.Totals = summarize("total", tasks, cells, func(string) bool { return true })
 	m.Schedule = summarizeSchedule(tasks)
 	m.Remote = summarizeRemote(cells)
+	m.Shard = summarizeShard(cells)
 	return m
+}
+
+// summarizeShard aggregates the cells that ran on the sharded kernel (nil
+// when none did). The mean imbalance is weighted by each cell's window
+// count, so many-window cells dominate the way they dominate wall clock.
+func summarizeShard(cells []Cell) *ShardSummary {
+	s := &ShardSummary{}
+	var imbalance float64
+	for _, cl := range cells {
+		if cl.ShardWindows == 0 {
+			continue
+		}
+		s.Cells++
+		s.Windows += cl.ShardWindows
+		s.Events += cl.ShardEvents
+		s.Steals += cl.ShardSteals
+		if cl.ShardWorkers > s.MaxWorkers {
+			s.MaxWorkers = cl.ShardWorkers
+		}
+		imbalance += cl.ShardImbalance * float64(cl.ShardWindows)
+	}
+	if s.Cells == 0 {
+		return nil
+	}
+	s.ImbalanceMean = imbalance / float64(s.Windows)
+	return s
 }
 
 // summarizeRemote aggregates cells by the remote worker that executed them

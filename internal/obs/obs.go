@@ -30,6 +30,16 @@ type SimTimed interface {
 	SimElapsed() sim.Duration
 }
 
+// Sharded is implemented by cell result types that can expose the sharded
+// DES kernel's execution counters (patterns.Result). Sequential runs return
+// nil and journal no shard fields at all; memo and disk hits share (or
+// lack) the original run's counters, so the collector records shard
+// telemetry only for Source "run" cells — anything else would double count
+// steals and windows across cache hits.
+type Sharded interface {
+	ShardRun() *sim.ShardStats
+}
+
 // Sampled is implemented by cell result types produced by the adaptive
 // confidence-targeted sampling layer (core.Result, classic.Point,
 // snap.ProfilePoint, patterns.Result). n is the number of samples drawn,
@@ -76,6 +86,17 @@ type Cell struct {
 	// distributed and local runs.
 	Remote       string `json:"remote,omitempty"`
 	RemoteHostNS int64  `json:"remote_host_ns,omitempty"`
+	// ShardWindows / ShardEvents / ShardWorkers / ShardSteals /
+	// ShardImbalance carry the sharded-kernel execution counters when the
+	// cell's result implements Sharded, actually ran sharded, and came from
+	// Source "run". All volatile: the worker count tracks GOMAXPROCS and
+	// steal counts depend on host scheduling, so deterministic journals
+	// zero them like host times.
+	ShardWindows   int64   `json:"shard_windows,omitempty"`
+	ShardEvents    int64   `json:"shard_events,omitempty"`
+	ShardWorkers   int     `json:"shard_workers,omitempty"`
+	ShardSteals    int64   `json:"shard_steals,omitempty"`
+	ShardImbalance float64 `json:"shard_imbalance,omitempty"`
 	// Samples / CIRel / CIReason carry the adaptive sampling outcome when
 	// the cell's result type implements Sampled and actually sampled
 	// (Samples > 0). Absent on fixed-path cells — adaptive-off journals do
@@ -137,6 +158,15 @@ func (c *Collector) CellDone(ev engine.CellEvent) {
 	}
 	if st, ok := ev.Value.(SimTimed); ok {
 		rec.SimNS = int64(st.SimElapsed())
+	}
+	if sh, ok := ev.Value.(Sharded); ok && ev.Source == engine.SourceRun {
+		if st := sh.ShardRun(); st != nil {
+			rec.ShardWindows = st.Windows
+			rec.ShardEvents = st.Events
+			rec.ShardWorkers = st.Workers
+			rec.ShardSteals = st.Steals
+			rec.ShardImbalance = st.ImbalanceMean
+		}
 	}
 	if sp, ok := ev.Value.(Sampled); ok {
 		if n, rel, reason := sp.SampleStats(); n > 0 {

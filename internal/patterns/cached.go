@@ -26,6 +26,12 @@ func cachedRun[C any](rn *engine.Runner, what string, cfg C, run func(C) (*Resul
 	if err != nil {
 		key = "" // unhashable config: run uncached
 	}
+	if u, ok := any(cfg).(interface{ uncacheable() bool }); ok && u.uncacheable() {
+		// Traced configs carry a host-timing side effect the key cannot
+		// see (ShardTrace is excluded from the hash, like core.Config's
+		// Trace): force a fresh run so the recorder is actually filled.
+		key = ""
+	}
 	return engine.DoAs(engine.OrDefault(rn), key, func() (*Result, error) { return run(cfg) })
 }
 

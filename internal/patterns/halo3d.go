@@ -11,6 +11,7 @@ import (
 	"partmb/internal/platform"
 	"partmb/internal/sim"
 	"partmb/internal/stats"
+	"partmb/internal/trace"
 )
 
 // HaloConfig describes a Halo3D run, after the Ember Halo3D motif: ranks
@@ -42,8 +43,23 @@ type HaloConfig struct {
 	// Shards runs the simulation on this many parallel event-loop shards
 	// with conservative lookahead synchronization; 0 or 1 selects the
 	// sequential reference kernel. Ranks are block-mapped onto shards
-	// (cluster.BlockShards). Results are identical at any shard count.
+	// (cluster.BlockShards) unless ShardMapping says otherwise. Results
+	// are identical at any shard count.
 	Shards int
+	// ShardMapping selects the rank→shard mapping by name ("" or "block",
+	// "roundrobin", "skewed" — see cluster.ShardMapping). The mapping
+	// changes only the parallel execution shape, never the result.
+	ShardMapping string `json:",omitempty"`
+	// ShardNoSteal disables work stealing in the shard group's window
+	// worker pool, pinning every shard to its static owner worker — the
+	// un-balanced baseline the stealing benchmarks compare against.
+	// Results are unaffected.
+	ShardNoSteal bool `json:",omitempty"`
+	// ShardTrace, when non-nil, records one Chrome-trace span per executed
+	// shard-window on per-worker lanes. Host-timing dependent, so traced
+	// configs are never cached (excluded from the cache key and forced to
+	// run fresh, like core.Config.Trace).
+	ShardTrace *trace.Recorder `json:"-"`
 	// Topology overrides the network topology (nil = single-switch uniform
 	// at the wire latency). With Shards > 1, a topology whose inter-group
 	// latency is large — e.g. a netsim.DragonflyPlus with wings aligned to
@@ -105,6 +121,10 @@ func (c *HaloConfig) Validate() error {
 	}
 	return nil
 }
+
+// uncacheable reports whether the config must bypass the result cache (a
+// trace recorder is attached; see cachedRun).
+func (c HaloConfig) uncacheable() bool { return c.ShardTrace != nil }
 
 // The six faces, paired so face f exchanges with opposite(f) = f^1.
 const (
@@ -206,7 +226,8 @@ func RunHalo3D(cfg HaloConfig) (*Result, error) {
 	mcfg.Machine = pf.Machine
 	mcfg.Mem = memsim.Default(pf.Cache)
 	configureMode(&mcfg, cfg.Mode, pf.Impl)
-	w, runSim, err := buildWorld(cfg.Shards, nRanks, mcfg, cfg.Topology)
+	w, runSim, shardStats, err := buildWorld(cfg.Shards, nRanks, mcfg, cfg.Topology,
+		shardOpts{mapping: cfg.ShardMapping, noSteal: cfg.ShardNoSteal, trace: cfg.ShardTrace})
 	if err != nil {
 		return nil, err
 	}
@@ -267,6 +288,9 @@ func RunHalo3D(cfg HaloConfig) (*Result, error) {
 		}
 	}
 	res.Elapsed = maxEnd.Sub(startAt)
+	if shardStats != nil {
+		res.Shard = shardStats()
+	}
 	return res, nil
 }
 

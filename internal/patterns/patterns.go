@@ -130,6 +130,13 @@ type Result struct {
 	// the fixed path, keeping fixed-path JSON byte-identical). The Elapsed/
 	// PayloadBytes/Messages fields describe the first draw.
 	CI *stats.Estimate `json:",omitempty"`
+	// Shard carries the sharded kernel's execution counters when the run
+	// used a multi-shard group (nil on the sequential kernel and on
+	// disk-cache hits). It is host-side telemetry — windows, steals,
+	// imbalance — and deliberately excluded from JSON: the motif result
+	// proper is byte-identical at any shard count, worker count, or
+	// stealing mode, and cache entries and goldens must stay that way.
+	Shard *sim.ShardStats `json:"-"`
 }
 
 // SimElapsed returns the motif's virtual runtime — the cell-level "virtual
@@ -144,6 +151,11 @@ func (r *Result) SampleStats() (n int, relCI float64, reason string) {
 	}
 	return r.CI.N, r.CI.RelHalfWidth, r.CI.Reason
 }
+
+// ShardRun implements the observability layer's Sharded interface (see
+// internal/obs): it exposes the sharded-execution counters, or nil when the
+// run used the sequential kernel.
+func (r *Result) ShardRun() *sim.ShardStats { return r.Shard }
 
 // Throughput returns application bytes moved per second of virtual time.
 func (r *Result) Throughput() float64 {

@@ -2,44 +2,86 @@ package patterns
 
 import (
 	"fmt"
+	"strconv"
+	"sync/atomic"
 
 	"partmb/internal/cluster"
 	"partmb/internal/mpi"
 	"partmb/internal/netsim"
 	"partmb/internal/sim"
+	"partmb/internal/trace"
 )
+
+// shardOpts bundles the execution knobs of the sharded kernel that motif
+// configs expose: the rank→shard mapping name (cluster.ShardMapping), the
+// stealing switch, and an optional trace recorder for per-worker window
+// lanes.
+type shardOpts struct {
+	mapping string
+	noSteal bool
+	trace   *trace.Recorder
+}
+
+// shardTracePids allocates one Chrome-trace process row per traced shard
+// group, after the engine's rows (pid 0 = engine lanes, pid 1 = remote
+// workers; see internal/obs).
+var shardTracePids atomic.Int64
+
+const shardTracePidBase = 2
 
 // buildWorld constructs the simulation world a motif runs in: the sequential
 // reference kernel when shards <= 1, otherwise a conservatively synchronized
-// shard group with ranks block-mapped onto shards and the topology's minimum
-// cross-shard latency as lookahead. The returned run function drives the
-// simulation to completion.
-func buildWorld(shards, nRanks int, mcfg mpi.Config, topo netsim.Topology) (*mpi.World, func() error, error) {
+// shard group with ranks mapped onto shards (block by default) and the
+// topology's minimum cross-shard latency as lookahead. The returned run
+// function drives the simulation to completion; the stats function reports
+// the group's execution counters after the run (nil for the sequential
+// kernel, whose results the sharded runs must reproduce exactly).
+func buildWorld(shards, nRanks int, mcfg mpi.Config, topo netsim.Topology, opts shardOpts) (*mpi.World, func() error, func() *sim.ShardStats, error) {
 	if topo != nil {
 		mcfg.Topology = topo
 	}
 	if shards <= 1 {
 		s := sim.New()
-		return mpi.NewWorld(s, mcfg), s.Run, nil
+		return mpi.NewWorld(s, mcfg), s.Run, nil, nil
 	}
-	shardOf, err := cluster.BlockShards(nRanks, shards)
+	shardOf, err := cluster.ShardMapping(opts.mapping, nRanks, shards)
 	if err != nil {
-		return nil, nil, fmt.Errorf("patterns: %w", err)
+		return nil, nil, nil, fmt.Errorf("patterns: %w", err)
 	}
 	if mcfg.Topology == nil {
 		mcfg.Topology = netsim.Uniform{L: mcfg.Net.Latency}
 	}
 	la := netsim.MinCrossLatency(mcfg.Topology, nRanks, shardOf)
 	if la <= 0 {
-		return nil, nil, fmt.Errorf("patterns: %s yields zero cross-shard lookahead for %d shards over %d ranks",
+		return nil, nil, nil, fmt.Errorf("patterns: %s yields zero cross-shard lookahead for %d shards over %d ranks",
 			mcfg.Topology.Describe(), shards, nRanks)
 	}
 	g := sim.NewShardGroup(shards, la)
+	if opts.noSteal {
+		g.SetStealing(false)
+	}
+	if opts.trace != nil {
+		tr := opts.trace
+		pid := shardTracePidBase + int(shardTracePids.Add(1)) - 1
+		g.SetSpanObserver(func(sp sim.ShardSpan) {
+			tr.Span(pid, sp.Worker, "shard", fmt.Sprintf("shard %d", sp.Shard),
+				sim.Time(sp.StartNS), sim.Time(sp.EndNS), map[string]string{
+					"window":  strconv.FormatInt(sp.Window, 10),
+					"events":  strconv.FormatInt(sp.Events, 10),
+					"pred_ns": strconv.FormatInt(sp.PredNS, 10),
+					"stolen":  strconv.FormatBool(sp.Stolen),
+				})
+		})
+	}
 	w, err := mpi.NewShardedWorld(g, mcfg, shardOf)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return w, g.Run, nil
+	stats := func() *sim.ShardStats {
+		st := g.Stats()
+		return &st
+	}
+	return w, g.Run, stats, nil
 }
 
 // WingAlignedDragonfly builds a Dragonfly+ topology whose wings coincide

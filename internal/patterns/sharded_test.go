@@ -1,12 +1,25 @@
 package patterns
 
 import (
+	"encoding/json"
+	"runtime"
 	"testing"
 
 	"partmb/internal/mpi"
 	"partmb/internal/platform"
 	"partmb/internal/sim"
+	"partmb/internal/trace"
 )
+
+// virtualResult strips the host-side Shard telemetry from a Result so tests
+// can compare the virtual-time outcome by value: the motif result proper must
+// be identical at any shard count, worker count, or stealing mode, while the
+// Shard counters legitimately differ run to run.
+func virtualResult(r *Result) Result {
+	v := *r
+	v.Shard = nil
+	return v
+}
 
 // TestHalo3DShardIdentity is the tentpole property test: the motif's result
 // must be identical whether the simulation runs on 1, 2 or 8 shards, for
@@ -45,10 +58,16 @@ func TestHalo3DShardIdentity(t *testing.T) {
 				return res
 			}
 			want := run(1)
+			if want.Shard != nil {
+				t.Error("sequential run reports shard stats")
+			}
 			for _, shards := range []int{2, 8} {
 				got := run(shards)
-				if *got != *want {
+				if virtualResult(got) != virtualResult(want) {
 					t.Errorf("shards=%d: result %v != sequential %v", shards, got, want)
+				}
+				if got.Shard == nil || got.Shard.Windows == 0 {
+					t.Errorf("shards=%d: missing shard stats %+v", shards, got.Shard)
 				}
 			}
 		})
@@ -82,7 +101,7 @@ func TestSweep3DShardIdentity(t *testing.T) {
 			want := run(1)
 			for _, shards := range []int{2, 8} {
 				got := run(shards)
-				if *got != *want {
+				if virtualResult(got) != virtualResult(want) {
 					t.Errorf("shards=%d: result %v != sequential %v", shards, got, want)
 				}
 			}
@@ -110,7 +129,7 @@ func TestHalo3DDragonflyShardIdentity(t *testing.T) {
 		return res
 	}
 	want := run(1)
-	if got := run(2); *got != *want {
+	if got := run(2); virtualResult(got) != virtualResult(want) {
 		t.Errorf("shards=2: result %v != sequential %v", got, want)
 	}
 }
@@ -141,7 +160,7 @@ func TestHalo3DLargeShardedMotif(t *testing.T) {
 		return res
 	}
 	want := run(1)
-	if got := run(8); *got != *want {
+	if got := run(8); virtualResult(got) != virtualResult(want) {
 		t.Errorf("shards=8: result %v != sequential %v", got, want)
 	}
 	if want.Messages == 0 || want.Elapsed <= 0 {
@@ -168,6 +187,159 @@ func TestDecompose(t *testing.T) {
 		if px != tc.px || py != tc.py {
 			t.Errorf("Decompose2D(%d) = %d,%d want %d,%d", tc.n, px, py, tc.px, tc.py)
 		}
+	}
+}
+
+// TestHalo3DShardMappingIdentity pins the mapping knob: a skewed or
+// round-robin rank→shard mapping, with stealing on or off, changes only the
+// parallel execution shape — the motif result stays byte-for-byte the
+// sequential one.
+func TestHalo3DShardMappingIdentity(t *testing.T) {
+	run := func(shards int, mapping string, noSteal bool) *Result {
+		res, err := RunHalo3D(HaloConfig{
+			Nx: 2, Ny: 2, Nz: 2,
+			ThreadsPerDim: 2,
+			FaceBytes:     8 * 1024,
+			Compute:       2 * sim.Microsecond,
+			Repeats:       3,
+			Mode:          Partitioned,
+			Shards:        shards,
+			ShardMapping:  mapping,
+			ShardNoSteal:  noSteal,
+		})
+		if err != nil {
+			t.Fatalf("shards=%d mapping=%q noSteal=%v: %v", shards, mapping, noSteal, err)
+		}
+		return res
+	}
+	want := virtualResult(run(1, "", false))
+	for _, mapping := range []string{"block", "roundrobin", "skewed"} {
+		for _, noSteal := range []bool{false, true} {
+			for _, shards := range []int{2, 4} {
+				got := run(shards, mapping, noSteal)
+				if virtualResult(got) != want {
+					t.Errorf("shards=%d mapping=%q noSteal=%v: result %v != sequential", shards, mapping, noSteal, got)
+				}
+				if got.Shard.Stealing == noSteal {
+					t.Errorf("shards=%d mapping=%q: Stealing=%v, want %v", shards, mapping, got.Shard.Stealing, !noSteal)
+				}
+			}
+		}
+	}
+	bad := HaloConfig{Nx: 2, Ny: 2, Nz: 2, ThreadsPerDim: 1, FaceBytes: 1024, Mode: Single, Shards: 2, ShardMapping: "zigzag"}
+	if _, err := RunHalo3D(bad); err == nil {
+		t.Error("unknown shard mapping accepted")
+	}
+}
+
+// TestShardedJSONByteIdentity is the serialization property test the cache
+// and goldens depend on: the JSON encoding of a motif result is identical
+// across shard counts, worker counts (GOMAXPROCS), and stealing modes —
+// the Shard telemetry never leaks into the encoded form. Not parallel: it
+// flips GOMAXPROCS for the whole process.
+func TestShardedJSONByteIdentity(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	encode := func(shards, procs int, noSteal bool) string {
+		runtime.GOMAXPROCS(procs)
+		res, err := RunSweep3D(SweepConfig{
+			Px: 4, Py: 2,
+			Threads:        2,
+			BytesPerThread: 1024,
+			Compute:        2 * sim.Microsecond,
+			ZBlocks:        2,
+			Octants:        4,
+			Repeats:        1,
+			Mode:           Partitioned,
+			Shards:         shards,
+			ShardMapping:   "skewed",
+			ShardNoSteal:   noSteal,
+		})
+		if err != nil {
+			t.Fatalf("shards=%d procs=%d: %v", shards, procs, err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	want := encode(1, 1, false)
+	for _, shards := range []int{1, 2, 8} {
+		for _, procs := range []int{1, 2, 8} {
+			for _, noSteal := range []bool{false, true} {
+				if got := encode(shards, procs, noSteal); got != want {
+					t.Errorf("shards=%d procs=%d noSteal=%v: JSON %s != %s", shards, procs, noSteal, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestHalo3DSkewedStress drives an adversarially imbalanced partition — two
+// heavy shards holding ~80% of the ranks, both owned by worker 0's static
+// chunk — through many windows with stealing on. Primarily a -race exercise
+// of the worker pool's claim/steal paths under real motif traffic.
+func TestHalo3DSkewedStress(t *testing.T) {
+	res, err := RunHalo3D(HaloConfig{
+		Nx: 4, Ny: 4, Nz: 2,
+		ThreadsPerDim: 1,
+		FaceBytes:     4 * 1024,
+		Compute:       1 * sim.Microsecond,
+		Repeats:       6,
+		Mode:          Single,
+		Shards:        8,
+		ShardMapping:  "skewed",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shard == nil || res.Shard.Windows == 0 || res.Shard.Events == 0 {
+		t.Fatalf("degenerate shard stats %+v", res.Shard)
+	}
+	if res.Shard.ImbalanceMax < 1.0 {
+		t.Errorf("ImbalanceMax = %v on a skewed mapping", res.Shard.ImbalanceMax)
+	}
+}
+
+// TestShardTraceSmoke checks the per-worker trace lanes: a traced sharded
+// run records one span per executed shard-window, and traced configs bypass
+// the cache (the recorder is host-timing dependent and excluded from the
+// key, so a memo hit would leave it empty).
+func TestShardTraceSmoke(t *testing.T) {
+	cfg := HaloConfig{
+		Nx: 2, Ny: 2, Nz: 2,
+		ThreadsPerDim: 1,
+		FaceBytes:     4 * 1024,
+		Repeats:       3,
+		Mode:          Single,
+		Shards:        2,
+	}
+	run := func() (*Result, int) {
+		tr := new(trace.Recorder)
+		c := cfg
+		c.ShardTrace = tr
+		res, err := RunHalo3DCached(nil, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, tr.Len()
+	}
+	res, spans := run()
+	if res.Shard == nil {
+		t.Fatal("traced sharded run missing shard stats")
+	}
+	// Every (window, active shard) pair gets one span; inactive shards are
+	// skipped, so spans can fall short of windows*shards but must at least
+	// cover the executed windows.
+	if spans < int(res.Shard.Windows) {
+		t.Errorf("spans = %d, want >= %d windows", spans, res.Shard.Windows)
+	}
+	// Second traced run through the cached entry must still fill its own
+	// recorder — traced configs are uncacheable.
+	if _, again := run(); again == 0 {
+		t.Error("second traced run hit the cache and recorded no spans")
 	}
 }
 

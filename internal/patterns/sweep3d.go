@@ -11,6 +11,7 @@ import (
 	"partmb/internal/platform"
 	"partmb/internal/sim"
 	"partmb/internal/stats"
+	"partmb/internal/trace"
 )
 
 // SweepConfig describes a Sweep3D (KBA wavefront) run, after the Ember
@@ -45,6 +46,12 @@ type SweepConfig struct {
 	// Shards runs the simulation on this many parallel event-loop shards
 	// (0 or 1 = the sequential reference kernel); see HaloConfig.Shards.
 	Shards int
+	// ShardMapping / ShardNoSteal / ShardTrace are the sharded-execution
+	// knobs; see the HaloConfig fields of the same names. None of them
+	// affect the result.
+	ShardMapping string          `json:",omitempty"`
+	ShardNoSteal bool            `json:",omitempty"`
+	ShardTrace   *trace.Recorder `json:"-"`
 	// Topology overrides the network topology (nil = single-switch uniform).
 	Topology netsim.Topology
 	// Adaptive, when non-nil, estimates the motif's throughput from
@@ -53,6 +60,10 @@ type SweepConfig struct {
 	// and its cache keys byte-identical.
 	Adaptive *stats.RunConfig `json:",omitempty"`
 }
+
+// uncacheable reports whether the config must bypass the result cache (a
+// trace recorder is attached; see cachedRun).
+func (c SweepConfig) uncacheable() bool { return c.ShardTrace != nil }
 
 func (c SweepConfig) withDefaults() SweepConfig {
 	if c.ZBlocks == 0 {
@@ -177,7 +188,8 @@ func RunSweep3D(cfg SweepConfig) (*Result, error) {
 	mcfg.Machine = pf.Machine
 	mcfg.Mem = memsim.Default(pf.Cache)
 	configureMode(&mcfg, cfg.Mode, pf.Impl)
-	w, runSim, err := buildWorld(cfg.Shards, cfg.Px*cfg.Py, mcfg, cfg.Topology)
+	w, runSim, shardStats, err := buildWorld(cfg.Shards, cfg.Px*cfg.Py, mcfg, cfg.Topology,
+		shardOpts{mapping: cfg.ShardMapping, noSteal: cfg.ShardNoSteal, trace: cfg.ShardTrace})
 	if err != nil {
 		return nil, err
 	}
@@ -228,6 +240,9 @@ func RunSweep3D(cfg SweepConfig) (*Result, error) {
 		}
 	}
 	res.Elapsed = maxEnd.Sub(startAt)
+	if shardStats != nil {
+		res.Shard = shardStats()
+	}
 	return res, nil
 }
 

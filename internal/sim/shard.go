@@ -2,8 +2,10 @@ package sim
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
+	"slices"
 	"sync"
+	"sync/atomic"
 )
 
 // This file adds the conservative parallel layer over the sequential kernel:
@@ -24,10 +26,25 @@ import (
 // not per-shard: a shard whose queue is momentarily empty (all its procs
 // parked on completions) is NOT at an infinite horizon, because the barrier
 // can deliver events that wake it and make it reply only one lookahead
-// later. Each round the group computes the window, runs every shard with
-// work inside it in parallel, barriers, and exchanges the cross-shard
-// events the window produced (in deterministic (time, source shard, issue
-// order) order), so results are independent of OS thread scheduling.
+// later.
+//
+// Execution decouples logical shards from OS parallelism: Run starts a
+// persistent pool of min(GOMAXPROCS, shards) window workers once, and each
+// round dispatches the shards with work in the window to the pool, ordered
+// largest-predicted-first (LPT, from an EWMA of each shard's recent window
+// host cost), with idle workers stealing the remaining shards off a shared
+// cursor. Over-decomposition (more shards than cores) thereby becomes the
+// load-balancing mechanism: a hot shard no longer serializes the window,
+// because the other workers drain the rest of the queue around it.
+//
+// Determinism is by construction, not by scheduling: shards touch only
+// their own state inside a window, cross-shard events are buffered in
+// per-shard outboxes, and the barrier delivers them in the total order
+// (at, born, src, seq) — a pure sort, independent of which worker ran which
+// shard, in what order, or how fast. Any shard-to-worker assignment
+// (stealing on or off, any worker count) therefore yields byte-identical
+// results; the dispatch order and the cost model can only change wall-clock
+// time. The contract is pinned by the determinism tests in shard_test.go.
 //
 // A group of one shard is special-cased to be the sequential kernel,
 // literally: the shard is a plain Scheduler with no group attached, Run
@@ -47,6 +64,75 @@ type crossEvent struct {
 	fn   func()
 }
 
+// ewmaAlpha is the weight of the latest window in the per-shard host-cost
+// EWMA that drives the LPT dispatch order. The model only affects wall
+// clock, never results.
+const ewmaAlpha = 0.4
+
+// Outbox shrink policy (see tickOutbox): every outboxShrinkEvery windows a
+// shard whose outbox capacity exceeds four times its recent peak use (and
+// the floor) is reallocated down, so one bursty window does not pin the
+// high-water buffer for the rest of the run.
+const (
+	outboxShrinkEvery = 32
+	outboxMinCap      = 64
+)
+
+// ShardStats are the group's execution counters, in the style of
+// engine.Stats. All of it is host-side telemetry: none of these values
+// feed back into the simulation, and deterministic journals exclude them
+// (they legitimately differ across shard counts, worker counts, and
+// stealing modes).
+type ShardStats struct {
+	// Shards and Workers are the group's shard count and window-worker
+	// pool size; Stealing reports whether work stealing was enabled.
+	Shards   int  `json:"shards"`
+	Workers  int  `json:"workers"`
+	Stealing bool `json:"stealing"`
+	// Windows is the number of conservative windows executed.
+	Windows int64 `json:"windows"`
+	// Events is the total number of events dispatched inside windows.
+	Events int64 `json:"events"`
+	// Merged counts cross-shard events k-way-merged at barriers;
+	// MergeSkips counts windows that ended with zero cross-shard events
+	// and skipped the merge entirely.
+	Merged     int64 `json:"merged"`
+	MergeSkips int64 `json:"merge_skips"`
+	// Steals counts shard-windows executed by a worker other than the
+	// shard's static owner (its contiguous-chunk worker) — the number of
+	// rebalancing moves the LPT + stealing dispatch made.
+	Steals int64 `json:"steals"`
+	// Shrinks counts outbox buffers reallocated down by the high-water
+	// shrink policy.
+	Shrinks int64 `json:"shrinks"`
+	// PredNS / ActualNS compare the cost model against reality: summed
+	// EWMA-predicted vs measured host time of all shard-windows (cold
+	// shards predict 0).
+	PredNS   int64 `json:"pred_ns"`
+	ActualNS int64 `json:"actual_ns"`
+	// ImbalanceMean / ImbalanceMax summarize the per-window imbalance
+	// ratio: max over active shards of events processed, divided by the
+	// mean — 1.0 is perfectly balanced.
+	ImbalanceMean float64 `json:"imbalance_mean"`
+	ImbalanceMax  float64 `json:"imbalance_max"`
+}
+
+// ShardSpan describes one executed shard-window for tracing: which pool
+// worker ran which shard in which window, in host time relative to the
+// group's Run epoch. Stolen marks spans executed off the shard's static
+// owner lane. Spans are emitted by the coordinator between windows, in
+// shard order, so observers need no locking.
+type ShardSpan struct {
+	Window  int64
+	Worker  int
+	Shard   int
+	StartNS int64
+	EndNS   int64
+	Events  int64
+	PredNS  int64
+	Stolen  bool
+}
+
 // ShardGroup owns a set of shard Schedulers and drives them with the
 // conservative window protocol.
 type ShardGroup struct {
@@ -54,10 +140,54 @@ type ShardGroup struct {
 	lookahead Duration
 	running   bool
 
-	// next[i] caches shard i's head-of-queue time each round.
-	next []Time
-	// pending is the merge buffer for cross-shard events at the barrier.
-	pending []crossEvent
+	// Pool configuration, frozen when Run starts.
+	workers  int  // 0 = min(GOMAXPROCS, shards)
+	stealing bool // stealing on (default) or static owner assignment
+	span     func(ShardSpan)
+	// timed enables per-shard-window wall-clock sampling: on for a
+	// multi-worker pool (the EWMA drives LPT dispatch) or a span observer;
+	// off for a one-worker pool, where dispatch order cannot change wall
+	// time and the clock calls would be pure overhead (PredNS/ActualNS
+	// then report 0).
+	timed bool
+
+	// next[i] caches shard i's head-of-queue time each round; limit is the
+	// current window's inclusive drive limit. Both are written by the
+	// coordinator before workers are signaled.
+	next  []Time
+	limit Time
+
+	// Window worker pool. order lists the shards active in the current
+	// window, sorted largest-predicted-first; stealing workers claim
+	// positions off cursor, static workers run their entries of owned.
+	startCh []chan struct{}
+	wg      sync.WaitGroup
+	order   []int
+	cursor  atomic.Int64
+	owned   [][]int // owned[w]: shard ids statically owned by worker w
+	ownerOf []int   // inverse of owned
+	epochNS int64   // wall-clock epoch of Run, for span timestamps
+
+	// Per-shard per-window scratch, written by the executing worker and
+	// read by the coordinator after the window barrier.
+	panics    []any
+	winEvents []int64
+	winNS     []int64
+	winStart  []int64
+	winEnd    []int64
+	winPred   []int64
+	winWorker []int
+
+	// cost[i] is the EWMA of shard i's window host cost in ns (0 = cold).
+	cost []float64
+
+	// Barrier merge scratch: shard ids with non-empty outboxes and the
+	// live run tails of the k-way merge.
+	heads []int
+	runs  [][]crossEvent
+
+	stats        ShardStats
+	imbalanceSum float64
 }
 
 // NewShardGroup creates n shard schedulers. For n > 1 the lookahead must be
@@ -72,7 +202,7 @@ func NewShardGroup(n int, lookahead Duration) *ShardGroup {
 	if n > 1 && lookahead <= 0 {
 		panic("sim: a multi-shard group requires a positive lookahead")
 	}
-	g := &ShardGroup{lookahead: lookahead, next: make([]Time, n)}
+	g := &ShardGroup{lookahead: lookahead, next: make([]Time, n), stealing: true}
 	g.shards = make([]*Scheduler, n)
 	for i := range g.shards {
 		s := New()
@@ -110,6 +240,74 @@ func (g *ShardGroup) Now() Time {
 	return now
 }
 
+// SetWorkers overrides the window-worker pool size (normally
+// min(GOMAXPROCS, shards)); n is clamped to [1, shards]. It must be called
+// before Run. Worker count never affects results, only wall-clock time —
+// the determinism tests drive the same workload at several pool sizes.
+func (g *ShardGroup) SetWorkers(n int) {
+	if g.running {
+		panic("sim: ShardGroup.SetWorkers after Run")
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(g.shards) {
+		n = len(g.shards)
+	}
+	g.workers = n
+}
+
+// SetStealing enables (default) or disables work stealing. With stealing
+// off, every shard is pinned to its static owner worker (contiguous chunks
+// of the shard list), which is the un-balanced baseline the benchgate
+// imbalance gate compares against. Must be called before Run; never
+// affects results.
+func (g *ShardGroup) SetStealing(on bool) {
+	if g.running {
+		panic("sim: ShardGroup.SetStealing after Run")
+	}
+	g.stealing = on
+}
+
+// SetSpanObserver installs fn to receive one ShardSpan per executed
+// shard-window, called from the coordinator between windows (no locking
+// needed). Must be set before Run; nil disables. The observer cost is off
+// the workers' critical path but still host time — leave it nil outside
+// tracing runs.
+func (g *ShardGroup) SetSpanObserver(fn func(ShardSpan)) {
+	if g.running {
+		panic("sim: ShardGroup.SetSpanObserver after Run")
+	}
+	g.span = fn
+}
+
+// Stats returns the group's execution counters. Call it after Run; a
+// single-shard group (the sequential kernel) reports a zero value with
+// Shards == 1.
+func (g *ShardGroup) Stats() ShardStats {
+	st := g.stats
+	st.Shards = len(g.shards)
+	if st.Windows > 0 {
+		st.ImbalanceMean = g.imbalanceSum / float64(st.Windows)
+	}
+	return st
+}
+
+// poolSize resolves the effective worker count.
+func (g *ShardGroup) poolSize() int {
+	w := g.workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(g.shards) {
+		w = len(g.shards)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Run drives all shards to completion and returns nil if every proc
 // finished, or a *DeadlockError aggregating all shards' parked procs.
 // Like Scheduler.Run it may be called exactly once.
@@ -121,11 +319,47 @@ func (g *ShardGroup) Run() error {
 		panic("sim: ShardGroup.Run called twice")
 	}
 	g.running = true
-	var wg sync.WaitGroup
-	// panics[i] captures a panic escaping shard i's window so it can be
-	// re-raised on the coordinator goroutine (lowest shard first, for
-	// determinism) instead of killing the process from a worker goroutine.
-	panics := make([]any, len(g.shards))
+
+	n := len(g.shards)
+	W := g.poolSize()
+	g.stats.Workers = W
+	g.stats.Stealing = g.stealing
+	g.timed = W > 1 || g.span != nil
+	g.epochNS = timeNowUnixNano()
+	g.panics = make([]any, n)
+	g.winEvents = make([]int64, n)
+	g.winNS = make([]int64, n)
+	g.winStart = make([]int64, n)
+	g.winEnd = make([]int64, n)
+	g.winPred = make([]int64, n)
+	g.winWorker = make([]int, n)
+	g.cost = make([]float64, n)
+	g.order = make([]int, 0, n)
+
+	// Static ownership: worker w owns the contiguous chunk of shards with
+	// sid*W/n == w. It is the stealing-off assignment and the reference
+	// against which steals are counted.
+	g.ownerOf = make([]int, n)
+	g.owned = make([][]int, W)
+	for sid := 0; sid < n; sid++ {
+		w := sid * W / n
+		g.ownerOf[sid] = w
+		g.owned[w] = append(g.owned[w], sid)
+	}
+
+	// The persistent worker pool: started once, signaled per window, torn
+	// down when Run returns. Zero goroutine spawns per window.
+	g.startCh = make([]chan struct{}, W)
+	for w := 0; w < W; w++ {
+		g.startCh[w] = make(chan struct{}, 1)
+		go g.windowWorker(w)
+	}
+	defer func() {
+		for _, ch := range g.startCh {
+			close(ch)
+		}
+	}()
+
 	for {
 		work := false
 		min := maxTime
@@ -151,58 +385,341 @@ func (g *ShardGroup) Run() error {
 		if min < maxTime-Time(g.lookahead) {
 			limit = min + Time(g.lookahead) - 1
 		}
-		for i, s := range g.shards {
-			if g.next[i] > limit {
-				continue
-			}
-			wg.Add(1)
-			go func(i int, s *Scheduler, limit Time) {
-				defer wg.Done()
-				defer func() { panics[i] = recover() }()
-				s.runWindow(limit)
-			}(i, s, limit)
-		}
-		wg.Wait()
-		for _, r := range panics {
-			if r != nil {
+		g.limit = limit
+		g.dispatchWindow()
+		for i := range g.shards {
+			if r := g.panics[i]; r != nil {
 				panic(r)
 			}
 		}
+		g.accountWindow()
 		g.deliver()
 	}
 	return g.finish()
 }
 
-// deliver moves the windows' cross-shard events into their destination
-// queues in deterministic order. It runs at the barrier, while every shard
-// is quiescent.
+// dispatchWindow runs every shard with work in the current window on the
+// worker pool and waits for the window barrier. A window with a single
+// active shard runs inline on the coordinator — no signaling at all.
+func (g *ShardGroup) dispatchWindow() {
+	g.order = g.order[:0]
+	for sid := range g.shards {
+		if g.next[sid] <= g.limit {
+			g.order = append(g.order, sid)
+		}
+	}
+	g.predict()
+	if len(g.order) == 1 {
+		g.runShardWindow(g.ownerOf[g.order[0]], g.order[0])
+		return
+	}
+	if len(g.startCh) == 1 {
+		// A one-worker pool (GOMAXPROCS=1) degenerates to sequential
+		// execution; run the window inline on the coordinator instead of
+		// bouncing through the worker's channel.
+		for _, sid := range g.order {
+			g.runShardWindow(0, sid)
+		}
+		return
+	}
+	if g.stealing {
+		// LPT: largest predicted cost first, so the expensive shards start
+		// immediately and the small ones fill the gaps via the cursor.
+		slices.SortFunc(g.order, func(a, b int) int {
+			ca, cb := g.cost[a], g.cost[b]
+			// Cold shards (no cost observation yet) run first — an unknown
+			// cost is scheduled conservatively — ordered by queue length.
+			if (ca == 0) != (cb == 0) {
+				if ca == 0 {
+					return -1
+				}
+				return 1
+			}
+			if ca == 0 {
+				if la, lb := len(g.shards[a].queue), len(g.shards[b].queue); la != lb {
+					return lb - la
+				}
+				return a - b
+			}
+			if ca != cb {
+				if ca > cb {
+					return -1
+				}
+				return 1
+			}
+			return a - b
+		})
+		g.cursor.Store(0)
+		nwake := g.poolWake(len(g.order))
+		g.wg.Add(nwake)
+		for w := 0; w < nwake; w++ {
+			g.startCh[w] <- struct{}{}
+		}
+	} else {
+		// Static assignment: wake exactly the owners of active shards.
+		for w, shards := range g.owned {
+			for _, sid := range shards {
+				if g.next[sid] <= g.limit {
+					g.wg.Add(1)
+					g.startCh[w] <- struct{}{}
+					break
+				}
+			}
+		}
+	}
+	g.wg.Wait()
+}
+
+// poolWake caps the number of workers woken at the number of active shards.
+func (g *ShardGroup) poolWake(active int) int {
+	if active < len(g.startCh) {
+		return active
+	}
+	return len(g.startCh)
+}
+
+// windowWorker is the body of one pool worker: woken once per window, it
+// claims shards (stealing) or walks its owned shards (static) and runs
+// each through the window.
+func (g *ShardGroup) windowWorker(w int) {
+	for range g.startCh[w] {
+		if g.stealing {
+			for {
+				pos := int(g.cursor.Add(1)) - 1
+				if pos >= len(g.order) {
+					break
+				}
+				g.runShardWindow(w, g.order[pos])
+			}
+		} else {
+			for _, sid := range g.owned[w] {
+				if g.next[sid] <= g.limit {
+					g.runShardWindow(w, sid)
+				}
+			}
+		}
+		g.wg.Done()
+	}
+}
+
+// runShardWindow executes one shard's window on worker w, capturing any
+// escaping panic (re-raised on the coordinator, lowest shard first), the
+// deterministic event count, and the host-time cost sample. It ends by
+// sorting the shard's outbox — the parallel half of the barrier merge.
+func (g *ShardGroup) runShardWindow(w, sid int) {
+	s := g.shards[sid]
+	defer func() {
+		if r := recover(); r != nil {
+			g.panics[sid] = r
+		}
+	}()
+	var start int64
+	if g.timed {
+		start = timeNowUnixNano()
+	}
+	q0, seq0 := len(s.queue), s.seq
+	s.runWindow(g.limit)
+	// Every event ever created is pushed onto the queue exactly once, and
+	// every pop dispatches, so the events processed this window are the
+	// starting queue length plus the events created (seq delta) minus what
+	// is still queued. Counting here keeps the dispatch hot path (and its
+	// handoff fast path) untouched.
+	g.winEvents[sid] = int64(q0) + int64(s.seq-seq0) - int64(len(s.queue))
+	slices.SortFunc(s.outbox, func(a, b crossEvent) int {
+		if a.at != b.at {
+			if a.at < b.at {
+				return -1
+			}
+			return 1
+		}
+		if a.born != b.born {
+			if a.born < b.born {
+				return -1
+			}
+			return 1
+		}
+		// seq is unique per source shard and every event in this outbox
+		// shares src, so (at, born, seq) is a total order here.
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
+	})
+	if g.timed {
+		end := timeNowUnixNano()
+		g.winNS[sid] = end - start
+		g.winStart[sid], g.winEnd[sid] = start-g.epochNS, end-g.epochNS
+	}
+	g.winWorker[sid] = w
+}
+
+// accountWindow folds the finished window's per-shard samples into the
+// group counters and the EWMA cost model, and emits trace spans. Runs on
+// the coordinator, after the barrier, so it is single-threaded.
+func (g *ShardGroup) accountWindow() {
+	g.stats.Windows++
+	var sum, max int64
+	for _, sid := range g.order {
+		ev := g.winEvents[sid]
+		sum += ev
+		if ev > max {
+			max = ev
+		}
+		actual := g.winNS[sid]
+		g.stats.ActualNS += actual
+		g.stats.PredNS += g.winPred[sid]
+		if g.cost[sid] == 0 {
+			g.cost[sid] = float64(actual)
+		} else {
+			g.cost[sid] = (1-ewmaAlpha)*g.cost[sid] + ewmaAlpha*float64(actual)
+		}
+		if g.winWorker[sid] != g.ownerOf[sid] {
+			g.stats.Steals++
+		}
+	}
+	g.stats.Events += sum
+	if len(g.order) > 0 && sum > 0 {
+		mean := float64(sum) / float64(len(g.order))
+		if r := float64(max) / mean; r > 0 {
+			g.imbalanceSum += r
+			if r > g.stats.ImbalanceMax {
+				g.stats.ImbalanceMax = r
+			}
+		}
+	} else {
+		g.imbalanceSum += 1
+	}
+	if g.span != nil {
+		win := g.stats.Windows - 1
+		for sid := range g.shards {
+			if g.next[sid] > g.limit {
+				continue
+			}
+			g.span(ShardSpan{
+				Window:  win,
+				Worker:  g.winWorker[sid],
+				Shard:   sid,
+				StartNS: g.winStart[sid],
+				EndNS:   g.winEnd[sid],
+				Events:  g.winEvents[sid],
+				PredNS:  g.winPred[sid],
+				Stolen:  g.winWorker[sid] != g.ownerOf[sid],
+			})
+		}
+	}
+}
+
+// predict snapshots the EWMA prediction for every active shard (0 for cold
+// shards, which are ordered by queue length instead).
+func (g *ShardGroup) predict() {
+	for _, sid := range g.order {
+		g.winPred[sid] = int64(g.cost[sid])
+	}
+}
+
+// deliver moves the window's cross-shard events into their destination
+// queues in deterministic (at, born, src, seq) order. The per-shard
+// outboxes were already sorted in parallel by the workers; the coordinator
+// k-way-merges the sorted runs. Windows with no cross-shard traffic skip
+// the merge entirely.
 func (g *ShardGroup) deliver() {
-	g.pending = g.pending[:0]
-	for _, s := range g.shards {
-		g.pending = append(g.pending, s.outbox...)
+	g.heads = g.heads[:0]
+	total := 0
+	for sid, s := range g.shards {
+		if len(s.outbox) > 0 {
+			g.heads = append(g.heads, sid)
+			total += len(s.outbox)
+		}
+	}
+	if total == 0 {
+		g.stats.MergeSkips++
+		g.tickOutboxes()
+		return
+	}
+	g.stats.Merged += int64(total)
+	if len(g.heads) == 1 {
+		// A single sorted run needs no merge.
+		for _, e := range g.shards[g.heads[0]].outbox {
+			e.dst.atBorn(e.at, e.born, e.fn)
+		}
+	} else {
+		// K-way merge over the sorted runs. The scan works on a compacted
+		// list of live run tails (advanced in place, swap-removed when
+		// exhausted), so each step touches only the head elements.
+		g.runs = g.runs[:0]
+		for _, sid := range g.heads {
+			g.runs = append(g.runs, g.shards[sid].outbox)
+		}
+		runs := g.runs
+		for len(runs) > 1 {
+			best := 0
+			be := &runs[0][0]
+			for hi := 1; hi < len(runs); hi++ {
+				if e := &runs[hi][0]; crossBefore(e, be) {
+					best, be = hi, e
+				}
+			}
+			// atBorn keeps the sender-side creation time as the same-time
+			// tiebreak, so the event interleaves with the destination's
+			// local events exactly as it would have on a single scheduler.
+			be.dst.atBorn(be.at, be.born, be.fn)
+			if runs[best] = runs[best][1:]; len(runs[best]) == 0 {
+				runs[best] = runs[len(runs)-1]
+				runs = runs[:len(runs)-1]
+			}
+		}
+		for _, e := range runs[0] {
+			e.dst.atBorn(e.at, e.born, e.fn)
+		}
+	}
+	for _, sid := range g.heads {
+		s := g.shards[sid]
 		for i := range s.outbox {
 			s.outbox[i] = crossEvent{}
 		}
 		s.outbox = s.outbox[:0]
 	}
-	sort.Slice(g.pending, func(i, j int) bool {
-		a, b := g.pending[i], g.pending[j]
-		if a.at != b.at {
-			return a.at < b.at
+	for i := range g.runs {
+		g.runs[i] = nil // do not pin a shrunk-away outbox array
+	}
+	g.tickOutboxes()
+}
+
+// crossBefore is the (at, born, src, seq) merge order. The heads compared
+// always come from different outboxes, so src breaks every remaining tie.
+func crossBefore(a, b *crossEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.born != b.born {
+		return a.born < b.born
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// tickOutboxes advances every shard's outbox high-water bookkeeping by one
+// window and shrinks buffers whose capacity greatly exceeds recent use: a
+// spike window would otherwise pin the peak allocation for the rest of the
+// run. Peak use per shrink epoch is recorded by Defer as the outbox grows;
+// this runs at the barrier, after the outboxes have drained.
+func (g *ShardGroup) tickOutboxes() {
+	for _, s := range g.shards {
+		s.outboxTick++
+		if s.outboxTick < outboxShrinkEvery {
+			continue
 		}
-		if a.born != b.born {
-			return a.born < b.born
+		if c := cap(s.outbox); c > outboxMinCap && c > 4*s.outboxPeak {
+			nc := 2 * s.outboxPeak
+			if nc < outboxMinCap {
+				nc = outboxMinCap
+			}
+			s.outbox = make([]crossEvent, 0, nc)
+			g.stats.Shrinks++
 		}
-		if a.src != b.src {
-			return a.src < b.src
-		}
-		return a.seq < b.seq
-	})
-	for _, e := range g.pending {
-		// atBorn keeps the sender-side creation time as the same-time
-		// tiebreak, so the event interleaves with the destination's local
-		// events exactly as it would have on a single scheduler.
-		e.dst.atBorn(e.at, e.born, e.fn)
+		s.outboxTick, s.outboxPeak = 0, 0
 	}
 }
 
@@ -225,7 +742,7 @@ func (g *ShardGroup) finish() error {
 	if live == 0 {
 		return nil
 	}
-	sort.Strings(blocked)
+	slices.Sort(blocked)
 	return &DeadlockError{Now: now, Blocked: blocked}
 }
 
@@ -272,6 +789,9 @@ func (s *Scheduler) Defer(dst *Scheduler, t Time, fn func()) {
 	}
 	s.outSeq++
 	s.outbox = append(s.outbox, crossEvent{dst: dst, at: t, born: s.now, src: s.shardID, seq: s.outSeq, fn: fn})
+	if n := len(s.outbox); n > s.outboxPeak {
+		s.outboxPeak = n
+	}
 }
 
 // Group returns the shard group this scheduler belongs to, or nil for a

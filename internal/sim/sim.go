@@ -17,7 +17,7 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -279,6 +279,11 @@ type Scheduler struct {
 	windowing bool
 	outbox    []crossEvent
 	outSeq    uint64
+	// outboxPeak / outboxTick drive the barrier's outbox high-water shrink
+	// policy (ShardGroup.tickOutboxes): peak use in the current shrink
+	// epoch, and windows elapsed in it.
+	outboxPeak int
+	outboxTick int
 }
 
 // New returns an empty simulation scheduler with the clock at zero.
@@ -591,7 +596,7 @@ func (s *Scheduler) deadlock() error {
 	for _, p := range s.procs {
 		blocked = append(blocked, fmt.Sprintf("%s(#%d): %s", p.name, p.id, p.parkReason()))
 	}
-	sort.Strings(blocked)
+	slices.Sort(blocked)
 	return &DeadlockError{Now: s.now, Blocked: blocked}
 }
 
@@ -653,7 +658,9 @@ func (s *Scheduler) RunUntil(t Time) bool {
 }
 
 // timeNowUnixNano and timeSleep are test seams for wall-clock access; only
-// RunPaced consults the wall clock, and only through these.
+// RunPaced and the shard pool's cost/telemetry sampling (shard.go) consult
+// the wall clock, and only through these. The shard samples feed the LPT
+// dispatch order and trace spans, never the simulation itself.
 var (
 	timeNowUnixNano = func() int64 { return time.Now().UnixNano() }
 	timeSleep       = func(d time.Duration) { time.Sleep(d) }
